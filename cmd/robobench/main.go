@@ -1,0 +1,205 @@
+// Command robobench regenerates the paper's evaluation tables and
+// figures (§5) on the simulated cluster.
+//
+// Usage:
+//
+//	robobench -exp all            # everything (slow)
+//	robobench -exp fig3,fig4     # tuner quality + search cost
+//	robobench -exp fig2 -full    # paper-scale Figure 2
+//
+// Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 table2 default
+// (comma-separated, or "all"). fig3/fig4/fig5/fig6/table2 share one
+// comparison run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "experiments to run (comma separated, or 'all')")
+		full    = flag.Bool("full", false, "paper-scale evaluation (5 repeats; slower)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		budget  = flag.Int("budget", 100, "tuning budget in evaluations")
+		repeats = flag.Int("repeats", 0, "tuning sessions per dataset (0 = scale default)")
+		outPath = flag.String("out", "", "also write a full Markdown report to this file (runs every experiment)")
+		csvDir  = flag.String("csv", "", "write machine-readable CSVs (sessions, fig3, fig4, traces) into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Defaults()
+	if *full {
+		cfg = experiments.Full()
+	}
+	cfg.Seed = *seed
+	cfg.Budget = *budget
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	has := func(name string) bool { return all || want[name] }
+
+	ran := 0
+	start := time.Now()
+
+	if *outPath != "" {
+		// Report mode runs every experiment once and writes Markdown.
+		section("Full report")
+		comp := experiments.RunComparison(cfg, nil)
+		md := report.FullReport(cfg, comp)
+		if err := os.WriteFile(*outPath, []byte(md), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "writing report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s (%d bytes)\n", *outPath, len(md))
+		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if has("fig2") {
+		section("Figure 2 (model comparison)")
+		samples := 200
+		fmt.Print(experiments.Fig2ModelComparison(cfg, samples).Render())
+		ran++
+	}
+
+	needsComparison := has("fig3") || has("fig4") || has("fig5") || has("fig6") || has("table2") || *csvDir != ""
+	if needsComparison {
+		section("Comparison grid (4 tuners x 5 workloads x 3 datasets)")
+		comp := experiments.RunComparison(cfg, nil)
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, comp); err != nil {
+				fmt.Fprintln(os.Stderr, "writing CSVs:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("CSVs written to %s\n\n", *csvDir)
+		}
+		if has("fig3") {
+			rows := comp.Fig3()
+			fmt.Print(experiments.RenderScaled("Figure 3 — best execution time scaled to RandomSearch (lower is better)", rows))
+			for _, other := range []string{"BestConfig", "Gunther", "RandomSearch"} {
+				mean, max := experiments.SummarizeScaled(rows, other)
+				fmt.Printf("  ROBOTune vs %-12s: %.2fx mean, %.2fx max advantage\n", other, mean, max)
+			}
+			fmt.Println()
+		}
+		if has("fig4") {
+			rows := comp.Fig4()
+			fmt.Print(experiments.RenderScaled("Figure 4 — search cost scaled to RandomSearch (lower is better)", rows))
+			for _, other := range []string{"BestConfig", "Gunther", "RandomSearch"} {
+				mean, max := experiments.SummarizeScaled(rows, other)
+				fmt.Printf("  ROBOTune vs %-12s: %.2fx mean, %.2fx max advantage\n", other, mean, max)
+			}
+			fmt.Println()
+		}
+		if has("fig5") {
+			for _, w := range []string{"PageRank", "KMeans"} {
+				fmt.Println(comp.Fig5(w).Render())
+			}
+		}
+		if has("fig6") {
+			fmt.Println(comp.Fig6("PageRank").Render("PageRank"))
+		}
+		if has("table2") {
+			fmt.Println(experiments.RenderTable2(comp.Table2()))
+		}
+		ran++
+	}
+
+	if has("fig7") {
+		section("Figure 7 (selection recall vs sample count)")
+		fmt.Print(experiments.Fig7SelectionRecall(cfg, nil).Render())
+		ran++
+	}
+	if has("fig8") {
+		section("Figure 8 (sampling behavior)")
+		fmt.Print(experiments.Fig8SamplingBehavior(cfg).Render())
+		ran++
+	}
+	if has("fig9") {
+		section("Figure 9 (response surface)")
+		fmt.Print(experiments.Fig9ResponseSurface(cfg, nil, 0).Render())
+		ran++
+	}
+	if has("default") {
+		section("§5.2 default-configuration comparison")
+		fmt.Print(experiments.RenderDefault(experiments.DefaultComparison(cfg)))
+		ran++
+	}
+	if has("extended") {
+		section("Extended comparison (extension tuners)")
+		rows, _ := experiments.ExtendedComparison(cfg, nil)
+		fmt.Print(experiments.RenderExtended(rows))
+		ran++
+	}
+	if has("ablations") {
+		section("Design-choice ablations")
+		fmt.Print(experiments.Ablations(cfg).Render())
+		ran++
+	}
+	if has("mapping") {
+		section("Workload mapping (extension)")
+		fmt.Print(experiments.RenderMapping(experiments.MappingExperiment(cfg)))
+		ran++
+	}
+	if has("amortization") {
+		section("§5.5 selection-cost amortization")
+		for _, w := range []string{"PageRank", "KMeans"} {
+			fmt.Println(experiments.RenderAmortization(w, experiments.AmortizationExperiment(cfg, w)))
+		}
+		ran++
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; have fig2..fig9, table2, default, extended, ablations, mapping, amortization, all\n", *expFlag)
+		os.Exit(2)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+// writeCSVs dumps the comparison's machine-readable artifacts.
+func writeCSVs(dir string, comp *experiments.Comparison) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("sessions.csv", func(f *os.File) error { return comp.WriteSessionsCSV(f) }); err != nil {
+		return err
+	}
+	if err := write("fig3_quality.csv", func(f *os.File) error {
+		return experiments.WriteScaledCSV(f, comp.Fig3())
+	}); err != nil {
+		return err
+	}
+	if err := write("fig4_cost.csv", func(f *os.File) error {
+		return experiments.WriteScaledCSV(f, comp.Fig4())
+	}); err != nil {
+		return err
+	}
+	return write("traces.csv", func(f *os.File) error { return comp.WriteTracesCSV(f) })
+}

@@ -1,0 +1,190 @@
+// Command robosim runs the cluster simulator directly: one workload,
+// one configuration, N repetitions — for exploring how a
+// configuration behaves before (or instead of) tuning.
+//
+// Usage:
+//
+//	robosim -workload KMeans -dataset 2 -reps 5
+//	robosim -workload TeraSort -set spark.executor.cores=8 \
+//	        -set spark.executor.memory=24576 -set spark.serializer=kryo
+//	robosim -workload PageRank -conf best.json     # values from robotune's memo/trace
+//	robosim -workload PageRank -default            # Spark's out-of-the-box config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/conf"
+	"repro/internal/sample"
+	"repro/internal/sparksim"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// setFlags accumulates repeated -set name=value flags.
+type setFlags map[string]string
+
+func (s setFlags) String() string { return fmt.Sprintf("%v", map[string]string(s)) }
+
+func (s setFlags) Set(v string) error {
+	name, value, err := cli.ParseSet(v)
+	if err != nil {
+		return err
+	}
+	s[name] = value
+	return nil
+}
+
+func main() {
+	sets := setFlags{}
+	var (
+		workload = flag.String("workload", "KMeans", "workload name (paper five + WordCount, SQLAggregation, TriangleCount)")
+		dataset  = flag.Int("dataset", 1, "dataset index 1-3")
+		confPath = flag.String("conf", "", "JSON file of parameter raw values (e.g. a memoized config)")
+		useDef   = flag.Bool("default", false, "run Spark's default configuration")
+		reps     = flag.Int("reps", 5, "repetitions")
+		seed     = flag.Uint64("seed", 1, "noise seed")
+		capSec   = flag.Float64("cap", 0, "execution time cap in seconds (0 = uncapped)")
+		events   = flag.Bool("events", true, "print simulator events of the first run")
+		plan     = flag.Bool("plan", false, "print the workload's stage plan and exit")
+		stages   = flag.Bool("stages", false, "print a per-stage time breakdown of the first run")
+		sweepP   = flag.String("sweep", "", "sweep this parameter across its range (holding the rest) and exit")
+		params   = flag.Bool("params", false, "print the 44-parameter configuration space and exit")
+	)
+	flag.Var(sets, "set", "parameter override name=value (repeatable; categorical values by name)")
+	flag.Parse()
+
+	w, err := sparksim.WorkloadByName(*workload, *dataset-1)
+	if err != nil {
+		fatal(err)
+	}
+	if *plan {
+		fmt.Print(w.Describe())
+		return
+	}
+	space := conf.SparkSpace()
+	if *params {
+		fmt.Print(space.Describe())
+		return
+	}
+
+	c, err := buildConfig(space, *confPath, *useDef, sets)
+	if err != nil {
+		fatal(err)
+	}
+
+	cl := sparksim.PaperCluster()
+	limit := math.Inf(1)
+	if *capSec > 0 {
+		limit = *capSec
+	}
+
+	if *sweepP != "" {
+		res, err := sweep.Run(cl, w, c, *sweepP, sweep.Config{
+			Reps: *reps, Seed: *seed, CapSeconds: *capSec,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload: %s\n\n", w.ID())
+		fmt.Print(res.Render())
+		return
+	}
+
+	fmt.Printf("workload: %s\n", w.ID())
+	if ex, ok := sparksim.PackExecutors(cl, c); ok {
+		fmt.Printf("layout  : %d executors x %d cores (%d slots), %.1f GB heap each, %d/node\n",
+			ex.Count, ex.CoresEach, ex.TotalSlots, ex.HeapMB/1024, ex.PerNode)
+	} else {
+		fmt.Println("layout  : INFEASIBLE (no executor of this size fits on a node)")
+	}
+
+	var times []float64
+	failures := 0
+	for i := 0; i < *reps; i++ {
+		var out sparksim.Outcome
+		if i == 0 && *stages {
+			out = sparksim.RunDetailed(cl, w, c, sample.NewRNG(*seed+uint64(i)*31), limit)
+		} else {
+			out = sparksim.Run(cl, w, c, sample.NewRNG(*seed+uint64(i)*31), limit)
+		}
+		status := "ok"
+		switch {
+		case out.OOM:
+			status = "OOM"
+			failures++
+		case out.Infeasible:
+			status = "infeasible"
+			failures++
+		case !out.Completed:
+			status = "truncated"
+			failures++
+		default:
+			times = append(times, out.Seconds)
+		}
+		fmt.Printf("run %2d  : %8.1f s  [%s]\n", i+1, out.Seconds, status)
+		if i == 0 && *events && len(out.Events) > 0 {
+			for _, e := range out.Events {
+				fmt.Printf("          event: %s\n", e)
+			}
+		}
+		if i == 0 && *stages && len(out.Breakdown) > 0 {
+			fmt.Printf("\n%-16s %8s %6s %6s %9s %9s %9s %9s\n",
+				"stage", "total", "tasks", "waves", "cpu/task", "disk/task", "net/task", "miss")
+			for _, sb := range out.Breakdown {
+				fmt.Printf("%-16s %7.1fs %6d %6d %8.2fs %8.2fs %8.2fs %8.2fs\n",
+					sb.Name, sb.Seconds, sb.Tasks, sb.Waves,
+					sb.ComputeSec, sb.DiskSec, sb.NetSec, sb.CacheMissSec)
+			}
+			fmt.Println()
+		}
+	}
+	if len(times) > 0 {
+		s := stats.Summarize(times)
+		fmt.Printf("\ncompleted %d/%d:  mean %.1f s  median %.1f s  min %.1f s  max %.1f s\n",
+			len(times), *reps, s.Mean, s.P50, s.Min, s.Max)
+	} else {
+		fmt.Printf("\nno run completed (%d failures)\n", failures)
+		os.Exit(1)
+	}
+}
+
+// buildConfig assembles the configuration from the default, an
+// optional JSON values file, and -set overrides (applied in that
+// order).
+func buildConfig(space *conf.Space, confPath string, useDefault bool, sets setFlags) (conf.Config, error) {
+	var c conf.Config
+	var err error
+	if useDefault {
+		c = space.Default()
+	} else {
+		// Unless the Spark default is explicitly requested, start from
+		// a reasonable tuned-ish baseline (the default's 1 GB
+		// executors fail several workloads) and layer overrides on it.
+		c, err = space.FromRaw(map[string]float64{
+			conf.ExecutorCores:      8,
+			conf.ExecutorMemory:     24576,
+			conf.ExecutorInstances:  20,
+			conf.DefaultParallelism: 200,
+			conf.Serializer:         1,
+		})
+		if err != nil {
+			return conf.Config{}, err
+		}
+	}
+	if confPath != "" {
+		if c, err = cli.LoadConfigValues(space, confPath); err != nil {
+			return conf.Config{}, err
+		}
+	}
+	return cli.ApplySets(space, c, sets)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,157 @@
+// Command robotune tunes a workload's Spark configuration on the
+// simulated cluster with a chosen tuner, printing the best
+// configuration found, the search cost and the convergence trace.
+//
+// Usage:
+//
+//	robotune -workload KMeans -dataset 1 -budget 100
+//	robotune -workload PageRank -tuner BestConfig
+//	robotune -workload PageRank -dataset 3 -memo state.json   # reuse caches
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/sparksim"
+	"repro/internal/trace"
+	"repro/internal/tuners"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "KMeans", "PageRank | KMeans | ConnectedComponents | LogisticRegression | TeraSort")
+		dataset  = flag.Int("dataset", 1, "dataset index 1-3 (Table 1: D1-D3)")
+		tuner    = flag.String("tuner", "ROBOTune", "ROBOTune | BestConfig | Gunther | RandomSearch")
+		budget   = flag.Int("budget", 100, "tuning budget in evaluations")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		memoPath = flag.String("memo", "", "path to the memoization store (persists caches across runs)")
+		capSec   = flag.Float64("cap", 480, "per-evaluation execution time limit in seconds")
+		tracePth = flag.String("trace", "", "write the full session log (every evaluation) as JSON to this file")
+		bestOut  = flag.String("best-out", "", "write the best configuration's raw values as JSON (readable by robosim -conf)")
+		verbose  = flag.Bool("v", false, "print every non-default parameter of the best config")
+		explain  = flag.Bool("explain", false, "print selection ranking, Hedge weights and config diff (ROBOTune only)")
+	)
+	flag.Parse()
+
+	w, err := sparksim.WorkloadByName(*workload, *dataset-1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	store := memo.NewStore()
+	if *memoPath != "" {
+		store, err = memo.Load(*memoPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	tn, err := cli.BuildTuner(*tuner, store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	space := conf.SparkSpace()
+	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), w, *seed, *capSec)
+	var obj tuners.Objective = ev
+	var recorder *trace.Recorder
+	if *tracePth != "" {
+		recorder = trace.NewRecorder(ev)
+		obj = recorder
+	}
+
+	fmt.Printf("tuning %s with %s (budget %d, cap %.0fs)\n", w.ID(), tn.Name(), *budget, *capSec)
+	res := tn.Tune(obj, space, *budget, *seed)
+
+	if recorder != nil {
+		sess := recorder.Finish(tn.Name(), *budget, *seed, res)
+		if err := sess.Save(*tracePth); err != nil {
+			fmt.Fprintln(os.Stderr, "saving trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("session trace (%d evaluations) saved to %s\n", len(sess.Records), *tracePth)
+	}
+
+	if !res.Found {
+		fmt.Println("no completing configuration found within budget")
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nbest execution time : %8.1f s (observed during search)\n", res.BestSeconds)
+	fmt.Printf("verified (5 runs)   : %8.1f s\n", ev.Measure(res.Best, 5, *seed*31+7))
+	fmt.Printf("tuning evaluations  : %8d\n", res.Evals)
+	fmt.Printf("search cost         : %8.0f s (simulated)\n", res.SearchCost)
+	if res.SelectionEvals > 0 {
+		fmt.Printf("selection (one-time): %8d evals, %.0f s\n", res.SelectionEvals, res.SelectionCost)
+	}
+	if len(res.SelectedParams) > 0 {
+		fmt.Printf("selected parameters : %s\n", strings.Join(res.SelectedParams, ", "))
+	}
+
+	fmt.Println("\nbest configuration (tuned parameters):")
+	printConfig(space, res.Best, res.SelectedParams, *verbose)
+
+	if *explain {
+		if rt, ok := tn.(*core.ROBOTune); ok {
+			fmt.Println("\n--- session explanation ---")
+			fmt.Print(rt.Explain(space, res))
+		}
+	}
+
+	// Convergence trace: running minimum every 10 iterations.
+	fmt.Println("\nconvergence (running min):")
+	runMin := res.Trace[0]
+	for i, v := range res.Trace {
+		if v < runMin {
+			runMin = v
+		}
+		if (i+1)%10 == 0 || i == len(res.Trace)-1 {
+			fmt.Printf("  iter %3d: %7.1f s\n", i+1, runMin)
+		}
+	}
+
+	if *bestOut != "" {
+		if err := cli.SaveConfigValues(res.Best, *bestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "saving best config:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbest configuration saved to %s\n", *bestOut)
+	}
+	if *memoPath != "" {
+		if err := store.Save(*memoPath); err != nil {
+			fmt.Fprintln(os.Stderr, "saving memo store:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmemoization store saved to %s\n", *memoPath)
+	}
+}
+
+func printConfig(space *conf.Space, c conf.Config, selected []string, verbose bool) {
+	show := map[string]bool{}
+	for _, p := range selected {
+		show[p] = true
+	}
+	def := space.Default()
+	names := space.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		p, _ := space.Param(n)
+		if !show[n] {
+			if !verbose || c.Raw(n) == def.Raw(n) {
+				continue
+			}
+		}
+		fmt.Printf("  %-44s = %s\n", n, p.FormatRaw(c.Raw(n)))
+	}
+}

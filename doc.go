@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "ROBOTune:
+// High-Dimensional Configuration Tuning for Cluster-Based Data
+// Analytics" (Khan & Yu, ICPP 2021).
+//
+// The root package carries the benchmark harness (bench_test.go),
+// with one benchmark per table and figure of the paper's evaluation
+// plus ablation and micro benchmarks. The library lives under
+// internal/ (see DESIGN.md for the inventory) and the runnable
+// entry points under cmd/ and examples/.
+package repro

@@ -1,0 +1,67 @@
+// Parameter selection: run ROBOTune's Random-Forest importance
+// analysis standalone (§3.3) and inspect the full ranking — which of
+// the 44 Spark parameters actually matter for a workload, with
+// collinear groups permuted jointly, and how the linear models the
+// paper rejects would have fared on the same data (Figure 2's
+// premise).
+//
+//	go run ./examples/paramselect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/linmodel"
+	"repro/internal/sample"
+	"repro/internal/sparksim"
+	"repro/internal/stats"
+)
+
+func main() {
+	space := conf.SparkSpace()
+	workload := sparksim.TeraSort(30)
+	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), workload, 17, 480)
+
+	// Collect the paper's 100 generic LHS samples once and reuse them
+	// for both the RF selection and the linear-model comparison.
+	design := sample.LHS(100, space.Dim(), sample.NewRNG(17))
+	x := make([][]float64, len(design))
+	y := make([]float64, len(design))
+	for i, u := range design {
+		x[i] = u
+		y[i] = ev.Evaluate(space.Decode(u)).Seconds
+	}
+
+	rt := core.New(nil, core.Options{})
+	sel, err := rt.SelectFromData(space, x, y, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%d LHS samples, RF OOB R² = %.3f)\n\n",
+		workload.ID(), sel.Samples, sel.OOBR2)
+	fmt.Println("importance ranking (grouped MDA, mean OOB-R² drop over 10 permutations):")
+	for i, g := range sel.Ranking {
+		if i >= 12 {
+			fmt.Printf("  ... %d more groups below the noise floor\n", len(sel.Ranking)-i)
+			break
+		}
+		marker := " "
+		if g.Drop >= 0.05 {
+			marker = "*" // clears the paper's 0.05 threshold
+		}
+		fmt.Printf("  %s %2d. %-28s drop=%7.4f  members=%v\n", marker, i+1, g.Name, g.Drop, g.Members)
+	}
+	fmt.Printf("\nselected for tuning (%d parameters): %v\n", len(sel.Params), sel.Params)
+
+	// Figure 2's point: a Lasso on the same data explains far less of
+	// the configuration-performance relationship than the forest.
+	lasso := linmodel.Fit(x, y, linmodel.LassoDefaults())
+	fmt.Printf("\nfor comparison, Lasso training R² on the same samples: %.3f\n",
+		stats.R2(y, lasso.PredictAll(x)))
+	fmt.Println("(tree ensembles capture the non-linear, interaction-heavy response;")
+	fmt.Println(" linear models cannot — the reason §3.3 chooses Random Forests)")
+}

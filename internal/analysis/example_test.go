@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// Mann-Whitney U answers "does tuner A find better configurations
+// than tuner B" without assuming normal execution times.
+func ExampleMannWhitney() {
+	robotune := []float64{92, 95, 88, 90, 97, 91, 89, 94}
+	baseline := []float64{120, 131, 115, 140, 118, 125, 122, 138}
+	_, z, p := analysis.MannWhitney(robotune, baseline)
+	fmt.Println("robotune stochastically smaller:", z < 0 && p < 0.01)
+	fmt.Println("significant at 1%:", analysis.Better(robotune, baseline, 0.01))
+	// Output:
+	// robotune stochastically smaller: true
+	// significant at 1%: true
+}

@@ -1,0 +1,339 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/gp"
+	"repro/internal/optimize"
+	"repro/internal/sample"
+)
+
+// Config controls the BO engine.
+type Config struct {
+	// Portfolio lists the acquisition functions in the Hedge
+	// portfolio. Empty selects DefaultPortfolio. A single entry
+	// disables hedging (used by the hedge-vs-single ablation).
+	Portfolio []Acquisition
+	// Eta is the Hedge learning rate for the softmax over gains.
+	Eta float64
+	// GP configures the surrogate fit.
+	GP gp.Config
+	// CandidatePool is the size of the LHS pool scored to seed the
+	// local optimizer (default 256).
+	CandidatePool int
+	// Starts is the number of L-BFGS-B starts per acquisition
+	// (default 3, plus the top pool candidates).
+	Starts int
+	// Seed makes the engine deterministic.
+	Seed uint64
+}
+
+// DefaultConfig returns the engine configuration used by ROBOTune.
+func DefaultConfig() Config {
+	return Config{
+		Portfolio:     DefaultPortfolio(),
+		Eta:           1.0,
+		GP:            gp.DefaultConfig(),
+		CandidatePool: 256,
+		Starts:        3,
+	}
+}
+
+// Engine runs Algorithm 1: it accumulates (x, y) observations in the
+// unit hypercube, fits a GP, and proposes the next point via the
+// GP-Hedge portfolio.
+type Engine struct {
+	dim  int
+	cfg  Config
+	rng  *rand.Rand
+	x    [][]float64
+	y    []float64
+	g    *gp.GP
+	gain []float64
+	// Hyperparameter refits are expensive (multistart Nelder-Mead
+	// over the marginal likelihood); the engine refits every
+	// hyperRefitEvery observations and reuses the last fitted
+	// hyperparameters in between.
+	lastHyper   gp.Params
+	hyperFitAtN int
+	// nominees holds each acquisition's last proposal, pending its
+	// Hedge reward once the GP is refit with the new observation.
+	nominees [][]float64
+	// chosen is the index of the portfolio member whose proposal was
+	// returned by the last Suggest.
+	chosen int
+}
+
+// New builds an engine over the unit hypercube of the given
+// dimension.
+func New(dim int, cfg Config) *Engine {
+	if dim < 1 {
+		panic("bo: dimension must be >= 1")
+	}
+	if len(cfg.Portfolio) == 0 {
+		cfg.Portfolio = DefaultPortfolio()
+	}
+	if cfg.Eta <= 0 {
+		cfg.Eta = 1.0
+	}
+	if cfg.CandidatePool <= 0 {
+		cfg.CandidatePool = 256
+	}
+	if cfg.Starts <= 0 {
+		cfg.Starts = 3
+	}
+	cfg.GP.Seed = cfg.Seed
+	return &Engine{
+		dim:  dim,
+		cfg:  cfg,
+		rng:  sample.NewRNG(cfg.Seed ^ 0xb0b0b0b0),
+		gain: make([]float64, len(cfg.Portfolio)),
+	}
+}
+
+// Tell adds an observation. x must be in the unit cube of the
+// engine's dimension.
+func (e *Engine) Tell(x []float64, y float64) {
+	if len(x) != e.dim {
+		panic(fmt.Sprintf("bo: Tell dim %d, engine dim %d", len(x), e.dim))
+	}
+	e.x = append(e.x, append([]float64(nil), x...))
+	e.y = append(e.y, y)
+	e.g = nil // invalidate surrogate
+}
+
+// N returns the number of observations.
+func (e *Engine) N() int { return len(e.x) }
+
+// Best returns the incumbent: the observed point with minimal y.
+func (e *Engine) Best() (x []float64, y float64, ok bool) {
+	if len(e.x) == 0 {
+		return nil, 0, false
+	}
+	bi := 0
+	for i := 1; i < len(e.y); i++ {
+		if e.y[i] < e.y[bi] {
+			bi = i
+		}
+	}
+	return append([]float64(nil), e.x[bi]...), e.y[bi], true
+}
+
+// Gains returns a copy of the Hedge cumulative gains, one per
+// portfolio member.
+func (e *Engine) Gains() []float64 { return append([]float64(nil), e.gain...) }
+
+// Probabilities returns the current Hedge selection distribution.
+func (e *Engine) Probabilities() []float64 {
+	p := make([]float64, len(e.gain))
+	softmax(e.gain, e.cfg.Eta, p)
+	return p
+}
+
+// Surrogate returns the current fitted GP, fitting it first if
+// observations changed. It returns an error with fewer than two
+// observations or on factorization failure.
+func (e *Engine) Surrogate() (*gp.GP, error) {
+	if len(e.x) < 2 {
+		return nil, fmt.Errorf("bo: need >= 2 observations, have %d", len(e.x))
+	}
+	if e.g != nil {
+		return e.g, nil
+	}
+	const hyperRefitEvery = 5
+	cfg := e.cfg.GP
+	if e.hyperFitAtN > 0 && len(e.x)-e.hyperFitAtN < hyperRefitEvery {
+		// Reuse the last fitted hyperparameters; only the posterior
+		// (Cholesky + weights) is recomputed for the new data.
+		cfg.FitHyper = false
+		cfg.Init = e.lastHyper
+	}
+	g, err := gp.Fit(e.x, e.y, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FitHyper {
+		e.lastHyper = g.Params()
+		e.hyperFitAtN = len(e.x)
+	}
+	e.g = g
+	return g, nil
+}
+
+// Suggest proposes the next point to evaluate (Algorithm 1 lines
+// 9-13): it refits the GP, settles pending Hedge rewards, lets every
+// acquisition nominate its optimum, and picks one nominee with
+// probability softmax(η·gains).
+func (e *Engine) Suggest() ([]float64, error) {
+	g, err := e.Surrogate()
+	if err != nil {
+		return nil, err
+	}
+
+	// Settle Hedge rewards for the previous round's nominees: the
+	// reward of acquisition i is −μ(x_i) under the updated posterior
+	// (Hoffman et al.), normalized to the GP's target scale.
+	if e.nominees != nil {
+		for i, xi := range e.nominees {
+			mu, _ := g.Predict(xi)
+			e.gain[i] += -e.normalize(mu)
+		}
+		e.nominees = nil
+	}
+
+	_, fBest, _ := e.Best()
+
+	// Shared candidate pool: LHS + the incumbent's neighborhood.
+	pool := sample.LHS(e.cfg.CandidatePool, e.dim, e.rng)
+	bestX, _, _ := e.Best()
+	for k := 0; k < 8; k++ {
+		p := make([]float64, e.dim)
+		for j := range p {
+			p[j] = clamp01(bestX[j] + 0.05*e.rng.NormFloat64())
+		}
+		pool = append(pool, p)
+	}
+
+	bounds := optimize.UnitBox(e.dim)
+	nominees := make([][]float64, len(e.cfg.Portfolio))
+	for i, acq := range e.cfg.Portfolio {
+		neg := func(x []float64) float64 {
+			mu, v := g.Predict(x)
+			return -acq.Score(mu, math.Sqrt(v), fBest)
+		}
+		// Seed local search with the best pool candidates.
+		type cand struct {
+			x []float64
+			f float64
+		}
+		best1, best2 := cand{f: math.Inf(1)}, cand{f: math.Inf(1)}
+		for _, p := range pool {
+			f := neg(p)
+			switch {
+			case f < best1.f:
+				best2 = best1
+				best1 = cand{x: p, f: f}
+			case f < best2.f:
+				best2 = cand{x: p, f: f}
+			}
+		}
+		seeds := [][]float64{best1.x}
+		if best2.x != nil {
+			seeds = append(seeds, best2.x)
+		}
+		res := optimize.Multistart(neg, bounds, e.cfg.Starts, seeds, e.rng,
+			func(f optimize.Objective, x0 []float64, b optimize.Bounds) optimize.Result {
+				return optimize.LBFGSB(f, x0, b, 40)
+			})
+		nominees[i] = res.X
+	}
+
+	// Hedge: choose a nominee with probability softmax(η·g).
+	probs := make([]float64, len(e.gain))
+	softmax(e.gain, e.cfg.Eta, probs)
+	r := e.rng.Float64()
+	idx := 0
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r <= acc {
+			idx = i
+			break
+		}
+		idx = i
+	}
+	e.nominees = nominees
+	e.chosen = idx
+	return append([]float64(nil), nominees[idx]...), nil
+}
+
+// Chosen returns the portfolio index selected by the last Suggest.
+func (e *Engine) Chosen() int { return e.chosen }
+
+// PortfolioNames returns the acquisition names in portfolio order.
+func (e *Engine) PortfolioNames() []string {
+	out := make([]string, len(e.cfg.Portfolio))
+	for i, a := range e.cfg.Portfolio {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// normalize maps a target-scale value onto the engine's observation
+// scale (z-score) so Hedge gains are comparable across problems.
+func (e *Engine) normalize(v float64) float64 {
+	var mean, sd float64
+	for _, y := range e.y {
+		mean += y
+	}
+	mean /= float64(len(e.y))
+	for _, y := range e.y {
+		d := y - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(e.y)))
+	if sd < 1e-12 {
+		return 0
+	}
+	return (v - mean) / sd
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return v
+}
+
+// Fork returns an independent copy of the engine: same observations,
+// gains, configuration and RNG seedline, but future Tells and
+// Suggests do not affect the original. BatchSuggest uses forks for
+// constant-liar lookahead.
+func (e *Engine) Fork() *Engine {
+	f := New(e.dim, e.cfg)
+	f.x = make([][]float64, len(e.x))
+	for i, xi := range e.x {
+		f.x[i] = append([]float64(nil), xi...)
+	}
+	f.y = append([]float64(nil), e.y...)
+	copy(f.gain, e.gain)
+	f.lastHyper = e.lastHyper
+	f.hyperFitAtN = e.hyperFitAtN
+	return f
+}
+
+// BatchSuggest proposes q distinct points for parallel evaluation
+// using the constant-liar heuristic: after each suggestion the fork
+// is told the GP's own mean prediction at that point (the "lie"), so
+// subsequent suggestions move elsewhere instead of piling onto the
+// same optimum. The engine itself is not modified; call Tell with the
+// real observations when they arrive.
+func (e *Engine) BatchSuggest(q int) ([][]float64, error) {
+	if q < 1 {
+		q = 1
+	}
+	fork := e.Fork()
+	out := make([][]float64, 0, q)
+	for k := 0; k < q; k++ {
+		u, err := fork.Suggest()
+		if err != nil {
+			if k == 0 {
+				return nil, err
+			}
+			break
+		}
+		out = append(out, u)
+		g, err := fork.Surrogate()
+		if err != nil {
+			break
+		}
+		lie, _ := g.Predict(u)
+		fork.Tell(u, lie)
+	}
+	return out, nil
+}

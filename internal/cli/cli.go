@@ -1,0 +1,112 @@
+// Package cli holds the shared, testable plumbing behind the
+// command-line tools: parsing parameter overrides, assembling
+// configurations from files and flags, and constructing tuners by
+// name.
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/tuners"
+)
+
+// ParseRaw converts a textual parameter value ("8", "0.6", "true",
+// "kryo") into the parameter's raw encoding.
+func ParseRaw(p conf.Param, value string) (float64, error) {
+	switch p.Kind {
+	case conf.Bool:
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			return 1, nil
+		}
+		return 0, nil
+	case conf.Categorical:
+		for i, ch := range p.Choices {
+			if ch == value {
+				return float64(i), nil
+			}
+		}
+		return 0, fmt.Errorf("choice %q not in %v", value, p.Choices)
+	default:
+		return strconv.ParseFloat(value, 64)
+	}
+}
+
+// ParseSet splits a "name=value" override.
+func ParseSet(v string) (name, value string, err error) {
+	name, value, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return "", "", fmt.Errorf("want name=value, got %q", v)
+	}
+	return name, value, nil
+}
+
+// ApplySets layers name=value overrides onto a configuration.
+func ApplySets(space *conf.Space, c conf.Config, sets map[string]string) (conf.Config, error) {
+	for name, value := range sets {
+		p, ok := space.Param(name)
+		if !ok {
+			return conf.Config{}, fmt.Errorf("unknown parameter %q", name)
+		}
+		raw, err := ParseRaw(p, value)
+		if err != nil {
+			return conf.Config{}, fmt.Errorf("%s: %w", name, err)
+		}
+		c = c.With(name, raw)
+	}
+	return c, nil
+}
+
+// LoadConfigValues reads a JSON {name: rawValue} file (the format the
+// memo store and session traces use) into a Config.
+func LoadConfigValues(space *conf.Space, path string) (conf.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return conf.Config{}, err
+	}
+	var values map[string]float64
+	if err := json.Unmarshal(data, &values); err != nil {
+		return conf.Config{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return space.FromRaw(values)
+}
+
+// SaveConfigValues writes a Config as the JSON {name: rawValue} file
+// LoadConfigValues reads.
+func SaveConfigValues(c conf.Config, path string) error {
+	data, err := json.MarshalIndent(c.ToMap(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// BuildTuner constructs a tuner by (case-insensitive) name. ROBOTune
+// is backed by the given store (nil for in-memory).
+func BuildTuner(name string, store *memo.Store) (tuners.Tuner, error) {
+	switch strings.ToLower(name) {
+	case "robotune":
+		return core.New(store, core.Options{}), nil
+	case "bestconfig":
+		return tuners.BestConfig{}, nil
+	case "gunther":
+		return tuners.Gunther{}, nil
+	case "randomsearch", "rs", "random":
+		return tuners.RandomSearch{}, nil
+	case "successivehalving", "sha":
+		return tuners.SuccessiveHalving{}, nil
+	case "cmaes", "cma-es":
+		return tuners.CMAES{}, nil
+	}
+	return nil, fmt.Errorf("unknown tuner %q (have ROBOTune, BestConfig, Gunther, RandomSearch, SuccessiveHalving, CMAES)", name)
+}

@@ -1,0 +1,140 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/conf"
+)
+
+func TestParseRaw(t *testing.T) {
+	space := conf.SparkSpace()
+	intP, _ := space.Param(conf.ExecutorCores)
+	floatP, _ := space.Param(conf.MemoryFraction)
+	boolP, _ := space.Param(conf.ShuffleCompress)
+	catP, _ := space.Param(conf.Serializer)
+
+	cases := []struct {
+		p      conf.Param
+		in     string
+		want   float64
+		hasErr bool
+	}{
+		{intP, "8", 8, false},
+		{intP, "abc", 0, true},
+		{floatP, "0.7", 0.7, false},
+		{boolP, "true", 1, false},
+		{boolP, "false", 0, false},
+		{boolP, "maybe", 0, true},
+		{catP, "kryo", 1, false},
+		{catP, "java", 0, false},
+		{catP, "protobuf", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseRaw(c.p, c.in)
+		if (err != nil) != c.hasErr {
+			t.Errorf("%s %q: err=%v want hasErr=%v", c.p.Name, c.in, err, c.hasErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("%s %q = %v, want %v", c.p.Name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	n, v, err := ParseSet("a.b=3")
+	if err != nil || n != "a.b" || v != "3" {
+		t.Errorf("ParseSet = %q %q %v", n, v, err)
+	}
+	if _, _, err := ParseSet("noequals"); err == nil {
+		t.Error("missing = accepted")
+	}
+	if _, _, err := ParseSet("=v"); err == nil {
+		t.Error("empty name accepted")
+	}
+	// Values may contain '='.
+	n, v, err = ParseSet("k=a=b")
+	if err != nil || n != "k" || v != "a=b" {
+		t.Errorf("ParseSet with = in value: %q %q %v", n, v, err)
+	}
+}
+
+func TestApplySets(t *testing.T) {
+	space := conf.SparkSpace()
+	c, err := ApplySets(space, space.Default(), map[string]string{
+		conf.ExecutorCores: "12",
+		conf.Serializer:    "kryo",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Int(conf.ExecutorCores) != 12 || c.Choice(conf.Serializer) != "kryo" {
+		t.Errorf("overrides not applied: %d %s", c.Int(conf.ExecutorCores), c.Choice(conf.Serializer))
+	}
+	if _, err := ApplySets(space, space.Default(), map[string]string{"bogus": "1"}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if _, err := ApplySets(space, space.Default(), map[string]string{conf.ExecutorCores: "x"}); err == nil {
+		t.Error("bad value accepted")
+	}
+}
+
+func TestConfigValuesRoundTrip(t *testing.T) {
+	space := conf.SparkSpace()
+	c := space.Default().With(conf.ExecutorMemory, 32768)
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := SaveConfigValues(c, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfigValues(space, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Equal(c) {
+		t.Error("round trip changed the config")
+	}
+}
+
+func TestLoadConfigValuesErrors(t *testing.T) {
+	space := conf.SparkSpace()
+	if _, err := LoadConfigValues(space, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := LoadConfigValues(space, bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	unknown := filepath.Join(t.TempDir(), "unknown.json")
+	os.WriteFile(unknown, []byte(`{"bogus": 1}`), 0o644)
+	if _, err := LoadConfigValues(space, unknown); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestBuildTuner(t *testing.T) {
+	for name, want := range map[string]string{
+		"ROBOTune":     "ROBOTune",
+		"robotune":     "ROBOTune",
+		"BestConfig":   "BestConfig",
+		"gunther":      "Gunther",
+		"rs":           "RandomSearch",
+		"RandomSearch": "RandomSearch",
+		"sha":          "SuccessiveHalving",
+		"cmaes":        "CMAES",
+	} {
+		tn, err := BuildTuner(name, nil)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tn.Name() != want {
+			t.Errorf("%s → %s, want %s", name, tn.Name(), want)
+		}
+	}
+	if _, err := BuildTuner("simulated-annealing", nil); err == nil {
+		t.Error("unknown tuner accepted")
+	}
+}

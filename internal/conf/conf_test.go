@@ -1,0 +1,425 @@
+package conf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sample"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace([]Param{
+		{Name: "cores", Kind: Int, Min: 1, Max: 32, Default: 4},
+		{Name: "mem", Kind: Int, Min: 1024, Max: 65536, Log: true, Default: 2048, Unit: "MB"},
+		{Name: "frac", Kind: Float, Min: 0.1, Max: 0.9, Default: 0.6},
+		{Name: "flag", Kind: Bool, Default: 1},
+		{Name: "codec", Kind: Categorical, Choices: []string{"a", "b", "c"}, Default: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := testSpace(t)
+	if s.Dim() != 5 {
+		t.Fatalf("Dim = %d", s.Dim())
+	}
+	if p, ok := s.Param("mem"); !ok || p.Unit != "MB" {
+		t.Fatal("Param lookup failed")
+	}
+	if _, ok := s.Param("nope"); ok {
+		t.Fatal("unknown param found")
+	}
+	if s.IndexOf("frac") != 2 || s.IndexOf("nope") != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	names := s.Names()
+	if names[0] != "cores" || names[4] != "codec" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestNewSpaceRejectsBadParams(t *testing.T) {
+	cases := [][]Param{
+		{{Name: "", Kind: Int, Min: 0, Max: 1}},
+		{{Name: "x", Kind: Int, Min: 5, Max: 5}},
+		{{Name: "x", Kind: Float, Min: 0, Max: 1, Log: true}},
+		{{Name: "x", Kind: Categorical, Choices: []string{"only"}}},
+		{{Name: "x", Kind: Categorical, Choices: []string{"a", "b"}, Default: 5}},
+		{{Name: "x", Kind: Int, Min: 0, Max: 1}, {Name: "x", Kind: Int, Min: 0, Max: 1}},
+		{{Name: "x", Kind: Kind(99), Min: 0, Max: 1}},
+	}
+	for i, ps := range cases {
+		if _, err := NewSpace(ps); err == nil {
+			t.Errorf("case %d: invalid space accepted", i)
+		}
+	}
+}
+
+func TestDecodeKinds(t *testing.T) {
+	s := testSpace(t)
+	c := s.Decode([]float64{0, 0, 0, 0, 0})
+	if c.Int("cores") != 1 || c.Float("frac") != 0.1 || c.Bool("flag") || c.Choice("codec") != "a" {
+		t.Fatalf("low decode: %s", c)
+	}
+	c = s.Decode([]float64{0.9999, 0.9999, 0.9999, 0.9999, 0.9999})
+	if c.Int("cores") != 32 || c.Choice("codec") != "c" || !c.Bool("flag") {
+		t.Fatalf("high decode: %s", c)
+	}
+	if c.Float("frac") > 0.9 {
+		t.Fatalf("frac exceeded max: %v", c.Float("frac"))
+	}
+	if c.Int("mem") > 65536 || c.Int("mem") < 1024 {
+		t.Fatalf("mem out of range: %v", c.Int("mem"))
+	}
+}
+
+func TestDecodeClampsOutOfRangeUnit(t *testing.T) {
+	s := testSpace(t)
+	c := s.Decode([]float64{-0.5, 1.5, 2, -1, 7})
+	if c.Int("cores") != 1 || c.Int("mem") != 65536 {
+		t.Fatalf("clamp failed: %s", c)
+	}
+	if c.Choice("codec") != "c" {
+		t.Fatalf("categorical clamp failed: %s", c.Choice("codec"))
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	s := SparkSpace()
+	f := func(seed uint64) bool {
+		rng := sample.NewRNG(seed)
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		c := s.Decode(u)
+		u2 := s.Encode(c)
+		c2 := s.Decode(u2)
+		return c.Equal(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogScaleDistribution(t *testing.T) {
+	s := testSpace(t)
+	// Midpoint of a log-scaled 1024..65536 range should be near the
+	// geometric mean (8192), not the arithmetic mean (~33280).
+	c := s.Decode([]float64{0.5, 0.5, 0.5, 0.5, 0.5})
+	mem := float64(c.Int("mem"))
+	if math.Abs(mem-8192) > 100 {
+		t.Fatalf("log midpoint = %v, want ~8192", mem)
+	}
+}
+
+func TestDefaultOutsideRangeSurvives(t *testing.T) {
+	s := SparkSpace()
+	def := s.Default()
+	if def.Int(ExecutorMemory) != 1024 {
+		t.Fatalf("default executor memory = %d, want Spark's 1024", def.Int(ExecutorMemory))
+	}
+	// Encoding clamps it into the tuning range.
+	u := s.Encode(def)
+	c := s.Decode(u)
+	if c.Int(ExecutorMemory) < 8192 {
+		t.Fatalf("encoded default should clamp to range, got %d", c.Int(ExecutorMemory))
+	}
+}
+
+func TestConfigAccessorsAndWith(t *testing.T) {
+	s := testSpace(t)
+	c := s.Default()
+	c2 := c.With("cores", 16)
+	if c.Int("cores") != 4 || c2.Int("cores") != 16 {
+		t.Fatal("With mutated the original or failed")
+	}
+	if c.Equal(c2) {
+		t.Fatal("Equal should be false after With")
+	}
+	if !c.Equal(c.Clone()) {
+		t.Fatal("clone should be Equal")
+	}
+	if c.Key() == c2.Key() {
+		t.Fatal("Key should differ for different configs")
+	}
+	m := c2.ToMap()
+	if m["cores"] != 16 {
+		t.Fatalf("ToMap = %v", m)
+	}
+	rt, err := s.FromRaw(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Equal(c2) {
+		t.Fatal("FromRaw(ToMap) round trip failed")
+	}
+}
+
+func TestFromRawUnknown(t *testing.T) {
+	s := testSpace(t)
+	if _, err := s.FromRaw(map[string]float64{"bogus": 1}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestConfigPanicsOnUnknown(t *testing.T) {
+	s := testSpace(t)
+	c := s.Default()
+	defer func() {
+		if recover() == nil {
+			t.Error("Raw of unknown parameter should panic")
+		}
+	}()
+	c.Raw("bogus")
+}
+
+func TestChoicePanicsOnNonCategorical(t *testing.T) {
+	s := testSpace(t)
+	c := s.Default()
+	defer func() {
+		if recover() == nil {
+			t.Error("Choice on an int parameter should panic")
+		}
+	}()
+	c.Choice("cores")
+}
+
+func TestSparkSpaceShape(t *testing.T) {
+	s := SparkSpace()
+	if s.Dim() != 44 {
+		t.Fatalf("Spark space has %d parameters, the paper tunes 44", s.Dim())
+	}
+	// Spot-check §5.1's example plane: cores 1-32, memory up to 180 GB.
+	p, _ := s.Param(ExecutorCores)
+	if p.Min != 1 || p.Max != 32 {
+		t.Errorf("executor cores range %v-%v", p.Min, p.Max)
+	}
+	p, _ = s.Param(ExecutorMemory)
+	if p.Max != 184320 {
+		t.Errorf("executor memory max %v, want 180 GB", p.Max)
+	}
+	// The executor size joint parameter from §4.
+	if p.Group != "executor.size" {
+		t.Errorf("executor memory group = %q", p.Group)
+	}
+}
+
+func TestSparkSpaceGroups(t *testing.T) {
+	s := SparkSpace()
+	groups := s.Groups()
+	// Each parameter appears in exactly one group.
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("parameter %d in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != s.Dim() {
+		t.Fatalf("groups cover %d of %d parameters", len(seen), s.Dim())
+	}
+	// The executor-size group has exactly cores+memory.
+	var execGroup []int
+	for _, g := range groups {
+		if s.GroupName(g) == "executor.size" {
+			execGroup = g
+		}
+	}
+	if len(execGroup) != 2 {
+		t.Fatalf("executor.size group = %v", execGroup)
+	}
+	// The serializer group bundles the Kryo dependents (§3.3).
+	var serGroup []int
+	for _, g := range groups {
+		if s.GroupName(g) == "serializer" {
+			serGroup = g
+		}
+	}
+	if len(serGroup) != 4 {
+		t.Fatalf("serializer group has %d members, want 4", len(serGroup))
+	}
+}
+
+func TestSubspace(t *testing.T) {
+	s := SparkSpace()
+	base := s.Default()
+	ss, err := s.Sub([]string{ExecutorCores, ExecutorMemory, MemoryFraction}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Dim() != 3 {
+		t.Fatalf("subspace dim = %d", ss.Dim())
+	}
+	c := ss.Decode([]float64{0.5, 0.5, 0.5})
+	// Free parameters move; frozen ones keep base values.
+	if c.Int(ExecutorCores) == base.Int(ExecutorCores) && c.Int(ExecutorMemory) == base.Int(ExecutorMemory) {
+		t.Error("free parameters did not move from defaults")
+	}
+	if c.Int(DriverMemory) != base.Int(DriverMemory) || c.Bool(ShuffleCompress) != base.Bool(ShuffleCompress) {
+		t.Error("frozen parameters changed")
+	}
+	// Round trip through the subspace encoder.
+	u := ss.Encode(c)
+	c2 := ss.Decode(u)
+	if !c.Equal(c2) {
+		t.Error("subspace encode/decode round trip failed")
+	}
+}
+
+func TestSubspaceErrors(t *testing.T) {
+	s := SparkSpace()
+	base := s.Default()
+	if _, err := s.Sub([]string{"bogus"}, base); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := s.Sub(nil, base); err == nil {
+		t.Error("empty subspace accepted")
+	}
+	if _, err := s.Sub([]string{ExecutorCores, ExecutorCores}, base); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	other := testSpace(t)
+	if _, err := s.Sub([]string{ExecutorCores}, other.Default()); err == nil {
+		t.Error("foreign base config accepted")
+	}
+}
+
+func TestFormatRaw(t *testing.T) {
+	s := testSpace(t)
+	c := s.Default()
+	if got := c.String(); got == "" || got == "<nil config>" {
+		t.Fatalf("String = %q", got)
+	}
+	p, _ := s.Param("mem")
+	if got := p.FormatRaw(2048); got != "2048MB" {
+		t.Fatalf("FormatRaw = %q", got)
+	}
+	p, _ = s.Param("flag")
+	if p.FormatRaw(1) != "true" || p.FormatRaw(0) != "false" {
+		t.Fatal("bool formatting")
+	}
+	p, _ = s.Param("codec")
+	if p.FormatRaw(1) != "b" {
+		t.Fatal("categorical formatting")
+	}
+}
+
+func TestDecodeDimensionPanics(t *testing.T) {
+	s := testSpace(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Decode with wrong dimension should panic")
+		}
+	}()
+	s.Decode([]float64{0.5})
+}
+
+func TestLHSThroughSpace(t *testing.T) {
+	// Integration: LHS designs decode to valid in-range configs.
+	s := SparkSpace()
+	rng := sample.NewRNG(5)
+	design := sample.LHS(100, s.Dim(), rng)
+	for _, u := range design {
+		c := s.Decode(u)
+		for i, p := range s.Params() {
+			v := c.RawAt(i)
+			switch p.Kind {
+			case Int, Float:
+				if v < p.Min || v > p.Max {
+					t.Fatalf("%s = %v out of [%v,%v]", p.Name, v, p.Min, p.Max)
+				}
+			case Bool:
+				if v != 0 && v != 1 {
+					t.Fatalf("%s = %v not boolean", p.Name, v)
+				}
+			case Categorical:
+				if int(v) < 0 || int(v) >= len(p.Choices) {
+					t.Fatalf("%s choice %v out of range", p.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeUnitMonotoneProperty(t *testing.T) {
+	// For numeric parameters (linear or log), DecodeUnit must be
+	// non-decreasing in u — the sampler relies on stratification
+	// surviving the decode.
+	s := SparkSpace()
+	f := func(seed uint64, pIdx uint8, a, b uint16) bool {
+		p := s.Params()[int(pIdx)%s.Dim()]
+		if p.Kind == Bool || p.Kind == Categorical {
+			return true
+		}
+		ua := float64(a) / 65536
+		ub := float64(b) / 65536
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return p.DecodeUnit(ua) <= p.DecodeUnit(ub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRawMonotoneProperty(t *testing.T) {
+	s := SparkSpace()
+	f := func(seed uint64, pIdx uint8, a, b uint16) bool {
+		p := s.Params()[int(pIdx)%s.Dim()]
+		if p.Kind == Bool || p.Kind == Categorical {
+			return true
+		}
+		va := p.Min + float64(a)/65536*(p.Max-p.Min)
+		vb := p.Min + float64(b)/65536*(p.Max-p.Min)
+		if va > vb {
+			va, vb = vb, va
+		}
+		return p.EncodeRaw(va) <= p.EncodeRaw(vb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubspaceEncodeDecodeProperty(t *testing.T) {
+	s := SparkSpace()
+	ss, err := s.Sub([]string{ExecutorCores, ExecutorMemory, MemoryFraction, Serializer}, s.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := sample.NewRNG(seed)
+		u := make([]float64, ss.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		c := ss.Decode(u)
+		c2 := ss.Decode(ss.Encode(c))
+		return c.Equal(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpaceDescribe(t *testing.T) {
+	out := SparkSpace().Describe()
+	for _, want := range []string{
+		"44 parameters", ExecutorMemory, "8192MB .. 184320MB (log)",
+		"java, kryo", "executor.size", "false / true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q", want)
+		}
+	}
+}

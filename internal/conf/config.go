@@ -1,0 +1,124 @@
+package conf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is a concrete assignment of raw values to every parameter of
+// a Space. Configs are immutable from the caller's perspective; use
+// With to derive modified copies.
+type Config struct {
+	space *Space
+	raw   []float64
+}
+
+// Space returns the space the config belongs to.
+func (c Config) Space() *Space { return c.space }
+
+// Valid reports whether the config is non-zero (belongs to a space).
+func (c Config) Valid() bool { return c.space != nil }
+
+// Clone returns a deep copy of the config.
+func (c Config) Clone() Config {
+	return Config{space: c.space, raw: append([]float64(nil), c.raw...)}
+}
+
+// Raw returns the raw value of the named parameter. It panics on an
+// unknown name so misconfigured simulators fail loudly.
+func (c Config) Raw(name string) float64 {
+	i, ok := c.space.index[name]
+	if !ok {
+		panic(fmt.Sprintf("conf: unknown parameter %q", name))
+	}
+	return c.raw[i]
+}
+
+// RawAt returns the raw value at parameter index i.
+func (c Config) RawAt(i int) float64 { return c.raw[i] }
+
+// Int returns the named parameter as an int64.
+func (c Config) Int(name string) int64 { return int64(c.Raw(name)) }
+
+// Float returns the named parameter as a float64.
+func (c Config) Float(name string) float64 { return c.Raw(name) }
+
+// Bool returns the named parameter as a bool.
+func (c Config) Bool(name string) bool { return c.Raw(name) >= 0.5 }
+
+// Choice returns the named categorical parameter's selected string.
+func (c Config) Choice(name string) string {
+	i, ok := c.space.index[name]
+	if !ok {
+		panic(fmt.Sprintf("conf: unknown parameter %q", name))
+	}
+	p := &c.space.params[i]
+	if p.Kind != Categorical {
+		panic(fmt.Sprintf("conf: parameter %q is %v, not categorical", name, p.Kind))
+	}
+	idx := int(c.raw[i])
+	if idx < 0 || idx >= len(p.Choices) {
+		panic(fmt.Sprintf("conf: parameter %q choice index %d out of range", name, idx))
+	}
+	return p.Choices[idx]
+}
+
+// With returns a copy of the config with the named parameter set to
+// the given raw value.
+func (c Config) With(name string, raw float64) Config {
+	i, ok := c.space.index[name]
+	if !ok {
+		panic(fmt.Sprintf("conf: unknown parameter %q", name))
+	}
+	out := c.Clone()
+	out.raw[i] = raw
+	return out
+}
+
+// ToMap returns the config as a name→raw-value map, for persistence.
+func (c Config) ToMap() map[string]float64 {
+	m := make(map[string]float64, len(c.raw))
+	for i := range c.space.params {
+		m[c.space.params[i].Name] = c.raw[i]
+	}
+	return m
+}
+
+// Equal reports whether two configs from the same space hold
+// identical raw values.
+func (c Config) Equal(o Config) bool {
+	if c.space != o.space || len(c.raw) != len(o.raw) {
+		return false
+	}
+	for i := range c.raw {
+		if c.raw[i] != o.raw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a deterministic string fingerprint of the config,
+// usable as a map key for memoization.
+func (c Config) Key() string {
+	var b strings.Builder
+	for i := range c.raw {
+		fmt.Fprintf(&b, "%g|", c.raw[i])
+	}
+	return b.String()
+}
+
+// String renders the config as "name=value" pairs sorted by name.
+func (c Config) String() string {
+	if c.space == nil {
+		return "<nil config>"
+	}
+	parts := make([]string, 0, len(c.raw))
+	for i := range c.space.params {
+		p := &c.space.params[i]
+		parts = append(parts, fmt.Sprintf("%s=%s", p.Name, p.FormatRaw(c.raw[i])))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}

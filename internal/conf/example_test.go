@@ -1,0 +1,61 @@
+package conf_test
+
+import (
+	"fmt"
+
+	"repro/internal/conf"
+)
+
+// The Spark space decodes unit-cube points (from the samplers and the
+// BO engine) into typed configurations.
+func ExampleSpace_Decode() {
+	space := conf.SparkSpace()
+	u := make([]float64, space.Dim())
+	for i := range u {
+		u[i] = 0.5
+	}
+	c := space.Decode(u)
+	fmt.Println("cores:", c.Int(conf.ExecutorCores))
+	fmt.Println("serializer:", c.Choice(conf.Serializer))
+	fmt.Println("compress:", c.Bool(conf.ShuffleCompress))
+	// Output:
+	// cores: 17
+	// serializer: kryo
+	// compress: true
+}
+
+// Subspaces freeze unselected parameters — the output of ROBOTune's
+// parameter selection becomes a low-dimensional search space.
+func ExampleSpace_Sub() {
+	space := conf.SparkSpace()
+	sub, err := space.Sub([]string{conf.ExecutorCores, conf.ExecutorMemory}, space.Default())
+	if err != nil {
+		panic(err)
+	}
+	c := sub.Decode([]float64{0.999, 0.999})
+	fmt.Println("dims:", sub.Dim())
+	fmt.Println("cores:", c.Int(conf.ExecutorCores))
+	fmt.Println("parallelism stays default:", c.Int(conf.DefaultParallelism))
+	// Output:
+	// dims: 2
+	// cores: 32
+	// parallelism stays default: 160
+}
+
+// Spaces for other systems load from JSON (§4's portability hook).
+func ExampleParseSpace() {
+	space, err := conf.ParseSpace([]byte(`{
+	  "system": "cache",
+	  "params": [
+	    {"name": "size_mb", "type": "int", "min": 64, "max": 4096, "log": true, "default": 256},
+	    {"name": "policy", "type": "categorical", "choices": ["lru", "lfu"], "default": "lru"}
+	  ]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	def := space.Default()
+	fmt.Println(def.Int("size_mb"), def.Choice("policy"))
+	// Output:
+	// 256 lru
+}

@@ -1,0 +1,72 @@
+package conf
+
+import (
+	"testing"
+)
+
+// FuzzDecodeUnit drives the unit-cube decoder with arbitrary
+// coordinates: whatever the input, decoded values must respect the
+// parameter's domain and re-encode into [0,1).
+func FuzzDecodeUnit(f *testing.F) {
+	s := SparkSpace()
+	f.Add(0.0, 0)
+	f.Add(0.5, 7)
+	f.Add(0.999999, 43)
+	f.Add(-3.5, 12)
+	f.Add(7.25, 21)
+	f.Fuzz(func(t *testing.T, u float64, pIdx int) {
+		if pIdx < 0 {
+			pIdx = -pIdx
+		}
+		p := s.Params()[pIdx%s.Dim()]
+		v := p.DecodeUnit(u)
+		switch p.Kind {
+		case Int:
+			if v != float64(int64(v)) {
+				t.Fatalf("%s: non-integer %v", p.Name, v)
+			}
+			if v < p.Min || v > p.Max {
+				t.Fatalf("%s: %v out of [%v,%v]", p.Name, v, p.Min, p.Max)
+			}
+		case Float:
+			if v < p.Min || v > p.Max {
+				t.Fatalf("%s: %v out of [%v,%v]", p.Name, v, p.Min, p.Max)
+			}
+		case Bool:
+			if v != 0 && v != 1 {
+				t.Fatalf("%s: %v not boolean", p.Name, v)
+			}
+		case Categorical:
+			if int(v) < 0 || int(v) >= len(p.Choices) {
+				t.Fatalf("%s: choice %v out of range", p.Name, v)
+			}
+		}
+		u2 := p.EncodeRaw(v)
+		if u2 < 0 || u2 >= 1 {
+			t.Fatalf("%s: re-encode %v out of [0,1)", p.Name, u2)
+		}
+		// Idempotence on the grid: decode(encode(decode(u))) == decode(u).
+		if got := p.DecodeUnit(u2); got != v {
+			t.Fatalf("%s: decode/encode not idempotent: %v -> %v", p.Name, v, got)
+		}
+	})
+}
+
+// FuzzParseSpace throws arbitrary bytes at the JSON space loader: it
+// must never panic, and successfully parsed spaces must be usable.
+func FuzzParseSpace(f *testing.F) {
+	f.Add([]byte(`{"params": [{"name": "x", "type": "int", "min": 1, "max": 5}]}`))
+	f.Add([]byte(`{"params": [{"name": "c", "type": "categorical", "choices": ["a","b"]}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpace(data)
+		if err != nil {
+			return
+		}
+		// A space that parses must round-trip its default.
+		def := s.Default()
+		u := s.Encode(def)
+		_ = s.Decode(u)
+	})
+}

@@ -1,0 +1,215 @@
+// Package conf models the configuration space of a cluster-based data
+// analytics framework. It defines typed parameters (integer, float,
+// boolean, categorical) with ranges, units, defaults and collinearity
+// groups; a Space of such parameters; a bidirectional encoder between
+// the unit hypercube used by the samplers/optimizers and concrete
+// configurations; and subspaces over a selected subset of parameters
+// (the output of ROBOTune's parameter selection).
+package conf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind is the value type of a parameter.
+type Kind int
+
+const (
+	// Int parameters take integer values in [Min, Max].
+	Int Kind = iota
+	// Float parameters take real values in [Min, Max].
+	Float
+	// Bool parameters are switches; Min/Max are ignored.
+	Bool
+	// Categorical parameters take one of Choices.
+	Categorical
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Categorical:
+		return "categorical"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Param describes one tunable parameter.
+type Param struct {
+	// Name is the full parameter key, e.g. "spark.executor.memory".
+	Name string
+	// Kind is the value type.
+	Kind Kind
+	// Min and Max bound numeric parameters (inclusive).
+	Min, Max float64
+	// Log requests logarithmic interpolation across [Min, Max]; it is
+	// only meaningful for numeric parameters with Min > 0.
+	Log bool
+	// Choices enumerates the values of a categorical parameter.
+	Choices []string
+	// Default is the framework's out-of-the-box raw value: the numeric
+	// value for Int/Float, 0/1 for Bool, and the choice index for
+	// Categorical. Defaults may lie outside [Min, Max] (Spark's 1 GB
+	// default executor memory is below any sensible tuning range).
+	Default float64
+	// Unit is a display suffix such as "MB", "KB", "ms".
+	Unit string
+	// Group names a collinearity group. Parameters sharing a non-empty
+	// Group are permuted jointly during importance calculation (§3.3
+	// "Handling Collinearity"). An empty Group means the parameter is
+	// independent.
+	Group string
+	// Desc is a one-line human description.
+	Desc string
+}
+
+// Validate checks the parameter definition for internal consistency.
+func (p *Param) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("conf: parameter with empty name")
+	}
+	switch p.Kind {
+	case Int, Float:
+		if !(p.Min < p.Max) {
+			return fmt.Errorf("conf: %s: Min %v must be < Max %v", p.Name, p.Min, p.Max)
+		}
+		if p.Log && p.Min <= 0 {
+			return fmt.Errorf("conf: %s: log scale requires Min > 0, got %v", p.Name, p.Min)
+		}
+	case Bool:
+		// no range to check
+	case Categorical:
+		if len(p.Choices) < 2 {
+			return fmt.Errorf("conf: %s: categorical needs >= 2 choices", p.Name)
+		}
+		if p.Default < 0 || int(p.Default) >= len(p.Choices) {
+			return fmt.Errorf("conf: %s: default choice index %v out of range", p.Name, p.Default)
+		}
+	default:
+		return fmt.Errorf("conf: %s: unknown kind %d", p.Name, int(p.Kind))
+	}
+	return nil
+}
+
+// DecodeUnit maps a unit-cube coordinate u in [0,1) to the parameter's
+// raw value. Int values are uniformly distributed over the integer
+// range; Log parameters interpolate geometrically.
+func (p *Param) DecodeUnit(u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	switch p.Kind {
+	case Bool:
+		if u < 0.5 {
+			return 0
+		}
+		return 1
+	case Categorical:
+		idx := int(u * float64(len(p.Choices)))
+		if idx >= len(p.Choices) {
+			idx = len(p.Choices) - 1
+		}
+		return float64(idx)
+	case Int:
+		v := p.interp(u)
+		r := math.Floor(v + 0.5)
+		if r < p.Min {
+			r = math.Ceil(p.Min)
+		}
+		if r > p.Max {
+			r = math.Floor(p.Max)
+		}
+		return r
+	default: // Float
+		return p.interp(u)
+	}
+}
+
+func (p *Param) interp(u float64) float64 {
+	if p.Log {
+		lo, hi := math.Log(p.Min), math.Log(p.Max)
+		return math.Exp(lo + u*(hi-lo))
+	}
+	return p.Min + u*(p.Max-p.Min)
+}
+
+// EncodeRaw maps a raw value back to a unit-cube coordinate. Values
+// outside the range are clamped. It is the (approximate, for Int)
+// inverse of DecodeUnit: DecodeUnit(EncodeRaw(v)) == v for in-range
+// values on the parameter's grid.
+func (p *Param) EncodeRaw(v float64) float64 {
+	switch p.Kind {
+	case Bool:
+		if v >= 0.5 {
+			return 0.75
+		}
+		return 0.25
+	case Categorical:
+		n := float64(len(p.Choices))
+		idx := math.Floor(v)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > n-1 {
+			idx = n - 1
+		}
+		return (idx + 0.5) / n
+	default:
+		if v < p.Min {
+			v = p.Min
+		}
+		if v > p.Max {
+			v = p.Max
+		}
+		var u float64
+		if p.Log {
+			lo, hi := math.Log(p.Min), math.Log(p.Max)
+			u = (math.Log(v) - lo) / (hi - lo)
+		} else {
+			u = (v - p.Min) / (p.Max - p.Min)
+		}
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		if u < 0 {
+			u = 0
+		}
+		return u
+	}
+}
+
+// FormatRaw renders a raw value with the parameter's unit for display.
+func (p *Param) FormatRaw(v float64) string {
+	switch p.Kind {
+	case Bool:
+		if v >= 0.5 {
+			return "true"
+		}
+		return "false"
+	case Categorical:
+		idx := int(v)
+		if idx < 0 || idx >= len(p.Choices) {
+			return fmt.Sprintf("choice(%d)", idx)
+		}
+		return p.Choices[idx]
+	case Int:
+		if p.Unit != "" {
+			return fmt.Sprintf("%d%s", int64(v), p.Unit)
+		}
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		if p.Unit != "" {
+			return fmt.Sprintf("%.4g%s", v, p.Unit)
+		}
+		return fmt.Sprintf("%.4g", v)
+	}
+}

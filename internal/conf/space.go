@@ -1,0 +1,277 @@
+package conf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Space is an ordered collection of parameters defining a
+// configuration search space.
+type Space struct {
+	params []Param
+	index  map[string]int
+}
+
+// NewSpace builds a Space from parameter definitions. It returns an
+// error if any definition is invalid or a name is duplicated.
+func NewSpace(params []Param) (*Space, error) {
+	s := &Space{
+		params: append([]Param(nil), params...),
+		index:  make(map[string]int, len(params)),
+	}
+	for i := range s.params {
+		p := &s.params[i]
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.index[p.Name]; dup {
+			return nil, fmt.Errorf("conf: duplicate parameter %q", p.Name)
+		}
+		s.index[p.Name] = i
+	}
+	return s, nil
+}
+
+// MustNewSpace is NewSpace that panics on error, for static spaces.
+func MustNewSpace(params []Param) *Space {
+	s, err := NewSpace(params)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dim returns the number of parameters.
+func (s *Space) Dim() int { return len(s.params) }
+
+// Params returns the parameter definitions in order.
+func (s *Space) Params() []Param { return s.params }
+
+// Names returns the parameter names in order.
+func (s *Space) Names() []string {
+	out := make([]string, len(s.params))
+	for i := range s.params {
+		out[i] = s.params[i].Name
+	}
+	return out
+}
+
+// Param returns the definition of the named parameter and whether it
+// exists.
+func (s *Space) Param(name string) (Param, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return Param{}, false
+	}
+	return s.params[i], true
+}
+
+// IndexOf returns the position of the named parameter, or -1.
+func (s *Space) IndexOf(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Decode maps a unit-cube point to a Config. It panics if the point's
+// dimension does not match the space.
+func (s *Space) Decode(u []float64) Config {
+	if len(u) != len(s.params) {
+		panic(fmt.Sprintf("conf: Decode dimension %d, space has %d", len(u), len(s.params)))
+	}
+	raw := make([]float64, len(u))
+	for i := range u {
+		raw[i] = s.params[i].DecodeUnit(u[i])
+	}
+	return Config{space: s, raw: raw}
+}
+
+// Encode maps a Config from this space back to the unit cube.
+func (s *Space) Encode(c Config) []float64 {
+	if c.space != s {
+		panic("conf: Encode of config from a different space")
+	}
+	u := make([]float64, len(s.params))
+	for i := range s.params {
+		u[i] = s.params[i].EncodeRaw(c.raw[i])
+	}
+	return u
+}
+
+// Default returns the framework's out-of-the-box configuration. Raw
+// defaults are used verbatim even when they fall outside tuning
+// ranges (Spark's 1 GB default executor memory is the canonical
+// example — §5.2 of the paper shows it OOMing large workloads).
+func (s *Space) Default() Config {
+	raw := make([]float64, len(s.params))
+	for i := range s.params {
+		raw[i] = s.params[i].Default
+	}
+	return Config{space: s, raw: raw}
+}
+
+// FromRaw builds a Config from a name→raw-value map, starting at the
+// defaults. Unknown names are reported as an error.
+func (s *Space) FromRaw(values map[string]float64) (Config, error) {
+	c := s.Default()
+	for name, v := range values {
+		i, ok := s.index[name]
+		if !ok {
+			return Config{}, fmt.Errorf("conf: unknown parameter %q", name)
+		}
+		c.raw[i] = v
+	}
+	return c, nil
+}
+
+// Groups returns the collinearity groups as slices of parameter
+// indices. Parameters with a shared non-empty Group tag form one
+// group; every other parameter is a singleton group. Groups are
+// ordered by first member index, so the result is deterministic.
+func (s *Space) Groups() [][]int {
+	byTag := make(map[string][]int)
+	var order []string
+	for i := range s.params {
+		tag := s.params[i].Group
+		if tag == "" {
+			tag = fmt.Sprintf("\x00singleton-%d", i)
+		}
+		if _, seen := byTag[tag]; !seen {
+			order = append(order, tag)
+		}
+		byTag[tag] = append(byTag[tag], i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return byTag[order[a]][0] < byTag[order[b]][0]
+	})
+	out := make([][]int, 0, len(order))
+	for _, tag := range order {
+		out = append(out, byTag[tag])
+	}
+	return out
+}
+
+// GroupName returns a display name for a group of parameter indices:
+// the Group tag when present, otherwise the single member's name.
+func (s *Space) GroupName(group []int) string {
+	if len(group) == 1 {
+		return s.params[group[0]].Name
+	}
+	tag := s.params[group[0]].Group
+	if tag != "" {
+		return tag
+	}
+	names := make([]string, len(group))
+	for i, gi := range group {
+		names[i] = s.params[gi].Name
+	}
+	return strings.Join(names, "+")
+}
+
+// Sub builds a Subspace over the named parameters. Values of the
+// remaining parameters are frozen to those of base. It returns an
+// error for unknown names or a base from another space.
+func (s *Space) Sub(names []string, base Config) (*Subspace, error) {
+	if base.space != s {
+		return nil, fmt.Errorf("conf: Sub base config belongs to a different space")
+	}
+	sel := make([]int, 0, len(names))
+	seen := make(map[int]bool)
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return nil, fmt.Errorf("conf: unknown parameter %q", n)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("conf: duplicate parameter %q in subspace", n)
+		}
+		seen[i] = true
+		sel = append(sel, i)
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("conf: empty subspace")
+	}
+	return &Subspace{parent: s, sel: sel, base: base.Clone()}, nil
+}
+
+// Subspace is a low-dimensional view of a Space over selected
+// parameters; the rest are frozen to a base configuration. ROBOTune's
+// BO engine searches a Subspace produced by parameter selection.
+type Subspace struct {
+	parent *Space
+	sel    []int
+	base   Config
+}
+
+// Dim returns the number of free parameters.
+func (ss *Subspace) Dim() int { return len(ss.sel) }
+
+// Parent returns the full space.
+func (ss *Subspace) Parent() *Space { return ss.parent }
+
+// Names returns the free parameter names in order.
+func (ss *Subspace) Names() []string {
+	out := make([]string, len(ss.sel))
+	for i, idx := range ss.sel {
+		out[i] = ss.parent.params[idx].Name
+	}
+	return out
+}
+
+// Decode maps a low-dimensional unit point to a full Config: selected
+// parameters take decoded values, the rest keep the base values.
+func (ss *Subspace) Decode(u []float64) Config {
+	if len(u) != len(ss.sel) {
+		panic(fmt.Sprintf("conf: Subspace.Decode dimension %d, subspace has %d", len(u), len(ss.sel)))
+	}
+	c := ss.base.Clone()
+	for i, idx := range ss.sel {
+		c.raw[idx] = ss.parent.params[idx].DecodeUnit(u[i])
+	}
+	return c
+}
+
+// Encode projects a full Config onto the subspace's unit cube.
+func (ss *Subspace) Encode(c Config) []float64 {
+	if c.space != ss.parent {
+		panic("conf: Subspace.Encode of config from a different space")
+	}
+	u := make([]float64, len(ss.sel))
+	for i, idx := range ss.sel {
+		u[i] = ss.parent.params[idx].EncodeRaw(c.raw[idx])
+	}
+	return u
+}
+
+// Describe renders the space as a fixed-width reference table: every
+// parameter with its type, range/choices, default and collinearity
+// group (robosim's -params flag).
+func (s *Space) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d parameters\n", s.Dim())
+	fmt.Fprintf(&sb, "%-44s %-12s %-24s %-14s %s\n", "name", "type", "range / choices", "default", "group")
+	sb.WriteString(strings.Repeat("-", 110))
+	sb.WriteByte('\n')
+	for i := range s.params {
+		p := &s.params[i]
+		var rng string
+		switch p.Kind {
+		case Bool:
+			rng = "false / true"
+		case Categorical:
+			rng = strings.Join(p.Choices, ", ")
+		default:
+			scale := ""
+			if p.Log {
+				scale = " (log)"
+			}
+			rng = fmt.Sprintf("%s .. %s%s", p.FormatRaw(p.Min), p.FormatRaw(p.Max), scale)
+		}
+		fmt.Fprintf(&sb, "%-44s %-12s %-24s %-14s %s\n",
+			p.Name, p.Kind.String(), rng, p.FormatRaw(p.Default), p.Group)
+	}
+	return sb.String()
+}

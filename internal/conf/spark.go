@@ -1,0 +1,163 @@
+package conf
+
+// Spark parameter names used throughout the repository. Keeping them
+// as constants catches typos at compile time in the simulator and the
+// experiment harnesses.
+const (
+	ExecutorCores          = "spark.executor.cores"
+	ExecutorMemory         = "spark.executor.memory"
+	ExecutorInstances      = "spark.executor.instances"
+	ExecutorMemoryOverhead = "spark.executor.memoryOverhead"
+	DriverCores            = "spark.driver.cores"
+	DriverMemory           = "spark.driver.memory"
+	DefaultParallelism     = "spark.default.parallelism"
+	MemoryFraction         = "spark.memory.fraction"
+	MemoryStorageFraction  = "spark.memory.storageFraction"
+	OffHeapEnabled         = "spark.memory.offHeap.enabled"
+	OffHeapSize            = "spark.memory.offHeap.size"
+	ShuffleCompress        = "spark.shuffle.compress"
+	ShuffleSpillCompress   = "spark.shuffle.spill.compress"
+	ShuffleFileBuffer      = "spark.shuffle.file.buffer"
+	ShuffleBypassThreshold = "spark.shuffle.sort.bypassMergeThreshold"
+	ShuffleIOMaxRetries    = "spark.shuffle.io.maxRetries"
+	ShuffleIORetryWait     = "spark.shuffle.io.retryWait"
+	ShuffleIOConnections   = "spark.shuffle.io.numConnectionsPerPeer"
+	ShuffleIODirectBufs    = "spark.shuffle.io.preferDirectBufs"
+	ReducerMaxSizeInFlight = "spark.reducer.maxSizeInFlight"
+	ShuffleServiceEnabled  = "spark.shuffle.service.enabled"
+	Serializer             = "spark.serializer"
+	KryoBuffer             = "spark.kryoserializer.buffer"
+	KryoBufferMax          = "spark.kryoserializer.buffer.max"
+	KryoReferenceTracking  = "spark.kryo.referenceTracking"
+	RDDCompress            = "spark.rdd.compress"
+	IOCompressionCodec     = "spark.io.compression.codec"
+	LZ4BlockSize           = "spark.io.compression.lz4.blockSize"
+	BroadcastCompress      = "spark.broadcast.compress"
+	BroadcastBlockSize     = "spark.broadcast.blockSize"
+	LocalityWait           = "spark.locality.wait"
+	SchedulerReviveInt     = "spark.scheduler.revive.interval"
+	TaskCPUs               = "spark.task.cpus"
+	TaskMaxFailures        = "spark.task.maxFailures"
+	Speculation            = "spark.speculation"
+	SpeculationInterval    = "spark.speculation.interval"
+	SpeculationMultiplier  = "spark.speculation.multiplier"
+	SpeculationQuantile    = "spark.speculation.quantile"
+	NetworkTimeout         = "spark.network.timeout"
+	MemoryMapThreshold     = "spark.storage.memoryMapThreshold"
+	PeriodicGCInterval     = "spark.cleaner.periodicGC.interval"
+	ShuffleSortInitBuffer  = "spark.shuffle.sort.initialBufferSize"
+	RPCMessageMaxSize      = "spark.rpc.message.maxSize"
+	MaxPartitionBytes      = "spark.files.maxPartitionBytes"
+)
+
+// SparkSpace returns the 44-parameter Spark 2.4 configuration space
+// tuned in the paper (§5.1: "a total of 44 performance-related"
+// parameters, a superset of prior Spark-tuning work minus deprecated
+// and unsuitable ones). Ranges follow the Spark 2.4 documentation and
+// the paper's cluster (32-core, 192 GB nodes; e.g. executor cores
+// 1-32, executor memory 8-180 GB per the §5.1 example).
+//
+// Collinearity groups mirror §3.3/§4: spark.executor.cores and
+// spark.executor.memory form the "executor size" joint parameter; the
+// Kryo sub-parameters are only meaningful when the Kryo serializer is
+// active; the speculation sub-parameters depend on spark.speculation;
+// off-heap size depends on the off-heap switch; the two shuffle
+// compression switches share the shuffle-compression group.
+func SparkSpace() *Space {
+	return MustNewSpace(SparkParams())
+}
+
+// SparkParams returns the raw definitions behind SparkSpace, exposed
+// so tests and tools can inspect or modify them.
+func SparkParams() []Param {
+	return []Param{
+		{Name: ExecutorCores, Kind: Int, Min: 1, Max: 32, Default: 32, Group: "executor.size",
+			Desc: "Cores per executor JVM (standalone default: all cores of the worker)"},
+		{Name: ExecutorMemory, Kind: Int, Min: 8192, Max: 184320, Log: true, Default: 1024, Unit: "MB", Group: "executor.size",
+			Desc: "Heap memory per executor (Spark default 1024MB lies below the tuning range)"},
+		{Name: ExecutorInstances, Kind: Int, Min: 1, Max: 40, Default: 5,
+			Desc: "Requested executor count"},
+		{Name: ExecutorMemoryOverhead, Kind: Int, Min: 384, Max: 8192, Log: true, Default: 384, Unit: "MB",
+			Desc: "Off-heap overhead per executor"},
+		{Name: DriverCores, Kind: Int, Min: 1, Max: 8, Default: 1,
+			Desc: "Cores for the driver process"},
+		{Name: DriverMemory, Kind: Int, Min: 1024, Max: 16384, Log: true, Default: 1024, Unit: "MB",
+			Desc: "Heap memory for the driver"},
+		{Name: DefaultParallelism, Kind: Int, Min: 8, Max: 1024, Log: true, Default: 160,
+			Desc: "Default number of partitions for shuffles"},
+		{Name: MemoryFraction, Kind: Float, Min: 0.3, Max: 0.9, Default: 0.6, Group: "memory.mgmt",
+			Desc: "Fraction of heap for execution+storage"},
+		{Name: MemoryStorageFraction, Kind: Float, Min: 0.1, Max: 0.9, Default: 0.5, Group: "memory.mgmt",
+			Desc: "Fraction of unified memory immune to eviction"},
+		{Name: OffHeapEnabled, Kind: Bool, Default: 0, Group: "offheap",
+			Desc: "Use off-heap memory for execution"},
+		{Name: OffHeapSize, Kind: Int, Min: 512, Max: 16384, Log: true, Default: 2048, Unit: "MB", Group: "offheap",
+			Desc: "Off-heap memory size (requires offHeap.enabled)"},
+		{Name: ShuffleCompress, Kind: Bool, Default: 1, Group: "shuffle.compression",
+			Desc: "Compress shuffle outputs"},
+		{Name: ShuffleSpillCompress, Kind: Bool, Default: 1, Group: "shuffle.compression",
+			Desc: "Compress data spilled during shuffles"},
+		{Name: ShuffleFileBuffer, Kind: Int, Min: 16, Max: 512, Log: true, Default: 32, Unit: "KB",
+			Desc: "In-memory buffer per shuffle file output stream"},
+		{Name: ShuffleBypassThreshold, Kind: Int, Min: 50, Max: 1000, Default: 200,
+			Desc: "Max reduce partitions for bypass merge sort"},
+		{Name: ShuffleIOMaxRetries, Kind: Int, Min: 1, Max: 10, Default: 3,
+			Desc: "Shuffle fetch retry attempts"},
+		{Name: ShuffleIORetryWait, Kind: Int, Min: 1000, Max: 30000, Log: true, Default: 5000, Unit: "ms",
+			Desc: "Wait between shuffle fetch retries"},
+		{Name: ShuffleIOConnections, Kind: Int, Min: 1, Max: 8, Default: 1,
+			Desc: "Connections per peer host for shuffle"},
+		{Name: ShuffleIODirectBufs, Kind: Bool, Default: 1,
+			Desc: "Prefer direct NIO buffers in shuffle transport"},
+		{Name: ReducerMaxSizeInFlight, Kind: Int, Min: 8, Max: 128, Log: true, Default: 48, Unit: "MB",
+			Desc: "Max simultaneous shuffle fetch per reduce task"},
+		{Name: ShuffleServiceEnabled, Kind: Bool, Default: 0,
+			Desc: "External shuffle service"},
+		{Name: Serializer, Kind: Categorical, Choices: []string{"java", "kryo"}, Default: 0, Group: "serializer",
+			Desc: "Object serializer implementation"},
+		{Name: KryoBuffer, Kind: Int, Min: 16, Max: 512, Log: true, Default: 64, Unit: "KB", Group: "serializer",
+			Desc: "Initial Kryo buffer per core"},
+		{Name: KryoBufferMax, Kind: Int, Min: 8, Max: 128, Log: true, Default: 64, Unit: "MB", Group: "serializer",
+			Desc: "Max Kryo buffer size"},
+		{Name: KryoReferenceTracking, Kind: Bool, Default: 1, Group: "serializer",
+			Desc: "Track references for cyclic objects in Kryo"},
+		{Name: RDDCompress, Kind: Bool, Default: 0,
+			Desc: "Compress serialized cached RDD partitions"},
+		{Name: IOCompressionCodec, Kind: Categorical, Choices: []string{"lz4", "lzf", "snappy", "zstd"}, Default: 0,
+			Desc: "Codec for internal data compression"},
+		{Name: LZ4BlockSize, Kind: Int, Min: 16, Max: 512, Log: true, Default: 32, Unit: "KB",
+			Desc: "Block size for the LZ4 codec"},
+		{Name: BroadcastCompress, Kind: Bool, Default: 1,
+			Desc: "Compress broadcast variables"},
+		{Name: BroadcastBlockSize, Kind: Int, Min: 1, Max: 16, Default: 4, Unit: "MB",
+			Desc: "TorrentBroadcast block size"},
+		{Name: LocalityWait, Kind: Int, Min: 0, Max: 10000, Default: 3000, Unit: "ms",
+			Desc: "Wait for locality-preferred scheduling"},
+		{Name: SchedulerReviveInt, Kind: Int, Min: 100, Max: 5000, Log: true, Default: 1000, Unit: "ms",
+			Desc: "Interval between scheduler offer revives"},
+		{Name: TaskCPUs, Kind: Int, Min: 1, Max: 4, Default: 1,
+			Desc: "CPUs reserved per task"},
+		{Name: TaskMaxFailures, Kind: Int, Min: 1, Max: 8, Default: 4,
+			Desc: "Task failures tolerated before aborting the job"},
+		{Name: Speculation, Kind: Bool, Default: 0, Group: "speculation",
+			Desc: "Re-launch slow tasks speculatively"},
+		{Name: SpeculationInterval, Kind: Int, Min: 10, Max: 1000, Log: true, Default: 100, Unit: "ms", Group: "speculation",
+			Desc: "How often to check for speculatable tasks"},
+		{Name: SpeculationMultiplier, Kind: Float, Min: 1.1, Max: 5, Default: 1.5, Group: "speculation",
+			Desc: "How much slower than median a task must be"},
+		{Name: SpeculationQuantile, Kind: Float, Min: 0.3, Max: 0.95, Default: 0.75, Group: "speculation",
+			Desc: "Fraction of tasks finished before speculating"},
+		{Name: NetworkTimeout, Kind: Int, Min: 30000, Max: 600000, Log: true, Default: 120000, Unit: "ms",
+			Desc: "Default network interaction timeout"},
+		{Name: MemoryMapThreshold, Kind: Int, Min: 1, Max: 16, Default: 2, Unit: "MB",
+			Desc: "Min block size for memory-mapping from disk"},
+		{Name: PeriodicGCInterval, Kind: Int, Min: 5, Max: 120, Log: true, Default: 30, Unit: "min",
+			Desc: "Context cleaner periodic GC interval"},
+		{Name: ShuffleSortInitBuffer, Kind: Int, Min: 1024, Max: 65536, Log: true, Default: 4096, Unit: "B",
+			Desc: "Initial size of the shuffle in-memory sorter"},
+		{Name: RPCMessageMaxSize, Kind: Int, Min: 32, Max: 512, Log: true, Default: 128, Unit: "MB",
+			Desc: "Max RPC message size"},
+		{Name: MaxPartitionBytes, Kind: Int, Min: 16, Max: 512, Log: true, Default: 128, Unit: "MB",
+			Desc: "Max bytes per partition when reading input files"},
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+// Campaign runs ROBOTune as a long-lived tuning service over a queue
+// of workloads — the usage §2.2 motivates ("most data analytics
+// workloads recur in a cluster"). One ROBOTune instance carries the
+// selection cache, the memoization buffer and (optionally) the
+// workload mapper across all sessions, so repeated families get
+// cheaper and better over time.
+type Campaign struct {
+	// Tuner is the shared ROBOTune instance (its store accumulates
+	// knowledge across sessions).
+	Tuner *ROBOTune
+	// Cluster and Cap configure the evaluators (Cap <= 0 → 480 s).
+	Cluster sparksim.Cluster
+	Cap     float64
+	// Budget is the per-session evaluation budget (default 100).
+	Budget int
+	// MeasureReps verifies each session's best configuration
+	// (default 3).
+	MeasureReps int
+}
+
+// CampaignSession is one completed tuning session within a campaign.
+type CampaignSession struct {
+	Workload sparksim.Workload
+	Result   tuners.Result
+	// CacheHit is true when the session reused a cached selection
+	// (zero selection evaluations).
+	CacheHit bool
+	// Quality is the verified execution time of the best
+	// configuration.
+	Quality float64
+}
+
+// CampaignResult aggregates a campaign's sessions.
+type CampaignResult struct {
+	Sessions []CampaignSession
+}
+
+// Run tunes the workloads in order. Sessions are deterministic in
+// (seed, position).
+func (c *Campaign) Run(workloads []sparksim.Workload, seed uint64) CampaignResult {
+	if c.Tuner == nil {
+		c.Tuner = New(nil, Options{})
+	}
+	budget := c.Budget
+	if budget <= 0 {
+		budget = 100
+	}
+	reps := c.MeasureReps
+	if reps <= 0 {
+		reps = 3
+	}
+	var out CampaignResult
+	for i, w := range workloads {
+		sseed := seed + uint64(i)*701
+		ev := sparksim.NewEvaluator(c.Cluster, w, sseed, c.Cap)
+		res := c.Tuner.Tune(ev, conf.SparkSpace(), budget, sseed)
+		session := CampaignSession{
+			Workload: w,
+			Result:   res,
+			CacheHit: res.SelectionEvals == 0,
+		}
+		if res.Found {
+			session.Quality = ev.Measure(res.Best, reps, sseed*3+11)
+		}
+		out.Sessions = append(out.Sessions, session)
+	}
+	return out
+}
+
+// TotalSearchCost sums the tuning-phase cost across sessions.
+func (r CampaignResult) TotalSearchCost() float64 {
+	var s float64
+	for _, sess := range r.Sessions {
+		s += sess.Result.SearchCost
+	}
+	return s
+}
+
+// TotalSelectionCost sums the one-time selection cost across
+// sessions — amortized by cache hits, the §5.5 argument for tuning
+// multiple datasets of a workload.
+func (r CampaignResult) TotalSelectionCost() float64 {
+	var s float64
+	for _, sess := range r.Sessions {
+		s += sess.Result.SelectionCost
+	}
+	return s
+}
+
+// CacheHitRate is the fraction of sessions that skipped selection.
+func (r CampaignResult) CacheHitRate() float64 {
+	if len(r.Sessions) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, sess := range r.Sessions {
+		if sess.CacheHit {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(r.Sessions))
+}
+
+// Render prints the campaign summary table.
+func (r CampaignResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-36s %10s %10s %10s %6s\n",
+		"workload", "best(s)", "search(s)", "select(s)", "cache")
+	sb.WriteString(strings.Repeat("-", 78))
+	sb.WriteByte('\n')
+	for _, sess := range r.Sessions {
+		cache := "MISS"
+		if sess.CacheHit {
+			cache = "hit"
+		}
+		best := "-"
+		if sess.Result.Found {
+			best = fmt.Sprintf("%.1f", sess.Quality)
+		}
+		fmt.Fprintf(&sb, "%-36s %10s %10.0f %10.0f %6s\n",
+			sess.Workload.ID(), best, sess.Result.SearchCost, sess.Result.SelectionCost, cache)
+	}
+	fmt.Fprintf(&sb, "\ntotals: search %.0f s, one-time selection %.0f s, cache hit rate %.0f%%\n",
+		r.TotalSearchCost(), r.TotalSelectionCost(), 100*r.CacheHitRate())
+	return sb.String()
+}

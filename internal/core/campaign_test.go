@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparksim"
+)
+
+func TestCampaignAccumulatesKnowledge(t *testing.T) {
+	camp := &Campaign{
+		Tuner:       New(nil, fastOptions()),
+		Cluster:     sparksim.PaperCluster(),
+		Budget:      25,
+		MeasureReps: 2,
+	}
+	res := camp.Run([]sparksim.Workload{
+		sparksim.PageRank(5),
+		sparksim.PageRank(7.5),
+		sparksim.KMeans(200),
+		sparksim.PageRank(10),
+		sparksim.KMeans(300),
+	}, 71)
+
+	if len(res.Sessions) != 5 {
+		t.Fatalf("sessions = %d", len(res.Sessions))
+	}
+	// First PageRank and first KMeans miss; the other three hit.
+	wantHits := []bool{false, true, false, true, true}
+	for i, sess := range res.Sessions {
+		if sess.CacheHit != wantHits[i] {
+			t.Errorf("session %d (%s): hit=%v want %v", i, sess.Workload.ID(), sess.CacheHit, wantHits[i])
+		}
+		if !sess.Result.Found {
+			t.Errorf("session %d found nothing", i)
+		}
+		if sess.Quality <= 0 || sess.Quality > 480 {
+			t.Errorf("session %d quality %v", i, sess.Quality)
+		}
+	}
+	if got := res.CacheHitRate(); got != 0.6 {
+		t.Errorf("hit rate = %v, want 0.6", got)
+	}
+	if res.TotalSearchCost() <= 0 {
+		t.Error("no search cost accumulated")
+	}
+	// Selection ran exactly twice.
+	if res.TotalSelectionCost() <= 0 {
+		t.Error("no selection cost recorded")
+	}
+	out := res.Render()
+	for _, want := range []string{"PageRank/5M pages", "hit", "MISS", "cache hit rate 60%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestCampaignDefaults(t *testing.T) {
+	camp := &Campaign{Cluster: sparksim.PaperCluster(), Budget: 20}
+	res := camp.Run([]sparksim.Workload{sparksim.TeraSort(20)}, 3)
+	if len(res.Sessions) != 1 || !res.Sessions[0].Result.Found {
+		t.Fatalf("default campaign failed: %+v", res.Sessions)
+	}
+	if camp.Tuner == nil {
+		t.Error("tuner not defaulted")
+	}
+}

@@ -1,0 +1,740 @@
+// Package core implements ROBOTune itself — the Random-FOrests and
+// Bayesian-Optimization based tuner of the paper. It wires together
+// the memoized-sampling state (internal/memo), the Random-Forest
+// parameter selection (internal/forest), the Latin-Hypercube sampler
+// (internal/sample) and the GP-Hedge Bayesian-Optimization engine
+// (internal/bo), following Figure 1 and Algorithm 1:
+//
+//   - On a parameter-selection-cache miss, 100 generic LHS samples
+//     over all 44 parameters train a Random Forest whose MDA
+//     (permutation) importances — with collinear parameters permuted
+//     jointly — select the high-impact parameters (≥ 0.05 drop in
+//     OOB R², averaged over 10 permutations).
+//   - The BO engine then searches the selected low-dimensional
+//     subspace, initialized with 20 LHS tuning samples — or, for a
+//     repeated workload, 16 LHS samples plus 4 Best Recent Configs
+//     from the configuration memoization buffer.
+//   - A guard stops imbalanced configurations at a configurable
+//     multiple of the median observed execution time.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bo"
+	"repro/internal/conf"
+	"repro/internal/forest"
+	"repro/internal/mapping"
+	"repro/internal/memo"
+	"repro/internal/sample"
+	"repro/internal/sparksim"
+	"repro/internal/stats"
+	"repro/internal/tuners"
+)
+
+// Options are the ROBOTune knobs; zero values select the paper's
+// constants.
+type Options struct {
+	// GenericSamples is the LHS sample count for parameter selection
+	// on a cache miss (paper: 100, validated in §5.5/Figure 7).
+	GenericSamples int
+	// TuningSamples is the size of the BO initial training set
+	// (paper: 20).
+	TuningSamples int
+	// MemoConfigs is how many Best Recent Configs replace LHS samples
+	// for repeated workloads (paper: 4, so 16 LHS + 4 memoized).
+	MemoConfigs int
+	// ImportanceThreshold is the minimum mean OOB-R² drop for a
+	// parameter group to be selected (paper: 0.05).
+	ImportanceThreshold float64
+	// PermuteRepeats is the number of permutations averaged per group
+	// (paper: 10).
+	PermuteRepeats int
+	// MinSelected pads the selection with the next-ranked groups when
+	// fewer clear the threshold, keeping BO viable (default 6).
+	MinSelected int
+	// MaxSelected caps the subspace dimensionality (default 14,
+	// keeping the GP in its comfortable regime; §3.1).
+	MaxSelected int
+	// GuardMultiple stops a configuration once it runs this multiple
+	// of the median completed time (paper §4; default 3, ≤0 disables).
+	GuardMultiple float64
+	// Parallel evaluates the independent parameter-selection samples
+	// on this many concurrent workers when the objective supports
+	// batch evaluation (a real cluster would run them side by side).
+	// <= 1 keeps everything sequential. Observations are identical to
+	// the sequential order, so results do not depend on this setting.
+	Parallel int
+	// BOBatch, when > 1, runs the BO loop in parallel rounds: each
+	// round asks the engine for BOBatch constant-liar suggestions and
+	// evaluates them concurrently (requires batch evaluation support).
+	// Wall-clock per round shrinks; per-step adaptivity is traded
+	// away, so expect slightly weaker per-evaluation efficiency.
+	BOBatch int
+	// EarlyStopPatience ends the tuning session early when the best
+	// observed time has not improved by at least EarlyStopEpsilon
+	// (relative) for this many consecutive BO iterations — the
+	// "automated early stopping" customization of §4. 0 disables it
+	// (the paper's evaluation runs the full budget).
+	EarlyStopPatience int
+	// EarlyStopEpsilon is the relative improvement that resets the
+	// patience counter (default 0.01 when patience is enabled).
+	EarlyStopEpsilon float64
+	// Forest configures the selection model.
+	Forest forest.Config
+	// BO configures the Bayesian-Optimization engine.
+	BO bo.Config
+	// Mapper, when set, enables OtterTune-style workload mapping (an
+	// extension; see internal/mapping): on a selection-cache miss the
+	// new workload is characterized with a small probe set, and if a
+	// previously tuned family's signature correlates at or above
+	// MapThreshold, its parameter selection is inherited instead of
+	// running the full 100-sample selection.
+	Mapper *mapping.Mapper
+	// MapThreshold is the minimum signature correlation for adopting
+	// another family's selection (default 0.9).
+	MapThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.GenericSamples <= 0 {
+		o.GenericSamples = 100
+	}
+	if o.TuningSamples <= 0 {
+		o.TuningSamples = 20
+	}
+	if o.MemoConfigs <= 0 {
+		o.MemoConfigs = 4
+	}
+	if o.ImportanceThreshold <= 0 {
+		o.ImportanceThreshold = 0.05
+	}
+	if o.PermuteRepeats <= 0 {
+		o.PermuteRepeats = 10
+	}
+	if o.MinSelected <= 0 {
+		o.MinSelected = 6
+	}
+	if o.MaxSelected <= 0 {
+		o.MaxSelected = 14
+	}
+	if o.GuardMultiple == 0 {
+		o.GuardMultiple = 3
+	}
+	if o.EarlyStopPatience > 0 && o.EarlyStopEpsilon <= 0 {
+		o.EarlyStopEpsilon = 0.01
+	}
+	if o.MapThreshold <= 0 {
+		o.MapThreshold = 0.9
+	}
+	if o.Forest.Trees == 0 {
+		o.Forest = forest.RFDefaults()
+	}
+	if len(o.BO.Portfolio) == 0 && o.BO.CandidatePool == 0 {
+		o.BO = bo.DefaultConfig()
+	}
+	return o
+}
+
+// ROBOTune is the tuner. It satisfies tuners.Tuner. A single value
+// may run many sessions; the memo.Store carries knowledge across
+// them.
+type ROBOTune struct {
+	store *memo.Store
+	opts  Options
+
+	// Inspection hooks populated by the most recent Tune call (not
+	// safe for concurrent Tune calls): the BO engine and subspace,
+	// used by the response-surface experiment (Figure 9), and the
+	// selection outcome when this session ran it (nil on cache hits).
+	LastEngine    *bo.Engine
+	LastSubspace  *conf.Subspace
+	LastSelection *Selection
+}
+
+// New builds a ROBOTune instance backed by the given memoization
+// store (nil for a fresh in-memory store).
+func New(store *memo.Store, opts Options) *ROBOTune {
+	if store == nil {
+		store = memo.NewStore()
+	}
+	return &ROBOTune{store: store, opts: opts.withDefaults()}
+}
+
+// Name implements tuners.Tuner.
+func (*ROBOTune) Name() string { return "ROBOTune" }
+
+// Store returns the backing memoization store.
+func (r *ROBOTune) Store() *memo.Store { return r.store }
+
+// identifiable is the optional capability ROBOTune uses to key its
+// caches; *sparksim.Evaluator implements it.
+type identifiable interface {
+	WorkloadName() string
+	DatasetName() string
+}
+
+// cappable is the optional capability backing the bad-configuration
+// guard.
+type cappable interface {
+	EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord
+}
+
+// batchable is the optional capability backing parallel evaluation of
+// independent samples; *sparksim.Evaluator implements it.
+type batchable interface {
+	EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.EvalRecord
+}
+
+// Tune implements tuners.Tuner: it runs parameter selection (or a
+// cache hit), then the memoized-sampling + BO pipeline, spending at
+// most budget evaluations in the tuning phase. Selection evaluations
+// on a cache miss are reported separately in the Result, matching
+// §5.3's cost accounting.
+func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, seed uint64) tuners.Result {
+	opts := r.opts
+	workload, dataset := "", ""
+	if id, ok := obj.(identifiable); ok {
+		workload, dataset = id.WorkloadName(), id.DatasetName()
+	}
+
+	// --- Parameter selection (cache check, Figure 1) ---------------------
+	var selected []string
+	var selEvals int
+	var selCost float64
+	if workload != "" {
+		if cached, hit := r.store.Selection(workload); hit {
+			selected = cached
+		}
+	}
+	// Workload mapping (extension): characterize the unseen workload
+	// with a few probes and inherit a similar family's selection.
+	if selected == nil && opts.Mapper != nil && workload != "" {
+		evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
+		sig := opts.Mapper.Characterize(func(c conf.Config) float64 {
+			return obj.Evaluate(c).Seconds
+		})
+		if match, ok := opts.Mapper.BestMatch(sig); ok && match.Similarity >= opts.MapThreshold {
+			if sel, hit := r.store.Selection(match.Workload); hit {
+				selected = sel
+				r.store.PutSelection(workload, selected)
+			}
+		}
+		_ = opts.Mapper.Register(workload, sig)
+		selEvals += obj.Evals() - evalsBefore
+		selCost += obj.SearchCost() - costBefore
+	}
+	if selected == nil {
+		evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
+		sel, err := r.SelectParameters(obj, space, opts.GenericSamples, seed)
+		if err == nil {
+			selected = sel.Params
+			r.LastSelection = &sel
+		}
+		selEvals += obj.Evals() - evalsBefore
+		selCost += obj.SearchCost() - costBefore
+		if workload != "" && selected != nil {
+			r.store.PutSelection(workload, selected)
+		}
+		// The best configuration observed during selection is a valid
+		// tuning observation: memoize it so this and future sessions
+		// start from a viable anchor.
+		if workload != "" && sel.BestSample.Valid() {
+			r.store.AddConfigs(workload, []memo.SavedConfig{{
+				Values:  sel.BestSample.ToMap(),
+				Seconds: sel.BestSeconds,
+				Dataset: dataset,
+			}}, opts.MemoConfigs*4)
+		}
+	}
+	if len(selected) == 0 {
+		// Selection failed entirely (e.g. every sample failed): fall
+		// back to the executor-size joint parameter, always relevant.
+		selected = []string{conf.ExecutorCores, conf.ExecutorMemory, conf.ExecutorInstances}
+	}
+
+	// --- Subspace over the selected parameters ---------------------------
+	// Unselected parameters are frozen to the best configuration seen
+	// so far for this workload (from the memo buffer, which includes
+	// the best selection sample); the framework default is only the
+	// last resort. Freezing at a viable anchor matters: the Spark
+	// default would OOM several workloads regardless of the tuned
+	// subspace values.
+	base := space.Default()
+	if workload != "" {
+		if anchors := r.store.BestConfigs(workload, 1); len(anchors) > 0 {
+			if c, err := space.FromRaw(anchors[0].Values); err == nil {
+				base = c
+			}
+		}
+	}
+	ss, err := space.Sub(selected, base)
+	if err != nil {
+		// Defensive: unknown names in a stale cache entry.
+		ss, _ = space.Sub([]string{conf.ExecutorCores, conf.ExecutorMemory}, base)
+	}
+	r.LastSubspace = ss
+
+	tuneEvalsBefore, tuneCostBefore := obj.Evals(), obj.SearchCost()
+	tr := &runTracker{bestSec: math.Inf(1)}
+
+	guard := func() float64 {
+		if opts.GuardMultiple <= 0 {
+			return 0
+		}
+		med := tr.medianCompleted()
+		if math.IsNaN(med) {
+			return 0
+		}
+		return med * opts.GuardMultiple
+	}
+	eval := func(c conf.Config) sparksim.EvalRecord {
+		if capper, ok := obj.(cappable); ok {
+			if g := guard(); g > 0 {
+				return capper.EvaluateWithCap(c, g)
+			}
+		}
+		return obj.Evaluate(c)
+	}
+
+	// --- Initial training set (Memoized Sampling, §3.2) ------------------
+	engine := bo.New(ss.Dim(), withSeed(opts.BO, seed))
+	r.LastEngine = engine
+	remaining := budget
+
+	var memoCfgs []memo.SavedConfig
+	if workload != "" {
+		// Pull a wider slate and keep a diverse subset: the top
+		// configurations of one session are near-duplicates, and
+		// seeding the GP with four copies of the same point
+		// over-anchors exploitation on the previous dataset's optimum.
+		memoCfgs = diverseConfigs(space, r.store.BestConfigs(workload, opts.MemoConfigs*4), opts.MemoConfigs)
+	}
+	lhsCount := opts.TuningSamples - len(memoCfgs)
+	if lhsCount < 0 {
+		lhsCount = 0
+	}
+	rng := sample.NewRNG(seed ^ 0x0b07e2e)
+	design := sample.MaximinLHS(lhsCount, ss.Dim(), 0, rng)
+
+	tell := func(c conf.Config) bool {
+		if remaining <= 0 {
+			return false
+		}
+		remaining--
+		rec := eval(c)
+		tr.observe(c, rec)
+		// The GP models log execution time: the 480 s evaluation cap
+		// saturates much of the space, and the log transform keeps
+		// the surviving region discriminable.
+		engine.Tell(ss.Encode(c), math.Log(rec.Seconds))
+		return true
+	}
+	for _, saved := range memoCfgs {
+		c, err := space.FromRaw(saved.Values)
+		if err != nil {
+			continue
+		}
+		if !tell(c) {
+			break
+		}
+	}
+	for _, u := range design {
+		if !tell(ss.Decode(u)) {
+			break
+		}
+	}
+
+	// --- BO loop (Algorithm 1) --------------------------------------------
+	stale := 0
+	lastBest := tr.bestSec
+	batcher, canBatch := obj.(batchable)
+	for remaining > 0 {
+		// Parallel rounds: q constant-liar suggestions evaluated
+		// concurrently, then told back with the real observations.
+		if opts.BOBatch > 1 && canBatch && remaining >= opts.BOBatch {
+			if us, err := engine.BatchSuggest(opts.BOBatch); err == nil && len(us) > 1 {
+				cfgs := make([]conf.Config, len(us))
+				for i, u := range us {
+					cfgs[i] = ss.Decode(u)
+				}
+				recs := batcher.EvaluateBatch(cfgs, opts.BOBatch)
+				for i, rec := range recs {
+					remaining--
+					tr.observe(cfgs[i], rec)
+					engine.Tell(us[i], math.Log(rec.Seconds))
+				}
+				if opts.EarlyStopPatience > 0 {
+					if tr.bestSec < lastBest*(1-opts.EarlyStopEpsilon) {
+						stale = 0
+						lastBest = tr.bestSec
+					} else {
+						stale++
+						if stale >= opts.EarlyStopPatience {
+							break
+						}
+					}
+				}
+				continue
+			}
+		}
+		u, err := engine.Suggest()
+		if err != nil {
+			// Not enough points to fit (extreme budgets): random point.
+			u = randomUnit(ss.Dim(), rng)
+		}
+		if !tell(ss.Decode(u)) {
+			break
+		}
+		// Automated early stopping (§4): give up when the incumbent
+		// stops improving.
+		if opts.EarlyStopPatience > 0 {
+			if tr.bestSec < lastBest*(1-opts.EarlyStopEpsilon) {
+				stale = 0
+				lastBest = tr.bestSec
+			} else {
+				stale++
+				if stale >= opts.EarlyStopPatience {
+					break
+				}
+			}
+		}
+	}
+
+	// --- Memoize the best configurations for future sessions --------------
+	if workload != "" && tr.found {
+		top := tr.topK(opts.MemoConfigs)
+		// The buffer retains a wider slate (4x) than the per-session
+		// pull so the diverse subset has real choices.
+		saved := make([]memo.SavedConfig, 0, len(top))
+		for _, e := range top {
+			saved = append(saved, memo.SavedConfig{
+				Values:  e.cfg.ToMap(),
+				Seconds: e.sec,
+				Dataset: dataset,
+			})
+		}
+		r.store.AddConfigs(workload, saved, opts.MemoConfigs*4)
+	}
+
+	return tuners.Result{
+		Best:           tr.best,
+		BestSeconds:    tr.bestSec,
+		Found:          tr.found,
+		Evals:          obj.Evals() - tuneEvalsBefore,
+		SearchCost:     obj.SearchCost() - tuneCostBefore,
+		Trace:          tr.trace,
+		SelectedParams: append([]string(nil), selected...),
+		SelectionEvals: selEvals,
+		SelectionCost:  selCost,
+	}
+}
+
+// Selection is the outcome of the Random-Forest parameter selection.
+type Selection struct {
+	// Params are the selected parameter names in descending
+	// importance order, including MinSelected padding.
+	Params []string
+	// ThresholdParams are the parameters whose groups cleared the
+	// importance threshold on their own (no padding) — the paper's
+	// selection criterion, used by the Figure 7 recall experiment.
+	ThresholdParams []string
+	// Ranking is the full group ranking with importances.
+	Ranking []GroupRank
+	// OOBR2 is the forest's out-of-bag fit quality.
+	OOBR2 float64
+	// Samples is the number of LHS samples used.
+	Samples int
+	// BestSample is the best completed configuration observed while
+	// collecting selection samples (zero Config if none completed);
+	// ROBOTune memoizes it and uses it as the base for unselected
+	// parameters, so the subspace is anchored at a viable point
+	// rather than the (often catastrophic) framework default.
+	BestSample  conf.Config
+	BestSeconds float64
+}
+
+// GroupRank names one collinearity group and its MDA importance.
+type GroupRank struct {
+	Name    string
+	Members []string
+	Drop    float64
+}
+
+// SelectParameters runs the cache-miss path standalone: evaluates
+// `samples` LHS configurations over the full space, trains a Random
+// Forest, and selects parameter groups whose joint permutation drops
+// the OOB R² by at least the threshold. Exposed for the selection
+// experiments (Figures 2 and 7).
+func (r *ROBOTune) SelectParameters(obj tuners.Objective, space *conf.Space, samples int, seed uint64) (Selection, error) {
+	opts := r.opts
+	if samples <= 0 {
+		samples = opts.GenericSamples
+	}
+	rng := sample.NewRNG(seed ^ 0x5e1ec7)
+	design := sample.LHS(samples, space.Dim(), rng)
+	cfgs := make([]conf.Config, len(design))
+	for i, u := range design {
+		cfgs[i] = space.Decode(u)
+	}
+	var recs []sparksim.EvalRecord
+	if be, ok := obj.(batchable); ok && opts.Parallel > 1 {
+		recs = be.EvaluateBatch(cfgs, opts.Parallel)
+	} else {
+		recs = make([]sparksim.EvalRecord, len(cfgs))
+		for i, c := range cfgs {
+			recs[i] = obj.Evaluate(c)
+		}
+	}
+	x := make([][]float64, 0, samples)
+	y := make([]float64, 0, samples)
+	bestSec := math.Inf(1)
+	var bestCfg conf.Config
+	for i, rec := range recs {
+		x = append(x, append([]float64(nil), design[i]...))
+		y = append(y, rec.Seconds)
+		if rec.Completed && rec.Seconds < bestSec {
+			bestSec, bestCfg = rec.Seconds, cfgs[i]
+		}
+	}
+	sel, err := r.selectFromData(space, x, y, seed)
+	if err != nil {
+		return sel, err
+	}
+	sel.BestSample = bestCfg
+	sel.BestSeconds = bestSec
+	return sel, nil
+}
+
+// SelectFromData runs selection on pre-collected observations (unit
+// points and objective values) without charging new evaluations.
+func (r *ROBOTune) SelectFromData(space *conf.Space, x [][]float64, y []float64, seed uint64) (Selection, error) {
+	return r.selectFromData(space, x, y, seed)
+}
+
+func (r *ROBOTune) selectFromData(space *conf.Space, x [][]float64, y []float64, seed uint64) (Selection, error) {
+	if len(x) < 10 {
+		return Selection{}, fmt.Errorf("core: need >= 10 selection samples, have %d", len(x))
+	}
+	opts := r.opts
+	fcfg := opts.Forest
+	fcfg.Seed = seed ^ 0xf02e57
+	// MDA importance is computed out-of-bag; selection is meaningless
+	// without bootstrap, so enforce it regardless of configuration.
+	fcfg.Bootstrap = true
+	f := forest.Train(x, y, fcfg)
+
+	groups := space.Groups()
+	imps := f.PermutationImportance(groups, opts.PermuteRepeats, sample.NewRNG(seed^0x9e247))
+
+	ranking := make([]GroupRank, len(imps))
+	for i, gi := range imps {
+		members := make([]string, len(gi.Group))
+		for k, idx := range gi.Group {
+			members[k] = space.Params()[idx].Name
+		}
+		ranking[i] = GroupRank{Name: space.GroupName(gi.Group), Members: members, Drop: gi.Drop}
+	}
+	sort.SliceStable(ranking, func(a, b int) bool { return ranking[a].Drop > ranking[b].Drop })
+
+	var params, thresholdParams []string
+	var picked int
+	for _, gr := range ranking {
+		clears := gr.Drop >= opts.ImportanceThreshold
+		take := clears || picked < opts.MinSelected
+		if !take {
+			break
+		}
+		if len(params)+len(gr.Members) > opts.MaxSelected && picked >= opts.MinSelected {
+			break
+		}
+		params = append(params, gr.Members...)
+		if clears {
+			thresholdParams = append(thresholdParams, gr.Members...)
+		}
+		picked++
+	}
+	return Selection{
+		Params:          params,
+		ThresholdParams: thresholdParams,
+		Ranking:         ranking,
+		OOBR2:           f.OOBR2(),
+		Samples:         len(x),
+	}, nil
+}
+
+// runTracker tracks incumbents and the top-K configurations for
+// memoization.
+type runTracker struct {
+	best    conf.Config
+	bestSec float64
+	found   bool
+	trace   []float64
+	entries []trackEntry
+}
+
+type trackEntry struct {
+	cfg conf.Config
+	sec float64
+}
+
+func (t *runTracker) observe(c conf.Config, rec sparksim.EvalRecord) {
+	t.trace = append(t.trace, rec.Seconds)
+	if !rec.Completed {
+		return
+	}
+	t.entries = append(t.entries, trackEntry{cfg: c, sec: rec.Seconds})
+	if rec.Seconds < t.bestSec {
+		t.best, t.bestSec, t.found = c, rec.Seconds, true
+	}
+}
+
+func (t *runTracker) medianCompleted() float64 {
+	if len(t.entries) == 0 {
+		return math.NaN()
+	}
+	xs := make([]float64, len(t.entries))
+	for i, e := range t.entries {
+		xs[i] = e.sec
+	}
+	return stats.Median(xs)
+}
+
+func (t *runTracker) topK(k int) []trackEntry {
+	es := append([]trackEntry(nil), t.entries...)
+	sort.SliceStable(es, func(a, b int) bool { return es[a].sec < es[b].sec })
+	if len(es) > k {
+		es = es[:k]
+	}
+	return es
+}
+
+// diverseConfigs greedily selects up to k configurations from the
+// best-first candidate list, always keeping the best and then
+// maximizing the minimum pairwise distance in the unit cube.
+func diverseConfigs(space *conf.Space, cands []memo.SavedConfig, k int) []memo.SavedConfig {
+	if len(cands) <= 1 || k <= 1 {
+		if len(cands) > k {
+			return cands[:k]
+		}
+		return cands
+	}
+	units := make([][]float64, len(cands))
+	for i, sc := range cands {
+		c, err := space.FromRaw(sc.Values)
+		if err != nil {
+			continue
+		}
+		units[i] = space.Encode(c)
+	}
+	chosen := []int{0}
+	for len(chosen) < k && len(chosen) < len(cands) {
+		bestIdx, bestDist := -1, -1.0
+		for i := range cands {
+			if units[i] == nil || contains(chosen, i) {
+				continue
+			}
+			minD := math.Inf(1)
+			for _, j := range chosen {
+				if units[j] == nil {
+					continue
+				}
+				var d float64
+				for t := range units[i] {
+					diff := units[i][t] - units[j][t]
+					d += diff * diff
+				}
+				if d < minD {
+					minD = d
+				}
+			}
+			if minD > bestDist {
+				bestDist, bestIdx = minD, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		chosen = append(chosen, bestIdx)
+	}
+	out := make([]memo.SavedConfig, 0, len(chosen))
+	for _, i := range chosen {
+		out = append(out, cands[i])
+	}
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func withSeed(cfg bo.Config, seed uint64) bo.Config {
+	cfg.Seed = seed
+	return cfg
+}
+
+func randomUnit(d int, rng interface{ Float64() float64 }) []float64 {
+	u := make([]float64, d)
+	for i := range u {
+		u[i] = rng.Float64()
+	}
+	return u
+}
+
+// Explain renders a human-readable account of the most recent Tune
+// call: how the subspace was chosen, how the Hedge portfolio ended
+// up weighted, and how the best configuration differs from the
+// framework default. It reads the Last* inspection hooks, so call it
+// right after Tune (robotune's -explain flag does).
+func (r *ROBOTune) Explain(space *conf.Space, res tuners.Result) string {
+	var sb strings.Builder
+
+	if r.LastSelection != nil {
+		fmt.Fprintf(&sb, "parameter selection (%d samples, forest OOB R² %.3f):\n",
+			r.LastSelection.Samples, r.LastSelection.OOBR2)
+		for i, g := range r.LastSelection.Ranking {
+			if i >= 10 {
+				fmt.Fprintf(&sb, "  ... %d more groups\n", len(r.LastSelection.Ranking)-i)
+				break
+			}
+			mark := " "
+			if g.Drop >= r.opts.ImportanceThreshold {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, "  %s %-30s drop %.4f\n", mark, g.Name, g.Drop)
+		}
+	} else {
+		sb.WriteString("parameter selection: cache hit (selection reused)\n")
+	}
+
+	if r.LastEngine != nil {
+		names := r.LastEngine.PortfolioNames()
+		probs := r.LastEngine.Probabilities()
+		sb.WriteString("acquisition portfolio (final Hedge weights):\n")
+		for i, n := range names {
+			fmt.Fprintf(&sb, "  %-4s %.2f\n", n, probs[i])
+		}
+	}
+
+	if res.Found {
+		sb.WriteString("best configuration vs framework default (tuned parameters):\n")
+		def := space.Default()
+		for _, name := range res.SelectedParams {
+			p, ok := space.Param(name)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %-44s %s  (default %s)\n",
+				name, p.FormatRaw(res.Best.Raw(name)), p.FormatRaw(def.Raw(name)))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSessionsCSV dumps every session of the comparison as CSV rows
+// (one per tuning session), for analysis outside Go:
+//
+//	tuner,workload,dataset,repeat,quality_s,found,search_cost_s,selection_cost_s,evals
+func (c *Comparison) WriteSessionsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"tuner", "workload", "dataset", "repeat",
+		"quality_s", "found", "search_cost_s", "selection_cost_s", "evals",
+	}); err != nil {
+		return err
+	}
+	for _, s := range c.Sessions {
+		rec := []string{
+			s.Tuner,
+			s.Workload,
+			fmt.Sprintf("D%d", s.DatasetIdx+1),
+			strconv.Itoa(s.Repeat),
+			fmtFloat(s.Quality),
+			strconv.FormatBool(s.Found),
+			fmtFloat(s.SearchCost),
+			fmtFloat(s.SelectionCost),
+			strconv.Itoa(len(s.Trace)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScaledCSV dumps Figure 3/4-style rows as CSV:
+//
+//	workload,dataset,ROBOTune,BestConfig,Gunther,RandomSearch
+func WriteScaledCSV(w io.Writer, rows []Fig3Row) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"workload", "dataset"}, TunerNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{ShortName[r.Workload], fmt.Sprintf("D%d", r.DatasetIdx+1)}
+		for _, tn := range TunerNames {
+			rec = append(rec, fmtFloat(r.Scaled[tn]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTracesCSV dumps every evaluation of every session in long
+// form, suitable for plotting convergence curves:
+//
+//	tuner,workload,dataset,repeat,iteration,seconds
+func (c *Comparison) WriteTracesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tuner", "workload", "dataset", "repeat", "iteration", "seconds"}); err != nil {
+		return err
+	}
+	for _, s := range c.Sessions {
+		for i, v := range s.Trace {
+			rec := []string{
+				s.Tuner, s.Workload, fmt.Sprintf("D%d", s.DatasetIdx+1),
+				strconv.Itoa(s.Repeat), strconv.Itoa(i + 1), fmtFloat(v),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}

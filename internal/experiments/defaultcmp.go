@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/sparksim"
+)
+
+// DefaultRow is one workload/dataset entry of the §5.2 comparison
+// with Spark's out-of-the-box configuration.
+type DefaultRow struct {
+	Workload   string
+	DatasetIdx int
+	// DefaultSeconds is the default configuration's (uncapped)
+	// execution time; NaN when it fails.
+	DefaultSeconds float64
+	// DefaultFails is true when the default OOMs or errors (the paper
+	// reports this for PR, CC and the larger TeraSort inputs).
+	DefaultFails bool
+	// TunedSeconds is ROBOTune's best configuration's time.
+	TunedSeconds float64
+	// Speedup is DefaultSeconds / TunedSeconds (NaN when the default
+	// fails — the speedup is effectively infinite).
+	Speedup float64
+}
+
+// DefaultComparison reproduces §5.2's "Comparison with the default":
+// ROBOTune tunes each workload, and its best configuration is
+// compared with the Spark default (evaluated without the tuning-time
+// cap, since it is outside the search).
+func DefaultComparison(cfg Config) []DefaultRow {
+	cfg = cfg.withDefaults()
+	space := sparkSpace()
+	cluster := sparksim.PaperCluster()
+	grid := sparksim.PaperWorkloads()
+	def := space.Default()
+
+	var rows []DefaultRow
+	for _, wname := range WorkloadOrder {
+		store := memo.NewStore()
+		rt := core.New(store, cfg.robotuneOptions())
+		for di := 0; di < 3; di++ {
+			w := grid[wname][di]
+			seed := cfg.Seed + hashName(wname) + uint64(di)
+			ev := sparksim.NewEvaluator(cluster, w, seed, 480)
+			res := rt.Tune(ev, space, cfg.Budget, seed)
+
+			row := DefaultRow{Workload: wname, DatasetIdx: di}
+			out := sparksim.Run(cluster, w, def, seededRNG(seed*3+1), math.Inf(1))
+			if out.OOM || out.Infeasible {
+				row.DefaultFails = true
+				row.DefaultSeconds = math.NaN()
+			} else {
+				row.DefaultSeconds = out.Seconds
+			}
+			if res.Found {
+				row.TunedSeconds = ev.Measure(res.Best, cfg.MeasureReps, seed*5+2)
+			} else {
+				row.TunedSeconds = math.NaN()
+			}
+			if !row.DefaultFails && res.Found {
+				row.Speedup = row.DefaultSeconds / row.TunedSeconds
+			} else {
+				row.Speedup = math.NaN()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RenderDefault prints the §5.2 default-comparison table.
+func RenderDefault(rows []DefaultRow) string {
+	t := newTable(8, 14, 12, 10)
+	t.row("", "default", "tuned", "speedup")
+	t.line()
+	for _, r := range rows {
+		def := "FAILS (OOM)"
+		if !r.DefaultFails {
+			def = fmt.Sprintf("%.0fs", r.DefaultSeconds)
+		}
+		tuned := "-"
+		if !math.IsNaN(r.TunedSeconds) {
+			tuned = fmt.Sprintf("%.0fs", r.TunedSeconds)
+		}
+		sp := "-"
+		if !math.IsNaN(r.Speedup) {
+			sp = fmt.Sprintf("%.1fx", r.Speedup)
+		}
+		t.row(fmt.Sprintf("%s-D%d", ShortName[r.Workload], r.DatasetIdx+1), def, tuned, sp)
+	}
+	return "§5.2 — tuned configuration vs Spark default\n" + t.String()
+}

@@ -1,0 +1,249 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Config controls forest training.
+type Config struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// Tree configures individual tree growth.
+	Tree TreeConfig
+	// Bootstrap draws each tree's training set with replacement
+	// (Random Forest). Extremely Randomized Trees conventionally use
+	// the full sample (set Bootstrap=false, Tree.Extra=true).
+	Bootstrap bool
+	// Seed makes training deterministic.
+	Seed uint64
+}
+
+// RFDefaults returns the Random-Forest configuration used by
+// ROBOTune's parameter selection.
+func RFDefaults() Config {
+	return Config{Trees: 100, Bootstrap: true, Tree: TreeConfig{MinLeaf: 1}}
+}
+
+// ETDefaults returns the Extremely-Randomized-Trees configuration
+// compared in Figure 2.
+func ETDefaults() Config {
+	return Config{Trees: 100, Bootstrap: false, Tree: TreeConfig{MinLeaf: 1, Extra: true}}
+}
+
+// Forest is a trained ensemble of regression trees.
+type Forest struct {
+	trees []*Tree
+	inBag [][]bool // inBag[t][i]: sample i used to train tree t
+	x     [][]float64
+	y     []float64
+	cfg   Config
+}
+
+// Train grows a forest on x (rows = samples) and y. It panics on
+// empty or ragged input so misuse fails loudly during development.
+func Train(x [][]float64, y []float64, cfg Config) *Forest {
+	if len(x) == 0 || len(x) != len(y) {
+		panic(fmt.Sprintf("forest: bad training shape: %d samples, %d targets", len(x), len(y)))
+	}
+	d := len(x[0])
+	for i, r := range x {
+		if len(r) != d {
+			panic(fmt.Sprintf("forest: ragged row %d", i))
+		}
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	cfg.Tree = cfg.Tree.withDefaults(d)
+
+	f := &Forest{
+		trees: make([]*Tree, cfg.Trees),
+		inBag: make([][]bool, cfg.Trees),
+		x:     x,
+		y:     y,
+		cfg:   cfg,
+	}
+	n := len(x)
+	for t := 0; t < cfg.Trees; t++ {
+		rng := sample.NewRNG(cfg.Seed*1315423911 + uint64(t))
+		idx := make([]int, n)
+		bag := make([]bool, n)
+		if cfg.Bootstrap {
+			for i := range idx {
+				j := rng.IntN(n)
+				idx[i] = j
+				bag[j] = true
+			}
+		} else {
+			for i := range idx {
+				idx[i] = i
+				bag[i] = true
+			}
+		}
+		f.trees[t] = growTree(x, y, idx, cfg.Tree, rng)
+		f.inBag[t] = bag
+	}
+	return f
+}
+
+// Predict returns the ensemble mean prediction for one feature vector.
+func (f *Forest) Predict(xr []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(xr)
+	}
+	return s / float64(len(f.trees))
+}
+
+// PredictAll returns predictions for a batch of feature vectors.
+func (f *Forest) PredictAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, xr := range xs {
+		out[i] = f.Predict(xr)
+	}
+	return out
+}
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// OOBR2 returns the out-of-bag R² of the forest: each training sample
+// is predicted only by trees whose bootstrap excluded it. Samples
+// that are in-bag everywhere are skipped. Returns NaN when no sample
+// has OOB coverage (e.g. Bootstrap=false).
+func (f *Forest) OOBR2() float64 {
+	pred, obs := f.oobPredictions(nil, nil)
+	if len(obs) == 0 {
+		return math.NaN()
+	}
+	return stats.R2(obs, pred)
+}
+
+// oobPredictions computes OOB predictions, optionally permuting the
+// feature columns in permCols using permutation perm (perm[i] gives
+// the row whose value replaces row i's). perm == nil means no
+// permutation.
+func (f *Forest) oobPredictions(permCols []int, perm []int) (pred, obs []float64) {
+	n := len(f.x)
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	row := make([]float64, len(f.x[0]))
+	for t, tree := range f.trees {
+		bag := f.inBag[t]
+		for i := 0; i < n; i++ {
+			if bag[i] {
+				continue
+			}
+			xr := f.x[i]
+			if perm != nil {
+				copy(row, xr)
+				for _, c := range permCols {
+					row[c] = f.x[perm[i]][c]
+				}
+				xr = row
+			}
+			sums[i] += tree.Predict(xr)
+			counts[i]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		pred = append(pred, sums[i]/float64(counts[i]))
+		obs = append(obs, f.y[i])
+	}
+	return pred, obs
+}
+
+// GroupImportance holds one permutation-importance result.
+type GroupImportance struct {
+	// Group is the parameter indices permuted jointly.
+	Group []int
+	// Drop is the mean decrease in OOB R² across repeats — the MDA
+	// importance of §3.3 ("record a baseline using the OOB R² score
+	// ... then each of the feature columns is permuted").
+	Drop float64
+}
+
+// PermutationImportance computes MDA importances for the given
+// feature groups. Collinear parameters appear in one group and are
+// permuted together (§3.3 "Handling Collinearity"). Each group is
+// permuted `repeats` times (the paper uses 10) and the R² drops are
+// averaged. Results are in the same order as groups.
+func (f *Forest) PermutationImportance(groups [][]int, repeats int, rng *rand.Rand) []GroupImportance {
+	if repeats < 1 {
+		repeats = 1
+	}
+	basePred, baseObs := f.oobPredictions(nil, nil)
+	baseline := stats.R2(baseObs, basePred)
+
+	out := make([]GroupImportance, len(groups))
+	n := len(f.x)
+	for g, cols := range groups {
+		var totalDrop float64
+		for r := 0; r < repeats; r++ {
+			perm := rng.Perm(n)
+			pred, obs := f.oobPredictions(cols, perm)
+			totalDrop += baseline - stats.R2(obs, pred)
+		}
+		out[g] = GroupImportance{Group: cols, Drop: totalDrop / float64(repeats)}
+	}
+	return out
+}
+
+// MDIImportance returns the Mean-Decrease-in-Impurity importance per
+// feature (normalized to sum to 1), the conventional RF importance
+// the paper rejects as unreliable for mixed-scale parameters (§3.3).
+// It is retained for the MDI-vs-MDA ablation.
+func (f *Forest) MDIImportance() []float64 {
+	d := len(f.x[0])
+	imp := make([]float64, d)
+	for _, t := range f.trees {
+		for i := range t.nodes {
+			nd := &t.nodes[i]
+			if nd.feature >= 0 {
+				imp[nd.feature] += nd.impurityDec
+			}
+		}
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// PartialDependence returns the model's average prediction as the
+// given feature sweeps across grid values with all other features
+// held at their observed joint distribution (Friedman's partial
+// dependence). It is the model-side counterpart of an empirical
+// parameter sweep: selection says *whether* a parameter matters, the
+// PD curve says *how*.
+func (f *Forest) PartialDependence(feature int, grid []float64) []float64 {
+	if feature < 0 || feature >= len(f.x[0]) {
+		panic(fmt.Sprintf("forest: feature %d out of range", feature))
+	}
+	out := make([]float64, len(grid))
+	row := make([]float64, len(f.x[0]))
+	for gi, v := range grid {
+		var sum float64
+		for _, xr := range f.x {
+			copy(row, xr)
+			row[feature] = v
+			sum += f.Predict(row)
+		}
+		out[gi] = sum / float64(len(f.x))
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+// Package forest implements the tree-based regressors ROBOTune uses
+// for parameter selection (§3.3): CART regression trees, bagged
+// Random Forests with out-of-bag scoring, Extremely Randomized Trees,
+// and both Mean-Decrease-in-Accuracy (permutation, with collinear
+// groups permuted jointly) and Mean-Decrease-in-Impurity importances.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// TreeConfig controls individual tree growth.
+type TreeConfig struct {
+	// MaxFeatures is the number of candidate features examined per
+	// split; <= 0 selects all features, scikit-learn's regression
+	// default.
+	MaxFeatures int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MinSplit is the minimum samples required to split (default 2).
+	MinSplit int
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// Extra switches to Extremely-Randomized splits: one uniformly
+	// random threshold per candidate feature instead of an exhaustive
+	// scan.
+	Extra bool
+}
+
+func (c TreeConfig) withDefaults(d int) TreeConfig {
+	if c.MaxFeatures <= 0 {
+		c.MaxFeatures = d
+	}
+	if c.MaxFeatures > d {
+		c.MaxFeatures = d
+	}
+	if c.MinLeaf < 1 {
+		c.MinLeaf = 1
+	}
+	if c.MinSplit < 2 {
+		c.MinSplit = 2
+	}
+	return c
+}
+
+// node is one tree node in a flattened array representation.
+type node struct {
+	feature     int32 // -1 for leaves
+	left, right int32
+	threshold   float64
+	value       float64 // mean target at the node (prediction for leaves)
+	impurityDec float64 // weighted SSE decrease of the split (for MDI)
+}
+
+// Tree is a grown CART regression tree.
+type Tree struct {
+	nodes []node
+	dim   int
+}
+
+// growTree builds a tree on the sample indices idx of (x, y).
+func growTree(x [][]float64, y []float64, idx []int, cfg TreeConfig, rng *rand.Rand) *Tree {
+	t := &Tree{dim: len(x[0])}
+	t.build(x, y, idx, cfg, rng, 0)
+	return t
+}
+
+func (t *Tree) build(x [][]float64, y []float64, idx []int, cfg TreeConfig, rng *rand.Rand, depth int) int32 {
+	me := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1})
+
+	n := len(idx)
+	var sum float64
+	for _, i := range idx {
+		sum += y[i]
+	}
+	mean := sum / float64(n)
+	t.nodes[me].value = mean
+
+	if n < cfg.MinSplit || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || constantTarget(y, idx) {
+		return me
+	}
+
+	feat, thr, dec, ok := t.bestSplit(x, y, idx, mean, cfg, rng)
+	if !ok {
+		return me
+	}
+	left := make([]int, 0, n/2)
+	right := make([]int, 0, n/2)
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return me
+	}
+	t.nodes[me].feature = int32(feat)
+	t.nodes[me].threshold = thr
+	t.nodes[me].impurityDec = dec
+	l := t.build(x, y, left, cfg, rng, depth+1)
+	t.nodes[me].left = l
+	r := t.build(x, y, right, cfg, rng, depth+1)
+	t.nodes[me].right = r
+	return me
+}
+
+func constantTarget(y []float64, idx []int) bool {
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit searches candidate features for the split with the
+// greatest SSE reduction. For Extra trees a single random threshold
+// per feature is evaluated instead of every midpoint.
+func (t *Tree) bestSplit(x [][]float64, y []float64, idx []int, mean float64, cfg TreeConfig, rng *rand.Rand) (feat int, thr, dec float64, ok bool) {
+	n := float64(len(idx))
+	var parentSSE float64
+	for _, i := range idx {
+		d := y[i] - mean
+		parentSSE += d * d
+	}
+
+	features := rng.Perm(t.dim)[:cfg.MaxFeatures]
+	bestDec := 0.0
+	for _, f := range features {
+		if cfg.Extra {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, i := range idx {
+				v := x[i][f]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if lo == hi {
+				continue
+			}
+			cand := lo + rng.Float64()*(hi-lo)
+			if d, good := splitSSEDec(x, y, idx, f, cand, parentSSE, cfg.MinLeaf); good && d > bestDec {
+				bestDec, feat, thr, ok = d, f, cand, true
+			}
+			continue
+		}
+		// Exhaustive scan over sorted unique values via prefix sums.
+		order := make([]int, len(idx))
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		var sumL, sumSqL float64
+		var sumT, sumSqT float64
+		for _, i := range order {
+			sumT += y[i]
+			sumSqT += y[i] * y[i]
+		}
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			sumL += y[i]
+			sumSqL += y[i] * y[i]
+			if x[order[k]][f] == x[order[k+1]][f] {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < cfg.MinLeaf || int(nr) < cfg.MinLeaf {
+				continue
+			}
+			sseL := sumSqL - sumL*sumL/nl
+			sumR := sumT - sumL
+			sseR := (sumSqT - sumSqL) - sumR*sumR/nr
+			d := parentSSE - sseL - sseR
+			if d > bestDec {
+				bestDec = d
+				feat = f
+				thr = (x[order[k]][f] + x[order[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, bestDec, ok
+}
+
+// splitSSEDec evaluates one candidate (feature, threshold) split.
+func splitSSEDec(x [][]float64, y []float64, idx []int, f int, thr, parentSSE float64, minLeaf int) (float64, bool) {
+	var sumL, sumSqL, sumR, sumSqR float64
+	var nl, nr float64
+	for _, i := range idx {
+		v := y[i]
+		if x[i][f] <= thr {
+			sumL += v
+			sumSqL += v * v
+			nl++
+		} else {
+			sumR += v
+			sumSqR += v * v
+			nr++
+		}
+	}
+	if int(nl) < minLeaf || int(nr) < minLeaf {
+		return 0, false
+	}
+	sseL := sumSqL - sumL*sumL/nl
+	sseR := sumSqR - sumR*sumR/nr
+	return parentSSE - sseL - sseR, true
+}
+
+// Predict returns the tree's prediction for a feature vector.
+func (t *Tree) Predict(xr []float64) float64 {
+	if len(xr) != t.dim {
+		panic(fmt.Sprintf("forest: predict dim %d, tree trained on %d", len(xr), t.dim))
+	}
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if xr[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *Tree) Depth() int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return 0
+		}
+		l, r := walk(nd.left), walk(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int {
+	c := 0
+	for i := range t.nodes {
+		if t.nodes[i].feature < 0 {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,29 @@
+package gp_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gp"
+)
+
+// A GP fit gives both a prediction and an uncertainty — the two
+// quantities the acquisition functions trade off.
+func ExampleFit() {
+	x := [][]float64{{0.0}, {0.25}, {0.5}, {0.75}, {1.0}}
+	y := make([]float64, len(x))
+	for i, xi := range x {
+		y[i] = math.Sin(3 * xi[0])
+	}
+	g, err := gp.Fit(x, y, gp.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	muNear, varNear := g.Predict([]float64{0.5}) // on a training point
+	_, varFar := g.Predict([]float64{0.98})      // between/beyond data
+	fmt.Printf("mean near data: %.2f (truth %.2f)\n", muNear, math.Sin(1.5))
+	fmt.Println("variance grows away from data:", varFar > varNear)
+	// Output:
+	// mean near data: 1.00 (truth 1.00)
+	// variance grows away from data: true
+}

@@ -1,0 +1,314 @@
+// Package gp implements Gaussian-Process regression, the surrogate
+// model of ROBOTune's Bayesian-Optimization engine (§3.4). Following
+// §4, the covariance is the sum of a Matérn 5/2 kernel and a white
+// noise kernel (observation noise assumed i.i.d. Gaussian), and
+// hyperparameters are chosen by maximizing the log marginal
+// likelihood. Targets are normalized internally, so hyperparameter
+// bounds are scale-free.
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/optimize"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// KernelKind selects the covariance family.
+type KernelKind int
+
+const (
+	// Matern52 is the Matérn ν=5/2 kernel preferred for practical
+	// functions (§4, citing CherryPick and Snoek et al.).
+	Matern52 KernelKind = iota
+	// RBF is the squared-exponential kernel, retained for ablations.
+	RBF
+)
+
+// Params are kernel hyperparameters in log space.
+type Params struct {
+	LogVariance float64 // signal variance σ_f²
+	LogLength   float64 // isotropic length scale ℓ
+	// LogLengths, when non-empty, gives per-dimension length scales
+	// (ARD — automatic relevance determination) and overrides
+	// LogLength. Inert dimensions get long scales, letting the GP
+	// ignore them.
+	LogLengths []float64
+	LogNoise   float64 // white-noise variance σ_n²
+}
+
+// Equal reports parameter equality (Params contains a slice, so ==
+// is unavailable).
+func (p Params) Equal(q Params) bool {
+	if p.LogVariance != q.LogVariance || p.LogLength != q.LogLength || p.LogNoise != q.LogNoise {
+		return false
+	}
+	if len(p.LogLengths) != len(q.LogLengths) {
+		return false
+	}
+	for i := range p.LogLengths {
+		if p.LogLengths[i] != q.LogLengths[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Config controls GP fitting.
+type Config struct {
+	Kernel KernelKind
+	// ARD fits a separate length scale per input dimension instead of
+	// one isotropic scale. More hyperparameters to optimize (slower
+	// fits), but anisotropic objectives — where some selected
+	// parameters matter far more than others — are modeled better.
+	ARD bool
+	// FitHyper enables marginal-likelihood hyperparameter search
+	// (multistart Nelder-Mead); when false, Init is used as-is.
+	FitHyper bool
+	// Init seeds the hyperparameter search.
+	Init Params
+	// Restarts is the number of random restarts for the search
+	// (default 4).
+	Restarts int
+	// Seed drives the restart sampling.
+	Seed uint64
+}
+
+// DefaultConfig returns the fitting configuration used by the BO
+// engine.
+func DefaultConfig() Config {
+	return Config{
+		Kernel:   Matern52,
+		FitHyper: true,
+		Init:     Params{LogVariance: 0, LogLength: math.Log(0.5), LogNoise: math.Log(1e-3)},
+		Restarts: 4,
+	}
+}
+
+// GP is a fitted Gaussian-Process posterior.
+type GP struct {
+	cfg    Config
+	params Params
+	x      [][]float64
+	yNorm  []float64
+	yMean  float64
+	yStd   float64
+	chol   *linalg.Matrix
+	alpha  []float64
+	lml    float64
+}
+
+// Fit trains a GP on x (rows = points) and y. It returns an error if
+// the kernel matrix cannot be factorized even with jitter.
+func Fit(x [][]float64, y []float64, cfg Config) (*GP, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("gp: bad training shape: %d points, %d targets", n, len(y))
+	}
+	d := len(x[0])
+	for i, r := range x {
+		if len(r) != d {
+			return nil, fmt.Errorf("gp: ragged row %d", i)
+		}
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+
+	g := &GP{cfg: cfg, x: x}
+	g.yMean = stats.Mean(y)
+	g.yStd = stats.StdDev(y)
+	if g.yStd < 1e-12 {
+		g.yStd = 1
+	}
+	g.yNorm = make([]float64, n)
+	for i, v := range y {
+		g.yNorm[i] = (v - g.yMean) / g.yStd
+	}
+
+	if cfg.FitHyper {
+		g.params = g.optimizeHyper(cfg)
+	} else {
+		g.params = cfg.Init
+	}
+	if err := g.factorize(g.params); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// hyperBounds are log-space search boxes for (variance, length,
+// noise) on normalized targets in the unit cube.
+var hyperBounds = optimize.Bounds{
+	Lo: []float64{math.Log(1e-2), math.Log(5e-2), math.Log(1e-7)},
+	Hi: []float64{math.Log(1e2), math.Log(1e1), math.Log(1e0)},
+}
+
+func (g *GP) optimizeHyper(cfg Config) Params {
+	d := len(g.x[0])
+	nLen := 1
+	if cfg.ARD {
+		nLen = d
+	}
+	unpack := func(v []float64) Params {
+		p := Params{LogVariance: v[0], LogNoise: v[1+nLen]}
+		if cfg.ARD {
+			p.LogLengths = append([]float64(nil), v[1:1+nLen]...)
+		} else {
+			p.LogLength = v[1]
+		}
+		return p
+	}
+	obj := func(v []float64) float64 {
+		lml, err := g.logMarginal(unpack(v))
+		if err != nil || math.IsNaN(lml) {
+			return 1e10
+		}
+		return -lml
+	}
+	bounds := optimize.Bounds{
+		Lo: make([]float64, 2+nLen),
+		Hi: make([]float64, 2+nLen),
+	}
+	bounds.Lo[0], bounds.Hi[0] = hyperBounds.Lo[0], hyperBounds.Hi[0]
+	for i := 0; i < nLen; i++ {
+		bounds.Lo[1+i], bounds.Hi[1+i] = hyperBounds.Lo[1], hyperBounds.Hi[1]
+	}
+	bounds.Lo[1+nLen], bounds.Hi[1+nLen] = hyperBounds.Lo[2], hyperBounds.Hi[2]
+
+	seed := make([]float64, 2+nLen)
+	seed[0] = cfg.Init.LogVariance
+	for i := 0; i < nLen; i++ {
+		seed[1+i] = cfg.Init.LogLength
+		if len(cfg.Init.LogLengths) == nLen {
+			seed[1+i] = cfg.Init.LogLengths[i]
+		}
+	}
+	seed[1+nLen] = cfg.Init.LogNoise
+
+	rng := sample.NewRNG(cfg.Seed ^ 0x5ca1ab1e)
+	budget := 250 + 60*nLen
+	res := optimize.Multistart(obj, bounds, cfg.Restarts, [][]float64{seed}, rng,
+		func(f optimize.Objective, x0 []float64, b optimize.Bounds) optimize.Result {
+			return optimize.NelderMead(f, x0, b, budget)
+		})
+	return unpack(res.X)
+}
+
+// kernel evaluates the covariance between two points (without the
+// white-noise term, which only applies on the diagonal).
+func (g *GP) kernel(p Params, a, b []float64) float64 {
+	variance := math.Exp(p.LogVariance)
+	var r float64
+	if len(p.LogLengths) > 0 {
+		var sq float64
+		for i := range a {
+			d := (a[i] - b[i]) / math.Exp(p.LogLengths[i])
+			sq += d * d
+		}
+		r = math.Sqrt(sq)
+	} else {
+		length := math.Exp(p.LogLength)
+		var sq float64
+		for i := range a {
+			d := a[i] - b[i]
+			sq += d * d
+		}
+		r = math.Sqrt(sq) / length
+	}
+	switch g.cfg.Kernel {
+	case RBF:
+		return variance * math.Exp(-0.5*r*r)
+	default: // Matern52
+		s5 := math.Sqrt(5) * r
+		return variance * (1 + s5 + 5*r*r/3) * math.Exp(-s5)
+	}
+}
+
+func (g *GP) kernelMatrix(p Params) *linalg.Matrix {
+	n := len(g.x)
+	noise := math.Exp(p.LogNoise)
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel(p, g.x[i], g.x[j])
+			if i == j {
+				v += noise
+			}
+			k.Set(i, j, v)
+		}
+	}
+	linalg.SymmetricFromUpper(k)
+	return k
+}
+
+// logMarginal computes the log marginal likelihood for hyperparams p.
+func (g *GP) logMarginal(p Params) (float64, error) {
+	k := g.kernelMatrix(p)
+	l, _, err := linalg.Cholesky(k, 1e-10, 8)
+	if err != nil {
+		return math.Inf(-1), err
+	}
+	alpha := linalg.CholSolve(l, g.yNorm)
+	n := float64(len(g.yNorm))
+	return -0.5*linalg.Dot(g.yNorm, alpha) - 0.5*linalg.LogDetFromChol(l) - 0.5*n*math.Log(2*math.Pi), nil
+}
+
+// factorize caches the Cholesky factor and weight vector for p.
+func (g *GP) factorize(p Params) error {
+	k := g.kernelMatrix(p)
+	l, _, err := linalg.Cholesky(k, 1e-10, 8)
+	if err != nil {
+		return fmt.Errorf("gp: kernel matrix not PD: %w", err)
+	}
+	g.chol = l
+	g.alpha = linalg.CholSolve(l, g.yNorm)
+	lml, _ := g.logMarginal(p)
+	g.lml = lml
+	return nil
+}
+
+// Predict returns the posterior mean and variance of the latent
+// function at x, in the original target scale.
+func (g *GP) Predict(x []float64) (mu, variance float64) {
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kernel(g.params, g.x[i], x)
+	}
+	muN := linalg.Dot(ks, g.alpha)
+	v := linalg.SolveLower(g.chol, ks)
+	varN := g.kernel(g.params, x, x) - linalg.Dot(v, v)
+	if varN < 0 {
+		varN = 0
+	}
+	return muN*g.yStd + g.yMean, varN * g.yStd * g.yStd
+}
+
+// PredictWithNoise adds the fitted observation-noise variance, giving
+// the predictive distribution of a new observation.
+func (g *GP) PredictWithNoise(x []float64) (mu, variance float64) {
+	mu, v := g.Predict(x)
+	return mu, v + math.Exp(g.params.LogNoise)*g.yStd*g.yStd
+}
+
+// Params returns the fitted hyperparameters (log space).
+func (g *GP) Params() Params { return g.params }
+
+// LogMarginalLikelihood returns the fitted model's LML (normalized
+// target scale).
+func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.x) }
+
+// Dim returns the input dimensionality.
+func (g *GP) Dim() int {
+	if len(g.x) == 0 {
+		return 0
+	}
+	return len(g.x[0])
+}

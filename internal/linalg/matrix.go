@@ -1,0 +1,228 @@
+// Package linalg implements the small dense linear-algebra kernel the
+// Gaussian-Process surrogate needs: row-major matrices, Cholesky
+// factorization with jitter for near-singular kernels, and triangular
+// solves. It is deliberately minimal — just what a GP with a few
+// hundred training points requires — but numerically careful.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix with the given shape. It panics on
+// non-positive dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a*b. It panics on shape mismatch.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*x. It panics on shape
+// mismatch.
+func MulVec(m *Matrix, x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b. It panics on length
+// mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Cholesky computes the lower-triangular Cholesky factor L of the
+// symmetric positive-definite matrix a (a = L Lᵀ). If a is not
+// numerically positive definite, increasing jitter (starting at
+// startJitter, multiplied by 10 up to maxTries times) is added to the
+// diagonal until the factorization succeeds. It returns the factor,
+// the jitter actually used, and an error if factorization failed even
+// at the largest jitter.
+func Cholesky(a *Matrix, startJitter float64, maxTries int) (l *Matrix, jitter float64, err error) {
+	if a.Rows != a.Cols {
+		return nil, 0, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if startJitter <= 0 {
+		startJitter = 1e-10
+	}
+	if maxTries <= 0 {
+		maxTries = 8
+	}
+	jitter = 0
+	for try := 0; try <= maxTries; try++ {
+		if l, ok := tryCholesky(a, jitter); ok {
+			return l, jitter, nil
+		}
+		if jitter == 0 {
+			jitter = startJitter
+		} else {
+			jitter *= 10
+		}
+	}
+	return nil, jitter, fmt.Errorf("linalg: matrix not positive definite even with jitter %g", jitter)
+}
+
+func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j) + jitter
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrow := l.Row(i)
+			jrow := l.Row(j)
+			for k := 0; k < j; k++ {
+				s -= lrow[k] * jrow[k]
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, true
+}
+
+// SolveLower solves L y = b for y where L is lower triangular
+// (forward substitution).
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveLower length mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	return y
+}
+
+// SolveUpperT solves Lᵀ x = y for x where L is lower triangular
+// (backward substitution on the transpose).
+func SolveUpperT(l *Matrix, y []float64) []float64 {
+	n := l.Rows
+	if len(y) != n {
+		panic("linalg: SolveUpperT length mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// CholSolve solves A x = b given the lower Cholesky factor L of A.
+func CholSolve(l *Matrix, b []float64) []float64 {
+	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// LogDetFromChol returns log|A| given A's lower Cholesky factor L:
+// log|A| = 2 Σ log L_ii.
+func LogDetFromChol(l *Matrix) float64 {
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SymmetricFromUpper mirrors the upper triangle of m onto its lower
+// triangle in place, enforcing exact symmetry after accumulation of
+// rounding error.
+func SymmetricFromUpper(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			m.Set(j, i, m.At(i, j))
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package linmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// linearData generates y = 3 x0 - 2 x1 + 1 + noise with d-2 inert
+// features.
+func linearData(n, d int, seed uint64, noise float64) ([][]float64, []float64) {
+	rng := sample.NewRNG(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64() * 2
+		}
+		x[i] = row
+		y[i] = 3*row[0] - 2*row[1] + 1 + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestLassoRecoversLinearSignal(t *testing.T) {
+	x, y := linearData(200, 6, 1, 0.05)
+	m := Fit(x, y, Config{Alpha: 0.01, L1Ratio: 1})
+	pred := m.PredictAll(x)
+	if r2 := stats.R2(y, pred); r2 < 0.97 {
+		t.Errorf("Lasso R2 = %v on near-noiseless linear data", r2)
+	}
+}
+
+func TestLassoSparsity(t *testing.T) {
+	// With strong regularization only the true signals survive.
+	x, y := linearData(200, 10, 2, 0.1)
+	m := Fit(x, y, Config{Alpha: 0.2, L1Ratio: 1})
+	if nz := m.NonZero(); nz > 4 {
+		t.Errorf("Lasso kept %d coefficients, want sparse (<=4)", nz)
+	}
+	// The two signal coefficients must be among the survivors.
+	if m.Coef[0] == 0 || m.Coef[1] == 0 {
+		t.Errorf("Lasso dropped signal features: coefs %v", m.Coef[:3])
+	}
+}
+
+func TestStrongAlphaZeroesEverything(t *testing.T) {
+	x, y := linearData(100, 5, 3, 0.1)
+	m := Fit(x, y, Config{Alpha: 1e6, L1Ratio: 1})
+	if m.NonZero() != 0 {
+		t.Errorf("alpha=1e6 should zero all coefficients, kept %d", m.NonZero())
+	}
+	// Predictions fall back to the mean.
+	want := stats.Mean(y)
+	if got := m.Predict(x[0]); math.Abs(got-want) > 1e-9 {
+		t.Errorf("all-zero model predicts %v, want mean %v", got, want)
+	}
+}
+
+func TestElasticNetHandlesCollinearity(t *testing.T) {
+	// Two identical columns: Lasso picks one arbitrarily; ElasticNet
+	// spreads weight across both. Both should predict well.
+	rng := sample.NewRNG(4)
+	n := 150
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		x[i] = []float64{v, v, rng.Float64()}
+		y[i] = 4*v + 0.05*rng.NormFloat64()
+	}
+	en := Fit(x, y, Config{Alpha: 0.05, L1Ratio: 0.5})
+	if r2 := stats.R2(y, en.PredictAll(x)); r2 < 0.95 {
+		t.Errorf("ElasticNet R2 = %v on collinear data", r2)
+	}
+	// ElasticNet's grouping effect: both twins get similar weight.
+	a, b := en.Coef[0], en.Coef[1]
+	if a == 0 || b == 0 {
+		t.Errorf("ElasticNet should keep both collinear twins, coefs %v %v", a, b)
+	}
+	if math.Abs(a-b) > 0.2*math.Abs(a+b) {
+		t.Errorf("ElasticNet twins should have similar weights: %v vs %v", a, b)
+	}
+}
+
+func TestLinearModelsFailOnNonlinearResponse(t *testing.T) {
+	// The Figure 2 premise: linear models cannot explain a strongly
+	// nonlinear configuration-performance response.
+	rng := sample.NewRNG(5)
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		x[i] = []float64{v, rng.Float64()}
+		// Non-monotone, mean-zero-slope response.
+		y[i] = math.Cos(2*math.Pi*v) * 5
+	}
+	m := Fit(x, y, Config{Alpha: 0.01, L1Ratio: 1})
+	if r2 := stats.R2(y, m.PredictAll(x)); r2 > 0.3 {
+		t.Errorf("Lasso R2 = %v on cosine response, expected poor fit", r2)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	x, y := linearData(100, 5, 6, 0.1)
+	a := Fit(x, y, LassoDefaults())
+	b := Fit(x, y, LassoDefaults())
+	for j := range a.Coef {
+		if a.Coef[j] != b.Coef[j] {
+			t.Fatal("coordinate descent is not deterministic")
+		}
+	}
+}
+
+func TestConstantColumnIsIgnoredSafely(t *testing.T) {
+	x, y := linearData(80, 3, 7, 0.1)
+	for i := range x {
+		x[i][2] = 5 // constant
+	}
+	m := Fit(x, y, Config{Alpha: 0.01, L1Ratio: 1})
+	if m.Coef[2] != 0 {
+		t.Errorf("constant column got coefficient %v", m.Coef[2])
+	}
+	if r2 := stats.R2(y, m.PredictAll(x)); r2 < 0.9 {
+		t.Errorf("R2 = %v with constant column present", r2)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Alpha != 0.1 || cfg.L1Ratio != 1 || cfg.MaxIter != 1000 || cfg.Tol != 1e-6 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestFitPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched shapes should panic")
+		}
+	}()
+	Fit([][]float64{{1, 2}}, []float64{1, 2}, LassoDefaults())
+}
+
+func TestPredictPanicsOnBadDim(t *testing.T) {
+	x, y := linearData(30, 3, 8, 0.1)
+	m := Fit(x, y, LassoDefaults())
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-dim Predict should panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestConvergenceReported(t *testing.T) {
+	x, y := linearData(100, 5, 9, 0.1)
+	m := Fit(x, y, Config{Alpha: 0.01, L1Ratio: 1, MaxIter: 500})
+	if m.Iters() < 1 || m.Iters() > 500 {
+		t.Errorf("iters = %d", m.Iters())
+	}
+}

@@ -1,0 +1,36 @@
+package memo_test
+
+import (
+	"fmt"
+
+	"repro/internal/memo"
+)
+
+// The store's two caches mirror Figure 1 of the paper: the parameter
+// selection cache keyed by workload family, and the memoization
+// buffer of best recent configurations.
+func Example() {
+	store := memo.NewStore()
+
+	// After a parameter-selection run:
+	store.PutSelection("PageRank", []string{
+		"spark.executor.cores", "spark.executor.memory",
+	})
+
+	// After a tuning session:
+	store.AddConfigs("PageRank", []memo.SavedConfig{
+		{Values: map[string]float64{"spark.executor.cores": 8}, Seconds: 92, Dataset: "5M pages"},
+		{Values: map[string]float64{"spark.executor.cores": 12}, Seconds: 88, Dataset: "5M pages"},
+	}, 4)
+
+	// The next session on a different dataset starts warm:
+	sel, hit := store.Selection("PageRank")
+	fmt.Println("cache hit:", hit, sel)
+	for _, c := range store.BestConfigs("PageRank", 4) {
+		fmt.Printf("memoized: %.0fs with %v cores\n", c.Seconds, c.Values["spark.executor.cores"])
+	}
+	// Output:
+	// cache hit: true [spark.executor.cores spark.executor.memory]
+	// memoized: 88s with 12 cores
+	// memoized: 92s with 8 cores
+}

@@ -1,0 +1,155 @@
+package memo
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestSelectionCache(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Selection("PageRank"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.PutSelection("PageRank", []string{"a", "b"})
+	sel, ok := s.Selection("PageRank")
+	if !ok || len(sel) != 2 || sel[0] != "a" {
+		t.Fatalf("Selection = %v %v", sel, ok)
+	}
+	// Returned slice is a copy.
+	sel[0] = "mutated"
+	sel2, _ := s.Selection("PageRank")
+	if sel2[0] != "a" {
+		t.Error("Selection leaked internal slice")
+	}
+}
+
+func TestBestConfigsOrderingAndCap(t *testing.T) {
+	s := NewStore()
+	s.AddConfigs("KMeans", []SavedConfig{
+		{Values: map[string]float64{"p": 1}, Seconds: 30, Dataset: "D1"},
+		{Values: map[string]float64{"p": 2}, Seconds: 10, Dataset: "D1"},
+		{Values: map[string]float64{"p": 3}, Seconds: 20, Dataset: "D1"},
+	}, 4)
+	got := s.BestConfigs("KMeans", 4)
+	if len(got) != 3 || got[0].Seconds != 10 || got[2].Seconds != 30 {
+		t.Fatalf("BestConfigs = %+v", got)
+	}
+	// Merging keeps only the best `keep`.
+	s.AddConfigs("KMeans", []SavedConfig{
+		{Values: map[string]float64{"p": 4}, Seconds: 5, Dataset: "D2"},
+		{Values: map[string]float64{"p": 5}, Seconds: 40, Dataset: "D2"},
+	}, 4)
+	got = s.BestConfigs("KMeans", 10)
+	if len(got) != 4 {
+		t.Fatalf("cap not applied: %d entries", len(got))
+	}
+	if got[0].Seconds != 5 || got[3].Seconds != 30 {
+		t.Errorf("merge order wrong: %+v", got)
+	}
+	// The paper pulls 4 Best Recent Configs; asking for fewer works.
+	if n := len(s.BestConfigs("KMeans", 2)); n != 2 {
+		t.Errorf("BestConfigs(2) returned %d", n)
+	}
+}
+
+func TestBestConfigsCopies(t *testing.T) {
+	s := NewStore()
+	s.AddConfigs("W", []SavedConfig{{Values: map[string]float64{"p": 1}, Seconds: 1}}, 4)
+	got := s.BestConfigs("W", 1)
+	got[0].Values["p"] = 99
+	again := s.BestConfigs("W", 1)
+	if again[0].Values["p"] != 1 {
+		t.Error("BestConfigs leaked internal map")
+	}
+}
+
+func TestAddConfigsDefaultKeep(t *testing.T) {
+	s := NewStore()
+	var cfgs []SavedConfig
+	for i := 0; i < 10; i++ {
+		cfgs = append(cfgs, SavedConfig{Values: map[string]float64{}, Seconds: float64(i)})
+	}
+	s.AddConfigs("W", cfgs, 0) // 0 → paper default of 4
+	if n := len(s.BestConfigs("W", 100)); n != 4 {
+		t.Errorf("default keep = %d, want 4", n)
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	s := NewStore()
+	s.PutSelection("B", []string{"x"})
+	s.AddConfigs("A", []SavedConfig{{Seconds: 1}}, 4)
+	ws := s.Workloads()
+	if len(ws) != 2 || ws[0] != "A" || ws[1] != "B" {
+		t.Errorf("Workloads = %v", ws)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "memo.json")
+	s := NewStore()
+	s.PutSelection("PageRank", []string{"spark.executor.cores", "spark.executor.memory"})
+	s.AddConfigs("PageRank", []SavedConfig{
+		{Values: map[string]float64{"spark.executor.cores": 8}, Seconds: 77, Dataset: "5M pages"},
+	}, 4)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := loaded.Selection("PageRank")
+	if !ok || len(sel) != 2 {
+		t.Fatalf("loaded selection = %v %v", sel, ok)
+	}
+	cfgs := loaded.BestConfigs("PageRank", 4)
+	if len(cfgs) != 1 || cfgs[0].Seconds != 77 || cfgs[0].Values["spark.executor.cores"] != 8 {
+		t.Fatalf("loaded configs = %+v", cfgs)
+	}
+}
+
+func TestLoadMissingFileGivesEmptyStore(t *testing.T) {
+	s, err := Load(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Workloads()) != 0 {
+		t.Error("missing file should load as empty store")
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.PutSelection("W", []string{"p"})
+				s.Selection("W")
+				s.AddConfigs("W", []SavedConfig{{Values: map[string]float64{"p": float64(j)}, Seconds: float64(j)}}, 4)
+				s.BestConfigs("W", 4)
+				s.Workloads()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.BestConfigs("W", 4); len(got) == 0 || got[0].Seconds != 0 {
+		t.Errorf("concurrent merge result: %+v", got)
+	}
+}

@@ -1,0 +1,165 @@
+package optimize
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// CMAESConfig controls the separable CMA-ES optimizer.
+type CMAESConfig struct {
+	// Lambda is the population size per generation (default
+	// 4 + 3·ln d, the standard rule).
+	Lambda int
+	// Sigma0 is the initial step size in unit-cube coordinates
+	// (default 0.25).
+	Sigma0 float64
+	// MaxEvals bounds objective evaluations (default 1000·d).
+	MaxEvals int
+	// Seed drives the sampling.
+	Seed uint64
+}
+
+// CMAES minimizes f over the box with separable CMA-ES (Ros & Hansen
+// 2008): a (μ/μ_w, λ) evolution strategy whose covariance is
+// restricted to a diagonal, adapted per coordinate, with cumulative
+// step-size adaptation. The diagonal restriction avoids eigen
+// decompositions while retaining CMA's step-size control — a strong
+// derivative-free baseline for the moderate dimensionalities the
+// tuners work in. Out-of-box samples are clamped.
+func CMAES(f Objective, x0 []float64, b Bounds, cfg CMAESConfig, rng *rand.Rand) Result {
+	d := len(x0)
+	lambda := cfg.Lambda
+	if lambda <= 0 {
+		lambda = 4 + int(3*math.Log(float64(d)))
+	}
+	if lambda < 4 {
+		lambda = 4
+	}
+	mu := lambda / 2
+	sigma := cfg.Sigma0
+	if sigma <= 0 {
+		sigma = 0.25
+	}
+	maxEvals := cfg.MaxEvals
+	if maxEvals <= 0 {
+		maxEvals = 1000 * d
+	}
+
+	// Recombination weights w_i ∝ ln(μ+1/2) − ln i.
+	weights := make([]float64, mu)
+	var wSum float64
+	for i := 0; i < mu; i++ {
+		weights[i] = math.Log(float64(mu)+0.5) - math.Log(float64(i+1))
+		wSum += weights[i]
+	}
+	var muEff float64
+	var w2 float64
+	for i := range weights {
+		weights[i] /= wSum
+		w2 += weights[i] * weights[i]
+	}
+	muEff = 1 / w2
+
+	// Standard CSA / covariance learning rates (separable variant
+	// scales c_cov by (d+2)/3).
+	dd := float64(d)
+	cSigma := (muEff + 2) / (dd + muEff + 5)
+	dSigma := 1 + 2*math.Max(0, math.Sqrt((muEff-1)/(dd+1))-1) + cSigma
+	cc := (4 + muEff/dd) / (dd + 4 + 2*muEff/dd)
+	c1 := (dd + 2) / 3 * 2 / ((dd+1.3)*(dd+1.3) + muEff)
+	cMu := math.Min(1-c1, (dd+2)/3*2*(muEff-2+1/muEff)/((dd+2)*(dd+2)+muEff))
+	chiN := math.Sqrt(dd) * (1 - 1/(4*dd) + 1/(21*dd*dd))
+
+	mean := b.Clamp(append([]float64(nil), x0...))
+	diag := make([]float64, d) // diagonal of C
+	for i := range diag {
+		diag[i] = 1
+	}
+	ps := make([]float64, d)
+	pc := make([]float64, d)
+
+	type indiv struct {
+		x, z []float64
+		f    float64
+	}
+	evals := 0
+	best := Result{F: math.Inf(1)}
+	eval := func(x []float64) float64 {
+		evals++
+		v := f(x)
+		if v < best.F {
+			best.F = v
+			best.X = append([]float64(nil), x...)
+		}
+		return v
+	}
+
+	for evals+lambda <= maxEvals {
+		pop := make([]indiv, lambda)
+		for k := 0; k < lambda; k++ {
+			z := make([]float64, d)
+			x := make([]float64, d)
+			for i := 0; i < d; i++ {
+				z[i] = rng.NormFloat64()
+				x[i] = mean[i] + sigma*math.Sqrt(diag[i])*z[i]
+			}
+			b.Clamp(x)
+			pop[k] = indiv{x: x, z: z, f: eval(x)}
+		}
+		sort.SliceStable(pop, func(a, bb int) bool { return pop[a].f < pop[bb].f })
+
+		// Recombine mean and the weighted z.
+		oldMean := append([]float64(nil), mean...)
+		zw := make([]float64, d)
+		for i := 0; i < d; i++ {
+			var m, zm float64
+			for k := 0; k < mu; k++ {
+				m += weights[k] * pop[k].x[i]
+				zm += weights[k] * pop[k].z[i]
+			}
+			mean[i] = m
+			zw[i] = zm
+		}
+		b.Clamp(mean)
+
+		// Step-size path and adaptation.
+		var psNorm2 float64
+		for i := 0; i < d; i++ {
+			ps[i] = (1-cSigma)*ps[i] + math.Sqrt(cSigma*(2-cSigma)*muEff)*zw[i]
+			psNorm2 += ps[i] * ps[i]
+		}
+		psNorm := math.Sqrt(psNorm2)
+		sigma *= math.Exp(cSigma / dSigma * (psNorm/chiN - 1))
+		if sigma < 1e-9 {
+			break
+		}
+		if sigma > 1 {
+			sigma = 1
+		}
+
+		// Covariance (diagonal) paths and update.
+		hsig := 0.0
+		if psNorm/math.Sqrt(1-math.Pow(1-cSigma, 2*float64(evals/lambda+1)))/chiN < 1.4+2/(dd+1) {
+			hsig = 1
+		}
+		for i := 0; i < d; i++ {
+			pc[i] = (1-cc)*pc[i] + hsig*math.Sqrt(cc*(2-cc)*muEff)*(mean[i]-oldMean[i])/sigma
+			var rankMu float64
+			for k := 0; k < mu; k++ {
+				rankMu += weights[k] * pop[k].z[i] * pop[k].z[i]
+			}
+			diag[i] = (1-c1-cMu)*diag[i] + c1*(pc[i]*pc[i]+(1-hsig)*cc*(2-cc)*diag[i]) + cMu*rankMu*diag[i]
+			if diag[i] < 1e-12 {
+				diag[i] = 1e-12
+			}
+		}
+	}
+	best.Evals = evals
+	if best.X == nil {
+		best.X = mean
+		best.F = f(mean)
+		best.Evals++
+	}
+	return best
+}

@@ -1,0 +1,354 @@
+// Package optimize provides the numerical optimizers behind ROBOTune:
+// a box-constrained Nelder-Mead simplex (used for GP hyperparameter
+// fitting) and a projected-gradient L-BFGS-B with numerical gradients
+// (used to optimize acquisition functions, following §4 of the
+// paper), plus a multistart driver for both.
+package optimize
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Objective is a function to minimize over a box.
+type Objective func(x []float64) float64
+
+// Bounds is the box constraint: Lo[i] <= x[i] <= Hi[i].
+type Bounds struct {
+	Lo, Hi []float64
+}
+
+// UnitBox returns [0,1]^d bounds.
+func UnitBox(d int) Bounds {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return Bounds{Lo: lo, Hi: hi}
+}
+
+// Clamp projects x into the bounds in place and returns it.
+func (b Bounds) Clamp(x []float64) []float64 {
+	for i := range x {
+		if x[i] < b.Lo[i] {
+			x[i] = b.Lo[i]
+		}
+		if x[i] > b.Hi[i] {
+			x[i] = b.Hi[i]
+		}
+	}
+	return x
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	X     []float64
+	F     float64
+	Evals int
+}
+
+// NelderMead minimizes f within bounds starting from x0 using the
+// downhill-simplex method with adaptive parameters and projection
+// onto the box. maxEvals limits objective calls (default 200·d).
+func NelderMead(f Objective, x0 []float64, b Bounds, maxEvals int) Result {
+	d := len(x0)
+	if maxEvals <= 0 {
+		maxEvals = 200 * d
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(b.Clamp(x))
+	}
+
+	// Adaptive coefficients (Gao & Han) help in higher dimensions.
+	alpha := 1.0
+	beta := 1.0 + 2.0/float64(d)
+	gamma := 0.75 - 1.0/(2.0*float64(d))
+	delta := 1.0 - 1.0/float64(d)
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, d+1)
+	x0 = b.Clamp(append([]float64(nil), x0...))
+	simplex[0] = vertex{x: x0, f: eval(append([]float64(nil), x0...))}
+	for i := 0; i < d; i++ {
+		x := append([]float64(nil), x0...)
+		step := 0.1 * (b.Hi[i] - b.Lo[i])
+		if step == 0 {
+			step = 0.05
+		}
+		if x[i]+step > b.Hi[i] {
+			x[i] -= step
+		} else {
+			x[i] += step
+		}
+		simplex[i+1] = vertex{x: x, f: eval(append([]float64(nil), x...))}
+	}
+
+	order := func() {
+		sort.Slice(simplex, func(a, bb int) bool { return simplex[a].f < simplex[bb].f })
+	}
+	centroid := make([]float64, d)
+	for evals < maxEvals {
+		order()
+		// Convergence: simplex collapsed in value.
+		if math.Abs(simplex[d].f-simplex[0].f) < 1e-12*(math.Abs(simplex[0].f)+1e-12) {
+			break
+		}
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < d; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(d)
+		}
+		worst := simplex[d]
+
+		reflect := make([]float64, d)
+		for j := range reflect {
+			reflect[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := eval(reflect)
+		switch {
+		case fr < simplex[0].f:
+			// Try expansion.
+			expand := make([]float64, d)
+			for j := range expand {
+				expand[j] = centroid[j] + beta*(reflect[j]-centroid[j])
+			}
+			fe := eval(expand)
+			if fe < fr {
+				simplex[d] = vertex{x: expand, f: fe}
+			} else {
+				simplex[d] = vertex{x: reflect, f: fr}
+			}
+		case fr < simplex[d-1].f:
+			simplex[d] = vertex{x: reflect, f: fr}
+		default:
+			// Contraction.
+			contract := make([]float64, d)
+			if fr < worst.f {
+				for j := range contract {
+					contract[j] = centroid[j] + gamma*(reflect[j]-centroid[j])
+				}
+			} else {
+				for j := range contract {
+					contract[j] = centroid[j] - gamma*(centroid[j]-worst.x[j])
+				}
+			}
+			fc := eval(contract)
+			if fc < math.Min(fr, worst.f) {
+				simplex[d] = vertex{x: contract, f: fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= d; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + delta*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = eval(append([]float64(nil), simplex[i].x...))
+					if evals >= maxEvals {
+						break
+					}
+				}
+			}
+		}
+	}
+	order()
+	return Result{X: b.Clamp(simplex[0].x), F: simplex[0].f, Evals: evals}
+}
+
+// LBFGSB minimizes f within bounds from x0 using a limited-memory
+// BFGS direction with gradient projection for the box constraints.
+// Gradients are central finite differences, as the black-box
+// acquisition surfaces here have no analytic form exposed.
+func LBFGSB(f Objective, x0 []float64, b Bounds, maxIters int) Result {
+	d := len(x0)
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	const memory = 8
+	const gradEps = 1e-6
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+	grad := func(x []float64, g []float64) {
+		for i := 0; i < d; i++ {
+			h := gradEps * math.Max(1, math.Abs(x[i]))
+			xi := x[i]
+			lo, hi := xi-h, xi+h
+			if lo < b.Lo[i] {
+				lo = b.Lo[i]
+			}
+			if hi > b.Hi[i] {
+				hi = b.Hi[i]
+			}
+			if hi == lo {
+				g[i] = 0
+				continue
+			}
+			x[i] = hi
+			fp := eval(x)
+			x[i] = lo
+			fm := eval(x)
+			x[i] = xi
+			g[i] = (fp - fm) / (hi - lo)
+		}
+	}
+
+	x := b.Clamp(append([]float64(nil), x0...))
+	fx := eval(x)
+	g := make([]float64, d)
+	grad(x, g)
+
+	var sHist, yHist [][]float64
+	var rhoHist []float64
+	q := make([]float64, d)
+	dir := make([]float64, d)
+
+	for iter := 0; iter < maxIters; iter++ {
+		// Two-loop recursion for the L-BFGS direction.
+		copy(q, g)
+		m := len(sHist)
+		alphas := make([]float64, m)
+		for i := m - 1; i >= 0; i-- {
+			alphas[i] = rhoHist[i] * dot(sHist[i], q)
+			axpy(q, -alphas[i], yHist[i])
+		}
+		scale := 1.0
+		if m > 0 {
+			ys := dot(yHist[m-1], sHist[m-1])
+			yy := dot(yHist[m-1], yHist[m-1])
+			if yy > 0 {
+				scale = ys / yy
+			}
+		}
+		for i := range q {
+			q[i] *= scale
+		}
+		for i := 0; i < m; i++ {
+			beta := rhoHist[i] * dot(yHist[i], q)
+			axpy(q, alphas[i]-beta, sHist[i])
+		}
+		for i := range dir {
+			dir[i] = -q[i]
+		}
+		// Ensure descent; otherwise fall back to steepest descent.
+		if dot(dir, g) >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+		}
+
+		// Projected backtracking line search.
+		step := 1.0
+		var xNew []float64
+		var fNew float64
+		improved := false
+		for ls := 0; ls < 30; ls++ {
+			xNew = make([]float64, d)
+			for i := range xNew {
+				xNew[i] = x[i] + step*dir[i]
+			}
+			b.Clamp(xNew)
+			fNew = eval(xNew)
+			if fNew < fx-1e-4*step*math.Abs(dot(dir, g)) || fNew < fx-1e-12 {
+				improved = true
+				break
+			}
+			step *= 0.5
+		}
+		if !improved {
+			break
+		}
+
+		gNew := make([]float64, d)
+		grad(xNew, gNew)
+		s := make([]float64, d)
+		yv := make([]float64, d)
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			yv[i] = gNew[i] - g[i]
+		}
+		if ys := dot(yv, s); ys > 1e-10 {
+			sHist = append(sHist, s)
+			yHist = append(yHist, yv)
+			rhoHist = append(rhoHist, 1/ys)
+			if len(sHist) > memory {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+		}
+		x, fx, g = xNew, fNew, gNew
+
+		// Projected-gradient convergence test.
+		pg := 0.0
+		for i := range g {
+			v := x[i] - g[i]
+			if v < b.Lo[i] {
+				v = b.Lo[i]
+			}
+			if v > b.Hi[i] {
+				v = b.Hi[i]
+			}
+			pg = math.Max(pg, math.Abs(v-x[i]))
+		}
+		if pg < 1e-9 {
+			break
+		}
+	}
+	return Result{X: x, F: fx, Evals: evals}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(dst []float64, a float64, x []float64) {
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+// Multistart runs the given local optimizer from several random
+// starting points (plus any provided seeds) and returns the best
+// result. local is typically LBFGSB or NelderMead.
+func Multistart(f Objective, b Bounds, starts int, seeds [][]float64, rng *rand.Rand,
+	local func(Objective, []float64, Bounds) Result) Result {
+	d := len(b.Lo)
+	best := Result{F: math.Inf(1)}
+	run := func(x0 []float64) {
+		r := local(f, x0, b)
+		if r.F < best.F {
+			best = r
+		}
+		best.Evals += r.Evals
+	}
+	for _, s := range seeds {
+		run(append([]float64(nil), s...))
+	}
+	for k := 0; k < starts; k++ {
+		x0 := make([]float64, d)
+		for i := range x0 {
+			x0[i] = b.Lo[i] + rng.Float64()*(b.Hi[i]-b.Lo[i])
+		}
+		run(x0)
+	}
+	return best
+}

@@ -1,0 +1,236 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sample"
+)
+
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += (v - 0.3) * (v - 0.3)
+	}
+	return s
+}
+
+func rosenbrock(x []float64) float64 {
+	var s float64
+	for i := 0; i < len(x)-1; i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+	}
+	return s
+}
+
+func TestNelderMeadSphere(t *testing.T) {
+	b := UnitBox(4)
+	r := NelderMead(sphere, []float64{0.9, 0.9, 0.9, 0.9}, b, 4000)
+	if r.F > 1e-6 {
+		t.Errorf("NM sphere min = %v at %v", r.F, r.X)
+	}
+	for _, v := range r.X {
+		if math.Abs(v-0.3) > 1e-2 {
+			t.Errorf("NM sphere solution %v, want 0.3", r.X)
+		}
+	}
+}
+
+func TestNelderMeadRespectsBounds(t *testing.T) {
+	// Minimum of (x+1)^2 over [0,1] is at the boundary x=0.
+	f := func(x []float64) float64 { return (x[0] + 1) * (x[0] + 1) }
+	b := UnitBox(1)
+	r := NelderMead(f, []float64{0.8}, b, 500)
+	if r.X[0] < 0 || r.X[0] > 1 {
+		t.Fatalf("solution %v outside box", r.X)
+	}
+	if r.X[0] > 0.02 {
+		t.Errorf("boundary optimum not found: %v", r.X)
+	}
+}
+
+func TestLBFGSBSphere(t *testing.T) {
+	b := UnitBox(6)
+	r := LBFGSB(sphere, []float64{0.9, 0.1, 0.5, 0.7, 0.2, 0.8}, b, 100)
+	if r.F > 1e-8 {
+		t.Errorf("LBFGSB sphere min = %v", r.F)
+	}
+}
+
+func TestLBFGSBRosenbrock(t *testing.T) {
+	// Optimum (1,1) sits at the box corner of [0,1]^2.
+	b := UnitBox(2)
+	r := LBFGSB(rosenbrock, []float64{0.2, 0.8}, b, 400)
+	if r.F > 1e-4 {
+		t.Errorf("LBFGSB rosenbrock min = %v at %v", r.F, r.X)
+	}
+}
+
+func TestLBFGSBBoundaryOptimum(t *testing.T) {
+	f := func(x []float64) float64 { return -x[0] - 2*x[1] } // max at (1,1)
+	b := UnitBox(2)
+	r := LBFGSB(f, []float64{0.5, 0.5}, b, 100)
+	if math.Abs(r.X[0]-1) > 1e-6 || math.Abs(r.X[1]-1) > 1e-6 {
+		t.Errorf("boundary solution %v, want (1,1)", r.X)
+	}
+}
+
+func TestLBFGSBHandlesFlatFunction(t *testing.T) {
+	f := func(x []float64) float64 { return 42 }
+	b := UnitBox(3)
+	r := LBFGSB(f, []float64{0.5, 0.5, 0.5}, b, 50)
+	if r.F != 42 {
+		t.Errorf("flat function value %v", r.F)
+	}
+}
+
+func TestMultistartEscapesLocalMinima(t *testing.T) {
+	// Two basins: a shallow one near 0.1 (f=1) and the global at 0.9
+	// (f=0). A single local run from 0.1 stays in the shallow basin;
+	// multistart should find the global one.
+	f := func(x []float64) float64 {
+		v := x[0]
+		a := (v - 0.1) * (v - 0.1) * 40
+		bb := (v-0.9)*(v-0.9)*40 - 1
+		return math.Min(a, bb) + 1
+	}
+	b := UnitBox(1)
+	local := func(fn Objective, x0 []float64, bb Bounds) Result { return LBFGSB(fn, x0, bb, 60) }
+	single := local(f, []float64{0.1}, b)
+	multi := Multistart(f, b, 20, [][]float64{{0.1}}, sample.NewRNG(1), local)
+	if single.F < 0.5 {
+		t.Fatalf("test premise broken: single run from shallow basin found %v", single.F)
+	}
+	if multi.F > 1e-3 {
+		t.Errorf("multistart min = %v, want ~0", multi.F)
+	}
+	if math.Abs(multi.X[0]-0.9) > 0.05 {
+		t.Errorf("multistart solution %v, want 0.9", multi.X)
+	}
+}
+
+func TestMultistartUsesSeeds(t *testing.T) {
+	// Zero random starts: only the seed is used.
+	calls := 0
+	f := func(x []float64) float64 { calls++; return sphere(x) }
+	b := UnitBox(2)
+	r := Multistart(f, b, 0, [][]float64{{0.31, 0.29}}, sample.NewRNG(2),
+		func(fn Objective, x0 []float64, bb Bounds) Result { return LBFGSB(fn, x0, bb, 50) })
+	if r.F > 1e-8 {
+		t.Errorf("seeded multistart min = %v", r.F)
+	}
+	if calls == 0 {
+		t.Error("objective never called")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	b := UnitBox(3)
+	x := b.Clamp([]float64{-1, 0.5, 2})
+	if x[0] != 0 || x[1] != 0.5 || x[2] != 1 {
+		t.Errorf("Clamp = %v", x)
+	}
+}
+
+func TestEvalsCounted(t *testing.T) {
+	b := UnitBox(2)
+	r := NelderMead(sphere, []float64{0.9, 0.9}, b, 100)
+	if r.Evals == 0 || r.Evals > 110 {
+		t.Errorf("NM evals = %d", r.Evals)
+	}
+	r = LBFGSB(sphere, []float64{0.9, 0.9}, b, 50)
+	if r.Evals == 0 {
+		t.Error("LBFGSB evals not counted")
+	}
+}
+
+func TestNelderMeadHighDim(t *testing.T) {
+	// The acquisition optimizer may run in up to ~10 selected dims.
+	d := 10
+	b := UnitBox(d)
+	x0 := make([]float64, d)
+	for i := range x0 {
+		x0[i] = 0.9
+	}
+	r := NelderMead(sphere, x0, b, 6000)
+	if r.F > 1e-3 {
+		t.Errorf("NM 10-dim sphere min = %v", r.F)
+	}
+}
+
+func TestCMAESSphere(t *testing.T) {
+	b := UnitBox(6)
+	x0 := []float64{0.9, 0.1, 0.5, 0.7, 0.2, 0.8}
+	r := CMAES(sphere, x0, b, CMAESConfig{MaxEvals: 3000, Seed: 1}, sample.NewRNG(1))
+	if r.F > 1e-4 {
+		t.Errorf("CMAES sphere min = %v at %v", r.F, r.X)
+	}
+	if r.Evals == 0 || r.Evals > 3000 {
+		t.Errorf("evals = %d", r.Evals)
+	}
+}
+
+func TestCMAESRosenbrock2D(t *testing.T) {
+	// Rosenbrock's curved valley is the worst case for a diagonal
+	// covariance (the separable variant cannot learn the correlation),
+	// so only require solid progress, not the exact optimum.
+	b := UnitBox(2)
+	start := rosenbrock([]float64{0.2, 0.8})
+	r := CMAES(rosenbrock, []float64{0.2, 0.8}, b, CMAESConfig{MaxEvals: 6000, Seed: 2}, sample.NewRNG(2))
+	if r.F > 0.3 || r.F > start/100 {
+		t.Errorf("CMAES rosenbrock min = %v (start %v)", r.F, start)
+	}
+}
+
+func TestCMAESMultimodal(t *testing.T) {
+	// Rastrigin-like separable multimodal function: CMA-ES should
+	// land in a good basin far more reliably than a single local
+	// gradient run.
+	f := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			d := v - 0.3
+			s += d*d + 0.05*(1-math.Cos(8*math.Pi*d))
+		}
+		return s
+	}
+	b := UnitBox(4)
+	r := CMAES(f, []float64{0.9, 0.9, 0.9, 0.9}, b, CMAESConfig{MaxEvals: 5000, Seed: 3}, sample.NewRNG(3))
+	if r.F > 0.02 {
+		t.Errorf("CMAES multimodal min = %v", r.F)
+	}
+}
+
+func TestCMAESRespectsBounds(t *testing.T) {
+	f := func(x []float64) float64 { return -x[0] } // optimum at the boundary
+	b := UnitBox(1)
+	r := CMAES(f, []float64{0.5}, b, CMAESConfig{MaxEvals: 600, Seed: 4}, sample.NewRNG(4))
+	if r.X[0] < 0 || r.X[0] > 1 {
+		t.Fatalf("solution %v outside box", r.X)
+	}
+	if r.X[0] < 0.99 {
+		t.Errorf("boundary optimum not reached: %v", r.X[0])
+	}
+}
+
+func TestCMAESDeterministic(t *testing.T) {
+	b := UnitBox(3)
+	run := func() float64 {
+		return CMAES(sphere, []float64{0.8, 0.8, 0.8}, b,
+			CMAESConfig{MaxEvals: 800, Seed: 5}, sample.NewRNG(5)).F
+	}
+	if run() != run() {
+		t.Error("same seed differs")
+	}
+}
+
+func TestCMAESTinyBudget(t *testing.T) {
+	b := UnitBox(8)
+	x0 := make([]float64, 8)
+	r := CMAES(sphere, x0, b, CMAESConfig{MaxEvals: 5, Seed: 6}, sample.NewRNG(6))
+	if r.X == nil || math.IsInf(r.F, 1) {
+		t.Errorf("tiny budget returned nothing: %+v", r)
+	}
+}

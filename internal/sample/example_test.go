@@ -1,0 +1,28 @@
+package sample_test
+
+import (
+	"fmt"
+
+	"repro/internal/sample"
+)
+
+// LHS designs stratify every axis: with n samples, each of the n
+// equal intervals on each axis holds exactly one point.
+func ExampleLHS() {
+	design := sample.LHS(5, 2, sample.NewRNG(1))
+	fmt.Println("points:", len(design), "dims:", design.Dim())
+	fmt.Println("stratified:", sample.Stratified(design))
+	// Output:
+	// points: 5 dims: 2
+	// stratified: true
+}
+
+// MaximinLHS keeps the Latin property while pushing points apart.
+func ExampleMaximinLHS() {
+	design := sample.MaximinLHS(8, 3, 0, sample.NewRNG(2))
+	fmt.Println("stratified:", sample.Stratified(design))
+	fmt.Println("valid:", sample.Validate(design) == nil)
+	// Output:
+	// stratified: true
+	// valid: true
+}

@@ -1,0 +1,145 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaltonBasics(t *testing.T) {
+	rng := NewRNG(1)
+	d := Halton(128, 10, rng)
+	if len(d) != 128 || d.Dim() != 10 {
+		t.Fatalf("shape (%d,%d)", len(d), d.Dim())
+	}
+	if err := Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaltonDegenerate(t *testing.T) {
+	if Halton(0, 5, NewRNG(1)) != nil {
+		t.Error("n=0 should be nil")
+	}
+	if Halton(5, 0, NewRNG(1)) != nil {
+		t.Error("dim=0 should be nil")
+	}
+}
+
+func TestHaltonDimLimit(t *testing.T) {
+	if d := Halton(4, MaxHaltonDim, NewRNG(1)); len(d) != 4 {
+		t.Error("max dim should work")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dim > MaxHaltonDim should panic")
+		}
+	}()
+	Halton(4, MaxHaltonDim+1, NewRNG(1))
+}
+
+func TestHaltonUniformCoverage(t *testing.T) {
+	// Each axis's marginal distribution should cover every decile —
+	// in fact more evenly than random sampling.
+	d := Halton(500, 5, NewRNG(2))
+	for j := 0; j < 5; j++ {
+		var buckets [10]int
+		for _, p := range d {
+			buckets[int(p[j]*10)]++
+		}
+		for k, c := range buckets {
+			if c < 30 || c > 70 {
+				t.Errorf("axis %d decile %d count %d, want ~50", j, k, c)
+			}
+		}
+	}
+}
+
+func TestHaltonLowerDiscrepancyThanUniform(t *testing.T) {
+	// Star-discrepancy proxy: max deviation of the empirical CDF over
+	// random anchored boxes. Halton should beat uniform sampling.
+	disc := func(d Design, seed uint64) float64 {
+		rng := NewRNG(seed)
+		n := float64(len(d))
+		worst := 0.0
+		for trial := 0; trial < 200; trial++ {
+			box := make([]float64, d.Dim())
+			vol := 1.0
+			for j := range box {
+				box[j] = rng.Float64()
+				vol *= box[j]
+			}
+			count := 0
+			for _, p := range d {
+				inside := true
+				for j, v := range p {
+					if v >= box[j] {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					count++
+				}
+			}
+			if dev := math.Abs(float64(count)/n - vol); dev > worst {
+				worst = dev
+			}
+		}
+		return worst
+	}
+	var haltonSum, uniformSum float64
+	for seed := uint64(0); seed < 5; seed++ {
+		haltonSum += disc(Halton(200, 4, NewRNG(seed)), 99)
+		uniformSum += disc(Uniform(200, 4, NewRNG(seed)), 99)
+	}
+	if haltonSum >= uniformSum {
+		t.Errorf("halton discrepancy %v should beat uniform %v", haltonSum/5, uniformSum/5)
+	}
+}
+
+func TestHaltonScramblingVariesWithSeed(t *testing.T) {
+	a := Halton(16, 3, NewRNG(1))
+	b := Halton(16, 3, NewRNG(2))
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical scrambled sequences")
+	}
+	c := Halton(16, 3, NewRNG(1))
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				t.Fatal("same seed should reproduce the sequence")
+			}
+		}
+	}
+}
+
+func TestHaltonValidProperty(t *testing.T) {
+	f := func(seed uint64, n8, d8 uint8) bool {
+		n := int(n8%100) + 1
+		dim := int(d8%44) + 1
+		d := Halton(n, dim, NewRNG(seed))
+		return Validate(d) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScrambledRadicalInverseRange(t *testing.T) {
+	perm := []int{0, 1}
+	for k := 1; k < 1000; k++ {
+		v := scrambledRadicalInverse(k, 2, perm)
+		if v < 0 || v >= 1 {
+			t.Fatalf("k=%d: %v out of [0,1)", k, v)
+		}
+	}
+}

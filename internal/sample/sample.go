@@ -1,0 +1,213 @@
+// Package sample provides the sampling strategies ROBOTune uses to
+// generate initial configuration designs: Latin Hypercube Sampling
+// (optionally refined toward a maximin space-filling design) and plain
+// uniform random sampling. All samplers produce points in the unit
+// hypercube [0,1)^d; the conf package maps unit points to concrete
+// configurations.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Design is a set of points in the unit hypercube. Design[i] is the
+// i-th sample; all samples share the same dimension.
+type Design [][]float64
+
+// Dim returns the dimensionality of the design, or 0 if it is empty.
+func (d Design) Dim() int {
+	if len(d) == 0 {
+		return 0
+	}
+	return len(d[0])
+}
+
+// Clone returns a deep copy of the design.
+func (d Design) Clone() Design {
+	out := make(Design, len(d))
+	for i, p := range d {
+		out[i] = append([]float64(nil), p...)
+	}
+	return out
+}
+
+// NewRNG returns a deterministic PCG-based random source for the given
+// seed. Every component in the repository derives its randomness from
+// seeds so experiments are reproducible.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Uniform draws n independent uniform points in [0,1)^dim.
+func Uniform(n, dim int, rng *rand.Rand) Design {
+	if n <= 0 || dim <= 0 {
+		return nil
+	}
+	d := make(Design, n)
+	for i := range d {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		d[i] = p
+	}
+	return d
+}
+
+// LHS generates an n-point Latin Hypercube design in [0,1)^dim.
+//
+// Each axis is divided into n equally probable intervals and exactly
+// one sample lands in each interval per axis (the defining LHS
+// property), with an independent random permutation per axis and a
+// uniform jitter within each interval.
+func LHS(n, dim int, rng *rand.Rand) Design {
+	if n <= 0 || dim <= 0 {
+		return nil
+	}
+	d := make(Design, n)
+	for i := range d {
+		d[i] = make([]float64, dim)
+	}
+	for j := 0; j < dim; j++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			cell := float64(perm[i])
+			d[i][j] = (cell + rng.Float64()) / float64(n)
+		}
+	}
+	return d
+}
+
+// MaximinLHS generates an LHS design and then improves its minimum
+// pairwise distance with a fixed budget of random column-swap moves,
+// yielding a space-filling ("maximin") design while preserving the
+// Latin property on every axis. iters is the number of candidate swaps
+// to try; 50*n is a reasonable default when iters <= 0.
+func MaximinLHS(n, dim, iters int, rng *rand.Rand) Design {
+	d := LHS(n, dim, rng)
+	if n < 2 || dim < 1 {
+		return d
+	}
+	if iters <= 0 {
+		iters = 50 * n
+	}
+	best := minPairDistance(d)
+	for it := 0; it < iters; it++ {
+		i := rng.IntN(n)
+		k := rng.IntN(n)
+		if i == k {
+			continue
+		}
+		j := rng.IntN(dim)
+		d[i][j], d[k][j] = d[k][j], d[i][j]
+		cur := minPairDistanceTouching(d, i, k)
+		if cur >= best {
+			// Accept: recompute the global minimum only when the
+			// local bound says the swap may have improved it.
+			g := minPairDistance(d)
+			if g >= best {
+				best = g
+				continue
+			}
+		}
+		// Revert.
+		d[i][j], d[k][j] = d[k][j], d[i][j]
+	}
+	return d
+}
+
+func minPairDistance(d Design) float64 {
+	best := math.Inf(1)
+	for i := 0; i < len(d); i++ {
+		for k := i + 1; k < len(d); k++ {
+			if v := sqDist(d[i], d[k]); v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// minPairDistanceTouching returns the minimum squared distance between
+// rows i or k and every other row — a cheap lower-bound check after a
+// swap touching only those rows.
+func minPairDistanceTouching(d Design, i, k int) float64 {
+	best := math.Inf(1)
+	for r := 0; r < len(d); r++ {
+		if r != i {
+			if v := sqDist(d[r], d[i]); v < best {
+				best = v
+			}
+		}
+		if r != k && r != i {
+			if v := sqDist(d[r], d[k]); v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		t := a[j] - b[j]
+		s += t * t
+	}
+	return s
+}
+
+// Stratified reports whether the design satisfies the Latin Hypercube
+// stratification property: on every axis, each of the len(d) equal
+// intervals contains exactly one point. It is used by tests and by
+// callers that accept externally supplied designs.
+func Stratified(d Design) bool {
+	n := len(d)
+	if n == 0 {
+		return true
+	}
+	dim := len(d[0])
+	seen := make([]bool, n)
+	for j := 0; j < dim; j++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		for i := 0; i < n; i++ {
+			if len(d[i]) != dim {
+				return false
+			}
+			v := d[i][j]
+			if v < 0 || v >= 1 {
+				return false
+			}
+			cell := int(v * float64(n))
+			if cell >= n {
+				cell = n - 1
+			}
+			if seen[cell] {
+				return false
+			}
+			seen[cell] = true
+		}
+	}
+	return true
+}
+
+// Validate returns an error describing the first structural problem
+// with the design (ragged rows or out-of-range coordinates), or nil.
+func Validate(d Design) error {
+	dim := d.Dim()
+	for i, p := range d {
+		if len(p) != dim {
+			return fmt.Errorf("sample: row %d has dim %d, want %d", i, len(p), dim)
+		}
+		for j, v := range p {
+			if math.IsNaN(v) || v < 0 || v >= 1 {
+				return fmt.Errorf("sample: point %d coordinate %d out of [0,1): %v", i, j, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLHSStratification(t *testing.T) {
+	rng := NewRNG(1)
+	for _, tc := range []struct{ n, dim int }{
+		{1, 1}, {2, 3}, {10, 5}, {20, 8}, {100, 44}, {7, 2},
+	} {
+		d := LHS(tc.n, tc.dim, rng)
+		if len(d) != tc.n || d.Dim() != tc.dim {
+			t.Fatalf("LHS(%d,%d) shape = (%d,%d)", tc.n, tc.dim, len(d), d.Dim())
+		}
+		if !Stratified(d) {
+			t.Errorf("LHS(%d,%d) not stratified", tc.n, tc.dim)
+		}
+		if err := Validate(d); err != nil {
+			t.Errorf("LHS(%d,%d): %v", tc.n, tc.dim, err)
+		}
+	}
+}
+
+func TestLHSStratificationProperty(t *testing.T) {
+	f := func(seed uint64, n8, dim8 uint8) bool {
+		n := int(n8%64) + 1
+		dim := int(dim8%16) + 1
+		d := LHS(n, dim, NewRNG(seed))
+		return Stratified(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLHSDeterministic(t *testing.T) {
+	a := LHS(25, 6, NewRNG(42))
+	b := LHS(25, 6, NewRNG(42))
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("same seed produced different designs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLHSDifferentSeedsDiffer(t *testing.T) {
+	a := LHS(25, 6, NewRNG(1))
+	b := LHS(25, 6, NewRNG(2))
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical designs")
+	}
+}
+
+func TestMaximinLHSKeepsStratification(t *testing.T) {
+	rng := NewRNG(7)
+	d := MaximinLHS(30, 4, 0, rng)
+	if !Stratified(d) {
+		t.Fatal("maximin refinement broke stratification")
+	}
+}
+
+func TestMaximinImprovesOrMatchesMinDistance(t *testing.T) {
+	// The maximin design's minimum pairwise distance should on average
+	// be at least that of the plain LHS design with the same seed.
+	var plain, maximin float64
+	for seed := uint64(0); seed < 10; seed++ {
+		p := LHS(20, 3, NewRNG(seed))
+		m := MaximinLHS(20, 3, 2000, NewRNG(seed))
+		plain += math.Sqrt(minPairDistance(p))
+		maximin += math.Sqrt(minPairDistance(m))
+	}
+	if maximin < plain {
+		t.Errorf("maximin mean min-dist %.4f < plain %.4f", maximin/10, plain/10)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := NewRNG(3)
+	d := Uniform(50, 10, rng)
+	if len(d) != 50 || d.Dim() != 10 {
+		t.Fatalf("shape = (%d,%d)", len(d), d.Dim())
+	}
+	if err := Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	// With enough points every decile on axis 0 should be populated.
+	rng := NewRNG(4)
+	d := Uniform(2000, 1, rng)
+	var buckets [10]int
+	for _, p := range d {
+		buckets[int(p[0]*10)]++
+	}
+	for i, c := range buckets {
+		if c == 0 {
+			t.Errorf("decile %d empty after 2000 uniform draws", i)
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if d := LHS(0, 5, NewRNG(1)); d != nil {
+		t.Error("LHS(0,5) should be nil")
+	}
+	if d := LHS(5, 0, NewRNG(1)); d != nil {
+		t.Error("LHS(5,0) should be nil")
+	}
+	if d := Uniform(-1, 5, NewRNG(1)); d != nil {
+		t.Error("Uniform(-1,5) should be nil")
+	}
+	if !Stratified(nil) {
+		t.Error("empty design is trivially stratified")
+	}
+	one := LHS(1, 1, NewRNG(1))
+	if !Stratified(one) {
+		t.Error("single point design should be stratified")
+	}
+}
+
+func TestValidateCatchesBadRows(t *testing.T) {
+	d := Design{{0.5, 0.5}, {0.5}}
+	if err := Validate(d); err == nil {
+		t.Error("ragged design not rejected")
+	}
+	d = Design{{0.5, 1.5}}
+	if err := Validate(d); err == nil {
+		t.Error("out-of-range coordinate not rejected")
+	}
+	d = Design{{math.NaN(), 0.1}}
+	if err := Validate(d); err == nil {
+		t.Error("NaN coordinate not rejected")
+	}
+}
+
+func TestStratifiedRejectsClumpedDesign(t *testing.T) {
+	d := Design{{0.1, 0.1}, {0.15, 0.9}} // both in first half of axis 0
+	if Stratified(d) {
+		t.Error("clumped design reported as stratified")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := LHS(5, 2, NewRNG(9))
+	c := d.Clone()
+	c[0][0] = 0.999
+	if d[0][0] == 0.999 {
+		t.Error("Clone shares backing storage")
+	}
+}

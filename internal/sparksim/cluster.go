@@ -1,0 +1,180 @@
+// Package sparksim is an analytic simulator of a Spark 2.4 cluster —
+// the expensive black-box objective function the tuners in this
+// repository search over.
+//
+// The paper evaluates tuners on a real 6-node Spark cluster. That
+// hardware (and Spark itself) is not available in this reproduction,
+// so sparksim models the dominant mechanisms that couple Spark's
+// configuration parameters to workload execution time:
+//
+//   - executor packing: how many executor JVMs of the configured size
+//     fit on each node, and how many task slots they provide;
+//   - the unified memory manager: execution/storage split, spilling
+//     when working sets exceed execution memory, RDD cache eviction
+//     when cached data exceeds storage memory, and OOM failures when a
+//     single partition cannot fit at all;
+//   - shuffle: serialization and compression CPU costs, disk writes
+//     through a shared per-node disk, cross-node network transfer;
+//   - scheduling: task waves over the available slots, per-task launch
+//     overhead, locality wait, stragglers and speculative execution;
+//   - garbage collection pressure as heaps fill or grow very large;
+//   - multiplicative observation noise, making the objective
+//     stochastic like a real shared cluster.
+//
+// The result is a high-dimensional, multi-modal, noisy response
+// surface in which a small subset of the 44 parameters dominates —
+// the properties the paper's techniques are designed to exploit.
+package sparksim
+
+import (
+	"math"
+
+	"repro/internal/conf"
+)
+
+// Cluster describes the simulated hardware platform.
+type Cluster struct {
+	// Workers is the number of worker nodes (the master is not
+	// modeled; it only runs the driver).
+	Workers int
+	// CoresPerNode is the number of CPU cores per worker.
+	CoresPerNode int
+	// MemPerNodeMB is the RAM per worker available to executors.
+	MemPerNodeMB float64
+	// DiskMBps is the sequential bandwidth of each worker's disk,
+	// shared by all executors on the node.
+	DiskMBps float64
+	// NetMBps is each worker's network bandwidth, shared by all
+	// executors on the node.
+	NetMBps float64
+	// CoreSpeedMBps expresses per-core compute throughput as the
+	// number of "work units" (MB of workload data at unit cost) a
+	// core processes per second.
+	CoreSpeedMBps float64
+}
+
+// PaperCluster returns the evaluation platform of §5.1: five workers,
+// each with 32 cores (2×16-core Xeon Gold 6130), 192 GB of RAM, one
+// 7200-RPM hard disk, and 10-gigabit Ethernet.
+func PaperCluster() Cluster {
+	return Cluster{
+		Workers:       5,
+		CoresPerNode:  32,
+		MemPerNodeMB:  192 * 1024,
+		DiskMBps:      160,  // 7200-RPM sequential
+		NetMBps:       1100, // 10 GbE minus protocol overhead
+		CoreSpeedMBps: 18,
+	}
+}
+
+// Executors describes the executor layout derived from a
+// configuration: how Spark's resource negotiation plays out on the
+// cluster.
+type Executors struct {
+	// Count is the number of executor JVMs actually launched.
+	Count int
+	// PerNode is the number of executors co-resident on each node
+	// (the maximum across nodes; used for disk/network contention).
+	PerNode int
+	// CoresEach and HeapMB are the per-executor resources.
+	CoresEach int
+	HeapMB    float64
+	// SlotsEach is the number of concurrent tasks per executor
+	// (cores / task.cpus).
+	SlotsEach int
+	// TotalSlots is Count * SlotsEach.
+	TotalSlots int
+	// UsableMB is the unified memory region per executor:
+	// (heap - reserved) * spark.memory.fraction, plus off-heap.
+	UsableMB float64
+	// StorageMB is the eviction-immune storage region per executor.
+	StorageMB float64
+	// ExecutionMB is the execution region per executor (may borrow
+	// from storage at runtime; this is the guaranteed floor).
+	ExecutionMB float64
+	// OffHeapMB is additional execution memory outside the heap.
+	OffHeapMB float64
+}
+
+// reservedHeapMB mirrors Spark's RESERVED_SYSTEM_MEMORY_BYTES.
+const reservedHeapMB = 300
+
+// PackExecutors computes the executor layout for a configuration on a
+// cluster. It returns ok=false when the configuration is infeasible:
+// no executor fits on a node, or an executor provides zero task slots.
+func PackExecutors(cl Cluster, c conf.Config) (Executors, bool) {
+	cores := int(c.Int(conf.ExecutorCores))
+	heapMB := float64(c.Int(conf.ExecutorMemory))
+	overheadMB := math.Max(float64(c.Int(conf.ExecutorMemoryOverhead)), 0.1*heapMB)
+	offHeapMB := 0.0
+	if c.Bool(conf.OffHeapEnabled) {
+		offHeapMB = float64(c.Int(conf.OffHeapSize))
+	}
+	footprintMB := heapMB + overheadMB + offHeapMB
+	taskCPUs := int(c.Int(conf.TaskCPUs))
+	instances := int(c.Int(conf.ExecutorInstances))
+
+	if cores < 1 || heapMB < 1 || taskCPUs < 1 {
+		return Executors{}, false
+	}
+	byCores := cl.CoresPerNode / cores
+	byMem := int(cl.MemPerNodeMB / footprintMB)
+	perNode := byCores
+	if byMem < perNode {
+		perNode = byMem
+	}
+	if perNode < 1 {
+		return Executors{}, false
+	}
+	count := perNode * cl.Workers
+	if instances < count {
+		count = instances
+	}
+	if count < 1 {
+		return Executors{}, false
+	}
+	// Executors spread round-robin across nodes; contention is set by
+	// the busiest node.
+	perNodeActual := (count + cl.Workers - 1) / cl.Workers
+	slots := cores / taskCPUs
+	if slots < 1 {
+		return Executors{}, false
+	}
+
+	usable := (heapMB - reservedHeapMB) * c.Float(conf.MemoryFraction)
+	if usable <= 0 {
+		return Executors{}, false
+	}
+	storage := usable * c.Float(conf.MemoryStorageFraction)
+	execution := usable - storage
+
+	return Executors{
+		Count:       count,
+		PerNode:     perNodeActual,
+		CoresEach:   cores,
+		HeapMB:      heapMB,
+		SlotsEach:   slots,
+		TotalSlots:  count * slots,
+		UsableMB:    usable,
+		StorageMB:   storage,
+		ExecutionMB: execution,
+		OffHeapMB:   offHeapMB,
+	}, true
+}
+
+// CloudCluster returns an alternative platform with a different
+// resource balance — ten smaller cloud VMs with fast NVMe storage and
+// a faster network but fewer, slower cores per node. Optimal
+// configurations differ materially from PaperCluster's, which is the
+// §1 motivation for search-based re-tuning over cluster-specific
+// learned models.
+func CloudCluster() Cluster {
+	return Cluster{
+		Workers:       10,
+		CoresPerNode:  16,
+		MemPerNodeMB:  64 * 1024,
+		DiskMBps:      900,  // NVMe
+		NetMBps:       2800, // 25 GbE
+		CoreSpeedMBps: 14,   // lower base clock
+	}
+}

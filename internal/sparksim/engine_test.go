@@ -1,0 +1,217 @@
+package sparksim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/conf"
+)
+
+// newEngine builds an engine for white-box tests of the internal
+// mechanics.
+func newEngine(t *testing.T, c conf.Config) *engine {
+	t.Helper()
+	cl := PaperCluster()
+	ex, ok := PackExecutors(cl, c)
+	if !ok {
+		t.Fatal("config infeasible")
+	}
+	return &engine{
+		cl:          cl,
+		cfg:         c,
+		ex:          ex,
+		cache:       make(map[string]*cacheEntry),
+		ser:         serdes[c.Choice(conf.Serializer)],
+		cdc:         effCodec(c, codecs[c.Choice(conf.IOCompressionCodec)]),
+		parallelism: int(c.Int(conf.DefaultParallelism)),
+		maxPartMB:   float64(c.Int(conf.MaxPartitionBytes)),
+	}
+}
+
+func TestTaskCountRules(t *testing.T) {
+	c := tunedConfig(t).
+		With(conf.DefaultParallelism, 300).
+		With(conf.MaxPartitionBytes, 64)
+	e := newEngine(t, c)
+
+	// HDFS: ceil(input / maxPartitionBytes).
+	if n := e.taskCount(&Stage{Source: FromHDFS, InputMB: 1000}); n != 16 {
+		t.Errorf("HDFS tasks = %d, want ceil(1000/64)=16", n)
+	}
+	if n := e.taskCount(&Stage{Source: FromHDFS, InputMB: 1}); n != 1 {
+		t.Errorf("tiny input tasks = %d, want 1", n)
+	}
+	// Shuffle: spark.default.parallelism.
+	if n := e.taskCount(&Stage{Source: FromShuffle, InputMB: 1000}); n != 300 {
+		t.Errorf("shuffle tasks = %d, want 300", n)
+	}
+	// Cache: the cached RDD's partition count.
+	e.cache["rdd"] = &cacheEntry{partitions: 77, fraction: 1}
+	if n := e.taskCount(&Stage{Source: FromCache, CacheKey: "rdd", InputMB: 1000}); n != 77 {
+		t.Errorf("cache tasks = %d, want 77", n)
+	}
+	// Unknown cache key falls back to input partitioning.
+	if n := e.taskCount(&Stage{Source: FromCache, CacheKey: "nope", InputMB: 640}); n != 10 {
+		t.Errorf("unknown-cache tasks = %d, want 10", n)
+	}
+}
+
+func TestRegisterCacheEviction(t *testing.T) {
+	c := tunedConfig(t)
+	e := newEngine(t, c)
+	// Available storage: (storage + 0.6*execution) * count.
+	avail := (e.ex.StorageMB + 0.6*e.ex.ExecutionMB) * float64(e.ex.Count)
+
+	// A cache that fits stays fully resident.
+	e.registerCache(&Stage{CacheOutMB: avail * 0.5, CacheOutKey: "small"}, 10, 5)
+	if f := e.cache["small"].fraction; f != 1 {
+		t.Errorf("fitting cache fraction = %v", f)
+	}
+	// Adding demand beyond capacity evicts proportionally.
+	e.registerCache(&Stage{CacheOutMB: avail, CacheOutKey: "big"}, 10, 5)
+	want := avail / (avail * 1.5)
+	for _, key := range []string{"small", "big"} {
+		if f := e.cache[key].fraction; math.Abs(f-want) > 1e-9 {
+			t.Errorf("%s fraction = %v, want %v", key, f, want)
+		}
+	}
+	// Events recorded the pressure.
+	found := false
+	for _, ev := range e.out.Events {
+		if len(ev) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no cache pressure event")
+	}
+}
+
+func TestRDDCompressShrinksCacheDemand(t *testing.T) {
+	plain := newEngine(t, tunedConfig(t).With(conf.RDDCompress, 0))
+	comp := newEngine(t, tunedConfig(t).With(conf.RDDCompress, 1))
+	st := &Stage{CacheOutMB: 10000, CacheOutKey: "x", ExpandFactor: 2.5}
+	plain.registerCache(st, 10, 5)
+	comp.registerCache(st, 10, 5)
+	if comp.cache["x"].demandMB >= plain.cache["x"].demandMB {
+		t.Errorf("compressed cache demand %v should be below plain %v",
+			comp.cache["x"].demandMB, plain.cache["x"].demandMB)
+	}
+}
+
+func TestMissCostMechanics(t *testing.T) {
+	e := newEngine(t, tunedConfig(t))
+
+	// Fully resident: no miss cost.
+	full := &cacheEntry{fraction: 1, rebuildSec: 100}
+	if got := e.missCost(full, 0); got != 0 {
+		t.Errorf("full cache miss cost = %v", got)
+	}
+
+	// MEMORY_ONLY: recompute with GC thrash.
+	half := &cacheEntry{fraction: 0.5, rebuildSec: 100}
+	want := 0.5 * 100 * gcThrash
+	if got := e.missCost(half, 0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("half-resident miss cost = %v, want %v", got, want)
+	}
+
+	// Lineage cascade: a parent's misses compound the child's.
+	e.cache["parent"] = &cacheEntry{fraction: 0.5, rebuildSec: 100}
+	child := &cacheEntry{fraction: 0.5, rebuildSec: 100, parent: "parent"}
+	wantChild := 0.5 * (100*gcThrash + want)
+	if got := e.missCost(child, 0); math.Abs(got-wantChild) > 1e-9 {
+		t.Errorf("cascaded miss cost = %v, want %v", got, wantChild)
+	}
+
+	// MEMORY_AND_DISK: bounded by disk bandwidth, no recompute.
+	disk := &cacheEntry{fraction: 0, inputMB: 8000, diskFallback: true}
+	wantDisk := 8000.0 * e.ser.sizeFactor / (e.cl.DiskMBps * float64(e.cl.Workers))
+	if got := e.missCost(disk, 0); math.Abs(got-wantDisk) > 1e-9 {
+		t.Errorf("disk fallback miss cost = %v, want %v", got, wantDisk)
+	}
+	if e.missCost(disk, 0) >= e.missCost(&cacheEntry{fraction: 0, rebuildSec: 100, inputMB: 8000}, 0) {
+		t.Error("disk fallback should be cheaper than recompute for this size")
+	}
+
+	// Recursion depth is bounded (self-referential lineage).
+	e.cache["loop"] = &cacheEntry{fraction: 0.5, rebuildSec: 1, parent: "loop"}
+	got := e.missCost(e.cache["loop"], 0)
+	if math.IsInf(got, 1) || math.IsNaN(got) || got > 100 {
+		t.Errorf("looped lineage cost = %v, want bounded", got)
+	}
+
+	// Nil entry is free.
+	if e.missCost(nil, 0) != 0 {
+		t.Error("nil cache entry should cost nothing")
+	}
+}
+
+func TestEffCodecLZ4BlockSize(t *testing.T) {
+	base := codecs["lz4"]
+	small := effCodec(tunedConfig(t).With(conf.LZ4BlockSize, 16), base)
+	big := effCodec(tunedConfig(t).With(conf.LZ4BlockSize, 512), base)
+	if !(big.ratio < base.ratio && small.ratio > base.ratio) {
+		t.Errorf("block size should move ratio: small=%v base=%v big=%v",
+			small.ratio, base.ratio, big.ratio)
+	}
+	// Other codecs are untouched.
+	z := effCodec(tunedConfig(t).With(conf.IOCompressionCodec, 3).With(conf.LZ4BlockSize, 512), codecs["zstd"])
+	if z != codecs["zstd"] {
+		t.Error("zstd affected by lz4 block size")
+	}
+}
+
+func TestOOMChargesRetries(t *testing.T) {
+	// More allowed task failures burn more time before the job dies.
+	cl := PaperCluster()
+	w := PageRank(10)
+	few := conf.SparkSpace().Default().With(conf.TaskMaxFailures, 1)
+	many := conf.SparkSpace().Default().With(conf.TaskMaxFailures, 8)
+	a := Run(cl, w, few, seededTestRNG(1), math.Inf(1))
+	b := Run(cl, w, many, seededTestRNG(1), math.Inf(1))
+	if !a.OOM || !b.OOM {
+		t.Fatalf("both should OOM: %v %v", a.OOM, b.OOM)
+	}
+	if b.Seconds <= a.Seconds {
+		t.Errorf("8 retries (%v) should burn more than 1 retry (%v)", b.Seconds, a.Seconds)
+	}
+}
+
+// seededTestRNG avoids importing sample twice in call sites above.
+func seededTestRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+func TestRunDetailedBreakdown(t *testing.T) {
+	cl := PaperCluster()
+	w := PageRank(5)
+	c := tunedConfig(t)
+	out := RunDetailed(cl, w, c, seededTestRNG(3), math.Inf(1))
+	if !out.Completed {
+		t.Fatalf("run failed: %+v", out)
+	}
+	if len(out.Breakdown) != len(w.Stages) {
+		t.Fatalf("breakdown stages = %d, want %d", len(out.Breakdown), len(w.Stages))
+	}
+	var sum float64
+	for _, sb := range out.Breakdown {
+		if sb.Seconds <= 0 || sb.Tasks < 1 || sb.Waves < 1 {
+			t.Errorf("%s: implausible breakdown %+v", sb.Name, sb)
+		}
+		sum += sb.Seconds
+	}
+	// Stage times (pre-noise) should roughly account for the total
+	// minus startup.
+	if sum < out.Seconds*0.8 || sum > out.Seconds*1.2 {
+		t.Errorf("breakdown sum %v vs total %v", sum, out.Seconds)
+	}
+	// Plain Run must not pay the breakdown cost.
+	plain := Run(cl, w, c, seededTestRNG(3), math.Inf(1))
+	if plain.Breakdown != nil {
+		t.Error("plain Run should not collect breakdowns")
+	}
+	if plain.Seconds != out.Seconds {
+		t.Error("collection changed the simulated time")
+	}
+}

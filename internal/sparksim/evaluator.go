@@ -1,0 +1,240 @@
+package sparksim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/conf"
+	"repro/internal/sample"
+)
+
+// EvalRecord is one observation of the black-box objective.
+type EvalRecord struct {
+	Config conf.Config
+	// Seconds is the objective value: execution time, capped at the
+	// evaluation limit. Failed configurations report the limit.
+	Seconds float64
+	// Raw is the uncapped simulated duration (or time consumed before
+	// failure/truncation).
+	Raw float64
+	// Completed, OOM and Infeasible mirror the simulation outcome.
+	Completed  bool
+	OOM        bool
+	Infeasible bool
+}
+
+// Evaluator exposes the simulator as the expensive black-box
+// objective f(x) of §3.1, with the paper's per-evaluation time limit
+// (§5.1 uses 480 s) and bookkeeping of search cost — "the total time
+// to generate and evaluate configurations" (§5.3).
+//
+// Evaluator is safe for concurrent use.
+type Evaluator struct {
+	Cluster    Cluster
+	Workload   Workload
+	CapSeconds float64
+
+	mu      sync.Mutex
+	seed    uint64
+	evals   int
+	cost    float64
+	history []EvalRecord
+}
+
+// NewEvaluator builds an evaluator for a workload on a cluster. seed
+// makes the noise sequence reproducible; cap <= 0 selects the paper's
+// 480 s limit.
+func NewEvaluator(cl Cluster, w Workload, seed uint64, cap float64) *Evaluator {
+	if cap <= 0 {
+		cap = 480
+	}
+	return &Evaluator{Cluster: cl, Workload: w, CapSeconds: cap, seed: seed}
+}
+
+// WorkloadName returns the workload family being tuned (used as the
+// memoization key by ROBOTune).
+func (ev *Evaluator) WorkloadName() string { return ev.Workload.Name }
+
+// DatasetName returns the input dataset description.
+func (ev *Evaluator) DatasetName() string { return ev.Workload.Dataset }
+
+// Evaluate runs the workload once under the configuration, charges
+// the consumed time to the search cost, and returns the observation.
+func (ev *Evaluator) Evaluate(c conf.Config) EvalRecord {
+	return ev.EvaluateWithCap(c, ev.CapSeconds)
+}
+
+// EvaluateWithCap is Evaluate with a tighter per-run stopping
+// threshold — ROBOTune's guard against bad configurations kills runs
+// at a multiple of the median observed time (§4), which both bounds
+// the objective value and reduces the charged search cost. cap is
+// clamped to the evaluator's global limit.
+func (ev *Evaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
+	if cap <= 0 || cap > ev.CapSeconds {
+		cap = ev.CapSeconds
+	}
+	ev.mu.Lock()
+	n := ev.evals
+	ev.evals++
+	ev.mu.Unlock()
+
+	rng := sample.NewRNG(ev.seed*1e9 + uint64(n))
+	out := Run(ev.Cluster, ev.Workload, c, rng, cap)
+	rec := EvalRecord{
+		Config:     c,
+		Raw:        out.Seconds,
+		Completed:  out.Completed,
+		OOM:        out.OOM,
+		Infeasible: out.Infeasible,
+	}
+	consumed := math.Min(out.Seconds, cap)
+	if out.Completed {
+		rec.Seconds = consumed
+	} else {
+		// Failed, infeasible or truncated runs are worth the global
+		// cap to the optimizer (worst case) but only charge what they
+		// actually burned before the guard stopped them.
+		rec.Seconds = ev.CapSeconds
+	}
+
+	ev.mu.Lock()
+	ev.cost += consumed
+	ev.history = append(ev.history, rec)
+	ev.mu.Unlock()
+	return rec
+}
+
+// Measure estimates a configuration's true performance by averaging
+// reps fresh runs without charging search cost — used when reporting
+// the quality of each tuner's final choice.
+func (ev *Evaluator) Measure(c conf.Config, reps int, seed uint64) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	var sum float64
+	for i := 0; i < reps; i++ {
+		rng := sample.NewRNG(seed*31 + uint64(i) + 7)
+		out := Run(ev.Cluster, ev.Workload, c, rng, ev.CapSeconds)
+		s := math.Min(out.Seconds, ev.CapSeconds)
+		if !out.Completed {
+			s = ev.CapSeconds
+		}
+		sum += s
+	}
+	return sum / float64(reps)
+}
+
+// Evals returns the number of charged evaluations so far.
+func (ev *Evaluator) Evals() int {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.evals
+}
+
+// SearchCost returns the accumulated simulated seconds consumed by
+// charged evaluations.
+func (ev *Evaluator) SearchCost() float64 {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.cost
+}
+
+// History returns a copy of all charged observations in order.
+func (ev *Evaluator) History() []EvalRecord {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return append([]EvalRecord(nil), ev.history...)
+}
+
+// Best returns the completed observation with the lowest objective
+// value, or ok=false if nothing completed yet.
+func (ev *Evaluator) Best() (EvalRecord, bool) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	best := EvalRecord{Seconds: math.Inf(1)}
+	ok := false
+	for _, r := range ev.history {
+		if r.Completed && r.Seconds < best.Seconds {
+			best = r
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// Reset clears evaluation counters and history (the workload and
+// noise seed stay), so one evaluator can serve several tuner runs.
+func (ev *Evaluator) Reset(seed uint64) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	ev.seed = seed
+	ev.evals = 0
+	ev.cost = 0
+	ev.history = nil
+}
+
+// EvaluateBatch evaluates configurations concurrently on up to
+// `workers` goroutines (default GOMAXPROCS) while reproducing the
+// exact observations sequential Evaluate calls would have produced:
+// evaluation indices — which seed the per-run noise — are assigned
+// up front, and cost/history are committed in index order. Batch
+// evaluation models running independent initial samples concurrently
+// on a cluster; search cost still accounts every run's full duration.
+func (ev *Evaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord {
+	n := len(cfgs)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ev.mu.Lock()
+	base := ev.evals
+	ev.evals += n
+	ev.mu.Unlock()
+
+	recs := make([]EvalRecord, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := sample.NewRNG(ev.seed*1e9 + uint64(base+i))
+				out := Run(ev.Cluster, ev.Workload, cfgs[i], rng, ev.CapSeconds)
+				rec := EvalRecord{
+					Config:     cfgs[i],
+					Raw:        out.Seconds,
+					Completed:  out.Completed,
+					OOM:        out.OOM,
+					Infeasible: out.Infeasible,
+				}
+				if out.Completed {
+					rec.Seconds = math.Min(out.Seconds, ev.CapSeconds)
+				} else {
+					rec.Seconds = ev.CapSeconds
+				}
+				recs[i] = rec
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	ev.mu.Lock()
+	for _, rec := range recs {
+		ev.cost += math.Min(rec.Raw, ev.CapSeconds)
+		ev.history = append(ev.history, rec)
+	}
+	ev.mu.Unlock()
+	return recs
+}

@@ -1,0 +1,88 @@
+package sparksim
+
+import (
+	"math"
+
+	"repro/internal/conf"
+)
+
+// ResourceCostEvaluator wraps an Evaluator to optimize monetary-style
+// resource cost instead of wall-clock time (§5.1 notes ROBOTune
+// adapts to other metrics by replacing the objective). The objective
+// becomes
+//
+//	cost = seconds × (occupied cores + MemoryWeight × occupied GB)
+//
+// so configurations that finish marginally faster by hogging the
+// whole cluster lose to right-sized ones. Search-cost accounting
+// (SearchCost, Evals) still measures simulated time, as in the paper.
+type ResourceCostEvaluator struct {
+	*Evaluator
+	// MemoryWeight converts occupied memory GB into core-equivalents
+	// (default 0.1: 10 GB of RAM prices like one core).
+	MemoryWeight float64
+}
+
+// NewResourceCostEvaluator wraps ev with the resource-cost objective.
+func NewResourceCostEvaluator(ev *Evaluator, memoryWeight float64) *ResourceCostEvaluator {
+	if memoryWeight <= 0 {
+		memoryWeight = 0.1
+	}
+	return &ResourceCostEvaluator{Evaluator: ev, MemoryWeight: memoryWeight}
+}
+
+// rate returns the per-second resource price of a configuration's
+// executor layout, in core-equivalents.
+func (r *ResourceCostEvaluator) rate(c conf.Config) float64 {
+	ex, ok := PackExecutors(r.Cluster, c)
+	if !ok {
+		// Infeasible layouts are priced as the whole cluster so their
+		// capped objective stays the worst case.
+		return float64(r.Cluster.Workers*r.Cluster.CoresPerNode) +
+			r.MemoryWeight*float64(r.Cluster.Workers)*r.Cluster.MemPerNodeMB/1024
+	}
+	cores := float64(ex.Count * ex.CoresEach)
+	memGB := float64(ex.Count) * ex.HeapMB / 1024
+	return cores + r.MemoryWeight*memGB
+}
+
+// Evaluate runs the configuration and reports resource cost as the
+// objective value (EvalRecord.Seconds, which the tuners minimize).
+func (r *ResourceCostEvaluator) Evaluate(c conf.Config) EvalRecord {
+	return r.price(c, r.Evaluator.Evaluate(c))
+}
+
+// EvaluateWithCap forwards the guard cap and prices the result.
+func (r *ResourceCostEvaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
+	return r.price(c, r.Evaluator.EvaluateWithCap(c, cap))
+}
+
+func (r *ResourceCostEvaluator) price(c conf.Config, rec EvalRecord) EvalRecord {
+	rec.Seconds = rec.Seconds * r.rate(c)
+	return rec
+}
+
+// MeasureCost estimates a configuration's true resource cost without
+// charging search cost.
+func (r *ResourceCostEvaluator) MeasureCost(c conf.Config, reps int, seed uint64) float64 {
+	return r.Evaluator.Measure(c, reps, seed) * r.rate(c)
+}
+
+// OccupiedCores reports how many cores a configuration's layout
+// holds, for reporting.
+func (r *ResourceCostEvaluator) OccupiedCores(c conf.Config) int {
+	ex, ok := PackExecutors(r.Cluster, c)
+	if !ok {
+		return 0
+	}
+	return ex.Count * ex.CoresEach
+}
+
+// CapObjective returns the worst-case objective value under this
+// metric (the time cap priced at the full-cluster rate), useful for
+// normalizing failed sessions in reports.
+func (r *ResourceCostEvaluator) CapObjective() float64 {
+	full := float64(r.Cluster.Workers*r.Cluster.CoresPerNode) +
+		r.MemoryWeight*float64(r.Cluster.Workers)*r.Cluster.MemPerNodeMB/1024
+	return math.Min(r.CapSeconds, math.Inf(1)) * full
+}

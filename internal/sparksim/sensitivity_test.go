@@ -1,0 +1,180 @@
+package sparksim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/sample"
+)
+
+// TestEveryParameterInfluencesSomeWorkload pins down that none of the
+// 44 tunable parameters is dead weight: moving each one across its
+// range changes the simulated execution time of at least one paper
+// workload. (Most parameters are deliberately low-impact — that is
+// what parameter selection exists to discover — but every knob must
+// be wired to a real code path.)
+func TestEveryParameterInfluencesSomeWorkload(t *testing.T) {
+	cl := PaperCluster()
+	space := conf.SparkSpace()
+	// A context where conditional parameters are active: Kryo + lz4 +
+	// speculation + off-heap all enabled, moderate resources so both
+	// spill and cache paths are exercised.
+	base, err := space.FromRaw(map[string]float64{
+		conf.ExecutorCores:      8,
+		conf.ExecutorMemory:     16384,
+		conf.ExecutorInstances:  16,
+		conf.DefaultParallelism: 160,
+		conf.Serializer:         1, // kryo
+		conf.Speculation:        1,
+		conf.OffHeapEnabled:     1,
+		conf.DriverMemory:       1024,
+		conf.NetworkTimeout:     40000,
+		conf.MemoryMapThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cramped context where the memory-pressure paths (spill, cache
+	// eviction, OOM retries, off-heap relief, packing by memory) are
+	// active.
+	cramped, err := space.FromRaw(map[string]float64{
+		conf.ExecutorCores:      32,
+		conf.ExecutorMemory:     8192,
+		conf.ExecutorInstances:  40,
+		conf.DefaultParallelism: 24,
+		conf.MaxPartitionBytes:  512,
+		conf.Serializer:         1,
+		conf.Speculation:        1,
+		conf.OffHeapEnabled:     1,
+		conf.MemoryFraction:     0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A memory-bound packing context: executor footprint (heap +
+	// overhead + off-heap) determines how many executors fit per
+	// node, so spark.executor.memoryOverhead changes the layout.
+	membound, err := space.FromRaw(map[string]float64{
+		conf.ExecutorCores:     4,
+		conf.ExecutorMemory:    40960,
+		conf.ExecutorInstances: 40,
+		conf.OffHeapEnabled:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []Workload{TeraSort(30), PageRank(5), KMeans(200)}
+
+	run := func(c conf.Config, w Workload) float64 {
+		out := Run(cl, w, c, sample.NewRNG(7), math.Inf(1))
+		return out.Seconds
+	}
+	for _, p := range space.Params() {
+		moved := false
+		for _, ctx := range []conf.Config{base, cramped, membound} {
+			lo := ctx.With(p.Name, p.DecodeUnit(0.02))
+			hi := ctx.With(p.Name, p.DecodeUnit(0.98))
+			if lo.Raw(p.Name) == hi.Raw(p.Name) {
+				t.Fatalf("%s: range endpoints identical", p.Name)
+			}
+			for _, w := range workloads {
+				if run(lo, w) != run(hi, w) {
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			t.Errorf("%s: no workload's execution time responds to this parameter", p.Name)
+		}
+	}
+}
+
+// TestConditionalParametersGatedCorrectly verifies dependent
+// parameters are inert when their controlling switch is off — the
+// collinearity structure §3.3 groups for joint permutation.
+func TestConditionalParametersGatedCorrectly(t *testing.T) {
+	cl := PaperCluster()
+	space := conf.SparkSpace()
+	base, err := space.FromRaw(map[string]float64{
+		conf.ExecutorCores:     8,
+		conf.ExecutorMemory:    16384,
+		conf.ExecutorInstances: 16,
+		conf.Serializer:        0, // java: kryo knobs must be inert
+		conf.Speculation:       0, // off: speculation knobs must be inert
+		conf.OffHeapEnabled:    0, // off: size must be inert
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := TeraSort(30)
+	run := func(c conf.Config) float64 {
+		return Run(cl, w, c, sample.NewRNG(9), math.Inf(1)).Seconds
+	}
+	ref := run(base)
+	for _, name := range []string{
+		conf.KryoBuffer, conf.KryoBufferMax, conf.KryoReferenceTracking,
+		conf.SpeculationInterval, conf.SpeculationMultiplier, conf.SpeculationQuantile,
+		conf.OffHeapSize,
+	} {
+		p, _ := space.Param(name)
+		if got := run(base.With(name, p.DecodeUnit(0.9))); got != ref {
+			t.Errorf("%s: changed outcome (%v -> %v) while its switch is off", name, ref, got)
+		}
+	}
+	// The lz4 block size must be inert under a different codec.
+	zstd := base.With(conf.IOCompressionCodec, 3)
+	refZ := run(zstd)
+	p, _ := space.Param(conf.LZ4BlockSize)
+	if got := run(zstd.With(conf.LZ4BlockSize, p.DecodeUnit(0.9))); got != refZ {
+		t.Errorf("lz4 block size changed outcome under zstd codec")
+	}
+}
+
+// TestSpeculationHelpsSkewedWorkload: with heavy skew, enabling
+// speculation should reduce execution time despite its overhead.
+func TestSpeculationHelpsSkewedWorkload(t *testing.T) {
+	cl := PaperCluster()
+	space := conf.SparkSpace()
+	base, err := space.FromRaw(map[string]float64{
+		conf.ExecutorCores:     8,
+		conf.ExecutorMemory:    24576,
+		conf.ExecutorInstances: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := PageRank(10) // skew 0.5
+	off := Run(cl, w, base.With(conf.Speculation, 0), sample.NewRNG(4), math.Inf(1))
+	on := Run(cl, w, base.With(conf.Speculation, 1), sample.NewRNG(4), math.Inf(1))
+	if !off.Completed || !on.Completed {
+		t.Fatalf("unexpected failures: off=%+v on=%+v", off, on)
+	}
+	if on.Seconds >= off.Seconds {
+		t.Errorf("speculation on (%v) should beat off (%v) under heavy skew", on.Seconds, off.Seconds)
+	}
+}
+
+// TestDriverMemoryMattersForManyTasks: a cramped driver slows stages
+// with very many tasks.
+func TestDriverMemoryMattersForManyTasks(t *testing.T) {
+	cl := PaperCluster()
+	space := conf.SparkSpace()
+	base, err := space.FromRaw(map[string]float64{
+		conf.ExecutorCores:      8,
+		conf.ExecutorMemory:     24576,
+		conf.ExecutorInstances:  20,
+		conf.DefaultParallelism: 1024,
+		conf.MaxPartitionBytes:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := TeraSort(40)
+	small := Run(cl, w, base.With(conf.DriverMemory, 1024), sample.NewRNG(5), math.Inf(1))
+	big := Run(cl, w, base.With(conf.DriverMemory, 8192), sample.NewRNG(5), math.Inf(1))
+	if big.Seconds >= small.Seconds {
+		t.Errorf("8GB driver (%v) should beat 1GB driver (%v) with thousands of tasks", big.Seconds, small.Seconds)
+	}
+}

@@ -1,0 +1,465 @@
+package sparksim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source says where a stage reads its input from.
+type Source int
+
+const (
+	// FromHDFS stages scan input files; their task count follows
+	// spark.files.maxPartitionBytes.
+	FromHDFS Source = iota
+	// FromCache stages read a previously cached RDD; missing cached
+	// fractions are recomputed from the origin.
+	FromCache
+	// FromShuffle stages read the previous stage's shuffle output;
+	// their task count follows spark.default.parallelism.
+	FromShuffle
+)
+
+// Stage describes one unit of the simulated job DAG. Iterative
+// workloads unroll their loop into repeated stages at plan time.
+type Stage struct {
+	// Name identifies the stage in events and logs.
+	Name string
+	// Source determines the input location and the task count rule.
+	Source Source
+	// InputMB is the logical (uncompressed, serialized) data volume
+	// the stage consumes.
+	InputMB float64
+	// CacheKey names the cached RDD read when Source == FromCache.
+	CacheKey string
+	// CostFactor scales per-MB CPU work relative to the cluster's
+	// core speed (1.0 ≈ simple parsing; >1 compute-heavy).
+	CostFactor float64
+	// ExpandFactor is the in-memory expansion of the working set over
+	// the serialized bytes (JVM object overhead); it multiplies with
+	// the serializer's own expansion.
+	ExpandFactor float64
+	// ShuffleOutMB is the serialized volume shuffled to the next stage.
+	ShuffleOutMB float64
+	// WriteHDFSMB is output persisted to HDFS at the end of the stage.
+	WriteHDFSMB float64
+	// MemHungry is the fraction of the working set that must be
+	// memory-resident for the stage's operators (hash/cogroup
+	// structures, graph adjacency arrays); it cannot spill, so it
+	// drives OOM failures. Streaming map stages are near zero.
+	MemHungry float64
+	// SpillFrac is the fraction of the working set that flows through
+	// spillable operator buffers (sorts, aggregations, joins); demand
+	// beyond the task's execution-memory share spills to disk.
+	SpillFrac float64
+	// CacheOutMB, if > 0, is the deserialized size of an RDD this
+	// stage materializes into the block store under CacheOutKey.
+	CacheOutMB  float64
+	CacheOutKey string
+	// CacheDiskFallback marks the cached RDD as MEMORY_AND_DISK:
+	// evicted partitions are read back from disk instead of being
+	// recomputed from lineage (MEMORY_ONLY).
+	CacheDiskFallback bool
+	// BroadcastMB is driver-to-executor broadcast data (model
+	// centroids, weight vectors).
+	BroadcastMB float64
+	// Skew is the relative slowdown of the slowest task over the
+	// median (data skew / stragglers).
+	Skew float64
+}
+
+// Workload is a named job plan over a specific input dataset.
+type Workload struct {
+	// Name is the workload family, e.g. "PageRank".
+	Name string
+	// Dataset describes the input scale, e.g. "5M pages".
+	Dataset string
+	// Stages is the unrolled stage plan.
+	Stages []Stage
+}
+
+// ID returns "Name/Dataset" for use as a cache key across tuning
+// sessions of the same workload family.
+func (w Workload) ID() string { return w.Name + "/" + w.Dataset }
+
+// graphExpand is the in-memory expansion of graph structures
+// (adjacency lists, vertex maps) relative to their serialized size;
+// primitive-heavy ML data expands far less.
+const (
+	graphExpand = 3.5
+	mlExpand    = 1.2
+	rowExpand   = 2.6
+)
+
+// PageRank builds the SparkBench PageRank plan for the given input
+// scale in millions of pages (§5.1 Table 1 uses 5, 7.5 and 10M).
+// Structure: load & cache the link graph, then iterations of
+// contribution generation (cogroup with ranks, shuffle) and rank
+// aggregation.
+func PageRank(millionPages float64) Workload {
+	dataMB := millionPages * 1200 // edge list, ~75 edges/page at ~16 B/edge
+	const iters = 8
+	stages := []Stage{{
+		Name:         "load-links",
+		Source:       FromHDFS,
+		InputMB:      dataMB,
+		CostFactor:   1.1, // parse edges, build adjacency
+		ExpandFactor: graphExpand,
+		MemHungry:    0.6, // adjacency arrays built whole
+		SpillFrac:    0.2,
+		CacheOutMB:   dataMB * graphExpand,
+		CacheOutKey:  "links",
+		ShuffleOutMB: dataMB * 0.25, // initial ranks partitioning
+		Skew:         0.5,           // power-law degree distribution
+	}}
+	for i := 0; i < iters; i++ {
+		stages = append(stages,
+			Stage{
+				Name:         fmt.Sprintf("contrib-%d", i),
+				Source:       FromCache,
+				CacheKey:     "links",
+				InputMB:      dataMB * 1.05, // links + ranks
+				CostFactor:   0.9,           // cogroup + contribution flatMap
+				ExpandFactor: graphExpand,
+				MemHungry:    0.6, // cogroup hash structures
+				SpillFrac:    0.3,
+				ShuffleOutMB: dataMB * 0.45,
+				Skew:         0.5,
+			},
+			Stage{
+				Name:         fmt.Sprintf("ranks-%d", i),
+				Source:       FromShuffle,
+				InputMB:      dataMB * 0.45,
+				CostFactor:   0.4, // reduceByKey sum
+				ExpandFactor: rowExpand,
+				MemHungry:    0.12, // sort-based aggregation spills
+				SpillFrac:    0.8,
+				ShuffleOutMB: dataMB * 0.06, // updated compact ranks
+				Skew:         0.35,
+			})
+	}
+	return Workload{
+		Name:    "PageRank",
+		Dataset: fmt.Sprintf("%gM pages", millionPages),
+		Stages:  stages,
+	}
+}
+
+// KMeans builds the SparkBench KMeans plan for the given input scale
+// in millions of points (Table 1 uses 200, 300, 400M). Structure:
+// load, parse and cache the points, then iterations of assignment
+// (broadcast centroids, compute-heavy map, tiny shuffle) and centroid
+// update. All RDDs are cached (§5.3: "KM caches all RDDs in memory"),
+// so configurations that cause evictions recompute aggressively.
+func KMeans(millionPoints float64) Workload {
+	dataMB := millionPoints * 50.0 / 1000 * 1024 // ~50 bytes per point
+	const iters = 8
+	stages := []Stage{{
+		Name:         "load-points",
+		Source:       FromHDFS,
+		InputMB:      dataMB,
+		CostFactor:   1.0, // parse text into vectors
+		ExpandFactor: mlExpand,
+		MemHungry:    0.05, // streaming map
+		SpillFrac:    0.05,
+		CacheOutMB:   dataMB * mlExpand,
+		CacheOutKey:  "points",
+		Skew:         0.15,
+	}}
+	// SparkBench KMeans caches all RDDs (§5.3): intermediate
+	// assignment RDDs are cached MEMORY_ONLY, chaining lineage so
+	// that evictions cascade into recursive recomputation.
+	prevKey := "points"
+	for i := 0; i < iters; i++ {
+		assign := Stage{
+			Name:         fmt.Sprintf("assign-%d", i),
+			Source:       FromCache,
+			CacheKey:     prevKey,
+			InputMB:      dataMB,
+			CostFactor:   1.0, // distance computations dominate
+			ExpandFactor: mlExpand,
+			MemHungry:    0.05,
+			SpillFrac:    0.05,
+			ShuffleOutMB: 2, // per-partition partial sums
+			BroadcastMB:  4, // centroid matrix
+			Skew:         0.15,
+		}
+		if i%2 == 0 {
+			key := fmt.Sprintf("points-%d", i)
+			assign.CacheOutMB = dataMB * mlExpand
+			assign.CacheOutKey = key
+			prevKey = key
+		}
+		stages = append(stages,
+			assign,
+			Stage{
+				Name:         fmt.Sprintf("update-%d", i),
+				Source:       FromShuffle,
+				InputMB:      2,
+				CostFactor:   0.3,
+				ExpandFactor: rowExpand,
+				MemHungry:    0.1,
+				SpillFrac:    0.8,
+				Skew:         0.1,
+			})
+	}
+	return Workload{
+		Name:    "KMeans",
+		Dataset: fmt.Sprintf("%gM points", millionPoints),
+		Stages:  stages,
+	}
+}
+
+// ConnectedComponents builds the graph label-propagation plan for the
+// given scale in millions of pages (Table 1 uses 5, 7.5, 10M).
+// Similar shape to PageRank but with shrinking per-iteration message
+// volume as components converge.
+func ConnectedComponents(millionPages float64) Workload {
+	dataMB := millionPages * 1200
+	const iters = 7
+	stages := []Stage{{
+		Name:         "load-graph",
+		Source:       FromHDFS,
+		InputMB:      dataMB,
+		CostFactor:   1.1,
+		ExpandFactor: graphExpand,
+		MemHungry:    0.6,
+		SpillFrac:    0.2,
+		CacheOutMB:   dataMB * graphExpand,
+		CacheOutKey:  "graph",
+		ShuffleOutMB: dataMB * 0.2,
+		Skew:         0.5,
+	}}
+	shrink := 1.0
+	for i := 0; i < iters; i++ {
+		stages = append(stages,
+			Stage{
+				Name:         fmt.Sprintf("messages-%d", i),
+				Source:       FromCache,
+				CacheKey:     "graph",
+				InputMB:      dataMB * (0.9 + 0.15*shrink),
+				CostFactor:   0.8,
+				ExpandFactor: graphExpand,
+				MemHungry:    0.6,
+				SpillFrac:    0.3,
+				ShuffleOutMB: dataMB * 0.4 * shrink,
+				Skew:         0.5,
+			},
+			Stage{
+				Name:         fmt.Sprintf("labels-%d", i),
+				Source:       FromShuffle,
+				InputMB:      dataMB * 0.4 * shrink,
+				CostFactor:   0.4,
+				ExpandFactor: rowExpand,
+				MemHungry:    0.12,
+				SpillFrac:    0.8,
+				ShuffleOutMB: dataMB * 0.05 * shrink,
+				Skew:         0.35,
+			})
+		shrink *= 0.7
+	}
+	return Workload{
+		Name:    "ConnectedComponents",
+		Dataset: fmt.Sprintf("%gM pages", millionPages),
+		Stages:  stages,
+	}
+}
+
+// LogisticRegression builds the gradient-descent LR plan for the
+// given scale in millions of examples (Table 1 uses 100, 200, 300M).
+// Load & cache the examples, then iterations of gradient computation
+// with a broadcast weight vector and a tree-aggregated result.
+func LogisticRegression(millionExamples float64) Workload {
+	dataMB := millionExamples * 100.0 / 1000 * 1024 // ~100 bytes per example
+	const iters = 8
+	stages := []Stage{{
+		Name:              "load-examples",
+		Source:            FromHDFS,
+		InputMB:           dataMB,
+		CostFactor:        0.9,
+		ExpandFactor:      mlExpand,
+		MemHungry:         0.05,
+		SpillFrac:         0.05,
+		CacheOutMB:        dataMB * mlExpand,
+		CacheOutKey:       "examples",
+		CacheDiskFallback: true, // MLlib caches MEMORY_AND_DISK
+		Skew:              0.15,
+	}}
+	for i := 0; i < iters; i++ {
+		stages = append(stages,
+			Stage{
+				Name:         fmt.Sprintf("gradient-%d", i),
+				Source:       FromCache,
+				CacheKey:     "examples",
+				InputMB:      dataMB,
+				CostFactor:   1.1, // dot products + exp
+				ExpandFactor: mlExpand,
+				MemHungry:    0.05,
+				SpillFrac:    0.05,
+				ShuffleOutMB: 1, // aggregated gradient
+				BroadcastMB:  2, // weight vector
+				Skew:         0.15,
+			},
+			Stage{
+				Name:         fmt.Sprintf("step-%d", i),
+				Source:       FromShuffle,
+				InputMB:      1,
+				CostFactor:   0.3,
+				ExpandFactor: rowExpand,
+				MemHungry:    0.1,
+				SpillFrac:    0.8,
+				Skew:         0.1,
+			})
+	}
+	return Workload{
+		Name:    "LogisticRegression",
+		Dataset: fmt.Sprintf("%gM examples", millionExamples),
+		Stages:  stages,
+	}
+}
+
+// TeraSort builds the sort micro-benchmark plan for the given input
+// size in GB (Table 1 uses 20, 30, 40 GB): a range-partitioning map
+// stage that shuffles the entire dataset, then a sort-and-write
+// reduce stage. Shuffle compression and serialization dominate.
+func TeraSort(gb float64) Workload {
+	dataMB := gb * 1024
+	return Workload{
+		Name:    "TeraSort",
+		Dataset: fmt.Sprintf("%gGB", gb),
+		Stages: []Stage{
+			{
+				Name:         "partition-map",
+				Source:       FromHDFS,
+				InputMB:      dataMB,
+				CostFactor:   0.5,
+				ExpandFactor: rowExpand,
+				MemHungry:    0.05,
+				SpillFrac:    0.5,    // map-side sort buffers
+				ShuffleOutMB: dataMB, // everything moves
+				Skew:         0.4,
+			},
+			{
+				Name:         "sort-reduce",
+				Source:       FromShuffle,
+				InputMB:      dataMB,
+				CostFactor:   0.8, // merge sort
+				ExpandFactor: rowExpand,
+				MemHungry:    0.14, // pinned sort runs
+				SpillFrac:    0.86, // the rest sorts through spills
+				WriteHDFSMB:  dataMB,
+				Skew:         0.4,
+			},
+		},
+	}
+}
+
+// PaperWorkloads returns the 5×3 workload/dataset grid of Table 1:
+// D1, D2, D3 for each of the five SparkBench workloads.
+func PaperWorkloads() map[string][3]Workload {
+	return map[string][3]Workload{
+		"PageRank":            {PageRank(5), PageRank(7.5), PageRank(10)},
+		"KMeans":              {KMeans(200), KMeans(300), KMeans(400)},
+		"ConnectedComponents": {ConnectedComponents(5), ConnectedComponents(7.5), ConnectedComponents(10)},
+		"LogisticRegression":  {LogisticRegression(100), LogisticRegression(200), LogisticRegression(300)},
+		"TeraSort":            {TeraSort(20), TeraSort(30), TeraSort(40)},
+	}
+}
+
+// WorkloadByName constructs the named workload at dataset index 0..2
+// (D1..D3): the five paper workloads of Table 1, plus the extra
+// workloads from workload_extra.go at three scales each. It returns
+// an error for unknown names or indices.
+func WorkloadByName(name string, dataset int) (Workload, error) {
+	if dataset < 0 || dataset > 2 {
+		return Workload{}, fmt.Errorf("sparksim: dataset index %d out of range 0..2", dataset)
+	}
+	if wls, ok := PaperWorkloads()[name]; ok {
+		return wls[dataset], nil
+	}
+	extras := map[string][3]Workload{
+		"WordCount":      {WordCount(20), WordCount(40), WordCount(60)},
+		"SQLAggregation": {SQLAggregation(30), SQLAggregation(60), SQLAggregation(90)},
+		"TriangleCount":  {TriangleCount(2), TriangleCount(3), TriangleCount(4)},
+	}
+	if wls, ok := extras[name]; ok {
+		return wls[dataset], nil
+	}
+	return Workload{}, fmt.Errorf("sparksim: unknown workload %q (have PageRank, KMeans, ConnectedComponents, LogisticRegression, TeraSort, WordCount, SQLAggregation, TriangleCount)", name)
+}
+
+// Describe renders the workload's stage plan as a fixed-width table —
+// stage names, sources, data volumes and model knobs — for
+// understanding what a workload does before tuning it (robosim's
+// -plan flag).
+func (w Workload) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %d stages\n", w.ID(), len(w.Stages))
+	fmt.Fprintf(&sb, "%-16s %-8s %10s %10s %10s %6s %6s %6s\n",
+		"stage", "source", "input", "shuffle", "cache", "cost", "skew", "pin")
+	sb.WriteString(strings.Repeat("-", 80))
+	sb.WriteByte('\n')
+	src := map[Source]string{FromHDFS: "hdfs", FromCache: "cache", FromShuffle: "shuffle"}
+	fmtMB := func(mb float64) string {
+		switch {
+		case mb <= 0:
+			return "-"
+		case mb >= 1024:
+			return fmt.Sprintf("%.1fGB", mb/1024)
+		default:
+			return fmt.Sprintf("%.0fMB", mb)
+		}
+	}
+	for _, st := range w.Stages {
+		fmt.Fprintf(&sb, "%-16s %-8s %10s %10s %10s %6.1f %6.2f %6.2f\n",
+			st.Name, src[st.Source], fmtMB(st.InputMB), fmtMB(st.ShuffleOutMB),
+			fmtMB(st.CacheOutMB), st.CostFactor, st.Skew, st.MemHungry)
+	}
+	return sb.String()
+}
+
+// TotalInputMB sums the data volume entering the plan from HDFS.
+func (w Workload) TotalInputMB() float64 {
+	var s float64
+	for _, st := range w.Stages {
+		if st.Source == FromHDFS {
+			s += st.InputMB
+		}
+	}
+	return s
+}
+
+// Validate reports structural problems in a user-defined workload
+// plan: empty plans, non-positive inputs, cache reads that precede
+// any cache write of that key, or missing expansion factors.
+func (w Workload) Validate() error {
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("sparksim: workload %q has no stages", w.Name)
+	}
+	written := map[string]bool{}
+	for i, st := range w.Stages {
+		if st.InputMB <= 0 {
+			return fmt.Errorf("sparksim: %s stage %d (%s): InputMB must be > 0", w.Name, i, st.Name)
+		}
+		if st.ExpandFactor <= 0 {
+			return fmt.Errorf("sparksim: %s stage %d (%s): ExpandFactor must be > 0", w.Name, i, st.Name)
+		}
+		if st.CostFactor < 0 || st.Skew < 0 || st.MemHungry < 0 || st.SpillFrac < 0 {
+			return fmt.Errorf("sparksim: %s stage %d (%s): negative model knob", w.Name, i, st.Name)
+		}
+		if st.Source == FromCache && st.CacheKey == "" {
+			return fmt.Errorf("sparksim: %s stage %d (%s): FromCache without CacheKey", w.Name, i, st.Name)
+		}
+		if st.Source == FromCache && !written[st.CacheKey] {
+			return fmt.Errorf("sparksim: %s stage %d (%s): cache %q read before any stage writes it",
+				w.Name, i, st.Name, st.CacheKey)
+		}
+		if st.CacheOutMB > 0 && st.CacheOutKey == "" {
+			return fmt.Errorf("sparksim: %s stage %d (%s): CacheOutMB without CacheOutKey", w.Name, i, st.Name)
+		}
+		if st.CacheOutKey != "" {
+			written[st.CacheOutKey] = true
+		}
+	}
+	return nil
+}

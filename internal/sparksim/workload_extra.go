@@ -1,0 +1,148 @@
+package sparksim
+
+import "fmt"
+
+// This file defines workloads beyond the paper's five — useful for
+// exercising the tuners on differently shaped jobs and as templates
+// for users onboarding their own applications (see
+// examples/customworkload).
+
+// WordCount builds the classic two-stage aggregation benchmark for
+// the given input size in GB: tokenize a text corpus and count words.
+// Shuffle volume is small relative to input (map-side combining), so
+// the job is scan- and CPU-bound.
+func WordCount(gb float64) Workload {
+	dataMB := gb * 1024
+	return Workload{
+		Name:    "WordCount",
+		Dataset: fmt.Sprintf("%gGB text", gb),
+		Stages: []Stage{
+			{
+				Name:         "tokenize-combine",
+				Source:       FromHDFS,
+				InputMB:      dataMB,
+				CostFactor:   1.5, // string splitting dominates
+				ExpandFactor: rowExpand,
+				MemHungry:    0.08, // map-side combine hash
+				SpillFrac:    0.25,
+				ShuffleOutMB: dataMB * 0.12,
+				Skew:         0.25,
+			},
+			{
+				Name:         "count-reduce",
+				Source:       FromShuffle,
+				InputMB:      dataMB * 0.12,
+				CostFactor:   0.5,
+				ExpandFactor: rowExpand,
+				MemHungry:    0.1,
+				SpillFrac:    0.8,
+				WriteHDFSMB:  dataMB * 0.02,
+				Skew:         0.5, // stop-word keys are hot
+			},
+		},
+	}
+}
+
+// SQLAggregation models a star-schema aggregation query over the
+// given fact-table size in GB: scan + filter the fact table with a
+// broadcast dimension join, partially aggregate, then finalize a
+// small result. IO-bound scan, tiny shuffles.
+func SQLAggregation(gb float64) Workload {
+	dataMB := gb * 1024
+	return Workload{
+		Name:    "SQLAggregation",
+		Dataset: fmt.Sprintf("%gGB facts", gb),
+		Stages: []Stage{
+			{
+				Name:         "scan-filter-join",
+				Source:       FromHDFS,
+				InputMB:      dataMB,
+				CostFactor:   0.7, // predicate + hash probe per row
+				ExpandFactor: rowExpand,
+				MemHungry:    0.12, // broadcast hash table share
+				SpillFrac:    0.3,
+				ShuffleOutMB: dataMB * 0.05, // partial aggregates
+				BroadcastMB:  96,            // dimension table
+				Skew:         0.2,
+			},
+			{
+				Name:         "final-aggregate",
+				Source:       FromShuffle,
+				InputMB:      dataMB * 0.05,
+				CostFactor:   0.4,
+				ExpandFactor: rowExpand,
+				MemHungry:    0.1,
+				SpillFrac:    0.8,
+				WriteHDFSMB:  8,
+				Skew:         0.15,
+			},
+		},
+	}
+}
+
+// TriangleCount builds the triangle-counting graph benchmark for the
+// given scale in millions of vertices: materialize and cache the
+// adjacency sets, then a heavy self-join that shuffles candidate
+// wedges and verifies closure. The most shuffle- and memory-intensive
+// workload in the suite.
+func TriangleCount(millionVertices float64) Workload {
+	dataMB := millionVertices * 900 // denser undirected edge list
+	return Workload{
+		Name:    "TriangleCount",
+		Dataset: fmt.Sprintf("%gM vertices", millionVertices),
+		Stages: []Stage{
+			{
+				Name:         "build-adjacency",
+				Source:       FromHDFS,
+				InputMB:      dataMB,
+				CostFactor:   1.2,
+				ExpandFactor: graphExpand,
+				MemHungry:    0.6,
+				SpillFrac:    0.2,
+				CacheOutMB:   dataMB * graphExpand,
+				CacheOutKey:  "adjacency",
+				ShuffleOutMB: dataMB * 0.3,
+				Skew:         0.6,
+			},
+			{
+				Name:         "emit-wedges",
+				Source:       FromCache,
+				CacheKey:     "adjacency",
+				InputMB:      dataMB,
+				CostFactor:   1.8, // neighborhood cross products
+				ExpandFactor: graphExpand,
+				MemHungry:    0.55,
+				SpillFrac:    0.4,
+				ShuffleOutMB: dataMB * 1.6, // wedges blow up
+				Skew:         0.7,          // power-law hubs
+			},
+			{
+				Name:         "close-triangles",
+				Source:       FromShuffle,
+				InputMB:      dataMB * 1.6,
+				CostFactor:   0.9,
+				ExpandFactor: rowExpand,
+				MemHungry:    0.2,
+				SpillFrac:    0.8,
+				ShuffleOutMB: 4,
+				Skew:         0.5,
+			},
+			{
+				Name:         "sum-counts",
+				Source:       FromShuffle,
+				InputMB:      4,
+				CostFactor:   0.3,
+				ExpandFactor: rowExpand,
+				MemHungry:    0.1,
+				SpillFrac:    0.5,
+				Skew:         0.1,
+			},
+		},
+	}
+}
+
+// ExtraWorkloads returns the non-paper workloads at representative
+// scales, for tests and demos.
+func ExtraWorkloads() []Workload {
+	return []Workload{WordCount(40), SQLAggregation(60), TriangleCount(3)}
+}

@@ -1,0 +1,275 @@
+// Package stats provides the statistical primitives shared by the
+// ROBOTune components: the standard normal distribution (PDF, CDF,
+// quantile), descriptive statistics, percentiles, coefficient of
+// determination, recall, and k-fold cross-validation splitting.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// NormPDF returns the density of the standard normal distribution at x.
+func NormPDF(x float64) float64 {
+	const invSqrt2Pi = 0.3989422804014327
+	return invSqrt2Pi * math.Exp(-0.5*x*x)
+}
+
+// NormCDF returns the cumulative distribution function of the standard
+// normal distribution at x.
+func NormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormQuantile returns the inverse CDF (quantile function) of the
+// standard normal distribution, using the Acklam rational
+// approximation refined by one Halley step. p must lie in (0,1).
+func NormQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+	// Acklam's algorithm.
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+	// One step of Halley's method sharpens the approximation to near
+	// machine precision.
+	e := NormCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs. It returns 0
+// for slices with fewer than two elements.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, or NaN for an empty slice.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks, or NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// R2 returns the coefficient of determination of predictions pred
+// against observations obs: 1 - SS_res/SS_tot. A model predicting the
+// mean scores 0; arbitrarily worse models score negative. If obs has
+// zero variance, R2 returns 0 when predictions are exact and
+// math.Inf(-1) otherwise.
+func R2(obs, pred []float64) float64 {
+	if len(obs) == 0 || len(obs) != len(pred) {
+		return math.NaN()
+	}
+	m := Mean(obs)
+	var ssRes, ssTot float64
+	for i := range obs {
+		r := obs[i] - pred[i]
+		ssRes += r * r
+		d := obs[i] - m
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Recall returns |truth ∩ found| / |truth| for string sets. It returns
+// 1 when truth is empty (nothing to miss).
+func Recall(truth, found []string) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	set := make(map[string]bool, len(found))
+	for _, f := range found {
+		set[f] = true
+	}
+	hit := 0
+	for _, t := range truth {
+		if set[t] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// KFold splits the indices 0..n-1 into k shuffled folds for
+// cross-validation. Fold sizes differ by at most one. It panics if
+// k < 2 or n < k.
+func KFold(n, k int, rng *rand.Rand) [][]int {
+	if k < 2 {
+		panic("stats: KFold requires k >= 2")
+	}
+	if n < k {
+		panic("stats: KFold requires n >= k")
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		f := i % k
+		folds[f] = append(folds[f], idx)
+	}
+	return folds
+}
+
+// TrainTest returns the complement of fold within 0..n-1, preserving
+// ascending order, for use as a training index set.
+func TrainTest(n int, fold []int) []int {
+	inFold := make(map[int]bool, len(fold))
+	for _, i := range fold {
+		inFold[i] = true
+	}
+	train := make([]int, 0, n-len(fold))
+	for i := 0; i < n; i++ {
+		if !inFold[i] {
+			train = append(train, i)
+		}
+	}
+	return train
+}
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P25, P50, P75 float64
+	P90, P95, P99 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  StdDev(xs),
+		Min:  Min(xs),
+		Max:  Max(xs),
+		P25:  Percentile(xs, 25),
+		P50:  Percentile(xs, 50),
+		P75:  Percentile(xs, 75),
+		P90:  Percentile(xs, 90),
+		P95:  Percentile(xs, 95),
+		P99:  Percentile(xs, 99),
+	}
+}

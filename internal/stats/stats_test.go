@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sample"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNormPDF(t *testing.T) {
+	if !almost(NormPDF(0), 0.3989422804014327, 1e-12) {
+		t.Errorf("NormPDF(0) = %v", NormPDF(0))
+	}
+	if !almost(NormPDF(1), 0.24197072451914337, 1e-12) {
+		t.Errorf("NormPDF(1) = %v", NormPDF(1))
+	}
+	if NormPDF(10) > 1e-20 {
+		t.Errorf("NormPDF(10) should be tiny, got %v", NormPDF(10))
+	}
+}
+
+func TestNormCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{1, 0.8413447460685429},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := NormCDF(c.x); !almost(got, c.want, 1e-10) {
+			t.Errorf("NormCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormQuantileInvertsCDF(t *testing.T) {
+	f := func(u16 uint16) bool {
+		p := (float64(u16) + 0.5) / 65537.0 // strictly inside (0,1)
+		x := NormQuantile(p)
+		return almost(NormCDF(x), p, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormQuantile(0), -1) {
+		t.Error("NormQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormQuantile(1), 1) {
+		t.Error("NormQuantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormQuantile(-0.5)) || !math.IsNaN(NormQuantile(1.5)) {
+		t.Error("out-of-range p should give NaN")
+	}
+	if !almost(NormQuantile(0.975), 1.959963984540054, 1e-8) {
+		t.Errorf("NormQuantile(0.975) = %v", NormQuantile(0.975))
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if m := Mean(xs); !almost(m, 3, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); !almost(v, 2.5, 1e-12) {
+		t.Errorf("Variance = %v", v)
+	}
+	if md := Median(xs); !almost(md, 3, 1e-12) {
+		t.Errorf("Median = %v", md)
+	}
+	if mn, mx := Min(xs), Max(xs); mn != 1 || mx != 5 {
+		t.Errorf("Min,Max = %v,%v", mn, mx)
+	}
+}
+
+func TestDescriptiveEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if Variance(nil) != 0 {
+		t.Error("Variance(nil) should be 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("Min/Max of empty should be +Inf/-Inf")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Errorf("P100 = %v", p)
+	}
+	if p := Percentile(xs, 50); !almost(p, 5.5, 1e-12) {
+		t.Errorf("P50 = %v", p)
+	}
+	if p := Percentile(xs, 90); !almost(p, 9.1, 1e-12) {
+		t.Errorf("P90 = %v", p)
+	}
+	// Percentile must not mutate the input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, a8, b8 uint8) bool {
+		rng := sample.NewRNG(seed)
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		pa := float64(a8) / 255 * 100
+		pb := float64(b8) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestR2(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if r := R2(obs, obs); !almost(r, 1, 1e-12) {
+		t.Errorf("perfect prediction R2 = %v", r)
+	}
+	m := Mean(obs)
+	mean := []float64{m, m, m, m}
+	if r := R2(obs, mean); !almost(r, 0, 1e-12) {
+		t.Errorf("mean prediction R2 = %v", r)
+	}
+	bad := []float64{10, -10, 10, -10}
+	if r := R2(obs, bad); r >= 0 {
+		t.Errorf("bad prediction R2 = %v, want negative", r)
+	}
+	if !math.IsNaN(R2(nil, nil)) {
+		t.Error("R2 of empty should be NaN")
+	}
+	if !math.IsNaN(R2([]float64{1}, []float64{1, 2})) {
+		t.Error("R2 of mismatched lengths should be NaN")
+	}
+}
+
+func TestR2ZeroVariance(t *testing.T) {
+	obs := []float64{2, 2, 2}
+	if r := R2(obs, []float64{2, 2, 2}); r != 0 {
+		t.Errorf("exact constant prediction R2 = %v, want 0", r)
+	}
+	if r := R2(obs, []float64{1, 2, 3}); !math.IsInf(r, -1) {
+		t.Errorf("wrong constant prediction R2 = %v, want -Inf", r)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	truth := []string{"a", "b", "c"}
+	if r := Recall(truth, []string{"a", "b", "c", "d"}); r != 1 {
+		t.Errorf("full recall = %v", r)
+	}
+	if r := Recall(truth, []string{"a"}); !almost(r, 1.0/3, 1e-12) {
+		t.Errorf("partial recall = %v", r)
+	}
+	if r := Recall(truth, nil); r != 0 {
+		t.Errorf("empty found recall = %v", r)
+	}
+	if r := Recall(nil, []string{"x"}); r != 1 {
+		t.Errorf("empty truth recall = %v", r)
+	}
+}
+
+func TestKFold(t *testing.T) {
+	rng := sample.NewRNG(11)
+	folds := KFold(103, 5, rng)
+	if len(folds) != 5 {
+		t.Fatalf("fold count = %d", len(folds))
+	}
+	seen := make(map[int]int)
+	for _, f := range folds {
+		for _, i := range f {
+			seen[i]++
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("covered %d indices, want 103", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d appears %d times", i, c)
+		}
+	}
+	// Sizes differ by at most one.
+	min, max := 1<<30, 0
+	for _, f := range folds {
+		if len(f) < min {
+			min = len(f)
+		}
+		if len(f) > max {
+			max = len(f)
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("fold size spread %d..%d", min, max)
+	}
+}
+
+func TestKFoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("KFold(3,5) should panic (n < k)")
+		}
+	}()
+	KFold(3, 5, sample.NewRNG(1))
+}
+
+func TestTrainTest(t *testing.T) {
+	train := TrainTest(6, []int{1, 4})
+	want := []int{0, 2, 3, 5}
+	if len(train) != len(want) {
+		t.Fatalf("train = %v", train)
+	}
+	for i := range want {
+		if train[i] != want[i] {
+			t.Fatalf("train = %v, want %v", train, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almost(s.P50, 50.5, 1e-9) || !almost(s.Mean, 50.5, 1e-9) {
+		t.Errorf("P50/Mean = %v/%v", s.P50, s.Mean)
+	}
+	if s.P90 <= s.P50 || s.P99 <= s.P90 {
+		t.Errorf("percentiles not increasing: %+v", s)
+	}
+}

@@ -1,0 +1,32 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+	"repro/internal/sweep"
+)
+
+// A sweep shows the shape the tuners search: hold a good
+// configuration fixed and move one parameter across its range.
+func ExampleRun() {
+	base, err := conf.SparkSpace().FromRaw(map[string]float64{
+		conf.ExecutorCores:     8,
+		conf.ExecutorMemory:    24576,
+		conf.ExecutorInstances: 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sweep.Run(sparksim.PaperCluster(), sparksim.TeraSort(30), base,
+		conf.ShuffleCompress, sweep.Config{Reps: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("points:", len(res.Points))
+	fmt.Println("compression helps:", res.Points[1].Seconds < res.Points[0].Seconds)
+	// Output:
+	// points: 2
+	// compression helps: true
+}

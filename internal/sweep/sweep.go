@@ -1,0 +1,190 @@
+// Package sweep produces one-dimensional sensitivity curves: hold a
+// configuration fixed, move a single parameter across its range, and
+// record the objective at each point. Sweeps are how you *look at*
+// the response surface the tuners search — robosim's -sweep flag
+// renders them as ASCII curves.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+)
+
+// Point is one sweep sample.
+type Point struct {
+	// Raw is the parameter's raw value at this point.
+	Raw float64
+	// Label renders the value with its unit / choice name.
+	Label string
+	// Seconds is the mean objective over Reps runs (capped values for
+	// failures).
+	Seconds float64
+	// Failed is true when every rep failed (OOM/infeasible).
+	Failed bool
+}
+
+// Result is a full single-parameter sweep.
+type Result struct {
+	Param  conf.Param
+	Points []Point
+	// BaseSeconds is the unswept configuration's time, for reference.
+	BaseSeconds float64
+}
+
+// Config controls a sweep.
+type Config struct {
+	// Steps is the number of grid points for numeric parameters
+	// (default 9). Bool and categorical parameters enumerate all
+	// values regardless.
+	Steps int
+	// Reps averages this many runs per point (default 3).
+	Reps int
+	// Seed drives the simulator noise.
+	Seed uint64
+	// CapSeconds truncates runs (default 480).
+	CapSeconds float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps < 2 {
+		c.Steps = 9
+	}
+	if c.Reps < 1 {
+		c.Reps = 3
+	}
+	if c.CapSeconds <= 0 {
+		c.CapSeconds = 480
+	}
+	return c
+}
+
+// Run sweeps the named parameter of base across its range on the
+// given workload and cluster.
+func Run(cl sparksim.Cluster, w sparksim.Workload, base conf.Config, name string, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	space := base.Space()
+	p, ok := space.Param(name)
+	if !ok {
+		return Result{}, fmt.Errorf("sweep: unknown parameter %q", name)
+	}
+
+	measure := func(c conf.Config) (float64, bool) {
+		var sum float64
+		failures := 0
+		for r := 0; r < cfg.Reps; r++ {
+			ev := sparksim.NewEvaluator(cl, w, cfg.Seed+uint64(r)*131, cfg.CapSeconds)
+			rec := ev.Evaluate(c)
+			sum += rec.Seconds
+			if !rec.Completed {
+				failures++
+			}
+		}
+		return sum / float64(cfg.Reps), failures == cfg.Reps
+	}
+
+	res := Result{Param: p}
+	res.BaseSeconds, _ = measure(base)
+
+	for _, raw := range gridFor(p, cfg.Steps) {
+		c := base.With(name, raw)
+		sec, failed := measure(c)
+		res.Points = append(res.Points, Point{
+			Raw:     raw,
+			Label:   p.FormatRaw(raw),
+			Seconds: sec,
+			Failed:  failed,
+		})
+	}
+	return res, nil
+}
+
+// gridFor enumerates sweep values for a parameter: all values for
+// bool/categorical, an even unit-cube grid (so log parameters get a
+// geometric grid) for numerics.
+func gridFor(p conf.Param, steps int) []float64 {
+	switch p.Kind {
+	case conf.Bool:
+		return []float64{0, 1}
+	case conf.Categorical:
+		out := make([]float64, len(p.Choices))
+		for i := range p.Choices {
+			out[i] = float64(i)
+		}
+		return out
+	default:
+		var out []float64
+		seen := map[float64]bool{}
+		for i := 0; i < steps; i++ {
+			u := float64(i) / float64(steps-1)
+			if u >= 1 {
+				u = math.Nextafter(1, 0)
+			}
+			raw := p.DecodeUnit(u)
+			if !seen[raw] { // Int grids can collide on small ranges
+				seen[raw] = true
+				out = append(out, raw)
+			}
+		}
+		return out
+	}
+}
+
+// Best returns the sweep point with the lowest objective.
+func (r Result) Best() Point {
+	best := Point{Seconds: math.Inf(1)}
+	for _, pt := range r.Points {
+		if !pt.Failed && pt.Seconds < best.Seconds {
+			best = pt
+		}
+	}
+	return best
+}
+
+// Sensitivity returns max/min of the completed points — how much this
+// parameter alone can swing the objective around the base config.
+func (r Result) Sensitivity() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, pt := range r.Points {
+		if pt.Failed {
+			continue
+		}
+		lo = math.Min(lo, pt.Seconds)
+		hi = math.Max(hi, pt.Seconds)
+	}
+	if lo <= 0 || math.IsInf(lo, 1) {
+		return math.NaN()
+	}
+	return hi / lo
+}
+
+// Render prints the sweep as a labeled ASCII bar curve.
+func (r Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweep of %s (base config: %.1f s; sensitivity %.2fx)\n",
+		r.Param.Name, r.BaseSeconds, r.Sensitivity())
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, pt := range r.Points {
+		if !pt.Failed {
+			lo = math.Min(lo, pt.Seconds)
+			hi = math.Max(hi, pt.Seconds)
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	const width = 40
+	for _, pt := range r.Points {
+		if pt.Failed {
+			fmt.Fprintf(&sb, "  %12s | FAILS\n", pt.Label)
+			continue
+		}
+		bars := int((pt.Seconds - lo) / span * width)
+		fmt.Fprintf(&sb, "  %12s | %7.1fs %s\n", pt.Label, pt.Seconds, strings.Repeat("#", bars+1))
+	}
+	return sb.String()
+}

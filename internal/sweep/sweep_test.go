@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+)
+
+func base(t *testing.T) conf.Config {
+	t.Helper()
+	c, err := conf.SparkSpace().FromRaw(map[string]float64{
+		conf.ExecutorCores:      8,
+		conf.ExecutorMemory:     24576,
+		conf.ExecutorInstances:  20,
+		conf.DefaultParallelism: 200,
+		conf.Serializer:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSweepNumericParameter(t *testing.T) {
+	res, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(30), base(t),
+		conf.ExecutorMemory, Config{Steps: 7, Reps: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Raw values ascend and stay in range.
+	for i, pt := range res.Points {
+		if pt.Raw < 8192 || pt.Raw > 184320 {
+			t.Errorf("point %d raw %v out of range", i, pt.Raw)
+		}
+		if i > 0 && pt.Raw <= res.Points[i-1].Raw {
+			t.Errorf("grid not ascending at %d", i)
+		}
+	}
+	if res.BaseSeconds <= 0 {
+		t.Error("base seconds missing")
+	}
+	if s := res.Sensitivity(); math.IsNaN(s) || s < 1 {
+		t.Errorf("sensitivity = %v", s)
+	}
+	best := res.Best()
+	if best.Failed || best.Seconds <= 0 {
+		t.Errorf("best = %+v", best)
+	}
+	if out := res.Render(); !strings.Contains(out, conf.ExecutorMemory) {
+		t.Error("render missing parameter name")
+	}
+}
+
+func TestSweepCategoricalEnumeratesChoices(t *testing.T) {
+	res, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(20), base(t),
+		conf.IOCompressionCodec, Config{Reps: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("codec sweep points = %d, want 4", len(res.Points))
+	}
+	labels := map[string]bool{}
+	for _, pt := range res.Points {
+		labels[pt.Label] = true
+	}
+	for _, want := range []string{"lz4", "lzf", "snappy", "zstd"} {
+		if !labels[want] {
+			t.Errorf("missing choice %q", want)
+		}
+	}
+}
+
+func TestSweepBool(t *testing.T) {
+	res, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(30), base(t),
+		conf.ShuffleCompress, Config{Reps: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("bool sweep points = %d", len(res.Points))
+	}
+	// Compression on should beat off for shuffle-heavy TeraSort.
+	if res.Points[1].Seconds >= res.Points[0].Seconds {
+		t.Errorf("compress on (%v) should beat off (%v)",
+			res.Points[1].Seconds, res.Points[0].Seconds)
+	}
+}
+
+func TestSweepDetectsFailureRegion(t *testing.T) {
+	// Sweeping executor memory down from a graph workload's base
+	// should hit the OOM cliff at the low end.
+	// A high cap separates genuine OOM failures from merely-slow
+	// configurations (huge executors leave few slots).
+	// 32-core executors: low heap shares execution memory across many
+	// slots (OOM at the cliff), high heap keeps all 160 slots fast.
+	wide := base(t).With(conf.MaxPartitionBytes, 512).With(conf.ExecutorCores, 32)
+	res, err := Run(sparksim.PaperCluster(), sparksim.PageRank(10), wide,
+		conf.ExecutorMemory, Config{Steps: 9, Reps: 1, Seed: 4, CapSeconds: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Points[0].Failed {
+		t.Errorf("lowest memory point should fail: %+v", res.Points[0])
+	}
+	// The very top of the range is infeasible too (heap + 10%
+	// overhead exceeds the 192 GB node); the middle completes.
+	if !res.Points[len(res.Points)-1].Failed {
+		t.Errorf("180GB executors should be infeasible on 192GB nodes")
+	}
+	completed := 0
+	for _, pt := range res.Points {
+		if !pt.Failed {
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Error("no sweep point completed")
+	}
+	if out := res.Render(); !strings.Contains(out, "FAILS") {
+		t.Error("render missing failure marker")
+	}
+}
+
+func TestSweepUnknownParameter(t *testing.T) {
+	if _, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(20), base(t),
+		"bogus", Config{}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestSweepIntGridDeduplicates(t *testing.T) {
+	// task.cpus spans 1..4; a 9-step grid must deduplicate to 4 points.
+	res, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(20), base(t),
+		conf.TaskCPUs, Config{Steps: 9, Reps: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("task.cpus sweep points = %d, want 4 deduplicated", len(res.Points))
+	}
+}

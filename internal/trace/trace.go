@@ -1,0 +1,220 @@
+// Package trace records tuning sessions as structured, serializable
+// logs — every evaluated configuration with its outcome, plus the
+// session summary — so runs can be archived, diffed and analyzed
+// outside the process (robotune's -trace flag writes these).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/conf"
+	"repro/internal/memo"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+// Record is one evaluated configuration.
+type Record struct {
+	// Index is the evaluation's 0-based position in the session.
+	Index int `json:"index"`
+	// Values holds the configuration's raw parameter values.
+	Values map[string]float64 `json:"values"`
+	// Seconds is the objective value observed (capped for failures).
+	Seconds float64 `json:"seconds"`
+	// Raw is the uncapped simulated duration.
+	Raw float64 `json:"raw"`
+	// Completed/OOM/Infeasible classify the outcome.
+	Completed  bool `json:"completed"`
+	OOM        bool `json:"oom,omitempty"`
+	Infeasible bool `json:"infeasible,omitempty"`
+}
+
+// Session is a complete tuning session log.
+type Session struct {
+	Workload string   `json:"workload"`
+	Dataset  string   `json:"dataset"`
+	Tuner    string   `json:"tuner"`
+	Budget   int      `json:"budget"`
+	Seed     uint64   `json:"seed"`
+	Records  []Record `json:"records"`
+	// Summary fields copied from the tuner result.
+	BestSeconds    float64  `json:"bestSeconds"`
+	Found          bool     `json:"found"`
+	SearchCost     float64  `json:"searchCost"`
+	SelectionEvals int      `json:"selectionEvals,omitempty"`
+	SelectionCost  float64  `json:"selectionCost,omitempty"`
+	SelectedParams []string `json:"selectedParams,omitempty"`
+}
+
+// Recorder wraps a *sparksim.Evaluator (or ResourceCostEvaluator) and
+// logs every evaluation. It satisfies tuners.Objective and forwards
+// the optional capabilities ROBOTune probes for.
+type Recorder struct {
+	inner innerEvaluator
+
+	mu      sync.Mutex
+	records []Record
+}
+
+// innerEvaluator is the full capability set of *sparksim.Evaluator.
+type innerEvaluator interface {
+	tuners.Objective
+	EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord
+	WorkloadName() string
+	DatasetName() string
+}
+
+// NewRecorder wraps an evaluator.
+func NewRecorder(inner innerEvaluator) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Evaluate implements tuners.Objective.
+func (r *Recorder) Evaluate(c conf.Config) sparksim.EvalRecord {
+	rec := r.inner.Evaluate(c)
+	r.log(c, rec)
+	return rec
+}
+
+// EvaluateWithCap forwards the guard capability.
+func (r *Recorder) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
+	rec := r.inner.EvaluateWithCap(c, cap)
+	r.log(c, rec)
+	return rec
+}
+
+// SearchCost implements tuners.Objective.
+func (r *Recorder) SearchCost() float64 { return r.inner.SearchCost() }
+
+// Evals implements tuners.Objective.
+func (r *Recorder) Evals() int { return r.inner.Evals() }
+
+// WorkloadName forwards the memoization identity.
+func (r *Recorder) WorkloadName() string { return r.inner.WorkloadName() }
+
+// DatasetName forwards the memoization identity.
+func (r *Recorder) DatasetName() string { return r.inner.DatasetName() }
+
+func (r *Recorder) log(c conf.Config, rec sparksim.EvalRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records = append(r.records, Record{
+		Index:      len(r.records),
+		Values:     c.ToMap(),
+		Seconds:    sanitize(rec.Seconds),
+		Raw:        sanitize(rec.Raw),
+		Completed:  rec.Completed,
+		OOM:        rec.OOM,
+		Infeasible: rec.Infeasible,
+	})
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	return v
+}
+
+// Records returns a copy of the evaluation log so far.
+func (r *Recorder) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Record(nil), r.records...)
+}
+
+// Finish assembles the session log from the recorder and the tuner's
+// result.
+func (r *Recorder) Finish(tunerName string, budget int, seed uint64, res tuners.Result) Session {
+	return Session{
+		Workload:       r.WorkloadName(),
+		Dataset:        r.DatasetName(),
+		Tuner:          tunerName,
+		Budget:         budget,
+		Seed:           seed,
+		Records:        r.Records(),
+		BestSeconds:    sanitize(res.BestSeconds),
+		Found:          res.Found,
+		SearchCost:     res.SearchCost,
+		SelectionEvals: res.SelectionEvals,
+		SelectionCost:  res.SelectionCost,
+		SelectedParams: res.SelectedParams,
+	}
+}
+
+// Save writes the session as indented JSON.
+func (s Session) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace: marshal: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("trace: write: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a session written by Save.
+func Load(path string) (Session, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Session{}, fmt.Errorf("trace: read: %w", err)
+	}
+	var s Session
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Session{}, fmt.Errorf("trace: parse %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// RunningMin returns the running minimum of the completed records'
+// objective values — the Figure 6 convergence curve of a saved
+// session.
+func (s Session) RunningMin() []float64 {
+	out := make([]float64, len(s.Records))
+	best := math.Inf(1)
+	for i, rec := range s.Records {
+		if rec.Seconds > 0 && rec.Seconds < best {
+			best = rec.Seconds
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// SeedStore replays the session's completed observations into a memo
+// store: the best K configurations enter the workload's memoization
+// buffer. This recovers a crashed or interrupted session's knowledge
+// — the next Tune for the family warm-starts from everything the lost
+// session learned.
+func (s Session) SeedStore(store *memo.Store, keep int) int {
+	if keep <= 0 {
+		keep = 16
+	}
+	var saved []memo.SavedConfig
+	for _, rec := range s.Records {
+		if !rec.Completed || rec.Seconds <= 0 {
+			continue
+		}
+		saved = append(saved, memo.SavedConfig{
+			Values:  rec.Values,
+			Seconds: rec.Seconds,
+			Dataset: s.Dataset,
+		})
+	}
+	if len(saved) == 0 || s.Workload == "" {
+		return 0
+	}
+	store.AddConfigs(s.Workload, saved, keep)
+	if len(s.SelectedParams) > 0 {
+		if _, hit := store.Selection(s.Workload); !hit {
+			store.PutSelection(s.Workload, s.SelectedParams)
+		}
+	}
+	return len(saved)
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+func newRecorder(t *testing.T) *Recorder {
+	t.Helper()
+	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(20), 1, 480)
+	return NewRecorder(ev)
+}
+
+func TestRecorderLogsEvaluations(t *testing.T) {
+	r := newRecorder(t)
+	space := conf.SparkSpace()
+	c := space.Default().With(conf.ExecutorMemory, 32768).With(conf.ExecutorCores, 8)
+	r.Evaluate(c)
+	r.EvaluateWithCap(c, 200)
+	recs := r.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Index != 0 || recs[1].Index != 1 {
+		t.Error("indices wrong")
+	}
+	if recs[0].Values[conf.ExecutorMemory] != 32768 {
+		t.Error("config values not captured")
+	}
+	if r.Evals() != 2 || r.SearchCost() <= 0 {
+		t.Error("objective forwarding broken")
+	}
+	if r.WorkloadName() != "TeraSort" || r.DatasetName() != "20GB" {
+		t.Error("identity forwarding broken")
+	}
+}
+
+func TestRecorderThroughROBOTuneAndRoundTrip(t *testing.T) {
+	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(20), 2, 480)
+	rec := NewRecorder(ev)
+	opts := core.Options{GenericSamples: 40, PermuteRepeats: 2}
+	rt := core.New(nil, opts)
+	res := rt.Tune(rec, conf.SparkSpace(), 20, 2)
+	if !res.Found {
+		t.Fatal("tuning failed")
+	}
+	// Selection (40) + tuning (20) evaluations all logged.
+	if got := len(rec.Records()); got != 60 {
+		t.Fatalf("recorded %d evaluations, want 60", got)
+	}
+	// ROBOTune saw the identity through the wrapper → memoization ran.
+	if len(res.SelectedParams) == 0 {
+		t.Error("selection did not run through the recorder")
+	}
+
+	sess := rec.Finish("ROBOTune", 20, 2, res)
+	if sess.Workload != "TeraSort" || sess.Tuner != "ROBOTune" || !sess.Found {
+		t.Fatalf("session summary: %+v", sess)
+	}
+
+	path := filepath.Join(t.TempDir(), "session.json")
+	if err := sess.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Records) != 60 || loaded.BestSeconds != sess.BestSeconds {
+		t.Fatalf("round trip lost data: %d records, best %v", len(loaded.Records), loaded.BestSeconds)
+	}
+
+	// Convergence curve is non-increasing.
+	curve := loaded.RunningMin()
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("running min increased at %d", i)
+		}
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize(math.NaN()) != -1 || sanitize(math.Inf(1)) != -1 {
+		t.Error("non-finite values should map to -1")
+	}
+	if sanitize(3.5) != 3.5 {
+		t.Error("finite values must pass through")
+	}
+}
+
+func TestRecorderSatisfiesObjective(t *testing.T) {
+	var _ tuners.Objective = newRecorder(t)
+}
+
+func TestSeedStoreRecoversSession(t *testing.T) {
+	// Simulate a session that crashed after its evaluations were
+	// logged: the trace seeds a fresh store, and the next session
+	// starts warm (selection cached, memo configs present).
+	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(20), 5, 480)
+	rec := NewRecorder(ev)
+	rt := core.New(nil, core.Options{GenericSamples: 40, PermuteRepeats: 2})
+	res := rt.Tune(rec, conf.SparkSpace(), 20, 5)
+	sess := rec.Finish("ROBOTune", 20, 5, res)
+
+	store := memo.NewStore()
+	n := sess.SeedStore(store, 8)
+	if n == 0 {
+		t.Fatal("nothing recovered from the trace")
+	}
+	if _, hit := store.Selection("TeraSort"); !hit {
+		t.Error("selection not recovered")
+	}
+	best := store.BestConfigs("TeraSort", 4)
+	if len(best) == 0 {
+		t.Fatal("memo buffer empty after recovery")
+	}
+	// Best recovered config matches the session's best.
+	if best[0].Seconds != res.BestSeconds {
+		t.Errorf("recovered best %v != session best %v", best[0].Seconds, res.BestSeconds)
+	}
+
+	// A new tuner over the recovered store skips selection.
+	rt2 := core.New(store, core.Options{GenericSamples: 40, PermuteRepeats: 2})
+	ev2 := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(30), 6, 480)
+	res2 := rt2.Tune(ev2, conf.SparkSpace(), 15, 6)
+	if res2.SelectionEvals != 0 {
+		t.Errorf("recovered store did not give a cache hit: %d selection evals", res2.SelectionEvals)
+	}
+}
+
+func TestSeedStoreEmptySession(t *testing.T) {
+	store := memo.NewStore()
+	if n := (Session{}).SeedStore(store, 4); n != 0 {
+		t.Errorf("empty session seeded %d configs", n)
+	}
+}

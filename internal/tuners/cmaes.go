@@ -1,0 +1,54 @@
+package tuners
+
+import (
+	"math"
+
+	"repro/internal/conf"
+	"repro/internal/optimize"
+	"repro/internal/sample"
+)
+
+// CMAES is an extension baseline: separable CMA-ES evolving
+// configurations directly in the 44-dimensional unit cube. Evolution
+// strategies are a standard tool in program autotuning; like Gunther
+// it is population-based, but with principled step-size and
+// per-coordinate variance adaptation instead of ad-hoc mutation
+// rates.
+type CMAES struct {
+	// Sigma0 is the initial step size (default 0.25 of the cube).
+	Sigma0 float64
+	// Lambda is the population size (default 4+3·ln d).
+	Lambda int
+}
+
+// Name implements Tuner.
+func (CMAES) Name() string { return "CMAES" }
+
+// Tune implements Tuner.
+func (c CMAES) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
+	rng := sample.NewRNG(seed)
+	tr := newTracker()
+
+	evalsLeft := budget
+	f := func(u []float64) float64 {
+		if evalsLeft <= 0 {
+			// Budget exhausted mid-generation: return a terrible value
+			// without consuming an evaluation.
+			return math.Inf(1)
+		}
+		evalsLeft--
+		cfg := space.Decode(u)
+		rec := obj.Evaluate(cfg)
+		tr.observe(cfg, rec)
+		return rec.Seconds
+	}
+
+	// Start from the cube center; CMA-ES handles the rest.
+	x0 := make([]float64, space.Dim())
+	for i := range x0 {
+		x0[i] = 0.5
+	}
+	optimize.CMAES(f, x0, optimize.UnitBox(space.Dim()),
+		optimize.CMAESConfig{Sigma0: c.Sigma0, Lambda: c.Lambda, MaxEvals: budget, Seed: seed}, rng)
+	return tr.result(obj)
+}

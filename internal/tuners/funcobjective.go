@@ -1,0 +1,88 @@
+package tuners
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+)
+
+// FuncObjective adapts a plain Go function to the Objective interface,
+// so any measurable system — not just the Spark simulator — can be
+// tuned (§4: the framework is modular; only the configuration encoder
+// and objective are system-specific). The function returns the
+// measured cost in seconds and whether the run succeeded.
+//
+// FuncObjective is safe for concurrent use.
+type FuncObjective struct {
+	// Fn measures one configuration.
+	Fn func(c conf.Config) (seconds float64, ok bool)
+	// Cap is the per-evaluation limit (the guard and failed runs
+	// report this value); <= 0 means 480, the paper's default.
+	Cap float64
+	// Workload and Dataset, when set, key ROBOTune's memoization.
+	Workload, Dataset string
+
+	mu    sync.Mutex
+	evals int
+	cost  float64
+}
+
+// Evaluate implements Objective.
+func (f *FuncObjective) Evaluate(c conf.Config) sparksim.EvalRecord {
+	return f.EvaluateWithCap(c, f.capSeconds())
+}
+
+// EvaluateWithCap supports ROBOTune's bad-configuration guard: runs
+// whose measured time exceeds the cap are charged only the cap and
+// valued at the global limit.
+func (f *FuncObjective) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
+	limit := f.capSeconds()
+	if cap <= 0 || cap > limit {
+		cap = limit
+	}
+	sec, ok := f.Fn(c)
+	consumed := math.Min(sec, cap)
+
+	f.mu.Lock()
+	f.evals++
+	f.cost += consumed
+	f.mu.Unlock()
+
+	rec := sparksim.EvalRecord{Config: c, Raw: sec}
+	if ok && sec <= cap {
+		rec.Completed = true
+		rec.Seconds = consumed
+	} else {
+		rec.Seconds = limit
+	}
+	return rec
+}
+
+func (f *FuncObjective) capSeconds() float64 {
+	if f.Cap <= 0 {
+		return 480
+	}
+	return f.Cap
+}
+
+// SearchCost implements Objective.
+func (f *FuncObjective) SearchCost() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cost
+}
+
+// Evals implements Objective.
+func (f *FuncObjective) Evals() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.evals
+}
+
+// WorkloadName keys ROBOTune's caches when Workload is set.
+func (f *FuncObjective) WorkloadName() string { return f.Workload }
+
+// DatasetName completes the memoization identity.
+func (f *FuncObjective) DatasetName() string { return f.Dataset }

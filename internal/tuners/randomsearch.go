@@ -1,0 +1,31 @@
+package tuners
+
+import (
+	"repro/internal/conf"
+	"repro/internal/sample"
+)
+
+// RandomSearch explores parameter ranges uniformly at random
+// (Bergstra & Bengio), the baseline every tuner in §5 is scaled
+// against. It is surprisingly competitive in high-dimensional spaces,
+// which is exactly the paper's observation about search-based tuners
+// that underexploit.
+type RandomSearch struct{}
+
+// Name implements Tuner.
+func (RandomSearch) Name() string { return "RandomSearch" }
+
+// Tune implements Tuner.
+func (RandomSearch) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
+	rng := sample.NewRNG(seed)
+	tr := newTracker()
+	u := make([]float64, space.Dim())
+	for i := 0; i < budget; i++ {
+		for j := range u {
+			u[j] = rng.Float64()
+		}
+		c := space.Decode(u)
+		tr.observe(c, obj.Evaluate(c))
+	}
+	return tr.result(obj)
+}

@@ -1,0 +1,144 @@
+package tuners
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/conf"
+	"repro/internal/sample"
+	"repro/internal/sparksim"
+)
+
+// SuccessiveHalving is an extension baseline beyond the paper's
+// three: Hyperband-style successive halving over the *execution time
+// cap* instead of training epochs. A large cohort of LHS
+// configurations is evaluated under a tight time cap — runs that
+// cannot finish are killed cheaply — and the fastest fraction is
+// promoted to a looser cap, repeating until the survivors run under
+// the full limit. It exploits the same early-kill machinery as
+// ROBOTune's guard, but with a fixed schedule instead of a model.
+//
+// It requires an Objective that supports EvaluateWithCap (the
+// simulator's Evaluator and FuncObjective both do); otherwise every
+// evaluation runs under the full cap and the method degrades to
+// repeated-evaluation selection.
+type SuccessiveHalving struct {
+	// Eta is the promotion factor: 1/Eta of each cohort survives and
+	// the cap grows by Eta (default 3, Hyperband's usual choice).
+	Eta int
+	// MinCap is the tightest initial cap in seconds (default 60).
+	MinCap float64
+	// MaxCap is the final cap (default 480, the paper's limit).
+	MaxCap float64
+}
+
+// Name implements Tuner.
+func (SuccessiveHalving) Name() string { return "SuccessiveHalving" }
+
+// shaCapper lets SHA use the guard capability when available.
+type shaCapper interface {
+	EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord
+}
+
+// Tune implements Tuner.
+func (s SuccessiveHalving) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
+	if s.Eta < 2 {
+		s.Eta = 3
+	}
+	if s.MinCap <= 0 {
+		s.MinCap = 60
+	}
+	if s.MaxCap <= s.MinCap {
+		s.MaxCap = 480
+	}
+	rng := sample.NewRNG(seed)
+	tr := newTracker()
+
+	evalAt := func(c conf.Config, cap float64) sparksim.EvalRecord {
+		if sc, ok := obj.(shaCapper); ok {
+			return sc.EvaluateWithCap(c, cap)
+		}
+		return obj.Evaluate(c)
+	}
+
+	// Rounds: caps MinCap, MinCap*Eta, ... up to MaxCap.
+	rounds := 1
+	for cap := s.MinCap; cap < s.MaxCap; cap *= float64(s.Eta) {
+		rounds++
+	}
+	// Cohort sizing: n + n/eta + n/eta² + ... <= budget.
+	denom := 0.0
+	f := 1.0
+	for r := 0; r < rounds; r++ {
+		denom += f
+		f /= float64(s.Eta)
+	}
+	cohort := int(float64(budget) / denom)
+	if cohort < 1 {
+		cohort = 1
+	}
+
+	type entry struct {
+		c   conf.Config
+		sec float64
+	}
+	var survivors []entry
+	for _, u := range sample.LHS(cohort, space.Dim(), rng) {
+		survivors = append(survivors, entry{c: space.Decode(u)})
+	}
+
+	remaining := budget
+	cap := s.MinCap
+	for r := 0; r < rounds && remaining > 0 && len(survivors) > 0; r++ {
+		if r == rounds-1 {
+			cap = s.MaxCap
+		}
+		evaluated := survivors[:0]
+		for _, e := range survivors {
+			if remaining <= 0 {
+				break
+			}
+			remaining--
+			rec := evalAt(e.c, cap)
+			tr.observe(e.c, rec)
+			// Runs killed by the tight cap carry their consumed time
+			// as the ranking key (they are at least that slow).
+			sec := rec.Seconds
+			if !rec.Completed {
+				sec = math.Max(rec.Raw, cap)
+			}
+			evaluated = append(evaluated, entry{c: e.c, sec: sec})
+		}
+		sort.SliceStable(evaluated, func(a, b int) bool { return evaluated[a].sec < evaluated[b].sec })
+		keep := len(evaluated) / s.Eta
+		if keep < 1 {
+			keep = 1
+		}
+		survivors = append([]entry(nil), evaluated[:keep]...)
+		cap = math.Min(cap*float64(s.Eta), s.MaxCap)
+	}
+
+	// Spend any leftover budget re-evaluating the incumbent region:
+	// jittered copies of the best survivor.
+	for remaining > 0 && len(survivors) > 0 {
+		remaining--
+		u := space.Encode(survivors[0].c)
+		for j := range u {
+			u[j] = clampUnit(u[j] + 0.03*rng.NormFloat64())
+		}
+		c := space.Decode(u)
+		rec := evalAt(c, s.MaxCap)
+		tr.observe(c, rec)
+	}
+	return tr.result(obj)
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return v
+}

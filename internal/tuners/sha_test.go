@@ -1,0 +1,106 @@
+package tuners
+
+import (
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+)
+
+func TestSHARespectssBudgetAndFinds(t *testing.T) {
+	obj := newSynth(smoothObjective)
+	res := SuccessiveHalving{}.Tune(obj, smallSpace(t), 60, 1)
+	if res.Evals > 60 {
+		t.Fatalf("evals = %d exceeds budget", res.Evals)
+	}
+	if !res.Found {
+		t.Fatal("SHA found nothing")
+	}
+	if res.BestSeconds > 75 {
+		t.Errorf("SHA best %v too far from optimum ~50", res.BestSeconds)
+	}
+}
+
+func TestSHAOnSimulatorUsesCheapEarlyRounds(t *testing.T) {
+	space := conf.SparkSpace()
+	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.KMeans(200), 4, 480)
+	res := SuccessiveHalving{}.Tune(ev, space, 60, 4)
+	if !res.Found {
+		t.Fatal("SHA found nothing on KMeans")
+	}
+	// The tight early caps keep mean per-evaluation cost well under
+	// the 480 s worst case.
+	perEval := res.SearchCost / float64(res.Evals)
+	if perEval > 300 {
+		t.Errorf("mean cost per eval %v, expected early-kill savings", perEval)
+	}
+	// Compare with Random Search under the same budget: SHA should be
+	// cheaper per evaluation (RS runs everything to the cap).
+	evRS := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.KMeans(200), 4, 480)
+	rs := RandomSearch{}.Tune(evRS, space, 60, 4)
+	if rs.Evals > 0 && perEval >= rs.SearchCost/float64(rs.Evals) {
+		t.Errorf("SHA per-eval cost %v should be below RS %v",
+			perEval, rs.SearchCost/float64(rs.Evals))
+	}
+}
+
+func TestSHADeterministic(t *testing.T) {
+	a := SuccessiveHalving{}.Tune(newSynth(smoothObjective), smallSpace(t), 40, 9)
+	b := SuccessiveHalving{}.Tune(newSynth(smoothObjective), smallSpace(t), 40, 9)
+	if a.BestSeconds != b.BestSeconds || a.SearchCost != b.SearchCost {
+		t.Error("same seed differs")
+	}
+}
+
+func TestSHAHandlesFailures(t *testing.T) {
+	obj := newSynth(func(conf.Config) (float64, bool) { return 1000, false })
+	res := SuccessiveHalving{}.Tune(obj, smallSpace(t), 30, 2)
+	if res.Found {
+		t.Error("all-failing objective reported success")
+	}
+	if res.Evals > 30 {
+		t.Errorf("evals = %d", res.Evals)
+	}
+}
+
+func TestSHADefaults(t *testing.T) {
+	// Degenerate settings fall back to sane defaults without panics.
+	obj := newSynth(smoothObjective)
+	res := SuccessiveHalving{Eta: 1, MinCap: -5, MaxCap: -1}.Tune(obj, smallSpace(t), 20, 3)
+	if res.Evals == 0 {
+		t.Error("no evaluations performed")
+	}
+}
+
+func TestCMAESTunerBudgetAndQuality(t *testing.T) {
+	obj := newSynth(smoothObjective)
+	res := CMAES{}.Tune(obj, smallSpace(t), 80, 5)
+	if res.Evals > 80 {
+		t.Fatalf("evals = %d exceeds budget", res.Evals)
+	}
+	if !res.Found {
+		t.Fatal("CMAES found nothing")
+	}
+	if res.BestSeconds > 70 {
+		t.Errorf("CMAES best %v too far from optimum ~50", res.BestSeconds)
+	}
+}
+
+func TestCMAESTunerOnSimulator(t *testing.T) {
+	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(20), 6, 480)
+	res := CMAES{}.Tune(ev, conf.SparkSpace(), 50, 6)
+	if !res.Found {
+		t.Fatal("CMAES found nothing on TeraSort")
+	}
+	if res.BestSeconds > 400 {
+		t.Errorf("CMAES best %v", res.BestSeconds)
+	}
+}
+
+func TestCMAESTunerDeterministic(t *testing.T) {
+	a := CMAES{}.Tune(newSynth(smoothObjective), smallSpace(t), 40, 8)
+	b := CMAES{}.Tune(newSynth(smoothObjective), smallSpace(t), 40, 8)
+	if a.BestSeconds != b.BestSeconds {
+		t.Error("same seed differs")
+	}
+}

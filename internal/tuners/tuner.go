@@ -1,0 +1,93 @@
+// Package tuners defines the common tuner interface and the three
+// comparison baselines evaluated against ROBOTune in §5: Random
+// Search, BestConfig (divide-and-diverge sampling with recursive
+// bound-and-search, Zhu et al. SoCC'17) and Gunther (a genetic
+// algorithm with aggressive selection and mutation, Liao et al.
+// Euro-Par'13). All three search the full 44-dimensional space — none
+// performs parameter selection — and all respect the same
+// per-evaluation stopping guard via the shared Objective.
+package tuners
+
+import (
+	"math"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+)
+
+// Objective is the expensive black box a tuner optimizes. It is
+// satisfied by *sparksim.Evaluator; tests substitute synthetic
+// objectives.
+type Objective interface {
+	// Evaluate runs one configuration and returns the observation.
+	Evaluate(c conf.Config) sparksim.EvalRecord
+	// SearchCost returns the accumulated evaluation cost in seconds.
+	SearchCost() float64
+	// Evals returns the number of evaluations charged so far.
+	Evals() int
+}
+
+// Result summarizes a tuning session.
+type Result struct {
+	// Best is the best completed configuration found.
+	Best conf.Config
+	// BestSeconds is its observed objective value.
+	BestSeconds float64
+	// Found is false when no configuration completed within budget.
+	Found bool
+	// Evals is the number of evaluations consumed.
+	Evals int
+	// SearchCost is the total simulated seconds spent evaluating.
+	SearchCost float64
+	// Trace holds the observed objective value of every evaluation in
+	// order (capped values for failures), for search-speed analysis
+	// (Figure 6, Table 2).
+	Trace []float64
+	// SelectedParams lists the high-impact parameters tuned, when the
+	// tuner performs parameter selection (ROBOTune); nil otherwise.
+	SelectedParams []string
+	// SelectionEvals and SelectionCost report the one-time parameter
+	// selection phase, which §5.3 excludes from search-cost
+	// comparisons. Both are zero for tuners without selection and for
+	// selection-cache hits. Evals and SearchCost above cover only the
+	// tuning phase.
+	SelectionEvals int
+	SelectionCost  float64
+}
+
+// Tuner finds a good configuration within a budget of evaluations.
+type Tuner interface {
+	Name() string
+	// Tune runs at most budget evaluations of obj over space.
+	Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result
+}
+
+// tracker accumulates the incumbent across evaluations.
+type tracker struct {
+	best    conf.Config
+	bestSec float64
+	found   bool
+	trace   []float64
+}
+
+func newTracker() *tracker { return &tracker{bestSec: math.Inf(1)} }
+
+func (t *tracker) observe(c conf.Config, rec sparksim.EvalRecord) {
+	t.trace = append(t.trace, rec.Seconds)
+	if rec.Completed && rec.Seconds < t.bestSec {
+		t.best = c
+		t.bestSec = rec.Seconds
+		t.found = true
+	}
+}
+
+func (t *tracker) result(obj Objective) Result {
+	return Result{
+		Best:        t.best,
+		BestSeconds: t.bestSec,
+		Found:       t.found,
+		Evals:       obj.Evals(),
+		SearchCost:  obj.SearchCost(),
+		Trace:       append([]float64(nil), t.trace...),
+	}
+}
