@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race suite: the full test set (including the root race_stress_test.go
+# hostile-concurrency tests and the workers-parity tests) under the Go
+# race detector. Any unsynchronized shared access fails the build.
+race:
+	$(GO) test -race ./...
+
+# Parallelism benchmarks: forest training, permutation importance and
+# acquisition multistart at workers=1 vs workers=GOMAXPROCS.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkForestTrain|BenchmarkPermImportance|BenchmarkMultistart' -benchtime 2x .
+
+# Seed-splitting fuzz target: distinct worker streams must never alias.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSeedSplit -fuzztime 30s ./internal/par

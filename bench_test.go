@@ -11,7 +11,9 @@
 package repro
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/bo"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/gp"
 	"repro/internal/linalg"
 	"repro/internal/memo"
+	"repro/internal/optimize"
 	"repro/internal/sample"
 	"repro/internal/sparksim"
 	"repro/internal/tuners"
@@ -403,7 +406,7 @@ func BenchmarkAblationMDIvsMDA(b *testing.B) {
 		cfg.Seed = 21
 		f := forest.Train(x, y, cfg)
 		groups := space.Groups()
-		mda := f.PermutationImportance(groups, 3, sample.NewRNG(22))
+		mda := f.PermutationImportance(groups, 3, 22, 0)
 		mdi := f.MDIImportance()
 		// Aggregate MDI per group for comparability.
 		mdiGroup := make([]float64, len(groups))
@@ -510,18 +513,26 @@ func BenchmarkSimulatorRun(b *testing.B) {
 	}
 }
 
+// BenchmarkForestTrain measures Random-Forest training at workers=1
+// (the serial baseline) and workers=GOMAXPROCS; tree growth is
+// embarrassingly parallel, so the speedup should track core count.
+// The trained forests are bit-identical (see TestTrainWorkersParity).
 func BenchmarkForestTrain(b *testing.B) {
 	x := sample.LHS(100, 44, sample.NewRNG(3))
 	y := make([]float64, len(x))
 	for i, u := range x {
 		y[i] = u[0]*100 + u[1]*u[2]*50
 	}
-	cfg := forest.RFDefaults()
-	cfg.Trees = 100
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = uint64(i)
-		forest.Train(x, y, cfg)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := forest.RFDefaults()
+			cfg.Trees = 100
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				forest.Train(x, y, cfg)
+			}
+		})
 	}
 }
 
@@ -539,7 +550,11 @@ func BenchmarkForestPredict(b *testing.B) {
 	}
 }
 
-func BenchmarkPermutationImportance(b *testing.B) {
+// BenchmarkPermImportance measures MDA permutation importance over the
+// full 44-parameter grouping at workers=1 and workers=GOMAXPROCS. Each
+// (group, repeat) OOB pass is independent, so this path also scales
+// with cores while producing bit-identical drops.
+func BenchmarkPermImportance(b *testing.B) {
 	space := conf.SparkSpace()
 	x := sample.LHS(100, space.Dim(), sample.NewRNG(4))
 	y := make([]float64, len(x))
@@ -550,9 +565,43 @@ func BenchmarkPermutationImportance(b *testing.B) {
 	cfg.Trees = 60
 	f := forest.Train(x, y, cfg)
 	groups := space.Groups()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.PermutationImportance(groups, 1, sample.NewRNG(uint64(i)))
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.PermutationImportance(groups, 2, uint64(i), workers)
+			}
+		})
+	}
+}
+
+// BenchmarkMultistart measures the multi-start L-BFGS-B acquisition
+// search (the §4 inner loop) on a GP posterior surface at workers=1
+// and workers=GOMAXPROCS. The argmin is bit-identical across worker
+// counts (see optimize.TestMultistartWorkersParity).
+func BenchmarkMultistart(b *testing.B) {
+	x := sample.LHS(60, 8, sample.NewRNG(12))
+	y := make([]float64, len(x))
+	for i, u := range x {
+		y[i] = math.Sin(3*u[0]) + u[1]*u[1] + 0.5*u[2]
+	}
+	g, err := gp.Fit(x, y, func() gp.Config { c := gp.DefaultConfig(); c.Restarts = 1; return c }())
+	if err != nil {
+		b.Fatal(err)
+	}
+	neg := func(u []float64) float64 {
+		mu, v := g.Predict(u)
+		return mu - 1.96*math.Sqrt(v)
+	}
+	bounds := optimize.UnitBox(8)
+	local := func(f optimize.Objective, x0 []float64, bb optimize.Bounds) optimize.Result {
+		return optimize.LBFGSB(f, x0, bb, 40)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				optimize.Multistart(neg, bounds, 16, nil, sample.NewRNG(uint64(i)), workers, local)
+			}
+		})
 	}
 }
 

@@ -33,6 +33,7 @@ func main() {
 		repeats = flag.Int("repeats", 0, "tuning sessions per dataset (0 = scale default)")
 		outPath = flag.String("out", "", "also write a full Markdown report to this file (runs every experiment)")
 		csvDir  = flag.String("csv", "", "write machine-readable CSVs (sessions, fig3, fig4, traces) into this directory")
+		workers = flag.Int("workers", 0, "tuner compute parallelism (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Budget = *budget
+	cfg.Workers = *workers
 	if *repeats > 0 {
 		cfg.Repeats = *repeats
 	}

@@ -38,6 +38,7 @@ func main() {
 		bestOut  = flag.String("best-out", "", "write the best configuration's raw values as JSON (readable by robosim -conf)")
 		verbose  = flag.Bool("v", false, "print every non-default parameter of the best config")
 		explain  = flag.Bool("explain", false, "print selection ranking, Hedge weights and config diff (ROBOTune only)")
+		workers  = flag.Int("workers", 0, "tuner compute parallelism: goroutines for forest training, importance and acquisition search (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 		}
 	}
 
-	tn, err := cli.BuildTuner(*tuner, store)
+	tn, err := cli.BuildTuner(*tuner, store, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

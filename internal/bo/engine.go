@@ -28,6 +28,10 @@ type Config struct {
 	Starts int
 	// Seed makes the engine deterministic.
 	Seed uint64
+	// Workers runs the acquisition multistart (and the GP
+	// hyperparameter refit) on this many goroutines (<= 0 selects
+	// GOMAXPROCS). Suggestions are bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the engine configuration used by ROBOTune.
@@ -85,6 +89,9 @@ func New(dim int, cfg Config) *Engine {
 		cfg.Starts = 3
 	}
 	cfg.GP.Seed = cfg.Seed
+	if cfg.GP.Workers == 0 {
+		cfg.GP.Workers = cfg.Workers
+	}
 	return &Engine{
 		dim:  dim,
 		cfg:  cfg,
@@ -223,7 +230,7 @@ func (e *Engine) Suggest() ([]float64, error) {
 		if best2.x != nil {
 			seeds = append(seeds, best2.x)
 		}
-		res := optimize.Multistart(neg, bounds, e.cfg.Starts, seeds, e.rng,
+		res := optimize.Multistart(neg, bounds, e.cfg.Starts, seeds, e.rng, e.cfg.Workers,
 			func(f optimize.Objective, x0 []float64, b optimize.Bounds) optimize.Result {
 				return optimize.LBFGSB(f, x0, b, 40)
 			})

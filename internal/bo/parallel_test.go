@@ -1,0 +1,56 @@
+package bo
+
+import "testing"
+
+// TestSuggestWorkersParity asserts the acquisition optimization is
+// bit-identical for any worker count: multistart draws every start
+// serially from the engine RNG and reduces the argmin in run order, so
+// scheduling cannot change the suggestion.
+func TestSuggestWorkersParity(t *testing.T) {
+	run := func(workers int) [][]float64 {
+		cfg := DefaultConfig()
+		cfg.Seed = 9
+		cfg.Workers = workers
+		e := New(2, cfg)
+		seedEngine(e, 8, 9)
+		var xs [][]float64
+		for i := 0; i < 3; i++ {
+			x, err := e.Suggest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Tell(x, quadratic(x))
+			xs = append(xs, x)
+		}
+		return xs
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for i := range serial {
+			for j := range serial[i] {
+				if got[i][j] != serial[i][j] {
+					t.Errorf("workers=%d: suggestion %d = %v, serial %v", w, i, got[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersPropagatesToGP asserts the engine forwards its worker
+// budget to the GP hyperparameter optimizer unless the GP sets its own.
+func TestWorkersPropagatesToGP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	e := New(2, cfg)
+	if e.cfg.GP.Workers != 4 {
+		t.Errorf("GP.Workers = %d, want 4", e.cfg.GP.Workers)
+	}
+	cfg = DefaultConfig()
+	cfg.Workers = 4
+	cfg.GP.Workers = 2
+	e = New(2, cfg)
+	if e.cfg.GP.Workers != 2 {
+		t.Errorf("explicit GP.Workers overridden: %d, want 2", e.cfg.GP.Workers)
+	}
+}

@@ -92,11 +92,13 @@ func SaveConfigValues(c conf.Config, path string) error {
 }
 
 // BuildTuner constructs a tuner by (case-insensitive) name. ROBOTune
-// is backed by the given store (nil for in-memory).
-func BuildTuner(name string, store *memo.Store) (tuners.Tuner, error) {
+// is backed by the given store (nil for in-memory) and runs its
+// internal math on `workers` goroutines (0 = GOMAXPROCS, 1 = serial;
+// results are identical either way).
+func BuildTuner(name string, store *memo.Store, workers int) (tuners.Tuner, error) {
 	switch strings.ToLower(name) {
 	case "robotune":
-		return core.New(store, core.Options{}), nil
+		return core.New(store, core.Options{Workers: workers}), nil
 	case "bestconfig":
 		return tuners.BestConfig{}, nil
 	case "gunther":

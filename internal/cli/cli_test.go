@@ -125,7 +125,7 @@ func TestBuildTuner(t *testing.T) {
 		"sha":          "SuccessiveHalving",
 		"cmaes":        "CMAES",
 	} {
-		tn, err := BuildTuner(name, nil)
+		tn, err := BuildTuner(name, nil, 0)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -134,7 +134,7 @@ func TestBuildTuner(t *testing.T) {
 			t.Errorf("%s → %s, want %s", name, tn.Name(), want)
 		}
 	}
-	if _, err := BuildTuner("simulated-annealing", nil); err == nil {
+	if _, err := BuildTuner("simulated-annealing", nil, 0); err == nil {
 		t.Error("unknown tuner accepted")
 	}
 }

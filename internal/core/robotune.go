@@ -68,6 +68,13 @@ type Options struct {
 	// <= 1 keeps everything sequential. Observations are identical to
 	// the sequential order, so results do not depend on this setting.
 	Parallel int
+	// Workers is the compute parallelism of the tuner itself: forest
+	// training, permutation importance, and the acquisition/GP
+	// multistarts run on this many goroutines (0 selects GOMAXPROCS,
+	// 1 forces serial). Unlike Parallel, which concerns objective
+	// evaluations, Workers only affects tuner-internal math; results
+	// are bit-identical for any value under the same seed.
+	Workers int
 	// BOBatch, when > 1, runs the BO loop in parallel rounds: each
 	// round asks the engine for BOBatch constant-liar suggestions and
 	// evaluates them concurrently (requires batch evaluation support).
@@ -135,6 +142,12 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.BO.Portfolio) == 0 && o.BO.CandidatePool == 0 {
 		o.BO = bo.DefaultConfig()
+	}
+	if o.Forest.Workers == 0 {
+		o.Forest.Workers = o.Workers
+	}
+	if o.BO.Workers == 0 {
+		o.BO.Workers = o.Workers
 	}
 	return o
 }
@@ -528,7 +541,7 @@ func (r *ROBOTune) selectFromData(space *conf.Space, x [][]float64, y []float64,
 	f := forest.Train(x, y, fcfg)
 
 	groups := space.Groups()
-	imps := f.PermutationImportance(groups, opts.PermuteRepeats, sample.NewRNG(seed^0x9e247))
+	imps := f.PermutationImportance(groups, opts.PermuteRepeats, seed^0x9e247, opts.Workers)
 
 	ranking := make([]GroupRank, len(imps))
 	for i, gi := range imps {

@@ -46,6 +46,9 @@ type Config struct {
 	// Fast reduces model sizes (forest trees, BO restarts) to keep
 	// wall-clock low; the algorithms are unchanged.
 	Fast bool
+	// Workers is ROBOTune's compute parallelism (0 = GOMAXPROCS,
+	// 1 = serial). Results are identical for any value.
+	Workers int
 }
 
 // Defaults returns the reduced scale used by the benchmarks: the
@@ -75,7 +78,7 @@ func (c Config) withDefaults() Config {
 
 // robotuneOptions builds the core.Options for the configured scale.
 func (c Config) robotuneOptions() core.Options {
-	o := core.Options{}
+	o := core.Options{Workers: c.Workers}
 	if c.Fast {
 		o.GenericSamples = 100
 		o.PermuteRepeats = 4

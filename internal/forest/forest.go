@@ -3,8 +3,8 @@ package forest
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
+	"repro/internal/par"
 	"repro/internal/sample"
 	"repro/internal/stats"
 )
@@ -21,6 +21,10 @@ type Config struct {
 	Bootstrap bool
 	// Seed makes training deterministic.
 	Seed uint64
+	// Workers trains trees on this many goroutines (<= 0 selects
+	// GOMAXPROCS). Each tree draws from its own RNG split off the seed,
+	// so any worker count yields the bit-identical forest.
+	Workers int
 }
 
 // RFDefaults returns the Random-Forest configuration used by
@@ -69,8 +73,8 @@ func Train(x [][]float64, y []float64, cfg Config) *Forest {
 		cfg:   cfg,
 	}
 	n := len(x)
-	for t := 0; t < cfg.Trees; t++ {
-		rng := sample.NewRNG(cfg.Seed*1315423911 + uint64(t))
+	par.ForEach(cfg.Workers, cfg.Trees, func(t int) {
+		rng := sample.NewRNG(par.SplitSeed(cfg.Seed, uint64(t)))
 		idx := make([]int, n)
 		bag := make([]bool, n)
 		if cfg.Bootstrap {
@@ -87,7 +91,7 @@ func Train(x [][]float64, y []float64, cfg Config) *Forest {
 		}
 		f.trees[t] = growTree(x, y, idx, cfg.Tree, rng)
 		f.inBag[t] = bag
-	}
+	})
 	return f
 }
 
@@ -176,21 +180,33 @@ type GroupImportance struct {
 // permuted together (§3.3 "Handling Collinearity"). Each group is
 // permuted `repeats` times (the paper uses 10) and the R² drops are
 // averaged. Results are in the same order as groups.
-func (f *Forest) PermutationImportance(groups [][]int, repeats int, rng *rand.Rand) []GroupImportance {
+//
+// Every (group, repeat) cell draws its permutation from an RNG split
+// off the seed and runs on the worker pool (workers <= 0 selects
+// GOMAXPROCS); the per-group drops are then summed in repeat order,
+// so any worker count produces bit-identical importances.
+func (f *Forest) PermutationImportance(groups [][]int, repeats int, seed uint64, workers int) []GroupImportance {
 	if repeats < 1 {
 		repeats = 1
 	}
 	basePred, baseObs := f.oobPredictions(nil, nil)
 	baseline := stats.R2(baseObs, basePred)
 
-	out := make([]GroupImportance, len(groups))
 	n := len(f.x)
+	drops := make([]float64, len(groups)*repeats)
+	par.ForEach(workers, len(drops), func(job int) {
+		g := job / repeats
+		rng := sample.NewRNG(par.SplitSeed(seed, uint64(job)))
+		perm := rng.Perm(n)
+		pred, obs := f.oobPredictions(groups[g], perm)
+		drops[job] = baseline - stats.R2(obs, pred)
+	})
+
+	out := make([]GroupImportance, len(groups))
 	for g, cols := range groups {
 		var totalDrop float64
 		for r := 0; r < repeats; r++ {
-			perm := rng.Perm(n)
-			pred, obs := f.oobPredictions(cols, perm)
-			totalDrop += baseline - stats.R2(obs, pred)
+			totalDrop += drops[g*repeats+r]
 		}
 		out[g] = GroupImportance{Group: cols, Drop: totalDrop / float64(repeats)}
 	}

@@ -132,7 +132,7 @@ func TestPermutationImportanceRanksSignalAboveNoise(t *testing.T) {
 	x, y := synth(250, 8, 40, 0.3)
 	f := Train(x, y, Config{Trees: 100, Bootstrap: true, Seed: 4})
 	groups := [][]int{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}
-	imp := f.PermutationImportance(groups, 5, sample.NewRNG(5))
+	imp := f.PermutationImportance(groups, 5, 5, 1)
 	// Feature 0 (the dominant sine term) must beat all noise features.
 	for j := 3; j < 8; j++ {
 		if imp[0].Drop <= imp[j].Drop {
@@ -160,7 +160,7 @@ func TestGroupedPermutationCapturesSharedSignal(t *testing.T) {
 		y[i] = 8 * v
 	}
 	f := Train(x, y, Config{Trees: 100, Bootstrap: true, Seed: 6})
-	joint := f.PermutationImportance([][]int{{0, 1}, {2}}, 5, sample.NewRNG(7))
+	joint := f.PermutationImportance([][]int{{0, 1}, {2}}, 5, 7, 1)
 	if joint[0].Drop < 0.3 {
 		t.Errorf("joint collinear drop %.4f too small", joint[0].Drop)
 	}
@@ -169,7 +169,7 @@ func TestGroupedPermutationCapturesSharedSignal(t *testing.T) {
 	}
 	// The joint drop should exceed each individual drop: permuting
 	// one collinear twin leaves the other carrying the signal.
-	solo := f.PermutationImportance([][]int{{0}, {1}}, 5, sample.NewRNG(8))
+	solo := f.PermutationImportance([][]int{{0}, {1}}, 5, 8, 1)
 	if joint[0].Drop <= solo[0].Drop || joint[0].Drop <= solo[1].Drop {
 		t.Errorf("joint drop %.4f should exceed solo drops %.4f/%.4f",
 			joint[0].Drop, solo[0].Drop, solo[1].Drop)

@@ -75,6 +75,10 @@ type Config struct {
 	Restarts int
 	// Seed drives the restart sampling.
 	Seed uint64
+	// Workers runs the hyperparameter multistart on this many
+	// goroutines (<= 0 selects GOMAXPROCS); results are bit-identical
+	// for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the fitting configuration used by the BO
@@ -191,7 +195,7 @@ func (g *GP) optimizeHyper(cfg Config) Params {
 
 	rng := sample.NewRNG(cfg.Seed ^ 0x5ca1ab1e)
 	budget := 250 + 60*nLen
-	res := optimize.Multistart(obj, bounds, cfg.Restarts, [][]float64{seed}, rng,
+	res := optimize.Multistart(obj, bounds, cfg.Restarts, [][]float64{seed}, rng, cfg.Workers,
 		func(f optimize.Objective, x0 []float64, b optimize.Bounds) optimize.Result {
 			return optimize.NelderMead(f, x0, b, budget)
 		})

@@ -9,6 +9,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Objective is a function to minimize over a box.
@@ -328,27 +330,44 @@ func axpy(dst []float64, a float64, x []float64) {
 
 // Multistart runs the given local optimizer from several random
 // starting points (plus any provided seeds) and returns the best
-// result. local is typically LBFGSB or NelderMead.
-func Multistart(f Objective, b Bounds, starts int, seeds [][]float64, rng *rand.Rand,
+// result, with Evals summed over every run. local is typically LBFGSB
+// or NelderMead.
+//
+// All starting points are drawn from rng up front (so the rng stream
+// is consumed identically for any worker count), then the local runs
+// execute on up to `workers` goroutines (<= 0 selects GOMAXPROCS) and
+// the winner is the lowest F at the lowest run index — the same
+// tie-breaking the serial loop uses, making results bit-identical
+// across worker counts. With workers > 1, f and local must be safe
+// for concurrent calls.
+func Multistart(f Objective, b Bounds, starts int, seeds [][]float64, rng *rand.Rand, workers int,
 	local func(Objective, []float64, Bounds) Result) Result {
 	d := len(b.Lo)
-	best := Result{F: math.Inf(1)}
-	run := func(x0 []float64) {
-		r := local(f, x0, b)
-		if r.F < best.F {
-			best = r
-		}
-		best.Evals += r.Evals
-	}
+	x0s := make([][]float64, 0, len(seeds)+starts)
 	for _, s := range seeds {
-		run(append([]float64(nil), s...))
+		x0s = append(x0s, append([]float64(nil), s...))
 	}
 	for k := 0; k < starts; k++ {
 		x0 := make([]float64, d)
 		for i := range x0 {
 			x0[i] = b.Lo[i] + rng.Float64()*(b.Hi[i]-b.Lo[i])
 		}
-		run(x0)
+		x0s = append(x0s, x0)
 	}
+
+	results := make([]Result, len(x0s))
+	par.ForEach(workers, len(x0s), func(i int) {
+		results[i] = local(f, x0s[i], b)
+	})
+
+	best := Result{F: math.Inf(1)}
+	evals := 0
+	for _, r := range results {
+		evals += r.Evals
+		if r.F < best.F {
+			best = r
+		}
+	}
+	best.Evals = evals
 	return best
 }

@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/sample"
@@ -99,7 +100,7 @@ func TestMultistartEscapesLocalMinima(t *testing.T) {
 	b := UnitBox(1)
 	local := func(fn Objective, x0 []float64, bb Bounds) Result { return LBFGSB(fn, x0, bb, 60) }
 	single := local(f, []float64{0.1}, b)
-	multi := Multistart(f, b, 20, [][]float64{{0.1}}, sample.NewRNG(1), local)
+	multi := Multistart(f, b, 20, [][]float64{{0.1}}, sample.NewRNG(1), 1, local)
 	if single.F < 0.5 {
 		t.Fatalf("test premise broken: single run from shallow basin found %v", single.F)
 	}
@@ -116,13 +117,57 @@ func TestMultistartUsesSeeds(t *testing.T) {
 	calls := 0
 	f := func(x []float64) float64 { calls++; return sphere(x) }
 	b := UnitBox(2)
-	r := Multistart(f, b, 0, [][]float64{{0.31, 0.29}}, sample.NewRNG(2),
+	r := Multistart(f, b, 0, [][]float64{{0.31, 0.29}}, sample.NewRNG(2), 1,
 		func(fn Objective, x0 []float64, bb Bounds) Result { return LBFGSB(fn, x0, bb, 50) })
 	if r.F > 1e-8 {
 		t.Errorf("seeded multistart min = %v", r.F)
 	}
 	if calls == 0 {
 		t.Error("objective never called")
+	}
+}
+
+func TestMultistartWorkersParity(t *testing.T) {
+	// The determinism contract: workers=1 and workers=8 must produce
+	// bit-identical results (argmin, location, eval count) for the
+	// same rng seed, including tie-breaking by run index.
+	f := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			d := v - 0.3
+			s += d*d + 0.05*(1-math.Cos(8*math.Pi*d))
+		}
+		return s
+	}
+	b := UnitBox(3)
+	local := func(fn Objective, x0 []float64, bb Bounds) Result { return LBFGSB(fn, x0, bb, 60) }
+	run := func(workers int) Result {
+		return Multistart(f, b, 12, [][]float64{{0.9, 0.9, 0.9}}, sample.NewRNG(11), workers, local)
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if got.F != serial.F || got.Evals != serial.Evals {
+			t.Errorf("workers=%d: (F=%v, Evals=%d) != serial (F=%v, Evals=%d)",
+				w, got.F, got.Evals, serial.F, serial.Evals)
+		}
+		for i := range serial.X {
+			if got.X[i] != serial.X[i] {
+				t.Errorf("workers=%d: X[%d] = %v, serial %v", w, i, got.X[i], serial.X[i])
+			}
+		}
+	}
+}
+
+func TestMultistartEvalsSummed(t *testing.T) {
+	// Evals must account every run, not just the winner's.
+	var calls atomic.Int64
+	f := func(x []float64) float64 { calls.Add(1); return sphere(x) }
+	b := UnitBox(2)
+	r := Multistart(f, b, 4, nil, sample.NewRNG(3), 1,
+		func(fn Objective, x0 []float64, bb Bounds) Result { return LBFGSB(fn, x0, bb, 20) })
+	if int64(r.Evals) != calls.Load() {
+		t.Errorf("Evals = %d, objective called %d times", r.Evals, calls.Load())
 	}
 }
 

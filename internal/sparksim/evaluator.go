@@ -74,12 +74,16 @@ func (ev *Evaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
 	if cap <= 0 || cap > ev.CapSeconds {
 		cap = ev.CapSeconds
 	}
+	// Read the seed under the same lock that reserves the evaluation
+	// index: Reset may rewrite it concurrently, and an unlocked read
+	// here is a data race.
 	ev.mu.Lock()
 	n := ev.evals
 	ev.evals++
+	seed := ev.seed
 	ev.mu.Unlock()
 
-	rng := sample.NewRNG(ev.seed*1e9 + uint64(n))
+	rng := sample.NewRNG(seed*1e9 + uint64(n))
 	out := Run(ev.Cluster, ev.Workload, c, rng, cap)
 	rec := EvalRecord{
 		Config:     c,
@@ -193,9 +197,13 @@ func (ev *Evaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord
 		workers = n
 	}
 
+	// Reserve the index block and snapshot the seed in one critical
+	// section; the workers below must not read ev.seed directly, since
+	// a concurrent Reset writes it under the lock.
 	ev.mu.Lock()
 	base := ev.evals
 	ev.evals += n
+	seed := ev.seed
 	ev.mu.Unlock()
 
 	recs := make([]EvalRecord, n)
@@ -206,7 +214,7 @@ func (ev *Evaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rng := sample.NewRNG(ev.seed*1e9 + uint64(base+i))
+				rng := sample.NewRNG(seed*1e9 + uint64(base+i))
 				out := Run(ev.Cluster, ev.Workload, cfgs[i], rng, ev.CapSeconds)
 				rec := EvalRecord{
 					Config:     cfgs[i],
