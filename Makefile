@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: build test race bench fuzz
+.PHONY: build test race bench bench-gp benchstat fuzz
 
 build:
 	$(GO) build ./...
 
+# Default verification flow: vet plus the full unit/property suite.
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 
 # Race suite: the full test set (including the root race_stress_test.go
@@ -18,6 +20,23 @@ race:
 # acquisition multistart at workers=1 vs workers=GOMAXPROCS.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkForestTrain|BenchmarkPermImportance|BenchmarkMultistart' -benchtime 2x .
+
+# GP fast-path benchmarks: surrogate fit, posterior prediction, and
+# engine Suggest across training-set sizes, with allocation counts.
+# Reference numbers (seed vs fast path) live in BENCH_gp_fastpath.json.
+bench-gp:
+	$(GO) test -run '^$$' -bench 'BenchmarkGPFitScale|BenchmarkGPFitARDScale|BenchmarkGPPredict|BenchmarkBOSuggestScale' -benchmem -benchtime 3x .
+
+# A/B comparison helper: save a baseline, make a change, compare.
+# Uses benchstat when installed, otherwise falls back to diff.
+#   make benchstat OLD=before.txt NEW=after.txt
+benchstat:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(OLD) $(NEW); \
+	else \
+		echo "benchstat not installed; falling back to diff"; \
+		diff -u $(OLD) $(NEW) || true; \
+	fi
 
 # Seed-splitting fuzz target: distinct worker streams must never alias.
 fuzz:

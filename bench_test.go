@@ -605,6 +605,131 @@ func BenchmarkMultistart(b *testing.B) {
 	}
 }
 
+// gpBenchData builds a reproducible d-dimensional training set of n
+// points for the GP fast-path benchmarks.
+func gpBenchData(n, d int, seed uint64) ([][]float64, []float64) {
+	x := sample.LHS(n, d, sample.NewRNG(seed))
+	y := make([]float64, len(x))
+	for i, u := range x {
+		y[i] = math.Sin(3*u[0]) + u[1]*u[1] + 0.5*u[2] - 0.25*u[3]
+	}
+	return x, y
+}
+
+// BenchmarkGPFitScale measures the full GP fit (hyperparameter
+// multistart + factorization) at realistic campaign sizes. This is the
+// BO engine's per-iteration bottleneck (§3.4): each Suggest triggers a
+// fit whose likelihood objective is evaluated hundreds of times.
+func BenchmarkGPFitScale(b *testing.B) {
+	for _, n := range []int{20, 60, 120} {
+		x, y := gpBenchData(n, 8, 5)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := gp.DefaultConfig()
+			cfg.Restarts = 2
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := gp.Fit(x, y, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPFitARDScale is the ARD variant: d extra hyperparameters
+// and a per-dimension inner kernel loop, the worst case the distance
+// cache is built for.
+func BenchmarkGPFitARDScale(b *testing.B) {
+	for _, n := range []int{20, 60} {
+		x, y := gpBenchData(n, 8, 5)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := gp.DefaultConfig()
+			cfg.ARD = true
+			cfg.Restarts = 1
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := gp.Fit(x, y, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPPredictScale measures posterior prediction, the inner
+// call of the acquisition multistart (thousands of calls per Suggest).
+func BenchmarkGPPredictScale(b *testing.B) {
+	for _, n := range []int{20, 60, 120} {
+		x, y := gpBenchData(n, 8, 6)
+		cfg := gp.DefaultConfig()
+		cfg.Restarts = 1
+		g, err := gp.Fit(x, y, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe := x[0]
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Predict(probe)
+			}
+		})
+	}
+}
+
+// BenchmarkGPPredictIntoScale is the scratch-reusing posterior the
+// acquisition multistart uses: zero allocations per call.
+func BenchmarkGPPredictIntoScale(b *testing.B) {
+	for _, n := range []int{20, 60, 120} {
+		x, y := gpBenchData(n, 8, 6)
+		cfg := gp.DefaultConfig()
+		cfg.Restarts = 1
+		g, err := gp.Fit(x, y, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe := x[0]
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var s gp.PredictScratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.PredictInto(&s, probe)
+			}
+		})
+	}
+}
+
+// BenchmarkBOSuggestScale measures one full Suggest (surrogate update
+// + hedge settle + acquisition multistart) on an engine preloaded with
+// n observations — the steady-state per-iteration cost of a campaign.
+func BenchmarkBOSuggestScale(b *testing.B) {
+	for _, n := range []int{20, 60} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := bo.DefaultConfig()
+			cfg.Seed = 8
+			cfg.CandidatePool = 128
+			cfg.Starts = 1
+			cfg.GP.Restarts = 1
+			e := bo.New(6, cfg)
+			rng := sample.NewRNG(8)
+			for _, u := range sample.LHS(n, 6, rng) {
+				e.Tell(u, math.Sin(3*u[0])+u[1])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u, err := e.Suggest()
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.Tell(u, math.Sin(3*u[0])+u[1])
+			}
+		})
+	}
+}
+
 func BenchmarkGPFit(b *testing.B) {
 	x := sample.LHS(60, 8, sample.NewRNG(5))
 	y := make([]float64, len(x))

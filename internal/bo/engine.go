@@ -4,11 +4,18 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/gp"
 	"repro/internal/optimize"
 	"repro/internal/sample"
 )
+
+// predictScratch pools posterior-evaluation buffers: the acquisition
+// multistart calls the GP posterior thousands of times per Suggest
+// from several goroutines, and a pooled scratch makes those calls
+// allocation-free without coupling the engine to the worker count.
+var predictScratch = sync.Pool{New: func() any { return new(gp.PredictScratch) }}
 
 // Config controls the BO engine.
 type Config struct {
@@ -32,6 +39,11 @@ type Config struct {
 	// hyperparameter refit) on this many goroutines (<= 0 selects
 	// GOMAXPROCS). Suggestions are bit-identical for any worker count.
 	Workers int
+	// DisableIncremental forces a full surrogate refit on every
+	// Suggest instead of extending the cached Cholesky factor between
+	// hyperparameter refits. Results are identical either way; this
+	// exists for parity testing and ablation.
+	DisableIncremental bool
 }
 
 // DefaultConfig returns the engine configuration used by ROBOTune.
@@ -55,6 +67,9 @@ type Engine struct {
 	x    [][]float64
 	y    []float64
 	g    *gp.GP
+	// gN is the observation count e.g was fitted on; e.g is stale (and
+	// eligible for incremental extension) when gN < len(x).
+	gN   int
 	gain []float64
 	// Hyperparameter refits are expensive (multistart Nelder-Mead
 	// over the marginal likelihood); the engine refits every
@@ -108,7 +123,9 @@ func (e *Engine) Tell(x []float64, y float64) {
 	}
 	e.x = append(e.x, append([]float64(nil), x...))
 	e.y = append(e.y, y)
-	e.g = nil // invalidate surrogate
+	// The surrogate is now stale (gN < len(x)) but deliberately kept:
+	// between hyperparameter refits Surrogate extends its cached
+	// Cholesky factor in O(n²) instead of refitting in O(n³).
 }
 
 // N returns the number of observations.
@@ -146,16 +163,31 @@ func (e *Engine) Surrogate() (*gp.GP, error) {
 	if len(e.x) < 2 {
 		return nil, fmt.Errorf("bo: need >= 2 observations, have %d", len(e.x))
 	}
-	if e.g != nil {
+	if e.g != nil && e.gN == len(e.x) {
 		return e.g, nil
 	}
 	const hyperRefitEvery = 5
 	cfg := e.cfg.GP
 	if e.hyperFitAtN > 0 && len(e.x)-e.hyperFitAtN < hyperRefitEvery {
 		// Reuse the last fitted hyperparameters; only the posterior
-		// (Cholesky + weights) is recomputed for the new data.
+		// (Cholesky + weights) changes for the new data.
 		cfg.FitHyper = false
 		cfg.Init = e.lastHyper
+		if !e.cfg.DisableIncremental && e.g != nil && e.gN < len(e.x) &&
+			e.g.Params().Equal(e.lastHyper) {
+			// Extend the cached factor by the new observations in
+			// O(n²) per point; the result is identical to a full
+			// refit at the same hyperparameters. Extend falls back
+			// to a full factorization internally if the appended
+			// pivot goes non-positive, so an error here means the
+			// data itself is degenerate — surface it via the full
+			// fit below for a consistent error path.
+			if g, err := e.g.Extend(e.x, e.y); err == nil {
+				e.g = g
+				e.gN = len(e.x)
+				return g, nil
+			}
+		}
 	}
 	g, err := gp.Fit(e.x, e.y, cfg)
 	if err != nil {
@@ -166,6 +198,7 @@ func (e *Engine) Surrogate() (*gp.GP, error) {
 		e.hyperFitAtN = len(e.x)
 	}
 	e.g = g
+	e.gN = len(e.x)
 	return g, nil
 }
 
@@ -183,10 +216,12 @@ func (e *Engine) Suggest() ([]float64, error) {
 	// reward of acquisition i is −μ(x_i) under the updated posterior
 	// (Hoffman et al.), normalized to the GP's target scale.
 	if e.nominees != nil {
+		s := predictScratch.Get().(*gp.PredictScratch)
 		for i, xi := range e.nominees {
-			mu, _ := g.Predict(xi)
+			mu, _ := g.PredictInto(s, xi)
 			e.gain[i] += -e.normalize(mu)
 		}
+		predictScratch.Put(s)
 		e.nominees = nil
 	}
 
@@ -206,8 +241,12 @@ func (e *Engine) Suggest() ([]float64, error) {
 	bounds := optimize.UnitBox(e.dim)
 	nominees := make([][]float64, len(e.cfg.Portfolio))
 	for i, acq := range e.cfg.Portfolio {
+		// neg is called concurrently by Multistart, so each call
+		// borrows a scratch from the pool rather than sharing one.
 		neg := func(x []float64) float64 {
-			mu, v := g.Predict(x)
+			s := predictScratch.Get().(*gp.PredictScratch)
+			mu, v := g.PredictInto(s, x)
+			predictScratch.Put(s)
 			return -acq.Score(mu, math.Sqrt(v), fBest)
 		}
 		// Seed local search with the best pool candidates.
@@ -311,6 +350,12 @@ func (e *Engine) Fork() *Engine {
 	copy(f.gain, e.gain)
 	f.lastHyper = e.lastHyper
 	f.hyperFitAtN = e.hyperFitAtN
+	// The fitted GP is immutable, so the fork shares it; the fork's
+	// first Tell then extends it incrementally instead of refitting
+	// from scratch (the constant-liar loop in BatchSuggest leans on
+	// this).
+	f.g = e.g
+	f.gN = e.gN
 	return f
 }
 
@@ -339,7 +384,9 @@ func (e *Engine) BatchSuggest(q int) ([][]float64, error) {
 		if err != nil {
 			break
 		}
-		lie, _ := g.Predict(u)
+		s := predictScratch.Get().(*gp.PredictScratch)
+		lie, _ := g.PredictInto(s, u)
+		predictScratch.Put(s)
 		fork.Tell(u, lie)
 	}
 	return out, nil

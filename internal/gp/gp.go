@@ -5,11 +5,22 @@
 // hyperparameters are chosen by maximizing the log marginal
 // likelihood. Targets are normalized internally, so hyperparameter
 // bounds are scale-free.
+//
+// The fit is the BO engine's per-iteration bottleneck, so the package
+// keeps a fast path through the likelihood search: squared pairwise
+// differences are precomputed once per Fit (they depend only on the
+// data, not the hyperparameters), length-scale and variance
+// exponentials are hoisted out of the per-pair kernel loops, and the
+// kernel/Cholesky/solve buffers are pooled across the hundreds of
+// likelihood evaluations a multistart performs. Posterior updates
+// that keep the hyperparameters fixed can extend a cached Cholesky
+// factor in O(n²) via Extend instead of refitting in O(n³).
 package gp
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/optimize"
@@ -57,6 +68,37 @@ func (p Params) Equal(q Params) bool {
 	return true
 }
 
+// resolved caches the exponentials of one Params value so the per-pair
+// kernel loops never call math.Exp: the signal variance, the noise
+// variance, the isotropic length scale, and for ARD the per-dimension
+// inverse squared length scales.
+type resolved struct {
+	variance float64   // exp(LogVariance)
+	noise    float64   // exp(LogNoise)
+	length   float64   // exp(LogLength); isotropic path only
+	weights  []float64 // 1/exp(LogLengths[i])² per dimension; nil = isotropic
+}
+
+// resolveInto hoists p's exponentials, reusing buf for the ARD weights
+// when it has capacity.
+func resolveInto(p Params, buf []float64) resolved {
+	rk := resolved{variance: math.Exp(p.LogVariance), noise: math.Exp(p.LogNoise)}
+	if len(p.LogLengths) > 0 {
+		if cap(buf) < len(p.LogLengths) {
+			buf = make([]float64, len(p.LogLengths))
+		}
+		buf = buf[:len(p.LogLengths)]
+		for i, ll := range p.LogLengths {
+			il := 1 / math.Exp(ll)
+			buf[i] = il * il
+		}
+		rk.weights = buf
+	} else {
+		rk.length = math.Exp(p.LogLength)
+	}
+	return rk
+}
+
 // Config controls GP fitting.
 type Config struct {
 	Kernel KernelKind
@@ -92,15 +134,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// GP is a fitted Gaussian-Process posterior.
+// GP is a fitted Gaussian-Process posterior. A fitted GP is immutable:
+// Predict, PredictInto and Extend never modify the receiver, so a
+// value may be shared across goroutines and forked engines.
 type GP struct {
 	cfg    Config
 	params Params
+	rk     resolved
 	x      [][]float64
 	yNorm  []float64
 	yMean  float64
 	yStd   float64
 	chol   *linalg.Matrix
+	jitter float64
 	alpha  []float64
 	lml    float64
 }
@@ -133,12 +179,23 @@ func Fit(x [][]float64, y []float64, cfg Config) (*GP, error) {
 		g.yNorm[i] = (v - g.yMean) / g.yStd
 	}
 
+	// The squared-difference cache depends only on the data, so one
+	// build serves every likelihood evaluation of the hyperparameter
+	// search and the final factorization. Its shape follows the
+	// parameter shape actually evaluated: the search's (cfg.ARD) when
+	// fitting, Init's when the hyperparameters are fixed.
+	ard := cfg.ARD
+	if !cfg.FitHyper {
+		ard = len(cfg.Init.LogLengths) > 0
+	}
+	cache := newDistCache(x, ard)
+
 	if cfg.FitHyper {
-		g.params = g.optimizeHyper(cfg)
+		g.params = g.optimizeHyper(cfg, cache)
 	} else {
 		g.params = cfg.Init
 	}
-	if err := g.factorize(g.params); err != nil {
+	if err := g.factorize(g.params, cache); err != nil {
 		return nil, err
 	}
 	return g, nil
@@ -151,7 +208,18 @@ var hyperBounds = optimize.Bounds{
 	Hi: []float64{math.Log(1e2), math.Log(1e1), math.Log(1e0)},
 }
 
-func (g *GP) optimizeHyper(cfg Config) Params {
+// lmlScratch is one worker's reusable buffers for likelihood
+// evaluations: kernel matrix, Cholesky factor, solve vector, and the
+// unpacked/resolved hyperparameter slices.
+type lmlScratch struct {
+	k       *linalg.Matrix
+	chol    *linalg.Matrix
+	v       []float64
+	weights []float64
+	logLens []float64
+}
+
+func (g *GP) optimizeHyper(cfg Config, cache *distCache) Params {
 	d := len(g.x[0])
 	nLen := 1
 	if cfg.ARD {
@@ -166,9 +234,27 @@ func (g *GP) optimizeHyper(cfg Config) Params {
 		}
 		return p
 	}
+	// The multistart evaluates the objective concurrently, so each
+	// in-flight evaluation borrows a scratch set from a pool instead
+	// of allocating kernel and factor matrices afresh (the naive path
+	// allocates ~3 n×n matrices per evaluation, hundreds of times per
+	// fit).
+	pool := sync.Pool{New: func() any { return &lmlScratch{} }}
 	obj := func(v []float64) float64 {
-		lml, err := g.logMarginal(unpack(v))
-		if err != nil || math.IsNaN(lml) {
+		s := pool.Get().(*lmlScratch)
+		p := Params{LogVariance: v[0], LogNoise: v[1+nLen]}
+		if cfg.ARD {
+			if cap(s.logLens) < nLen {
+				s.logLens = make([]float64, nLen)
+			}
+			p.LogLengths = s.logLens[:nLen]
+			copy(p.LogLengths, v[1:1+nLen])
+		} else {
+			p.LogLength = v[1]
+		}
+		lml, ok := g.logMarginalCached(p, cache, s)
+		pool.Put(s)
+		if !ok || math.IsNaN(lml) {
 			return 1e10
 		}
 		return -lml
@@ -203,27 +289,39 @@ func (g *GP) optimizeHyper(cfg Config) Params {
 }
 
 // kernel evaluates the covariance between two points (without the
-// white-noise term, which only applies on the diagonal).
+// white-noise term, which only applies on the diagonal). Hot paths
+// resolve p once and call kernelResolved directly; this wrapper is
+// the convenience form for single evaluations.
 func (g *GP) kernel(p Params, a, b []float64) float64 {
-	variance := math.Exp(p.LogVariance)
+	rk := resolveInto(p, nil)
+	return g.kernelResolved(&rk, a, b)
+}
+
+// kernelResolved evaluates the covariance with pre-hoisted
+// exponentials: no math.Exp in the pairwise loop.
+func (g *GP) kernelResolved(rk *resolved, a, b []float64) float64 {
 	var r float64
-	if len(p.LogLengths) > 0 {
+	if rk.weights != nil {
 		var sq float64
 		for i := range a {
-			d := (a[i] - b[i]) / math.Exp(p.LogLengths[i])
-			sq += d * d
+			d := a[i] - b[i]
+			sq += (d * d) * rk.weights[i]
 		}
 		r = math.Sqrt(sq)
 	} else {
-		length := math.Exp(p.LogLength)
 		var sq float64
 		for i := range a {
 			d := a[i] - b[i]
 			sq += d * d
 		}
-		r = math.Sqrt(sq) / length
+		r = math.Sqrt(sq) / rk.length
 	}
-	switch g.cfg.Kernel {
+	return kernelShape(g.cfg.Kernel, rk.variance, r)
+}
+
+// kernelShape applies the stationary kernel form to a scaled distance.
+func kernelShape(kind KernelKind, variance, r float64) float64 {
+	switch kind {
 	case RBF:
 		return variance * math.Exp(-0.5*r*r)
 	default: // Matern52
@@ -232,15 +330,103 @@ func (g *GP) kernel(p Params, a, b []float64) float64 {
 	}
 }
 
+// distCache precomputes the squared pairwise differences of the
+// training inputs, packed over the upper triangle (i <= j, row-major
+// cursor order). The isotropic cache stores the total squared
+// distance per pair; the ARD cache stores per-dimension squared
+// differences (pair-major) so any length-scale vector can be applied
+// with one multiply-add per dimension.
+type distCache struct {
+	n, d  int
+	m     int       // n*(n+1)/2 packed pairs
+	sqIso []float64 // [m] Σ_k (x_i[k]-x_j[k])²; isotropic only
+	sqDim []float64 // [m*d] (x_i[k]-x_j[k])² at t*d+k; ARD only
+}
+
+func newDistCache(x [][]float64, ard bool) *distCache {
+	n := len(x)
+	d := len(x[0])
+	c := &distCache{n: n, d: d, m: n * (n + 1) / 2}
+	if ard {
+		c.sqDim = make([]float64, c.m*d)
+		t := 0
+		for i := 0; i < n; i++ {
+			xi := x[i]
+			for j := i; j < n; j++ {
+				xj := x[j]
+				row := c.sqDim[t*d : t*d+d]
+				for k := range row {
+					dv := xi[k] - xj[k]
+					row[k] = dv * dv
+				}
+				t++
+			}
+		}
+		return c
+	}
+	c.sqIso = make([]float64, c.m)
+	t := 0
+	for i := 0; i < n; i++ {
+		xi := x[i]
+		for j := i; j < n; j++ {
+			xj := x[j]
+			// Accumulate in dimension order, matching kernelResolved
+			// exactly so cached and direct evaluations are
+			// bit-identical.
+			var sq float64
+			for k := range xi {
+				dv := xi[k] - xj[k]
+				sq += dv * dv
+			}
+			c.sqIso[t] = sq
+			t++
+		}
+	}
+	return c
+}
+
+// kernelMatrixInto fills k with the covariance matrix (plus the
+// white-noise diagonal) from the cached squared differences — no
+// subtraction and no math.Exp in the O(n²) pair loop.
+func (g *GP) kernelMatrixInto(rk *resolved, c *distCache, k *linalg.Matrix) {
+	n := c.n
+	t := 0
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var r float64
+			if rk.weights != nil {
+				row := c.sqDim[t*c.d : t*c.d+c.d]
+				var sq float64
+				for kk, w := range rk.weights {
+					sq += row[kk] * w
+				}
+				r = math.Sqrt(sq)
+			} else {
+				r = math.Sqrt(c.sqIso[t]) / rk.length
+			}
+			v := kernelShape(g.cfg.Kernel, rk.variance, r)
+			if i == j {
+				v += rk.noise
+			}
+			k.Set(i, j, v)
+			t++
+		}
+	}
+	linalg.SymmetricFromUpper(k)
+}
+
+// kernelMatrix builds the covariance matrix without a cache; it is the
+// reference implementation the fast path is tested against, and the
+// fallback for callers that have no cache in hand.
 func (g *GP) kernelMatrix(p Params) *linalg.Matrix {
 	n := len(g.x)
-	noise := math.Exp(p.LogNoise)
+	rk := resolveInto(p, nil)
 	k := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			v := g.kernel(p, g.x[i], g.x[j])
+			v := g.kernelResolved(&rk, g.x[i], g.x[j])
 			if i == j {
-				v += noise
+				v += rk.noise
 			}
 			k.Set(i, j, v)
 		}
@@ -249,7 +435,16 @@ func (g *GP) kernelMatrix(p Params) *linalg.Matrix {
 	return k
 }
 
-// logMarginal computes the log marginal likelihood for hyperparams p.
+// lmlFrom assembles the log marginal likelihood from an existing
+// factorization and weight vector: -½ yᵀα - ½ log|K| - (n/2) log 2π.
+func lmlFrom(yNorm, alpha []float64, chol *linalg.Matrix) float64 {
+	n := float64(len(yNorm))
+	return -0.5*linalg.Dot(yNorm, alpha) - 0.5*linalg.LogDetFromChol(chol) - 0.5*n*math.Log(2*math.Pi)
+}
+
+// logMarginal computes the log marginal likelihood for hyperparams p
+// from scratch. It is the allocating reference implementation; the
+// hyperparameter search uses logMarginalCached.
 func (g *GP) logMarginal(p Params) (float64, error) {
 	k := g.kernelMatrix(p)
 	l, _, err := linalg.Cholesky(k, 1e-10, 8)
@@ -257,35 +452,159 @@ func (g *GP) logMarginal(p Params) (float64, error) {
 		return math.Inf(-1), err
 	}
 	alpha := linalg.CholSolve(l, g.yNorm)
-	n := float64(len(g.yNorm))
-	return -0.5*linalg.Dot(g.yNorm, alpha) - 0.5*linalg.LogDetFromChol(l) - 0.5*n*math.Log(2*math.Pi), nil
+	return lmlFrom(g.yNorm, alpha, l), nil
 }
 
-// factorize caches the Cholesky factor and weight vector for p.
-func (g *GP) factorize(p Params) error {
-	k := g.kernelMatrix(p)
-	l, _, err := linalg.Cholesky(k, 1e-10, 8)
+// logMarginalCached computes the log marginal likelihood using the
+// distance cache and the scratch buffers — zero heap allocations once
+// the scratch is warm. The result is bit-identical to logMarginal.
+func (g *GP) logMarginalCached(p Params, c *distCache, s *lmlScratch) (float64, bool) {
+	n := len(g.x)
+	if s.k == nil || s.k.Rows != n {
+		s.k = linalg.NewMatrix(n, n)
+		s.chol = nil
+	}
+	rk := resolveInto(p, s.weights)
+	if rk.weights != nil {
+		s.weights = rk.weights
+	}
+	g.kernelMatrixInto(&rk, c, s.k)
+	chol, _, err := linalg.CholeskyInto(s.chol, s.k, 1e-10, 8)
+	if err != nil {
+		return math.Inf(-1), false
+	}
+	s.chol = chol
+	if len(s.v) != n {
+		s.v = make([]float64, n)
+	}
+	alpha := linalg.CholSolveInto(chol, g.yNorm, s.v)
+	return lmlFrom(g.yNorm, alpha, chol), true
+}
+
+// factorize caches the Cholesky factor, weight vector, resolved
+// kernel constants and LML for p. The LML is assembled directly from
+// the factorization just computed — the naive path used to factorize
+// a second time just to report it.
+func (g *GP) factorize(p Params, c *distCache) error {
+	n := len(g.x)
+	rk := resolveInto(p, nil)
+	k := linalg.NewMatrix(n, n)
+	g.kernelMatrixInto(&rk, c, k)
+	l, jitter, err := linalg.Cholesky(k, 1e-10, 8)
 	if err != nil {
 		return fmt.Errorf("gp: kernel matrix not PD: %w", err)
 	}
+	g.rk = rk
 	g.chol = l
+	g.jitter = jitter
 	g.alpha = linalg.CholSolve(l, g.yNorm)
-	lml, _ := g.logMarginal(p)
-	g.lml = lml
+	g.lml = lmlFrom(g.yNorm, g.alpha, l)
 	return nil
+}
+
+// Extend returns a new GP fitted on (x, y) — which must extend the
+// receiver's training inputs: same leading rows, one or more appended
+// points — reusing the receiver's hyperparameters and extending its
+// cached Cholesky factor by one O(n²) CholAppend per new point
+// instead of refactorizing in O(n³). Target normalization and the
+// weight vector are recomputed over the full set, so the posterior is
+// exactly the one a full refit at the same hyperparameters and jitter
+// would produce. The receiver is not modified. If a new pivot is not
+// positive (near-duplicate points), Extend transparently falls back
+// to a full refit with jitter escalation.
+func (g *GP) Extend(x [][]float64, y []float64) (*GP, error) {
+	n0 := len(g.x)
+	n := len(x)
+	if n <= n0 {
+		return nil, fmt.Errorf("gp: Extend needs more than the %d existing points, got %d", n0, n)
+	}
+	if n != len(y) {
+		return nil, fmt.Errorf("gp: bad training shape: %d points, %d targets", n, len(y))
+	}
+	d := g.Dim()
+	for i, r := range x {
+		if len(r) != d {
+			return nil, fmt.Errorf("gp: ragged row %d", i)
+		}
+	}
+	for i := 0; i < n0; i++ {
+		for j, v := range g.x[i] {
+			if x[i][j] != v {
+				return nil, fmt.Errorf("gp: Extend prefix mismatch at row %d", i)
+			}
+		}
+	}
+
+	ng := &GP{cfg: g.cfg, params: g.params, rk: g.rk, x: x, jitter: g.jitter}
+	ng.yMean = stats.Mean(y)
+	ng.yStd = stats.StdDev(y)
+	if ng.yStd < 1e-12 {
+		ng.yStd = 1
+	}
+	ng.yNorm = make([]float64, n)
+	for i, v := range y {
+		ng.yNorm[i] = (v - ng.yMean) / ng.yStd
+	}
+
+	chol := g.chol
+	for m := n0; m < n; m++ {
+		kvec := make([]float64, m)
+		for i := 0; i < m; i++ {
+			kvec[i] = g.kernelResolved(&g.rk, x[i], x[m])
+		}
+		diag := g.kernelResolved(&g.rk, x[m], x[m]) + g.rk.noise
+		next, err := linalg.CholAppend(chol, kvec, diag, g.jitter)
+		if err != nil {
+			// Near-singular extension: refit from scratch so the
+			// jitter can escalate.
+			cfg := g.cfg
+			cfg.FitHyper = false
+			cfg.Init = g.params
+			return Fit(x, y, cfg)
+		}
+		chol = next
+	}
+	ng.chol = chol
+	ng.alpha = linalg.CholSolve(chol, ng.yNorm)
+	ng.lml = lmlFrom(ng.yNorm, ng.alpha, chol)
+	return ng, nil
+}
+
+// PredictScratch holds the reusable buffers PredictInto needs. The
+// zero value is ready to use; buffers grow on demand and may be
+// reused across GPs of different sizes. A scratch must not be shared
+// between concurrent calls.
+type PredictScratch struct {
+	ks, v []float64
 }
 
 // Predict returns the posterior mean and variance of the latent
 // function at x, in the original target scale.
 func (g *GP) Predict(x []float64) (mu, variance float64) {
+	var s PredictScratch
+	return g.PredictInto(&s, x)
+}
+
+// PredictInto is Predict using caller-owned scratch buffers: zero
+// heap allocations once the scratch is warm. The acquisition
+// multistart calls the posterior thousands of times per Suggest, so
+// it keeps a pool of scratches instead of allocating two vectors per
+// call.
+func (g *GP) PredictInto(s *PredictScratch, x []float64) (mu, variance float64) {
 	n := len(g.x)
-	ks := make([]float64, n)
+	if cap(s.ks) < n {
+		s.ks = make([]float64, n)
+	}
+	if cap(s.v) < n {
+		s.v = make([]float64, n)
+	}
+	ks := s.ks[:n]
 	for i := 0; i < n; i++ {
-		ks[i] = g.kernel(g.params, g.x[i], x)
+		ks[i] = g.kernelResolved(&g.rk, g.x[i], x)
 	}
 	muN := linalg.Dot(ks, g.alpha)
-	v := linalg.SolveLower(g.chol, ks)
-	varN := g.kernel(g.params, x, x) - linalg.Dot(v, v)
+	v := linalg.SolveLowerInto(g.chol, ks, s.v[:n])
+	varN := g.kernelResolved(&g.rk, x, x) - linalg.Dot(v, v)
 	if varN < 0 {
 		varN = 0
 	}
@@ -296,7 +615,7 @@ func (g *GP) Predict(x []float64) (mu, variance float64) {
 // the predictive distribution of a new observation.
 func (g *GP) PredictWithNoise(x []float64) (mu, variance float64) {
 	mu, v := g.Predict(x)
-	return mu, v + math.Exp(g.params.LogNoise)*g.yStd*g.yStd
+	return mu, v + g.rk.noise*g.yStd*g.yStd
 }
 
 // Params returns the fitted hyperparameters (log space).

@@ -114,54 +114,7 @@ func Dot(a, b []float64) float64 {
 // the jitter actually used, and an error if factorization failed even
 // at the largest jitter.
 func Cholesky(a *Matrix, startJitter float64, maxTries int) (l *Matrix, jitter float64, err error) {
-	if a.Rows != a.Cols {
-		return nil, 0, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
-	}
-	if startJitter <= 0 {
-		startJitter = 1e-10
-	}
-	if maxTries <= 0 {
-		maxTries = 8
-	}
-	jitter = 0
-	for try := 0; try <= maxTries; try++ {
-		if l, ok := tryCholesky(a, jitter); ok {
-			return l, jitter, nil
-		}
-		if jitter == 0 {
-			jitter = startJitter
-		} else {
-			jitter *= 10
-		}
-	}
-	return nil, jitter, fmt.Errorf("linalg: matrix not positive definite even with jitter %g", jitter)
-}
-
-func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
-	n := a.Rows
-	l := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		var d float64 = a.At(j, j) + jitter
-		for k := 0; k < j; k++ {
-			v := l.At(j, k)
-			d -= v * v
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, false
-		}
-		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			lrow := l.Row(i)
-			jrow := l.Row(j)
-			for k := 0; k < j; k++ {
-				s -= lrow[k] * jrow[k]
-			}
-			l.Set(i, j, s/ljj)
-		}
-	}
-	return l, true
+	return CholeskyInto(nil, a, startJitter, maxTries)
 }
 
 // SolveLower solves L y = b for y where L is lower triangular

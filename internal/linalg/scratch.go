@@ -1,0 +1,175 @@
+// Scratch-reusing and incremental variants of the factorization and
+// solve kernels. The GP surrogate's hyperparameter search evaluates
+// the marginal likelihood hundreds of times per fit; the *Into
+// variants let it reuse one set of buffers across all of them instead
+// of allocating fresh matrices per evaluation, and CholAppend lets the
+// BO engine extend a cached factor by one observation in O(n²) rather
+// than refactorizing in O(n³). Every variant performs the exact
+// floating-point operations of its allocating counterpart in the same
+// order, so results are bit-identical.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// CholeskyInto is Cholesky writing the factor into dst, which is
+// reused when it already has the right shape and allocated otherwise
+// (dst may be nil). It returns the factor (== dst when reused), the
+// jitter used, and an error if factorization failed at the largest
+// jitter. dst must not alias a.
+func CholeskyInto(dst, a *Matrix, startJitter float64, maxTries int) (l *Matrix, jitter float64, err error) {
+	if a.Rows != a.Cols {
+		return nil, 0, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if dst == nil || dst.Rows != a.Rows || dst.Cols != a.Cols {
+		dst = NewMatrix(a.Rows, a.Cols)
+	}
+	if startJitter <= 0 {
+		startJitter = 1e-10
+	}
+	if maxTries <= 0 {
+		maxTries = 8
+	}
+	jitter = 0
+	for try := 0; try <= maxTries; try++ {
+		if tryCholeskyInto(dst, a, jitter) {
+			return dst, jitter, nil
+		}
+		if jitter == 0 {
+			jitter = startJitter
+		} else {
+			jitter *= 10
+		}
+	}
+	return nil, jitter, fmt.Errorf("linalg: matrix not positive definite even with jitter %g", jitter)
+}
+
+// tryCholeskyInto factorizes a+jitter·I into dst, zeroing dst first.
+// It reports whether every pivot stayed positive.
+func tryCholeskyInto(dst, a *Matrix, jitter float64) bool {
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j) + jitter
+		for k := 0; k < j; k++ {
+			v := dst.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return false
+		}
+		ljj := math.Sqrt(d)
+		dst.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrow := dst.Row(i)
+			jrow := dst.Row(j)
+			for k := 0; k < j; k++ {
+				s -= lrow[k] * jrow[k]
+			}
+			dst.Set(i, j, s/ljj)
+		}
+	}
+	return true
+}
+
+// SolveLowerInto is SolveLower writing into dst (allocated when nil,
+// reused otherwise; may alias b — forward substitution reads b[i]
+// before writing dst[i] and only reads already-written prefix slots).
+func SolveLowerInto(l *Matrix, b, dst []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveLowerInto length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	} else if len(dst) != n {
+		panic("linalg: SolveLowerInto dst length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * dst[k]
+		}
+		dst[i] = s / row[i]
+	}
+	return dst
+}
+
+// SolveUpperTInto is SolveUpperT writing into dst (allocated when nil,
+// reused otherwise; may alias y — backward substitution reads y[i]
+// before writing dst[i] and only reads already-written suffix slots).
+func SolveUpperTInto(l *Matrix, y, dst []float64) []float64 {
+	n := l.Rows
+	if len(y) != n {
+		panic("linalg: SolveUpperTInto length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	} else if len(dst) != n {
+		panic("linalg: SolveUpperTInto dst length mismatch")
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * dst[k]
+		}
+		dst[i] = s / l.At(i, i)
+	}
+	return dst
+}
+
+// CholSolveInto is CholSolve writing into dst, solving in place
+// through dst (one buffer, zero allocations when dst is preallocated;
+// dst may alias b).
+func CholSolveInto(l *Matrix, b, dst []float64) []float64 {
+	dst = SolveLowerInto(l, b, dst)
+	return SolveUpperTInto(l, dst, dst)
+}
+
+// CholAppend extends the lower Cholesky factor L of an n×n matrix A
+// to the factor of the bordered matrix [[A, b], [bᵀ, c]] in O(n²):
+// the new row is the forward substitution L·r = b and the new pivot
+// is sqrt(c + jitter − r·r). jitter must be the diagonal jitter the
+// original factorization used, so the extension factors K + jitter·I
+// exactly as a from-scratch Cholesky of the bordered matrix would —
+// the result is bit-identical to refactorizing when the same jitter
+// succeeds. l is not modified; a new (n+1)×(n+1) factor is returned.
+// It fails (without escalating jitter) when the new pivot is not
+// positive; callers fall back to a full factorization.
+func CholAppend(l *Matrix, b []float64, c, jitter float64) (*Matrix, error) {
+	n := l.Rows
+	if l.Cols != n {
+		return nil, fmt.Errorf("linalg: CholAppend requires a square factor, got %dx%d", l.Rows, l.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: CholAppend border length %d, factor order %d", len(b), n)
+	}
+	out := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), l.Row(i))
+	}
+	row := out.Row(n)
+	for j := 0; j < n; j++ {
+		s := b[j]
+		jrow := l.Row(j)
+		for k := 0; k < j; k++ {
+			s -= row[k] * jrow[k]
+		}
+		row[j] = s / jrow[j]
+	}
+	d := c + jitter
+	for k := 0; k < n; k++ {
+		d -= row[k] * row[k]
+	}
+	if d <= 0 || math.IsNaN(d) {
+		return nil, fmt.Errorf("linalg: CholAppend pivot %g not positive", d)
+	}
+	row[n] = math.Sqrt(d)
+	return out, nil
+}
