@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-gp benchstat fuzz
+.PHONY: build test race bench bench-gp benchstat fuzz fault-stress
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,11 @@ benchstat:
 		echo "benchstat not installed; falling back to diff"; \
 		diff -u $(OLD) $(NEW) || true; \
 	fi
+
+# Robustness suite under the race detector: fault injection, session
+# retries/deadlines, cancellation and censored-observation handling.
+fault-stress:
+	$(GO) test -race -count 2 -run 'Fault|Session|Cancel|Censored' ./internal/sparksim ./internal/tuners ./internal/core ./internal/bo
 
 # Seed-splitting fuzz target: distinct worker streams must never alias.
 fuzz:

@@ -20,8 +20,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/tuners"
 )
 
 func main() {
@@ -34,8 +36,16 @@ func main() {
 		outPath = flag.String("out", "", "also write a full Markdown report to this file (runs every experiment)")
 		csvDir  = flag.String("csv", "", "write machine-readable CSVs (sessions, fig3, fig4, traces) into this directory")
 		workers = flag.Int("workers", 0, "tuner compute parallelism (0 = all cores, 1 = serial; results are identical)")
+		faults  = flag.String("faults", "", "fault-injection plan for tuning evaluations: 'default', or execloss=,straggler=,stragglerfactor=,transient=,oom=,seed= (empty/off = no faults; quality measurement stays fault-free)")
+		retries = flag.Int("retries", 0, "max re-evaluations of a transiently-failed configuration per session")
 	)
 	flag.Parse()
+
+	plan, err := cli.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Defaults()
 	if *full {
@@ -44,8 +54,13 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Budget = *budget
 	cfg.Workers = *workers
+	cfg.Faults = plan
+	cfg.Retry = tuners.RetryPolicy{MaxRetries: *retries}
 	if *repeats > 0 {
 		cfg.Repeats = *repeats
+	}
+	if plan.Enabled() {
+		fmt.Printf("fault injection: %s (retries %d)\n", plan, *retries)
 	}
 
 	want := map[string]bool{}

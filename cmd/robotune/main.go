@@ -7,14 +7,21 @@
 //	robotune -workload KMeans -dataset 1 -budget 100
 //	robotune -workload PageRank -tuner BestConfig
 //	robotune -workload PageRank -dataset 3 -memo state.json   # reuse caches
+//	robotune -workload TeraSort -faults default -retries 2    # faulty cluster
+//
+// Ctrl-C cancels the session gracefully: the best configuration found
+// so far is reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/cli"
 	"repro/internal/conf"
@@ -39,6 +46,9 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every non-default parameter of the best config")
 		explain  = flag.Bool("explain", false, "print selection ranking, Hedge weights and config diff (ROBOTune only)")
 		workers  = flag.Int("workers", 0, "tuner compute parallelism: goroutines for forest training, importance and acquisition search (0 = all cores, 1 = serial; results are identical)")
+		deadline = flag.Float64("deadline", 0, "per-evaluation deadline in simulated seconds, layered under the adaptive guard cap (0 = none)")
+		retries  = flag.Int("retries", 0, "max re-evaluations of a transiently-failed configuration")
+		faults   = flag.String("faults", "", "fault-injection plan: 'default', or execloss=,straggler=,stragglerfactor=,transient=,oom=,seed= (empty/off = no faults)")
 	)
 	flag.Parse()
 
@@ -63,8 +73,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	plan, err := cli.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	space := conf.SparkSpace()
 	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), w, *seed, *capSec)
+	ev.Faults = plan
 	var obj tuners.Objective = ev
 	var recorder *trace.Recorder
 	if *tracePth != "" {
@@ -72,8 +89,31 @@ func main() {
 		obj = recorder
 	}
 
-	fmt.Printf("tuning %s with %s (budget %d, cap %.0fs)\n", w.ID(), tn.Name(), *budget, *capSec)
-	res := tn.Tune(obj, space, *budget, *seed)
+	// Ctrl-C cancels the session: the tuner unwinds within one
+	// evaluation and reports the best-so-far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("tuning %s with %s (budget %d, cap %.0fs", w.ID(), tn.Name(), *budget, *capSec)
+	if plan.Enabled() {
+		fmt.Printf(", faults %s", plan)
+	}
+	fmt.Println(")")
+	res := tn.Run(tuners.NewSession(obj, space, tuners.Request{
+		Ctx:      ctx,
+		Budget:   *budget,
+		Seed:     *seed,
+		Deadline: *deadline,
+		Retry:    tuners.RetryPolicy{MaxRetries: *retries},
+	}))
+	if res.Cancelled {
+		fmt.Println("\ninterrupted: reporting the best configuration found so far")
+	}
+	if res.Failures.Failed > 0 || res.Failures.Retries > 0 {
+		f := res.Failures
+		fmt.Printf("robustness: %d failed (%d OOM, %d infeasible), %d transient, %d retries\n",
+			f.Failed, f.OOM, f.Infeasible, f.Transient, f.Retries)
+	}
 
 	if recorder != nil {
 		sess := recorder.Finish(tn.Name(), *budget, *seed, res)
@@ -110,15 +150,18 @@ func main() {
 		}
 	}
 
-	// Convergence trace: running minimum every 10 iterations.
-	fmt.Println("\nconvergence (running min):")
-	runMin := res.Trace[0]
-	for i, v := range res.Trace {
-		if v < runMin {
-			runMin = v
-		}
-		if (i+1)%10 == 0 || i == len(res.Trace)-1 {
-			fmt.Printf("  iter %3d: %7.1f s\n", i+1, runMin)
+	// Convergence trace: running minimum every 10 iterations. A
+	// session cancelled during selection has no tuning trace.
+	if len(res.Trace) > 0 {
+		fmt.Println("\nconvergence (running min):")
+		runMin := res.Trace[0]
+		for i, v := range res.Trace {
+			if v < runMin {
+				runMin = v
+			}
+			if (i+1)%10 == 0 || i == len(res.Trace)-1 {
+				fmt.Printf("  iter %3d: %7.1f s\n", i+1, runMin)
+			}
 		}
 	}
 

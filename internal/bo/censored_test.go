@@ -1,0 +1,71 @@
+package bo
+
+import (
+	"testing"
+
+	"repro/internal/sample"
+)
+
+// TestTellCensoredFloorsAtWorst: a censored observation must never
+// look better to the surrogate than a real measurement.
+func TestTellCensoredFloorsAtWorst(t *testing.T) {
+	e := New(2, Config{Seed: 1})
+	e.Tell([]float64{0.2, 0.2}, 10)
+	e.Tell([]float64{0.8, 0.8}, 50)
+	// Censored at 5 "observed seconds" — but it failed, so the true
+	// value is unknown and at least as bad as anything seen.
+	e.TellCensored([]float64{0.5, 0.5}, 5)
+	if e.y[2] != 50 {
+		t.Fatalf("censored y = %v, want floored to worst observed 50", e.y[2])
+	}
+	if e.Censored() != 1 {
+		t.Fatalf("Censored() = %d, want 1", e.Censored())
+	}
+	// The incumbent must stay the real measurement.
+	_, y, ok := e.Best()
+	if !ok || y != 10 {
+		t.Fatalf("Best = %v/%v, want 10", y, ok)
+	}
+}
+
+// TestTellCensoredAboveWorstKept: a censored value already worse than
+// everything observed passes through unchanged.
+func TestTellCensoredAboveWorstKept(t *testing.T) {
+	e := New(2, Config{Seed: 1})
+	e.Tell([]float64{0.2, 0.2}, 10)
+	e.TellCensored([]float64{0.6, 0.6}, 480)
+	if e.y[1] != 480 {
+		t.Fatalf("censored y = %v, want 480", e.y[1])
+	}
+}
+
+// TestCensoredSuggestStillWorks: the engine must keep suggesting
+// (and extending its surrogate incrementally) with censored points in
+// the history, and a fork must carry the flags.
+func TestCensoredSuggestStillWorks(t *testing.T) {
+	e := New(2, Config{Seed: 3})
+	rng := sample.NewRNG(9)
+	for i := 0; i < 8; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := (x[0]-0.3)*(x[0]-0.3) + (x[1]-0.7)*(x[1]-0.7)
+		if i%3 == 2 {
+			e.TellCensored(x, 1.0)
+		} else {
+			e.Tell(x, y)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		u, err := e.Suggest()
+		if err != nil {
+			t.Fatalf("Suggest with censored history: %v", err)
+		}
+		if len(u) != 2 {
+			t.Fatalf("suggestion dim %d", len(u))
+		}
+		e.TellCensored(u, 2.0)
+	}
+	f := e.Fork()
+	if f.Censored() != e.Censored() {
+		t.Fatalf("fork lost censored flags: %d vs %d", f.Censored(), e.Censored())
+	}
+}

@@ -61,11 +61,14 @@ func DefaultConfig() Config {
 // unit hypercube, fits a GP, and proposes the next point via the
 // GP-Hedge portfolio.
 type Engine struct {
-	dim  int
-	cfg  Config
-	rng  *rand.Rand
-	x    [][]float64
-	y    []float64
+	dim int
+	cfg Config
+	rng *rand.Rand
+	x   [][]float64
+	y   []float64
+	// cens flags observations told via TellCensored: failed or
+	// guard-killed runs whose y is a floor, not a measurement.
+	cens []bool
 	g    *gp.GP
 	// gN is the observation count e.g was fitted on; e.g is stale (and
 	// eligible for incremental extension) when gN < len(x).
@@ -123,9 +126,38 @@ func (e *Engine) Tell(x []float64, y float64) {
 	}
 	e.x = append(e.x, append([]float64(nil), x...))
 	e.y = append(e.y, y)
+	e.cens = append(e.cens, false)
 	// The surrogate is now stale (gN < len(x)) but deliberately kept:
 	// between hyperparameter refits Surrogate extends its cached
 	// Cholesky factor in O(n²) instead of refitting in O(n³).
+}
+
+// TellCensored adds a failed or guard-killed observation: y is only a
+// lower bound on the true objective ("at least this bad"), not a
+// measurement. The engine floors it at the worst value observed so
+// far, so a failure can never look better to the surrogate than any
+// real measurement, and flags the point as censored. The adjusted
+// observation stays append-only, which keeps the incremental Cholesky
+// extension between hyperparameter refits valid.
+func (e *Engine) TellCensored(x []float64, y float64) {
+	for _, v := range e.y {
+		if v > y {
+			y = v
+		}
+	}
+	e.Tell(x, y)
+	e.cens[len(e.cens)-1] = true
+}
+
+// Censored returns how many observations were told as censored.
+func (e *Engine) Censored() int {
+	n := 0
+	for _, c := range e.cens {
+		if c {
+			n++
+		}
+	}
+	return n
 }
 
 // N returns the number of observations.
@@ -347,6 +379,7 @@ func (e *Engine) Fork() *Engine {
 		f.x[i] = append([]float64(nil), xi...)
 	}
 	f.y = append([]float64(nil), e.y...)
+	f.cens = append([]bool(nil), e.cens...)
 	copy(f.gain, e.gain)
 	f.lastHyper = e.lastHyper
 	f.hyperFitAtN = e.hyperFitAtN

@@ -14,6 +14,7 @@ import (
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/memo"
+	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
 
@@ -94,8 +95,10 @@ func SaveConfigValues(c conf.Config, path string) error {
 // BuildTuner constructs a tuner by (case-insensitive) name. ROBOTune
 // is backed by the given store (nil for in-memory) and runs its
 // internal math on `workers` goroutines (0 = GOMAXPROCS, 1 = serial;
-// results are identical either way).
-func BuildTuner(name string, store *memo.Store, workers int) (tuners.Tuner, error) {
+// results are identical either way). Every tuner is a SessionTuner,
+// so callers can attach a context, deadline and retry policy via
+// tuners.NewSession.
+func BuildTuner(name string, store *memo.Store, workers int) (tuners.SessionTuner, error) {
 	switch strings.ToLower(name) {
 	case "robotune":
 		return core.New(store, core.Options{Workers: workers}), nil
@@ -111,4 +114,66 @@ func BuildTuner(name string, store *memo.Store, workers int) (tuners.Tuner, erro
 		return tuners.CMAES{}, nil
 	}
 	return nil, fmt.Errorf("unknown tuner %q (have ROBOTune, BestConfig, Gunther, RandomSearch, SuccessiveHalving, CMAES)", name)
+}
+
+// ParseFaultPlan parses a fault-injection spec of the form
+//
+//	execloss=0.1,straggler=0.08,stragglerfactor=3,transient=0.12,oom=0.04,seed=7
+//
+// Fields may appear in any order and default to zero (seed defaults
+// to 1 when any probability is set, so the plan is active). The
+// keyword "default" (alone or as a leading field) starts from
+// sparksim.DefaultFaultPlan(); "" and "off" return the zero plan.
+func ParseFaultPlan(spec string) (sparksim.FaultPlan, error) {
+	var plan sparksim.FaultPlan
+	spec = strings.TrimSpace(spec)
+	if spec == "" || strings.EqualFold(spec, "off") || strings.EqualFold(spec, "none") {
+		return plan, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if strings.EqualFold(field, "default") {
+			plan = sparksim.DefaultFaultPlan()
+			continue
+		}
+		name, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return sparksim.FaultPlan{}, fmt.Errorf("fault plan: want name=value, got %q", field)
+		}
+		name = strings.ToLower(strings.TrimSpace(name))
+		value = strings.TrimSpace(value)
+		if name == "seed" {
+			seed, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return sparksim.FaultPlan{}, fmt.Errorf("fault plan: seed: %w", err)
+			}
+			plan.Seed = seed
+			continue
+		}
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return sparksim.FaultPlan{}, fmt.Errorf("fault plan: %s: %w", name, err)
+		}
+		switch name {
+		case "execloss", "executorloss":
+			plan.ExecutorLossProb = f
+		case "straggler":
+			plan.StragglerProb = f
+		case "stragglerfactor":
+			plan.StragglerFactor = f
+		case "transient":
+			plan.TransientErrProb = f
+		case "oom":
+			plan.SpuriousOOMProb = f
+		default:
+			return sparksim.FaultPlan{}, fmt.Errorf("fault plan: unknown field %q (have execloss, straggler, stragglerfactor, transient, oom, seed)", name)
+		}
+	}
+	if plan.Enabled() && plan.Seed == 0 {
+		plan.Seed = 1
+	}
+	return plan, nil
 }

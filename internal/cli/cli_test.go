@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/conf"
+	"repro/internal/sparksim"
 )
 
 func TestParseRaw(t *testing.T) {
@@ -136,5 +137,47 @@ func TestBuildTuner(t *testing.T) {
 	}
 	if _, err := BuildTuner("simulated-annealing", nil, 0); err == nil {
 		t.Error("unknown tuner accepted")
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	for _, spec := range []string{"", "off", "none", " "} {
+		p, err := ParseFaultPlan(spec)
+		if err != nil || p.Enabled() {
+			t.Errorf("%q: plan %v err %v, want disabled", spec, p, err)
+		}
+	}
+
+	p, err := ParseFaultPlan("execloss=0.2, transient=0.1, seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ExecutorLossProb != 0.2 || p.TransientErrProb != 0.1 || p.Seed != 9 {
+		t.Errorf("parsed %+v", p)
+	}
+	if !p.Enabled() {
+		t.Error("plan with probabilities not enabled")
+	}
+
+	// "default" starts from the stock plan; later fields override.
+	p, err = ParseFaultPlan("default,transient=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparksim.DefaultFaultPlan()
+	if p.ExecutorLossProb != want.ExecutorLossProb || p.TransientErrProb != 0.5 {
+		t.Errorf("default+override parsed %+v", p)
+	}
+
+	// An active plan gets a non-zero seed so the fault stream is set.
+	p, err = ParseFaultPlan("oom=0.3")
+	if err != nil || p.Seed == 0 {
+		t.Errorf("plan %+v err %v, want defaulted seed", p, err)
+	}
+
+	for _, bad := range []string{"bogus=1", "execloss", "transient=x", "seed=-1"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
 	}
 }

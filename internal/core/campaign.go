@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,6 +28,17 @@ type Campaign struct {
 	// MeasureReps verifies each session's best configuration
 	// (default 3).
 	MeasureReps int
+	// Ctx cancels the campaign: the running session unwinds with its
+	// best-so-far and no further sessions start. nil = no cancellation.
+	Ctx context.Context
+	// Faults injects the plan's cluster misbehavior into every
+	// session's evaluator (off when zero; Measure stays fault-free).
+	Faults sparksim.FaultPlan
+	// Deadline is a per-evaluation limit in simulated seconds layered
+	// under the guard cap (<= 0 = none).
+	Deadline float64
+	// Retry bounds re-evaluation of transient failures per session.
+	Retry tuners.RetryPolicy
 }
 
 // CampaignSession is one completed tuning session within a campaign.
@@ -60,11 +72,25 @@ func (c *Campaign) Run(workloads []sparksim.Workload, seed uint64) CampaignResul
 	if reps <= 0 {
 		reps = 3
 	}
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var out CampaignResult
 	for i, w := range workloads {
+		if ctx.Err() != nil {
+			break
+		}
 		sseed := seed + uint64(i)*701
 		ev := sparksim.NewEvaluator(c.Cluster, w, sseed, c.Cap)
-		res := c.Tuner.Tune(ev, conf.SparkSpace(), budget, sseed)
+		ev.Faults = c.Faults
+		res := c.Tuner.Run(tuners.NewSession(ev, conf.SparkSpace(), tuners.Request{
+			Ctx:      ctx,
+			Budget:   budget,
+			Seed:     sseed,
+			Deadline: c.Deadline,
+			Retry:    c.Retry,
+		}))
 		session := CampaignSession{
 			Workload: w,
 			Result:   res,

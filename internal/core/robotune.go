@@ -190,25 +190,26 @@ type identifiable interface {
 	DatasetName() string
 }
 
-// cappable is the optional capability backing the bad-configuration
-// guard.
-type cappable interface {
-	EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord
-}
-
-// batchable is the optional capability backing parallel evaluation of
-// independent samples; *sparksim.Evaluator implements it.
-type batchable interface {
-	EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.EvalRecord
-}
-
-// Tune implements tuners.Tuner: it runs parameter selection (or a
-// cache hit), then the memoized-sampling + BO pipeline, spending at
-// most budget evaluations in the tuning phase. Selection evaluations
-// on a cache miss are reported separately in the Result, matching
-// §5.3's cost accounting.
+// Tune implements tuners.Tuner; it is Run under a request with no
+// cancellation, deadline or retries — the legacy positional surface.
 func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, seed uint64) tuners.Result {
+	return r.Run(tuners.NewSession(obj, space, tuners.Request{Budget: budget, Seed: seed}))
+}
+
+// Run implements tuners.SessionTuner: it runs parameter selection (or
+// a cache hit), then the memoized-sampling + BO pipeline, spending at
+// most the session budget in the tuning phase. Selection evaluations
+// on a cache miss are reported separately in the Result, matching
+// §5.3's cost accounting. The session supplies the robustness
+// envelope: its context aborts selection sampling, the BO loop and
+// batch evaluation between evaluations (the result carries the
+// best-so-far), its deadline tightens the guard cap, and transient
+// evaluation failures are retried per its policy. Failed observations
+// reach the surrogate as censored tells, never as measurements.
+func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 	opts := r.opts
+	obj, space := s.Objective(), s.Space()
+	budget, seed := s.Budget(), s.Seed()
 	workload, dataset := "", ""
 	if id, ok := obj.(identifiable); ok {
 		workload, dataset = id.WorkloadName(), id.DatasetName()
@@ -225,10 +226,10 @@ func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, see
 	}
 	// Workload mapping (extension): characterize the unseen workload
 	// with a few probes and inherit a similar family's selection.
-	if selected == nil && opts.Mapper != nil && workload != "" {
+	if selected == nil && opts.Mapper != nil && workload != "" && !s.Done() {
 		evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
 		sig := opts.Mapper.Characterize(func(c conf.Config) float64 {
-			return obj.Evaluate(c).Seconds
+			return s.Evaluate(c).Seconds
 		})
 		if match, ok := opts.Mapper.BestMatch(sig); ok && match.Similarity >= opts.MapThreshold {
 			if sel, hit := r.store.Selection(match.Workload); hit {
@@ -242,7 +243,7 @@ func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, see
 	}
 	if selected == nil {
 		evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
-		sel, err := r.SelectParameters(obj, space, opts.GenericSamples, seed)
+		sel, err := r.selectParameters(s, opts.GenericSamples)
 		if err == nil {
 			selected = sel.Params
 			r.LastSelection = &sel
@@ -298,19 +299,15 @@ func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, see
 		if opts.GuardMultiple <= 0 {
 			return 0
 		}
-		med := tr.medianCompleted()
-		if math.IsNaN(med) {
-			return 0
-		}
-		return med * opts.GuardMultiple
+		// medianCompleted is 0 while nothing has completed (an
+		// all-failed prefix must not manufacture a cap).
+		return tr.medianCompleted() * opts.GuardMultiple
 	}
+	// The session layers the request deadline and retry policy under
+	// the guard cap and routes through the guard capability when the
+	// objective has one.
 	eval := func(c conf.Config) sparksim.EvalRecord {
-		if capper, ok := obj.(cappable); ok {
-			if g := guard(); g > 0 {
-				return capper.EvaluateWithCap(c, g)
-			}
-		}
-		return obj.Evaluate(c)
+		return s.EvaluateWithCap(c, guard())
 	}
 
 	// --- Initial training set (Memoized Sampling, §3.2) ------------------
@@ -333,17 +330,27 @@ func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, see
 	rng := sample.NewRNG(seed ^ 0x0b07e2e)
 	design := sample.MaximinLHS(lhsCount, ss.Dim(), 0, rng)
 
+	// tellEngine feeds one observation to the surrogate. The GP models
+	// log execution time: the 480 s evaluation cap saturates much of
+	// the space, and the log transform keeps the surviving region
+	// discriminable. Failed runs are censored — their capped value is
+	// a floor, not a measurement — so the surrogate treats them as "at
+	// least this bad" instead of trusting junk observations.
+	tellEngine := func(u []float64, rec sparksim.EvalRecord) {
+		if rec.Completed {
+			engine.Tell(u, math.Log(rec.Seconds))
+		} else {
+			engine.TellCensored(u, math.Log(rec.Seconds))
+		}
+	}
 	tell := func(c conf.Config) bool {
-		if remaining <= 0 {
+		if remaining <= 0 || s.Done() {
 			return false
 		}
 		remaining--
 		rec := eval(c)
 		tr.observe(c, rec)
-		// The GP models log execution time: the 480 s evaluation cap
-		// saturates much of the space, and the log transform keeps
-		// the surviving region discriminable.
-		engine.Tell(ss.Encode(c), math.Log(rec.Seconds))
+		tellEngine(ss.Encode(c), rec)
 		return true
 	}
 	for _, saved := range memoCfgs {
@@ -364,8 +371,8 @@ func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, see
 	// --- BO loop (Algorithm 1) --------------------------------------------
 	stale := 0
 	lastBest := tr.bestSec
-	batcher, canBatch := obj.(batchable)
-	for remaining > 0 {
+	_, canBatch := obj.(tuners.BatchEvaluator)
+	for remaining > 0 && !s.Done() {
 		// Parallel rounds: q constant-liar suggestions evaluated
 		// concurrently, then told back with the real observations.
 		if opts.BOBatch > 1 && canBatch && remaining >= opts.BOBatch {
@@ -374,11 +381,14 @@ func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, see
 				for i, u := range us {
 					cfgs[i] = ss.Decode(u)
 				}
-				recs := batcher.EvaluateBatch(cfgs, opts.BOBatch)
+				recs := s.EvaluateBatch(cfgs, opts.BOBatch)
 				for i, rec := range recs {
+					if rec.Skipped { // cancelled before dispatch
+						continue
+					}
 					remaining--
 					tr.observe(cfgs[i], rec)
-					engine.Tell(us[i], math.Log(rec.Seconds))
+					tellEngine(us[i], rec)
 				}
 				if opts.EarlyStopPatience > 0 {
 					if tr.bestSec < lastBest*(1-opts.EarlyStopEpsilon) {
@@ -443,6 +453,8 @@ func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, see
 		SelectedParams: append([]string(nil), selected...),
 		SelectionEvals: selEvals,
 		SelectionCost:  selCost,
+		Failures:       s.Stats(),
+		Cancelled:      s.Cancelled(),
 	}
 }
 
@@ -483,7 +495,15 @@ type GroupRank struct {
 // the OOB R² by at least the threshold. Exposed for the selection
 // experiments (Figures 2 and 7).
 func (r *ROBOTune) SelectParameters(obj tuners.Objective, space *conf.Space, samples int, seed uint64) (Selection, error) {
+	return r.selectParameters(tuners.NewSession(obj, space, tuners.Request{Seed: seed}), samples)
+}
+
+// selectParameters is SelectParameters under a session: the session's
+// context aborts the LHS sweep between evaluations, and its retry and
+// deadline policies apply to each sample.
+func (r *ROBOTune) selectParameters(s *tuners.Session, samples int) (Selection, error) {
 	opts := r.opts
+	space, seed := s.Space(), s.Seed()
 	if samples <= 0 {
 		samples = opts.GenericSamples
 	}
@@ -494,12 +514,15 @@ func (r *ROBOTune) SelectParameters(obj tuners.Objective, space *conf.Space, sam
 		cfgs[i] = space.Decode(u)
 	}
 	var recs []sparksim.EvalRecord
-	if be, ok := obj.(batchable); ok && opts.Parallel > 1 {
-		recs = be.EvaluateBatch(cfgs, opts.Parallel)
+	if opts.Parallel > 1 {
+		recs = s.EvaluateBatch(cfgs, opts.Parallel)
 	} else {
-		recs = make([]sparksim.EvalRecord, len(cfgs))
-		for i, c := range cfgs {
-			recs[i] = obj.Evaluate(c)
+		recs = make([]sparksim.EvalRecord, 0, len(cfgs))
+		for _, c := range cfgs {
+			if s.Done() {
+				break
+			}
+			recs = append(recs, s.Evaluate(c))
 		}
 	}
 	x := make([][]float64, 0, samples)
@@ -507,6 +530,9 @@ func (r *ROBOTune) SelectParameters(obj tuners.Objective, space *conf.Space, sam
 	bestSec := math.Inf(1)
 	var bestCfg conf.Config
 	for i, rec := range recs {
+		if rec.Skipped { // batch entry cancelled before dispatch
+			continue
+		}
 		x = append(x, append([]float64(nil), design[i]...))
 		y = append(y, rec.Seconds)
 		if rec.Completed && rec.Seconds < bestSec {
@@ -605,9 +631,12 @@ func (t *runTracker) observe(c conf.Config, rec sparksim.EvalRecord) {
 	}
 }
 
+// medianCompleted returns the median completed execution time, or 0
+// when nothing has completed yet — the all-failed session must yield
+// "guard disabled", never a NaN cap.
 func (t *runTracker) medianCompleted() float64 {
 	if len(t.entries) == 0 {
-		return math.NaN()
+		return 0
 	}
 	xs := make([]float64, len(t.entries))
 	for i, e := range t.entries {
@@ -711,8 +740,12 @@ func (r *ROBOTune) Explain(space *conf.Space, res tuners.Result) string {
 	var sb strings.Builder
 
 	if r.LastSelection != nil {
-		fmt.Fprintf(&sb, "parameter selection (%d samples, forest OOB R² %.3f):\n",
-			r.LastSelection.Samples, r.LastSelection.OOBR2)
+		oob := "n/a" // undefined when every selection sample failed
+		if !math.IsNaN(r.LastSelection.OOBR2) {
+			oob = fmt.Sprintf("%.3f", r.LastSelection.OOBR2)
+		}
+		fmt.Fprintf(&sb, "parameter selection (%d samples, forest OOB R² %s):\n",
+			r.LastSelection.Samples, oob)
 		for i, g := range r.LastSelection.Ranking {
 			if i >= 10 {
 				fmt.Fprintf(&sb, "  ... %d more groups\n", len(r.LastSelection.Ranking)-i)
@@ -735,6 +768,17 @@ func (r *ROBOTune) Explain(space *conf.Space, res tuners.Result) string {
 		for i, n := range names {
 			fmt.Fprintf(&sb, "  %-4s %.2f\n", n, probs[i])
 		}
+	}
+
+	if f := res.Failures; f.Failed > 0 || f.Retries > 0 || f.Skipped > 0 {
+		fmt.Fprintf(&sb, "robustness: %d failed (%d OOM, %d infeasible), %d transient, %d retries (%.0f s backoff), %d skipped\n",
+			f.Failed, f.OOM, f.Infeasible, f.Transient, f.Retries, f.BackoffSeconds, f.Skipped)
+	}
+	if res.Cancelled {
+		sb.WriteString("session cancelled: result is the best-so-far at cancellation\n")
+	}
+	if !res.Found {
+		sb.WriteString("no configuration completed within budget (Found=false)\n")
 	}
 
 	if res.Found {

@@ -43,8 +43,8 @@ func AmortizationExperiment(cfg Config, workload string) []AmortizationRow {
 		running := 0.0
 		for di := 0; di < 3; di++ {
 			seed := cfg.Seed + uint64(di)*97 + hashName(workload+tname)
-			ev := sparksim.NewEvaluator(cluster, wls[di], seed, 480)
-			res := tn.Tune(ev, space, cfg.Budget, seed)
+			ev := cfg.newEvaluator(cluster, wls[di], seed)
+			res := cfg.tune(tn, ev, space, cfg.Budget, seed)
 			running += res.SearchCost + res.SelectionCost
 			cum[tname] = append(cum[tname], running)
 		}

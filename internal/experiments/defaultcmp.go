@@ -45,8 +45,8 @@ func DefaultComparison(cfg Config) []DefaultRow {
 		for di := 0; di < 3; di++ {
 			w := grid[wname][di]
 			seed := cfg.Seed + hashName(wname) + uint64(di)
-			ev := sparksim.NewEvaluator(cluster, w, seed, 480)
-			res := rt.Tune(ev, space, cfg.Budget, seed)
+			ev := cfg.newEvaluator(cluster, w, seed)
+			res := cfg.tune(rt, ev, space, cfg.Budget, seed)
 
 			row := DefaultRow{Workload: wname, DatasetIdx: di}
 			out := sparksim.Run(cluster, w, def, seededRNG(seed*3+1), math.Inf(1))

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/bo"
+	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/memo"
@@ -49,6 +50,13 @@ type Config struct {
 	// Workers is ROBOTune's compute parallelism (0 = GOMAXPROCS,
 	// 1 = serial). Results are identical for any value.
 	Workers int
+	// Faults injects cluster misbehavior into every tuning evaluator
+	// (off when zero). Quality measurement stays fault-free, so tuners
+	// are still compared on the configurations' true execution times.
+	Faults sparksim.FaultPlan
+	// Retry bounds re-evaluation of transiently-failed configurations
+	// per session.
+	Retry tuners.RetryPolicy
 }
 
 // Defaults returns the reduced scale used by the benchmarks: the
@@ -90,6 +98,24 @@ func (c Config) robotuneOptions() core.Options {
 		o.BO.GP.Restarts = 1
 	}
 	return o
+}
+
+// newEvaluator builds a tuning evaluator carrying the configured
+// fault plan.
+func (c Config) newEvaluator(cluster sparksim.Cluster, w sparksim.Workload, seed uint64) *sparksim.Evaluator {
+	ev := sparksim.NewEvaluator(cluster, w, seed, 480)
+	ev.Faults = c.Faults
+	return ev
+}
+
+// tune runs one tuning session under the configured retry policy. A
+// zero policy reproduces the plain Tune path exactly.
+func (c Config) tune(tn tuners.SessionTuner, obj tuners.Objective, space *conf.Space, budget int, seed uint64) tuners.Result {
+	return tn.Run(tuners.NewSession(obj, space, tuners.Request{
+		Budget: budget,
+		Seed:   seed,
+		Retry:  c.Retry,
+	}))
 }
 
 // WorkloadOrder is the fixed report order for the five workloads
@@ -142,7 +168,7 @@ type Comparison struct {
 
 // buildTuner constructs a fresh tuner by name; ROBOTune receives the
 // given store so sessions within one repeat share memoization.
-func (c Config) buildTuner(name string, store *memo.Store) tuners.Tuner {
+func (c Config) buildTuner(name string, store *memo.Store) tuners.SessionTuner {
 	switch name {
 	case "ROBOTune":
 		return core.New(store, c.robotuneOptions())
@@ -180,8 +206,8 @@ func RunComparison(cfg Config, filter func(workload string) bool) *Comparison {
 				tn := cfg.buildTuner(tname, store)
 				for di := 0; di < 3; di++ {
 					seed := cfg.Seed + uint64(rep)*1009 + uint64(di)*101 + hashName(wname+tname)
-					ev := sparksim.NewEvaluator(cluster, wls[di], seed, 480)
-					res := tn.Tune(ev, space, cfg.Budget, seed)
+					ev := cfg.newEvaluator(cluster, wls[di], seed)
+					res := cfg.tune(tn, ev, space, cfg.Budget, seed)
 					quality := 480.0
 					if res.Found {
 						quality = ev.Measure(res.Best, cfg.MeasureReps, cfg.Seed*77+uint64(di))

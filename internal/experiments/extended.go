@@ -44,7 +44,7 @@ func ExtendedComparison(cfg Config, workloads []string) ([]ExtendedRow, *Compari
 	space := sparkSpace()
 	comp := &Comparison{Config: cfg}
 
-	buildExtended := func(name string, store *memo.Store) tuners.Tuner {
+	buildExtended := func(name string, store *memo.Store) tuners.SessionTuner {
 		switch name {
 		case "SuccessiveHalving":
 			return tuners.SuccessiveHalving{}
@@ -66,8 +66,8 @@ func ExtendedComparison(cfg Config, workloads []string) ([]ExtendedRow, *Compari
 				tn := buildExtended(tname, store)
 				for di := 0; di < 2; di++ {
 					seed := cfg.Seed + uint64(rep)*1009 + uint64(di)*101 + hashName(wname+tname)
-					ev := sparksim.NewEvaluator(cluster, wls[di], seed, 480)
-					res := tn.Tune(ev, space, cfg.Budget, seed)
+					ev := cfg.newEvaluator(cluster, wls[di], seed)
+					res := cfg.tune(tn, ev, space, cfg.Budget, seed)
 					quality := 480.0
 					if res.Found {
 						quality = ev.Measure(res.Best, cfg.MeasureReps, cfg.Seed*77+uint64(di))

@@ -20,6 +20,10 @@ type Outcome struct {
 	// OOM is true when the job aborted with out-of-memory /
 	// GC-overhead task failures.
 	OOM bool
+	// Transient is true when the run aborted on an injected transient
+	// error (lost heartbeat, fetch storm): a retry of the same
+	// configuration may well succeed, unlike OOM or infeasibility.
+	Transient bool
 	// Infeasible is true when no executor of the configured size fits
 	// on the cluster (resource negotiation fails immediately).
 	Infeasible bool
@@ -132,17 +136,25 @@ type engine struct {
 // for reproducibility. capSeconds truncates runs that exceed it
 // (pass +Inf for no cap — the Evaluator applies the paper's 480 s).
 func Run(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float64) Outcome {
-	return run(cl, w, c, rng, capSeconds, false)
+	return run(cl, w, c, rng, capSeconds, false, FaultPlan{}, nil)
 }
 
 // RunDetailed is Run with per-stage accounting: the returned
 // Outcome.Breakdown lists every executed stage's duration and cost
 // decomposition (robosim's -stages flag).
 func RunDetailed(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float64) Outcome {
-	return run(cl, w, c, rng, capSeconds, true)
+	return run(cl, w, c, rng, capSeconds, true, FaultPlan{}, nil)
 }
 
-func run(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float64, collect bool) Outcome {
+// RunWithFaults is Run with fault injection: the plan's incidents are
+// drawn from frng (a dedicated stream, so the run's noise sequence is
+// untouched) and applied at stage boundaries. A zero plan or nil frng
+// reduces to Run exactly.
+func RunWithFaults(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float64, plan FaultPlan, frng *rand.Rand) Outcome {
+	return run(cl, w, c, rng, capSeconds, false, plan, frng)
+}
+
+func run(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float64, collect bool, plan FaultPlan, frng *rand.Rand) Outcome {
 	ex, ok := PackExecutors(cl, c)
 	if !ok {
 		return Outcome{Infeasible: true, Seconds: 15, Events: []string{"resource negotiation failed: executor does not fit"}}
@@ -165,6 +177,11 @@ func run(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float
 		panic(fmt.Sprintf("sparksim: unknown codec %q", c.Choice(conf.IOCompressionCodec)))
 	}
 
+	var fs faultSchedule
+	if plan.Enabled() && frng != nil {
+		fs = plan.schedule(frng, len(w.Stages))
+	}
+
 	total := 2.0 // app submission, driver startup, executor registration
 	for i := range w.Stages {
 		st := &w.Stages[i]
@@ -172,10 +189,43 @@ func run(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float
 		// Per-stage noise models run-to-run variance of a shared
 		// cluster (§2.2: contention and noise on network/storage).
 		sec *= math.Exp(rng.NormFloat64() * 0.035)
+		if fs.active {
+			if m := fs.straggler[i]; m > 1 {
+				sec *= m
+				e.out.Events = append(e.out.Events,
+					fmt.Sprintf("%s: fault: straggler amplification x%.1f", st.Name, m))
+			}
+			if i == fs.execLossStage && e.ex.Count > 1 {
+				// One executor dies mid-stage: its in-flight partitions
+				// are recomputed (~one executor's share of the stage),
+				// and the remaining stages run on fewer slots.
+				sec *= 1 + 1.5/float64(e.ex.Count)
+				e.loseExecutor()
+				e.out.Events = append(e.out.Events,
+					fmt.Sprintf("%s: fault: executor lost (%d remain)", st.Name, e.ex.Count))
+			}
+		}
 		total += sec
 		if failed {
 			e.out.OOM = true
 			e.out.Seconds = total
+			return e.out
+		}
+		if fs.active && i == fs.oomStage {
+			// Spurious OOM: co-tenant memory pressure kills a task past
+			// spark.task.maxFailures. Indistinguishable from a
+			// config-caused OOM, so not flagged transient.
+			e.out.OOM = true
+			e.out.Seconds = total
+			e.out.Events = append(e.out.Events,
+				fmt.Sprintf("%s: fault: spurious OOM kill", st.Name))
+			return e.out
+		}
+		if fs.active && i == fs.transientStage {
+			e.out.Transient = true
+			e.out.Seconds = total
+			e.out.Events = append(e.out.Events,
+				fmt.Sprintf("%s: fault: transient failure (lost heartbeat)", st.Name))
 			return e.out
 		}
 		if total > capSeconds {
@@ -191,6 +241,18 @@ func run(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float
 	e.out.Seconds = total
 	e.out.Completed = total <= capSeconds
 	return e.out
+}
+
+// loseExecutor removes one executor from the layout (fault injection:
+// node or JVM loss); the remaining stages see fewer slots and
+// per-node contention recomputed over the survivors.
+func (e *engine) loseExecutor() {
+	if e.ex.Count <= 1 {
+		return
+	}
+	e.ex.Count--
+	e.ex.TotalSlots = e.ex.Count * e.ex.SlotsEach
+	e.ex.PerNode = (e.ex.Count + e.cl.Workers - 1) / e.cl.Workers
 }
 
 // stageTime computes the simulated duration of one stage and whether

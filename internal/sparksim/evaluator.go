@@ -1,6 +1,7 @@
 package sparksim
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -22,6 +23,12 @@ type EvalRecord struct {
 	Completed  bool
 	OOM        bool
 	Infeasible bool
+	// Transient marks a retryable failure (injected lost heartbeat /
+	// fetch storm): re-running the same configuration may succeed.
+	Transient bool
+	// Skipped marks an evaluation that never ran because its batch was
+	// cancelled: it carries no observation and was charged no cost.
+	Skipped bool
 }
 
 // Evaluator exposes the simulator as the expensive black-box
@@ -29,11 +36,20 @@ type EvalRecord struct {
 // (§5.1 uses 480 s) and bookkeeping of search cost — "the total time
 // to generate and evaluate configurations" (§5.3).
 //
-// Evaluator is safe for concurrent use.
+// Evaluator is safe for concurrent use. Faults may be set before the
+// evaluator is shared; mutating it concurrently with evaluations is
+// not supported.
 type Evaluator struct {
 	Cluster    Cluster
 	Workload   Workload
 	CapSeconds float64
+	// Faults, when enabled, injects the plan's incidents into every
+	// charged evaluation (Measure stays fault-free so final-config
+	// quality reports are not polluted). Faults for a given evaluation
+	// index are drawn from a dedicated stream, so the same
+	// (seed, plan) reproduces the same incidents sequentially or in a
+	// parallel batch.
+	Faults FaultPlan
 
 	mu      sync.Mutex
 	seed    uint64
@@ -59,6 +75,38 @@ func (ev *Evaluator) WorkloadName() string { return ev.Workload.Name }
 // DatasetName returns the input dataset description.
 func (ev *Evaluator) DatasetName() string { return ev.Workload.Dataset }
 
+// faultRun executes one simulated run at the given evaluation index,
+// injecting the plan's faults when enabled.
+func (ev *Evaluator) faultRun(c conf.Config, seed uint64, idx int, plan FaultPlan, cap float64) Outcome {
+	rng := sample.NewRNG(seed*1e9 + uint64(idx))
+	if !plan.Enabled() {
+		return Run(ev.Cluster, ev.Workload, c, rng, cap)
+	}
+	frng := sample.NewRNG(plan.Seed ^ (seed*1e9 + uint64(idx)) ^ 0xfa1175ee)
+	return RunWithFaults(ev.Cluster, ev.Workload, c, rng, cap, plan, frng)
+}
+
+// record converts an outcome into the charged observation.
+func (ev *Evaluator) record(c conf.Config, out Outcome, cap float64) EvalRecord {
+	rec := EvalRecord{
+		Config:     c,
+		Raw:        out.Seconds,
+		Completed:  out.Completed,
+		OOM:        out.OOM,
+		Infeasible: out.Infeasible,
+		Transient:  out.Transient,
+	}
+	if out.Completed {
+		rec.Seconds = math.Min(out.Seconds, cap)
+	} else {
+		// Failed, infeasible or truncated runs are worth the global
+		// cap to the optimizer (worst case) but only charge what they
+		// actually burned before the guard stopped them.
+		rec.Seconds = ev.CapSeconds
+	}
+	return rec
+}
+
 // Evaluate runs the workload once under the configuration, charges
 // the consumed time to the search cost, and returns the observation.
 func (ev *Evaluator) Evaluate(c conf.Config) EvalRecord {
@@ -81,26 +129,12 @@ func (ev *Evaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
 	n := ev.evals
 	ev.evals++
 	seed := ev.seed
+	plan := ev.Faults
 	ev.mu.Unlock()
 
-	rng := sample.NewRNG(seed*1e9 + uint64(n))
-	out := Run(ev.Cluster, ev.Workload, c, rng, cap)
-	rec := EvalRecord{
-		Config:     c,
-		Raw:        out.Seconds,
-		Completed:  out.Completed,
-		OOM:        out.OOM,
-		Infeasible: out.Infeasible,
-	}
+	out := ev.faultRun(c, seed, n, plan, cap)
+	rec := ev.record(c, out, cap)
 	consumed := math.Min(out.Seconds, cap)
-	if out.Completed {
-		rec.Seconds = consumed
-	} else {
-		// Failed, infeasible or truncated runs are worth the global
-		// cap to the optimizer (worst case) but only charge what they
-		// actually burned before the guard stopped them.
-		rec.Seconds = ev.CapSeconds
-	}
 
 	ev.mu.Lock()
 	ev.cost += consumed
@@ -111,7 +145,9 @@ func (ev *Evaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
 
 // Measure estimates a configuration's true performance by averaging
 // reps fresh runs without charging search cost — used when reporting
-// the quality of each tuner's final choice.
+// the quality of each tuner's final choice. Fault injection does not
+// apply: Measure reports what the configuration is worth, not what a
+// faulty session observed.
 func (ev *Evaluator) Measure(c conf.Config, reps int, seed uint64) float64 {
 	if reps < 1 {
 		reps = 1
@@ -167,8 +203,9 @@ func (ev *Evaluator) Best() (EvalRecord, bool) {
 	return best, ok
 }
 
-// Reset clears evaluation counters and history (the workload and
-// noise seed stay), so one evaluator can serve several tuner runs.
+// Reset clears evaluation counters and history (the workload, noise
+// seed and fault plan stay), so one evaluator can serve several tuner
+// runs.
 func (ev *Evaluator) Reset(seed uint64) {
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
@@ -181,14 +218,38 @@ func (ev *Evaluator) Reset(seed uint64) {
 // EvaluateBatch evaluates configurations concurrently on up to
 // `workers` goroutines (default GOMAXPROCS) while reproducing the
 // exact observations sequential Evaluate calls would have produced:
-// evaluation indices — which seed the per-run noise — are assigned
-// up front, and cost/history are committed in index order. Batch
-// evaluation models running independent initial samples concurrently
-// on a cluster; search cost still accounts every run's full duration.
+// evaluation indices — which seed the per-run noise and fault streams
+// — are assigned up front, and cost/history are committed in index
+// order. Batch evaluation models running independent initial samples
+// concurrently on a cluster; search cost still accounts every run's
+// full duration.
 func (ev *Evaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord {
+	return ev.EvaluateBatchCtx(context.Background(), cfgs, workers)
+}
+
+// EvaluateBatchCtx is EvaluateBatch with cancellation: once ctx is
+// done, no further configurations are dispatched; in-flight runs
+// finish and are charged normally, and never-dispatched entries come
+// back with Skipped=true (no observation, no cost). A nil ctx means
+// no cancellation.
+func (ev *Evaluator) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []EvalRecord {
 	n := len(cfgs)
 	if n == 0 {
 		return nil
+	}
+	skipAll := func() []EvalRecord {
+		recs := make([]EvalRecord, n)
+		for i := range recs {
+			recs[i] = EvalRecord{Config: cfgs[i], Skipped: true}
+		}
+		return recs
+	}
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return skipAll()
+		default:
+		}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -204,6 +265,7 @@ func (ev *Evaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord
 	base := ev.evals
 	ev.evals += n
 	seed := ev.seed
+	plan := ev.Faults
 	ev.mu.Unlock()
 
 	recs := make([]EvalRecord, n)
@@ -214,32 +276,38 @@ func (ev *Evaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rng := sample.NewRNG(seed*1e9 + uint64(base+i))
-				out := Run(ev.Cluster, ev.Workload, cfgs[i], rng, ev.CapSeconds)
-				rec := EvalRecord{
-					Config:     cfgs[i],
-					Raw:        out.Seconds,
-					Completed:  out.Completed,
-					OOM:        out.OOM,
-					Infeasible: out.Infeasible,
-				}
-				if out.Completed {
-					rec.Seconds = math.Min(out.Seconds, ev.CapSeconds)
-				} else {
-					rec.Seconds = ev.CapSeconds
-				}
-				recs[i] = rec
+				out := ev.faultRun(cfgs[i], seed, base+i, plan, ev.CapSeconds)
+				recs[i] = ev.record(cfgs[i], out, ev.CapSeconds)
 			}
 		}()
 	}
+	// The dispatch loop is the single cancellation point: indices past
+	// the first observed cancellation are marked skipped below.
+	dispatched := n
+dispatch:
 	for i := 0; i < n; i++ {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				dispatched = i
+				break dispatch
+			case next <- i:
+				continue
+			}
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	for i := dispatched; i < n; i++ {
+		recs[i] = EvalRecord{Config: cfgs[i], Skipped: true}
+	}
 
 	ev.mu.Lock()
 	for _, rec := range recs {
+		if rec.Skipped {
+			continue
+		}
 		ev.cost += math.Min(rec.Raw, ev.CapSeconds)
 		ev.history = append(ev.history, rec)
 	}

@@ -1,6 +1,7 @@
 package sparksim
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/conf"
@@ -60,6 +61,25 @@ func (r *ResourceCostEvaluator) EvaluateWithCap(c conf.Config, cap float64) Eval
 func (r *ResourceCostEvaluator) price(c conf.Config, rec EvalRecord) EvalRecord {
 	rec.Seconds = rec.Seconds * r.rate(c)
 	return rec
+}
+
+// EvaluateBatch prices each record of the embedded Evaluator's batch
+// path (which would otherwise report raw seconds).
+func (r *ResourceCostEvaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord {
+	return r.EvaluateBatchCtx(context.Background(), cfgs, workers)
+}
+
+// EvaluateBatchCtx is EvaluateBatch with cancellation; skipped
+// entries carry no observation and are left unpriced.
+func (r *ResourceCostEvaluator) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []EvalRecord {
+	recs := r.Evaluator.EvaluateBatchCtx(ctx, cfgs, workers)
+	for i := range recs {
+		if recs[i].Skipped {
+			continue
+		}
+		recs[i] = r.price(cfgs[i], recs[i])
+	}
+	return recs
 }
 
 // MeasureCost estimates a configuration's true resource cost without

@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -27,10 +28,11 @@ type Record struct {
 	Seconds float64 `json:"seconds"`
 	// Raw is the uncapped simulated duration.
 	Raw float64 `json:"raw"`
-	// Completed/OOM/Infeasible classify the outcome.
+	// Completed/OOM/Infeasible/Transient classify the outcome.
 	Completed  bool `json:"completed"`
 	OOM        bool `json:"oom,omitempty"`
 	Infeasible bool `json:"infeasible,omitempty"`
+	Transient  bool `json:"transient,omitempty"`
 }
 
 // Session is a complete tuning session log.
@@ -48,6 +50,10 @@ type Session struct {
 	SelectionEvals int      `json:"selectionEvals,omitempty"`
 	SelectionCost  float64  `json:"selectionCost,omitempty"`
 	SelectedParams []string `json:"selectedParams,omitempty"`
+	// Failures summarizes the session's robustness counters; Cancelled
+	// marks a session that was aborted via its context.
+	Failures  tuners.FailureStats `json:"failures,omitempty"`
+	Cancelled bool                `json:"cancelled,omitempty"`
 }
 
 // Recorder wraps a *sparksim.Evaluator (or ResourceCostEvaluator) and
@@ -87,6 +93,38 @@ func (r *Recorder) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalReco
 	return rec
 }
 
+// EvaluateBatch forwards the batch capability (sequential when the
+// wrapped evaluator lacks it), logging every evaluated entry.
+func (r *Recorder) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.EvalRecord {
+	return r.EvaluateBatchCtx(context.Background(), cfgs, workers)
+}
+
+// EvaluateBatchCtx implements tuners.BatchEvaluator: cancellation
+// marks the unevaluated tail Skipped, and skipped entries are not
+// logged (they were never run).
+func (r *Recorder) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord {
+	var recs []sparksim.EvalRecord
+	if be, ok := r.inner.(tuners.BatchEvaluator); ok {
+		recs = be.EvaluateBatchCtx(ctx, cfgs, workers)
+	} else {
+		recs = make([]sparksim.EvalRecord, len(cfgs))
+		for i, c := range cfgs {
+			if ctx != nil && ctx.Err() != nil {
+				recs[i] = sparksim.EvalRecord{Config: c, Skipped: true}
+				continue
+			}
+			recs[i] = r.inner.Evaluate(c)
+		}
+	}
+	for i, rec := range recs {
+		if rec.Skipped {
+			continue
+		}
+		r.log(cfgs[i], rec)
+	}
+	return recs
+}
+
 // SearchCost implements tuners.Objective.
 func (r *Recorder) SearchCost() float64 { return r.inner.SearchCost() }
 
@@ -110,6 +148,7 @@ func (r *Recorder) log(c conf.Config, rec sparksim.EvalRecord) {
 		Completed:  rec.Completed,
 		OOM:        rec.OOM,
 		Infeasible: rec.Infeasible,
+		Transient:  rec.Transient,
 	})
 }
 
@@ -143,6 +182,8 @@ func (r *Recorder) Finish(tunerName string, budget int, seed uint64, res tuners.
 		SelectionEvals: res.SelectionEvals,
 		SelectionCost:  res.SelectionCost,
 		SelectedParams: res.SelectedParams,
+		Failures:       res.Failures,
+		Cancelled:      res.Cancelled,
 	}
 }
 

@@ -36,12 +36,17 @@ func (BestConfig) Name() string { return "BestConfig" }
 
 // Tune implements Tuner.
 func (b BestConfig) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
+	return b.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
+}
+
+// Run implements SessionTuner.
+func (b BestConfig) Run(s *Session) Result {
+	space, budget := s.Space(), s.Budget()
 	roundSize := b.RoundSize
 	if roundSize <= 0 {
 		roundSize = 100
 	}
-	rng := sample.NewRNG(seed)
-	tr := newTracker()
+	rng := sample.NewRNG(s.Seed())
 	d := space.Dim()
 
 	// Current search bounds in the unit cube.
@@ -56,7 +61,7 @@ func (b BestConfig) Tune(obj Objective, space *conf.Space, budget int, seed uint
 
 	remaining := budget
 	prevBest := math.Inf(1)
-	for remaining > 0 {
+	for remaining > 0 && !s.Done() {
 		n := roundSize
 		if n > remaining {
 			n = remaining
@@ -69,14 +74,16 @@ func (b BestConfig) Tune(obj Objective, space *conf.Space, budget int, seed uint
 		var roundBest []float64
 		roundBestSec := math.Inf(1)
 		for i, u := range design {
+			if s.Done() {
+				break
+			}
 			p := make([]float64, d)
 			for j := 0; j < d; j++ {
 				p[j] = lo[j] + u[j]*(hi[j]-lo[j])
 			}
 			points[i] = p
 			c := space.Decode(p)
-			rec := obj.Evaluate(c)
-			tr.observe(c, rec)
+			rec := s.Evaluate(c)
 			if rec.Completed && rec.Seconds < roundBestSec {
 				roundBestSec = rec.Seconds
 				roundBest = p
@@ -96,6 +103,9 @@ func (b BestConfig) Tune(obj Objective, space *conf.Space, budget int, seed uint
 		for j := 0; j < d; j++ {
 			nlo, nhi := lo[j], hi[j]
 			for _, p := range points {
+				if p == nil { // round cut short by cancellation
+					continue
+				}
 				if p[j] < roundBest[j] && p[j] > nlo {
 					nlo = p[j]
 				}
@@ -112,5 +122,5 @@ func (b BestConfig) Tune(obj Objective, space *conf.Space, budget int, seed uint
 			lo[j], hi[j] = nlo, nhi
 		}
 	}
-	return tr.result(obj)
+	return s.Result()
 }

@@ -26,20 +26,23 @@ func (CMAES) Name() string { return "CMAES" }
 
 // Tune implements Tuner.
 func (c CMAES) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
-	rng := sample.NewRNG(seed)
-	tr := newTracker()
+	return c.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
+}
+
+// Run implements SessionTuner.
+func (c CMAES) Run(s *Session) Result {
+	space, budget := s.Space(), s.Budget()
+	rng := sample.NewRNG(s.Seed())
 
 	evalsLeft := budget
 	f := func(u []float64) float64 {
-		if evalsLeft <= 0 {
-			// Budget exhausted mid-generation: return a terrible value
-			// without consuming an evaluation.
+		if evalsLeft <= 0 || s.Done() {
+			// Budget exhausted (or session cancelled) mid-generation:
+			// return a terrible value without consuming an evaluation.
 			return math.Inf(1)
 		}
 		evalsLeft--
-		cfg := space.Decode(u)
-		rec := obj.Evaluate(cfg)
-		tr.observe(cfg, rec)
+		rec := s.Evaluate(space.Decode(u))
 		return rec.Seconds
 	}
 
@@ -49,6 +52,6 @@ func (c CMAES) Tune(obj Objective, space *conf.Space, budget int, seed uint64) R
 		x0[i] = 0.5
 	}
 	optimize.CMAES(f, x0, optimize.UnitBox(space.Dim()),
-		optimize.CMAESConfig{Sigma0: c.Sigma0, Lambda: c.Lambda, MaxEvals: budget, Seed: seed}, rng)
-	return tr.result(obj)
+		optimize.CMAESConfig{Sigma0: c.Sigma0, Lambda: c.Lambda, MaxEvals: budget, Seed: s.Seed()}, rng)
+	return s.Result()
 }

@@ -18,6 +18,10 @@ import (
 type FuncObjective struct {
 	// Fn measures one configuration.
 	Fn func(c conf.Config) (seconds float64, ok bool)
+	// FnOutcome, when set, takes precedence over Fn and additionally
+	// reports whether a failure was transient (worth retrying under a
+	// Session's RetryPolicy).
+	FnOutcome func(c conf.Config) (seconds float64, ok, transient bool)
 	// Cap is the per-evaluation limit (the guard and failed runs
 	// report this value); <= 0 means 480, the paper's default.
 	Cap float64
@@ -42,7 +46,16 @@ func (f *FuncObjective) EvaluateWithCap(c conf.Config, cap float64) sparksim.Eva
 	if cap <= 0 || cap > limit {
 		cap = limit
 	}
-	sec, ok := f.Fn(c)
+	var (
+		sec       float64
+		ok        bool
+		transient bool
+	)
+	if f.FnOutcome != nil {
+		sec, ok, transient = f.FnOutcome(c)
+	} else {
+		sec, ok = f.Fn(c)
+	}
 	consumed := math.Min(sec, cap)
 
 	f.mu.Lock()
@@ -50,7 +63,7 @@ func (f *FuncObjective) EvaluateWithCap(c conf.Config, cap float64) sparksim.Eva
 	f.cost += consumed
 	f.mu.Unlock()
 
-	rec := sparksim.EvalRecord{Config: c, Raw: sec}
+	rec := sparksim.EvalRecord{Config: c, Raw: sec, Transient: transient && !ok}
 	if ok && sec <= cap {
 		rec.Completed = true
 		rec.Seconds = consumed

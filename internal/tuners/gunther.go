@@ -43,6 +43,12 @@ type individual struct {
 
 // Tune implements Tuner.
 func (g Gunther) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
+	return g.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
+}
+
+// Run implements SessionTuner.
+func (g Gunther) Run(s *Session) Result {
+	space, budget := s.Space(), s.Budget()
 	if g.PopSize <= 0 {
 		g.PopSize = 16
 	}
@@ -55,14 +61,12 @@ func (g Gunther) Tune(obj Objective, space *conf.Space, budget int, seed uint64)
 	if g.Elite <= 0 {
 		g.Elite = 2
 	}
-	rng := sample.NewRNG(seed)
-	tr := newTracker()
+	rng := sample.NewRNG(s.Seed())
 	d := space.Dim()
 
 	evaluate := func(genes []float64) individual {
 		c := space.Decode(genes)
-		rec := obj.Evaluate(c)
-		tr.observe(c, rec)
+		rec := s.Evaluate(c)
 		fit := rec.Seconds
 		return individual{genes: genes, fitness: fit, valid: rec.Completed}
 	}
@@ -83,14 +87,14 @@ func (g Gunther) Tune(obj Objective, space *conf.Space, budget int, seed uint64)
 		initN = budget
 	}
 	pool := make([]individual, 0, initN)
-	for i := 0; i < initN; i++ {
+	for i := 0; i < initN && !s.Done(); i++ {
 		genes := make([]float64, d)
 		for j := range genes {
 			genes[j] = rng.Float64()
 		}
 		pool = append(pool, evaluate(genes))
 	}
-	used := initN
+	used := len(pool)
 
 	// Aggressive selection: the best PopSize of the random pool seed
 	// the population.
@@ -98,6 +102,9 @@ func (g Gunther) Tune(obj Objective, space *conf.Space, budget int, seed uint64)
 	pop := pool
 	if len(pop) > g.PopSize {
 		pop = pop[:g.PopSize]
+	}
+	if len(pop) == 0 { // cancelled before anything ran
+		return s.Result()
 	}
 
 	tournament := func() individual {
@@ -111,13 +118,13 @@ func (g Gunther) Tune(obj Objective, space *conf.Space, budget int, seed uint64)
 		return best
 	}
 
-	for used < budget {
+	for used < budget && !s.Done() {
 		next := make([]individual, 0, g.PopSize)
 		// Elitism.
 		for i := 0; i < g.Elite && i < len(pop); i++ {
 			next = append(next, pop[i])
 		}
-		for len(next) < g.PopSize && used < budget {
+		for len(next) < g.PopSize && used < budget && !s.Done() {
 			p1, p2 := tournament(), tournament()
 			child := make([]float64, d)
 			for j := 0; j < d; j++ {
@@ -137,5 +144,5 @@ func (g Gunther) Tune(obj Objective, space *conf.Space, budget int, seed uint64)
 		sort.SliceStable(next, func(a, b int) bool { return next[a].fitness < next[b].fitness })
 		pop = next
 	}
-	return tr.result(obj)
+	return s.Result()
 }

@@ -16,16 +16,20 @@ type RandomSearch struct{}
 func (RandomSearch) Name() string { return "RandomSearch" }
 
 // Tune implements Tuner.
-func (RandomSearch) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
-	rng := sample.NewRNG(seed)
-	tr := newTracker()
+func (t RandomSearch) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
+	return t.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
+}
+
+// Run implements SessionTuner.
+func (RandomSearch) Run(s *Session) Result {
+	space := s.Space()
+	rng := sample.NewRNG(s.Seed())
 	u := make([]float64, space.Dim())
-	for i := 0; i < budget; i++ {
+	for i := 0; i < s.Budget() && !s.Done(); i++ {
 		for j := range u {
 			u[j] = rng.Float64()
 		}
-		c := space.Decode(u)
-		tr.observe(c, obj.Evaluate(c))
+		s.Evaluate(space.Decode(u))
 	}
-	return tr.result(obj)
+	return s.Result()
 }

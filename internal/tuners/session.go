@@ -1,0 +1,307 @@
+package tuners
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+)
+
+// Request describes one tuning session: the evaluation budget and
+// seed that every tuner needs, plus the robustness envelope —
+// cancellation, per-run deadlines and a retry policy for transient
+// failures. The zero value of every optional field reproduces the
+// legacy Tune(obj, space, budget, seed) behavior exactly.
+type Request struct {
+	// Ctx cancels the session: tuners stop starting evaluations once
+	// it is done and return the best result so far. nil means no
+	// cancellation (context.Background).
+	Ctx context.Context
+	// Budget is the maximum number of evaluations (trials — a retried
+	// trial still counts once against the budget, though the extra
+	// attempts do show up in Result.Evals and the search cost).
+	Budget int
+	// Seed drives the tuner's own randomness.
+	Seed uint64
+	// Deadline is a per-evaluation limit in simulated seconds, layered
+	// under any tuner-chosen cap (the median-multiple guard): each run
+	// is stopped at min(cap, Deadline). <= 0 means no extra deadline.
+	Deadline float64
+	// Retry bounds re-evaluation of transient failures.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds how transient evaluation failures (lost
+// heartbeats, fetch storms — EvalRecord.Transient) are retried with
+// exponential backoff. The zero value never retries.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts per trial (0 = none).
+	MaxRetries int
+	// BackoffBase is the first backoff in seconds (default 5).
+	BackoffBase float64
+	// BackoffFactor multiplies the backoff per attempt (default 2).
+	BackoffFactor float64
+	// Sleep, when set, is called with each backoff so real systems can
+	// wait out the incident; the simulator leaves it nil and only
+	// accounts the backoff in FailureStats.BackoffSeconds.
+	Sleep func(d time.Duration)
+}
+
+func (p RetryPolicy) base() float64 {
+	if p.BackoffBase <= 0 {
+		return 5
+	}
+	return p.BackoffBase
+}
+
+func (p RetryPolicy) factor() float64 {
+	if p.BackoffFactor <= 1 {
+		return 2
+	}
+	return p.BackoffFactor
+}
+
+// FailureStats aggregates what went wrong during a session — the
+// graceful-degradation ledger reported in Result.Failures.
+type FailureStats struct {
+	// Failed counts trials whose final attempt did not complete
+	// (OOM, infeasible, truncated or transient past the retry budget).
+	Failed int
+	// Transient counts transient failures observed, including ones a
+	// retry subsequently cured.
+	Transient int
+	// Retries counts re-attempts performed under the RetryPolicy.
+	Retries int
+	// OOM and Infeasible break Failed down by cause.
+	OOM        int
+	Infeasible int
+	// BackoffSeconds is the simulated time spent backing off.
+	BackoffSeconds float64
+	// Skipped counts batch entries never evaluated because the
+	// session's context was cancelled.
+	Skipped int
+}
+
+// Capper is the optional guard capability: objectives that can stop a
+// run at a tighter per-run threshold implement it
+// (*sparksim.Evaluator, *FuncObjective, *trace.Recorder).
+type Capper interface {
+	EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord
+}
+
+// BatchEvaluator is the optional concurrent-evaluation capability
+// with cancellation (*sparksim.Evaluator, *trace.Recorder).
+type BatchEvaluator interface {
+	EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord
+}
+
+// Session is the context a tuner runs in: it owns the objective, the
+// search space and the request, funnels every evaluation through the
+// retry/deadline/cancellation machinery, and accumulates the
+// incumbent, trace and failure statistics that become the Result.
+// Tuners call Evaluate/EvaluateWithCap/EvaluateBatch instead of
+// touching the Objective directly.
+//
+// A Session is single-tuner, single-use state; it is not safe for
+// concurrent Evaluate calls (EvaluateBatch parallelizes internally).
+type Session struct {
+	obj   Objective
+	space *conf.Space
+	req   Request
+	tr    *tracker
+	stats FailureStats
+}
+
+// NewSession prepares a session. A nil ctx in the request is replaced
+// with context.Background.
+func NewSession(obj Objective, space *conf.Space, req Request) *Session {
+	if req.Ctx == nil {
+		req.Ctx = context.Background()
+	}
+	return &Session{obj: obj, space: space, req: req, tr: newTracker()}
+}
+
+// Objective returns the underlying objective.
+func (s *Session) Objective() Objective { return s.obj }
+
+// Space returns the search space.
+func (s *Session) Space() *conf.Space { return s.space }
+
+// Ctx returns the session's context (never nil).
+func (s *Session) Ctx() context.Context { return s.req.Ctx }
+
+// Budget returns the trial budget.
+func (s *Session) Budget() int { return s.req.Budget }
+
+// Seed returns the tuner seed.
+func (s *Session) Seed() uint64 { return s.req.Seed }
+
+// Deadline returns the per-evaluation deadline (0 = none).
+func (s *Session) Deadline() float64 { return s.req.Deadline }
+
+// Done reports whether the session's context has been cancelled;
+// tuners check it before starting each evaluation and unwind with the
+// best-so-far when it trips.
+func (s *Session) Done() bool {
+	select {
+	case <-s.req.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// effectiveCap layers the request deadline under a tuner-chosen cap.
+func (s *Session) effectiveCap(cap float64) float64 {
+	if d := s.req.Deadline; d > 0 && (cap <= 0 || d < cap) {
+		return d
+	}
+	return cap
+}
+
+// rawEval runs one attempt, routing through the guard capability when
+// a cap applies and the objective supports it.
+func (s *Session) rawEval(c conf.Config, cap float64) sparksim.EvalRecord {
+	if cap > 0 {
+		if cc, ok := s.obj.(Capper); ok {
+			return cc.EvaluateWithCap(c, cap)
+		}
+	}
+	return s.obj.Evaluate(c)
+}
+
+// note tallies the final observation of a trial.
+func (s *Session) note(rec sparksim.EvalRecord) {
+	if rec.Completed {
+		return
+	}
+	s.stats.Failed++
+	if rec.OOM {
+		s.stats.OOM++
+	}
+	if rec.Infeasible {
+		s.stats.Infeasible++
+	}
+}
+
+// Evaluate runs one trial of the configuration under the session's
+// deadline and retry policy and records it in the trace/incumbent.
+func (s *Session) Evaluate(c conf.Config) sparksim.EvalRecord {
+	return s.EvaluateWithCap(c, 0)
+}
+
+// EvaluateWithCap is Evaluate with a tuner-supplied stopping
+// threshold (ROBOTune's median-multiple guard, SHA's rung caps); the
+// request deadline tightens it further. Transient failures are
+// retried with exponential backoff up to the policy's bound — the
+// retried attempts inflate the objective's evaluation and cost
+// counters (a real cluster charged for them too) but the trial enters
+// the trace once, with its final outcome.
+func (s *Session) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
+	cap = s.effectiveCap(cap)
+	rec := s.rawEval(c, cap)
+	if rec.Transient {
+		s.stats.Transient++
+	}
+	backoff := s.req.Retry.base()
+	for attempt := 0; rec.Transient && attempt < s.req.Retry.MaxRetries && !s.Done(); attempt++ {
+		s.stats.Retries++
+		s.stats.BackoffSeconds += backoff
+		if s.req.Retry.Sleep != nil {
+			s.req.Retry.Sleep(time.Duration(backoff * float64(time.Second)))
+		}
+		backoff *= s.req.Retry.factor()
+		rec = s.rawEval(c, cap)
+		if rec.Transient {
+			s.stats.Transient++
+		}
+	}
+	s.note(rec)
+	s.tr.observe(c, rec)
+	return rec
+}
+
+// EvaluateBatch evaluates configurations concurrently when the
+// objective supports cancellable batches and the request needs no
+// per-trial retry/deadline handling; otherwise it degrades to a
+// sequential loop so every robustness knob still applies. Entries
+// skipped by cancellation come back with Skipped=true and are not
+// recorded as observations.
+func (s *Session) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.EvalRecord {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	be, ok := s.obj.(BatchEvaluator)
+	if !ok || s.req.Deadline > 0 || s.req.Retry.MaxRetries > 0 {
+		recs := make([]sparksim.EvalRecord, 0, len(cfgs))
+		for _, c := range cfgs {
+			if s.Done() {
+				recs = append(recs, sparksim.EvalRecord{Config: c, Skipped: true})
+				s.stats.Skipped++
+				continue
+			}
+			recs = append(recs, s.EvaluateWithCap(c, 0))
+		}
+		return recs
+	}
+	recs := be.EvaluateBatchCtx(s.req.Ctx, cfgs, workers)
+	for i, rec := range recs {
+		if rec.Skipped {
+			s.stats.Skipped++
+			continue
+		}
+		if rec.Transient {
+			s.stats.Transient++
+		}
+		s.note(rec)
+		s.tr.observe(cfgs[i], rec)
+	}
+	return recs
+}
+
+// Observe records an evaluation performed outside the session's
+// Evaluate helpers (tuners that must drive the objective directly)
+// so it still reaches the trace, incumbent and failure statistics.
+func (s *Session) Observe(c conf.Config, rec sparksim.EvalRecord) {
+	if rec.Skipped {
+		s.stats.Skipped++
+		return
+	}
+	if rec.Transient {
+		s.stats.Transient++
+	}
+	s.note(rec)
+	s.tr.observe(c, rec)
+}
+
+// Best returns the incumbent so far.
+func (s *Session) Best() (conf.Config, float64, bool) {
+	return s.tr.best, s.tr.bestSec, s.tr.found
+}
+
+// Stats returns the failure ledger accumulated so far.
+func (s *Session) Stats() FailureStats { return s.stats }
+
+// Cancelled reports whether the session's context was cancelled.
+func (s *Session) Cancelled() bool { return s.req.Ctx.Err() != nil }
+
+// Result assembles the session outcome: the incumbent (Found=false
+// only when nothing completed), the trace, the objective's evaluation
+// and cost counters, the failure ledger and the cancellation flag.
+func (s *Session) Result() Result {
+	r := s.tr.result(s.obj)
+	r.Failures = s.stats
+	r.Cancelled = s.Cancelled()
+	return r
+}
+
+// SessionTuner is the context-aware tuner surface: Run executes under
+// a Session (cancellation, deadlines, retries, failure accounting).
+// Every tuner in this package and core.ROBOTune implement it; the
+// embedded legacy Tuner interface keeps positional Tune available as
+// a thin wrapper for existing callers.
+type SessionTuner interface {
+	Tuner
+	Run(s *Session) Result
+}

@@ -1,0 +1,186 @@
+package tuners
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+)
+
+// flakyObjective fails transiently on the first k attempts of every
+// configuration, then succeeds.
+func flakyObjective(failFirst int) *FuncObjective {
+	attempts := map[string]int{}
+	return &FuncObjective{
+		FnOutcome: func(c conf.Config) (float64, bool, bool) {
+			key := fmt.Sprintf("%d|%.6f", c.Int("cores"), c.Float("frac"))
+			attempts[key]++
+			if attempts[key] <= failFirst {
+				return 30, false, true // transient: a retry will succeed
+			}
+			sec, _ := smoothObjective(c)
+			return sec, true, false
+		},
+	}
+}
+
+func TestSessionRetriesTransientFailures(t *testing.T) {
+	obj := flakyObjective(1)
+	sp := smallSpace(t)
+	s := NewSession(obj, sp, Request{Budget: 10, Seed: 1,
+		Retry: RetryPolicy{MaxRetries: 2}})
+	res := RandomSearch{}.Run(s)
+
+	if !res.Found {
+		t.Fatal("retried session found nothing")
+	}
+	// Every trial fails once then succeeds: 10 trials, 10 retries.
+	if res.Failures.Retries != 10 || res.Failures.Transient != 10 {
+		t.Errorf("retries=%d transient=%d, want 10/10", res.Failures.Retries, res.Failures.Transient)
+	}
+	if res.Failures.Failed != 0 {
+		t.Errorf("all trials eventually completed, yet Failed=%d", res.Failures.Failed)
+	}
+	// The retried attempts hit the objective too.
+	if res.Evals != 20 {
+		t.Errorf("Evals=%d, want 20 (10 trials x 2 attempts)", res.Evals)
+	}
+	if res.Failures.BackoffSeconds <= 0 {
+		t.Error("no backoff accounted")
+	}
+	if len(res.Trace) != 10 {
+		t.Errorf("trace holds %d entries, want one per trial (10)", len(res.Trace))
+	}
+}
+
+func TestSessionZeroRetryMatchesLegacyTune(t *testing.T) {
+	a := RandomSearch{}.Tune(newSynth(smoothObjective), smallSpace(t), 25, 7)
+	b := RandomSearch{}.Run(NewSession(newSynth(smoothObjective), smallSpace(t), Request{Budget: 25, Seed: 7}))
+	if a.BestSeconds != b.BestSeconds || a.Evals != b.Evals || len(a.Trace) != len(b.Trace) {
+		t.Fatalf("legacy Tune and zero-request Run diverge: %+v vs %+v", a, b)
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace[%d]: %v vs %v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+}
+
+func TestSessionRetriesExhaustedCountsFailure(t *testing.T) {
+	obj := flakyObjective(5) // fails more times than the retry budget
+	s := NewSession(obj, smallSpace(t), Request{Budget: 3, Seed: 2,
+		Retry: RetryPolicy{MaxRetries: 1}})
+	res := RandomSearch{}.Run(s)
+	if res.Found {
+		t.Fatal("nothing can complete, yet Found=true")
+	}
+	if res.Failures.Failed != 3 {
+		t.Errorf("Failed=%d, want 3", res.Failures.Failed)
+	}
+	for i, v := range res.Trace {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("trace[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSessionDeadlineTightensCap(t *testing.T) {
+	var caps []float64
+	obj := &FuncObjective{
+		Fn: func(c conf.Config) (float64, bool) { return 100, true },
+	}
+	// Wrap to spy the cap the session passes down.
+	spy := &capSpy{inner: obj, caps: &caps}
+	s := NewSession(spy, smallSpace(t), Request{Budget: 2, Seed: 3, Deadline: 120})
+	RandomSearch{}.Run(s)
+	if len(caps) != 2 {
+		t.Fatalf("want 2 capped calls, got %d", len(caps))
+	}
+	for _, c := range caps {
+		if c != 120 {
+			t.Errorf("cap %v, want deadline 120", c)
+		}
+	}
+	// A tuner cap tighter than the deadline wins.
+	caps = nil
+	s2 := NewSession(spy, smallSpace(t), Request{Budget: 1, Seed: 3, Deadline: 120})
+	s2.EvaluateWithCap(smallSpace(t).Default(), 60)
+	if len(caps) != 1 || caps[0] != 60 {
+		t.Errorf("caps=%v, want [60]", caps)
+	}
+}
+
+// capSpy forwards to an inner objective while recording caps.
+type capSpy struct {
+	inner *FuncObjective
+	caps  *[]float64
+}
+
+func (s *capSpy) Evaluate(c conf.Config) sparksim.EvalRecord { return s.inner.Evaluate(c) }
+func (s *capSpy) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
+	*s.caps = append(*s.caps, cap)
+	return s.inner.EvaluateWithCap(c, cap)
+}
+func (s *capSpy) SearchCost() float64 { return s.inner.SearchCost() }
+func (s *capSpy) Evals() int          { return s.inner.Evals() }
+
+func TestSessionCancellationStopsAllTuners(t *testing.T) {
+	for _, tn := range []SessionTuner{
+		RandomSearch{}, BestConfig{RoundSize: 10}, Gunther{},
+		SuccessiveHalving{}, CMAES{},
+	} {
+		t.Run(tn.Name(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			evals := 0
+			obj := newSynth(func(c conf.Config) (float64, bool) {
+				evals++
+				if evals >= 5 {
+					cancel()
+				}
+				return smoothObjective(c)
+			})
+			res := tn.Run(NewSession(obj, smallSpace(t), Request{Ctx: ctx, Budget: 200, Seed: 4}))
+			if !res.Cancelled {
+				t.Fatal("result not marked cancelled")
+			}
+			// "Within one evaluation": the tuner must stop promptly, not
+			// drain its 200-trial budget.
+			if res.Evals > 6 {
+				t.Fatalf("tuner kept going after cancel: %d evals", res.Evals)
+			}
+			if !res.Found {
+				t.Fatal("best-so-far lost on cancellation")
+			}
+		})
+	}
+}
+
+func TestSessionPreCancelledReturnsEmpty(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	obj := newSynth(smoothObjective)
+	res := Gunther{}.Run(NewSession(obj, smallSpace(t), Request{Ctx: ctx, Budget: 50, Seed: 5}))
+	if res.Found || res.Evals != 0 || !res.Cancelled {
+		t.Fatalf("pre-cancelled session ran work: %+v", res)
+	}
+}
+
+func TestSessionBatchFallbackAppliesRetries(t *testing.T) {
+	obj := flakyObjective(1) // FuncObjective: no batch capability
+	sp := smallSpace(t)
+	s := NewSession(obj, sp, Request{Budget: 4, Seed: 6,
+		Retry: RetryPolicy{MaxRetries: 1}})
+	cfgs := []conf.Config{sp.Default(), sp.Default(), sp.Default(), sp.Default()}
+	recs := s.EvaluateBatch(cfgs, 4)
+	if len(recs) != 4 {
+		t.Fatalf("want 4 records, got %d", len(recs))
+	}
+	// Same config each time: first trial retries once and succeeds,
+	// the rest succeed immediately.
+	if !recs[0].Completed || s.Stats().Retries != 1 {
+		t.Errorf("first record %+v, retries=%d", recs[0], s.Stats().Retries)
+	}
+}

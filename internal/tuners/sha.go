@@ -35,13 +35,15 @@ type SuccessiveHalving struct {
 // Name implements Tuner.
 func (SuccessiveHalving) Name() string { return "SuccessiveHalving" }
 
-// shaCapper lets SHA use the guard capability when available.
-type shaCapper interface {
-	EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord
-}
-
 // Tune implements Tuner.
 func (s SuccessiveHalving) Tune(obj Objective, space *conf.Space, budget int, seed uint64) Result {
+	return s.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
+}
+
+// Run implements SessionTuner. The rung caps ride on the session's
+// guard capability, so the request deadline tightens them further.
+func (s SuccessiveHalving) Run(ses *Session) Result {
+	space, budget := ses.Space(), ses.Budget()
 	if s.Eta < 2 {
 		s.Eta = 3
 	}
@@ -51,14 +53,10 @@ func (s SuccessiveHalving) Tune(obj Objective, space *conf.Space, budget int, se
 	if s.MaxCap <= s.MinCap {
 		s.MaxCap = 480
 	}
-	rng := sample.NewRNG(seed)
-	tr := newTracker()
+	rng := sample.NewRNG(ses.Seed())
 
 	evalAt := func(c conf.Config, cap float64) sparksim.EvalRecord {
-		if sc, ok := obj.(shaCapper); ok {
-			return sc.EvaluateWithCap(c, cap)
-		}
-		return obj.Evaluate(c)
+		return ses.EvaluateWithCap(c, cap)
 	}
 
 	// Rounds: caps MinCap, MinCap*Eta, ... up to MaxCap.
@@ -89,18 +87,17 @@ func (s SuccessiveHalving) Tune(obj Objective, space *conf.Space, budget int, se
 
 	remaining := budget
 	cap := s.MinCap
-	for r := 0; r < rounds && remaining > 0 && len(survivors) > 0; r++ {
+	for r := 0; r < rounds && remaining > 0 && len(survivors) > 0 && !ses.Done(); r++ {
 		if r == rounds-1 {
 			cap = s.MaxCap
 		}
 		evaluated := survivors[:0]
 		for _, e := range survivors {
-			if remaining <= 0 {
+			if remaining <= 0 || ses.Done() {
 				break
 			}
 			remaining--
 			rec := evalAt(e.c, cap)
-			tr.observe(e.c, rec)
 			// Runs killed by the tight cap carry their consumed time
 			// as the ranking key (they are at least that slow).
 			sec := rec.Seconds
@@ -120,17 +117,15 @@ func (s SuccessiveHalving) Tune(obj Objective, space *conf.Space, budget int, se
 
 	// Spend any leftover budget re-evaluating the incumbent region:
 	// jittered copies of the best survivor.
-	for remaining > 0 && len(survivors) > 0 {
+	for remaining > 0 && len(survivors) > 0 && !ses.Done() {
 		remaining--
 		u := space.Encode(survivors[0].c)
 		for j := range u {
 			u[j] = clampUnit(u[j] + 0.03*rng.NormFloat64())
 		}
-		c := space.Decode(u)
-		rec := evalAt(c, s.MaxCap)
-		tr.observe(c, rec)
+		evalAt(space.Decode(u), s.MaxCap)
 	}
-	return tr.result(obj)
+	return ses.Result()
 }
 
 func clampUnit(v float64) float64 {

@@ -53,6 +53,11 @@ type Result struct {
 	// tuning phase.
 	SelectionEvals int
 	SelectionCost  float64
+	// Failures is the session's failure/retry ledger.
+	Failures FailureStats
+	// Cancelled is true when the session's context was cancelled and
+	// the result holds the best-so-far at that point.
+	Cancelled bool
 }
 
 // Tuner finds a good configuration within a budget of evaluations.
