@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-gp benchstat fuzz fault-stress
+.PHONY: build test race bench bench-gp benchstat fuzz fuzz-journal fault-stress crash-stress
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,22 @@ benchstat:
 fault-stress:
 	$(GO) test -race -count 2 -run 'Fault|Session|Cancel|Censored' ./internal/sparksim ./internal/tuners ./internal/core ./internal/bo
 
+# Kill/resume stress: re-executes the test binary as a journaled
+# campaign, SIGKILLs it at escalating depths, resumes each time, and
+# checks the stitched result is bit-identical to an uninterrupted run.
+# The deterministic in-process sweeps (truncate-at-every-k, graceful
+# cancel, replay divergence) run under plain `make test`; this target
+# adds the real-process half.
+crash-stress:
+	ROBOTUNE_CRASH_STRESS=1 $(GO) test -run 'TestKillResumeStress' -v -count 1 -timeout 600s ./internal/core
+	$(GO) test -run 'Resume|Journal|Truncate|BitFlip|Snapshot' -count 1 ./internal/journal ./internal/core ./internal/tuners
+
 # Seed-splitting fuzz target: distinct worker streams must never alias.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSeedSplit -fuzztime 30s ./internal/par
+
+# Journal recovery fuzzing: arbitrary bytes on disk must never panic
+# recovery, and a corrupt snapshot must never be partially trusted.
+fuzz-journal:
+	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 30s ./internal/journal
+	$(GO) test -run '^$$' -fuzz FuzzSnapshot -fuzztime 30s ./internal/journal

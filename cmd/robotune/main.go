@@ -8,9 +8,11 @@
 //	robotune -workload PageRank -tuner BestConfig
 //	robotune -workload PageRank -dataset 3 -memo state.json   # reuse caches
 //	robotune -workload TeraSort -faults default -retries 2    # faulty cluster
+//	robotune -workload KMeans -journal kmeans.jnl             # crash-safe session
 //
 // Ctrl-C cancels the session gracefully: the best configuration found
-// so far is reported.
+// so far is reported. With -journal, the interrupted session can be
+// resumed bit-identically by rerunning the same command.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/conf"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/memo"
 	"repro/internal/sparksim"
 	"repro/internal/trace"
@@ -49,6 +52,8 @@ func main() {
 		deadline = flag.Float64("deadline", 0, "per-evaluation deadline in simulated seconds, layered under the adaptive guard cap (0 = none)")
 		retries  = flag.Int("retries", 0, "max re-evaluations of a transiently-failed configuration")
 		faults   = flag.String("faults", "", "fault-injection plan: 'default', or execloss=,straggler=,stragglerfactor=,transient=,oom=,seed= (empty/off = no faults)")
+		jrnPath  = flag.String("journal", "", "session journal file: every evaluation is committed before the tuner acts on it; if the file exists, the session resumes from it bit-identically (Ctrl-C leaves a resumable journal)")
+		jrnSync  = flag.String("journal-sync", "always", "journal fsync policy: always | none (snapshots are always fsynced)")
 	)
 	flag.Parse()
 
@@ -89,8 +94,49 @@ func main() {
 		obj = recorder
 	}
 
+	// Durable session journal: resumes if the file already holds this
+	// session's records, starts fresh otherwise.
+	var jn *journal.Journal
+	if *jrnPath != "" {
+		policy := journal.SyncAlways
+		switch *jrnSync {
+		case "always":
+		case "none":
+			policy = journal.SyncNone
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -journal-sync %q (always | none)\n", *jrnSync)
+			os.Exit(2)
+		}
+		jn, err = journal.Open(*jrnPath, journal.Meta{
+			Seed:      *seed,
+			Budget:    *budget,
+			Workload:  w.Name,
+			Dataset:   w.Dataset,
+			Tuner:     tn.Name(),
+			Cap:       *capSec,
+			Deadline:  *deadline,
+			Retries:   *retries,
+			Faults:    plan.String(),
+			SpaceHash: space.Fingerprint(),
+		}, policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer jn.Close()
+		if jn.Resumed() {
+			fmt.Printf("resuming from journal %s: %d committed evaluations to replay\n", *jrnPath, jn.ReplayPending())
+			if rec := jn.Recovery(); rec.Truncated {
+				fmt.Printf("journal recovery: truncated a torn tail (%d bytes, %s); committed records are intact\n",
+					rec.TruncatedBytes, rec.Reason)
+			}
+		}
+	}
+
 	// Ctrl-C cancels the session: the tuner unwinds within one
-	// evaluation and reports the best-so-far.
+	// evaluation and reports the best-so-far. With -journal set the
+	// interrupted session stays resumable — rerun the same command to
+	// continue it.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -105,7 +151,19 @@ func main() {
 		Seed:     *seed,
 		Deadline: *deadline,
 		Retry:    tuners.RetryPolicy{MaxRetries: *retries},
+		Journal:  jn,
 	}))
+	if jn != nil {
+		if err := jn.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "journal degraded (campaign unaffected): %v\n", err)
+		}
+		if reason := jn.Diverged(); reason != "" {
+			fmt.Fprintf(os.Stderr, "journal replay diverged (%s); stale tail truncated, session continued live\n", reason)
+		}
+		if res.Cancelled {
+			fmt.Printf("journal %s holds %d committed evaluations; rerun the same command to resume\n", *jrnPath, jn.Trials())
+		}
+	}
 	if res.Cancelled {
 		fmt.Println("\ninterrupted: reporting the best configuration found so far")
 	}
@@ -172,7 +230,12 @@ func main() {
 		}
 		fmt.Printf("\nbest configuration saved to %s\n", *bestOut)
 	}
-	if *memoPath != "" {
+	// A cancelled journaled session skips the memo save: the store may
+	// hold a partial selection outcome, and persisting it would hand the
+	// resume a selection-cache hit the uninterrupted run never had —
+	// breaking bit-identical resume. The resumed session re-derives and
+	// saves the store when it completes.
+	if *memoPath != "" && !(res.Cancelled && jn != nil) {
 		if err := store.Save(*memoPath); err != nil {
 			fmt.Fprintln(os.Stderr, "saving memo store:", err)
 			os.Exit(1)

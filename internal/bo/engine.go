@@ -86,6 +86,11 @@ type Engine struct {
 	// chosen is the index of the portfolio member whose proposal was
 	// returned by the last Suggest.
 	chosen int
+	// jitterRetries accumulates, across all surrogate fits this
+	// session, how many escalating-jitter retries the Cholesky
+	// factorizations needed. A non-zero value flags a numerically
+	// delicate kernel matrix; Explain surfaces it.
+	jitterRetries int
 }
 
 // New builds an engine over the unit hypercube of the given
@@ -119,10 +124,21 @@ func New(dim int, cfg Config) *Engine {
 }
 
 // Tell adds an observation. x must be in the unit cube of the
-// engine's dimension.
-func (e *Engine) Tell(x []float64, y float64) {
+// engine's dimension. Non-finite observations are rejected: a single
+// NaN poisons every downstream Cholesky solve, so it is cheaper to
+// refuse it here with a clear error than to diagnose a corrupted
+// surrogate later.
+func (e *Engine) Tell(x []float64, y float64) error {
 	if len(x) != e.dim {
 		panic(fmt.Sprintf("bo: Tell dim %d, engine dim %d", len(x), e.dim))
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return fmt.Errorf("bo: Tell rejects non-finite observation y = %v", y)
+	}
+	for j, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("bo: Tell rejects non-finite coordinate x[%d] = %v", j, v)
+		}
 	}
 	e.x = append(e.x, append([]float64(nil), x...))
 	e.y = append(e.y, y)
@@ -130,6 +146,7 @@ func (e *Engine) Tell(x []float64, y float64) {
 	// The surrogate is now stale (gN < len(x)) but deliberately kept:
 	// between hyperparameter refits Surrogate extends its cached
 	// Cholesky factor in O(n²) instead of refitting in O(n³).
+	return nil
 }
 
 // TellCensored adds a failed or guard-killed observation: y is only a
@@ -139,14 +156,23 @@ func (e *Engine) Tell(x []float64, y float64) {
 // real measurement, and flags the point as censored. The adjusted
 // observation stays append-only, which keeps the incremental Cholesky
 // extension between hyperparameter refits valid.
-func (e *Engine) TellCensored(x []float64, y float64) {
+func (e *Engine) TellCensored(x []float64, y float64) error {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		// Validate before flooring: a non-finite bound is garbage input,
+		// not a legitimate "at least this bad" observation, and flooring
+		// first would silently launder it into a finite value.
+		return fmt.Errorf("bo: TellCensored rejects non-finite bound y = %v", y)
+	}
 	for _, v := range e.y {
 		if v > y {
 			y = v
 		}
 	}
-	e.Tell(x, y)
+	if err := e.Tell(x, y); err != nil {
+		return err
+	}
 	e.cens[len(e.cens)-1] = true
+	return nil
 }
 
 // Censored returns how many observations were told as censored.
@@ -217,6 +243,7 @@ func (e *Engine) Surrogate() (*gp.GP, error) {
 			if g, err := e.g.Extend(e.x, e.y); err == nil {
 				e.g = g
 				e.gN = len(e.x)
+				e.jitterRetries += g.JitterRetries()
 				return g, nil
 			}
 		}
@@ -231,8 +258,14 @@ func (e *Engine) Surrogate() (*gp.GP, error) {
 	}
 	e.g = g
 	e.gN = len(e.x)
+	e.jitterRetries += g.JitterRetries()
 	return g, nil
 }
+
+// JitterRetries reports the cumulative number of escalating-jitter
+// Cholesky retries across every surrogate fit this engine performed.
+// Zero means every kernel matrix factorized cleanly.
+func (e *Engine) JitterRetries() int { return e.jitterRetries }
 
 // Suggest proposes the next point to evaluate (Algorithm 1 lines
 // 9-13): it refits the GP, settles pending Hedge rewards, lets every
@@ -383,6 +416,7 @@ func (e *Engine) Fork() *Engine {
 	copy(f.gain, e.gain)
 	f.lastHyper = e.lastHyper
 	f.hyperFitAtN = e.hyperFitAtN
+	f.jitterRetries = e.jitterRetries
 	// The fitted GP is immutable, so the fork shares it; the fork's
 	// first Tell then extends it incrementally instead of refitting
 	// from scratch (the constant-liar loop in BatchSuggest leans on
@@ -420,7 +454,44 @@ func (e *Engine) BatchSuggest(q int) ([][]float64, error) {
 		s := predictScratch.Get().(*gp.PredictScratch)
 		lie, _ := g.PredictInto(s, u)
 		predictScratch.Put(s)
-		fork.Tell(u, lie)
+		if err := fork.Tell(u, lie); err != nil {
+			// A non-finite lie means the surrogate itself is degenerate;
+			// stop the lookahead with the suggestions gathered so far.
+			break
+		}
 	}
 	return out, nil
+}
+
+// State captures the engine's observation set and Hedge bookkeeping in
+// a JSON-serializable form for journal snapshots. It is diagnostic:
+// resume rebuilds the engine by deterministic replay of the recorded
+// Tells (which also replays RNG consumption), so State is never fed
+// back into an engine — it lets tooling inspect what the surrogate
+// knew at snapshot time.
+type State struct {
+	Dim           int         `json:"dim"`
+	X             [][]float64 `json:"x"`
+	Y             []float64   `json:"y"`
+	Censored      []bool      `json:"censored"`
+	Gains         []float64   `json:"gains"`
+	HyperFitAtN   int         `json:"hyper_fit_at_n"`
+	JitterRetries int         `json:"jitter_retries"`
+}
+
+// State returns a deep-copied snapshot of the engine's durable state.
+func (e *Engine) State() State {
+	st := State{
+		Dim:           e.dim,
+		X:             make([][]float64, len(e.x)),
+		Y:             append([]float64(nil), e.y...),
+		Censored:      append([]bool(nil), e.cens...),
+		Gains:         append([]float64(nil), e.gain...),
+		HyperFitAtN:   e.hyperFitAtN,
+		JitterRetries: e.jitterRetries,
+	}
+	for i, xi := range e.x {
+		st.X[i] = append([]float64(nil), xi...)
+	}
+	return st
 }

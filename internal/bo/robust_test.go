@@ -1,0 +1,93 @@
+package bo
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTellRejectsNonFinite: NaN/Inf observations must be refused at
+// the engine boundary, never reach the GP, and never panic.
+func TestTellRejectsNonFinite(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	e := New(2, cfg)
+	seedEngine(e, 6, 3)
+	n := e.N()
+	for _, y := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := e.Tell([]float64{0.5, 0.5}, y); err == nil {
+			t.Errorf("Tell accepted y = %v", y)
+		}
+		if err := e.TellCensored([]float64{0.5, 0.5}, y); err == nil {
+			t.Errorf("TellCensored accepted y = %v", y)
+		}
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1)} {
+		if err := e.Tell([]float64{v, 0.5}, 1); err == nil {
+			t.Errorf("Tell accepted x with %v", v)
+		}
+	}
+	if e.N() != n {
+		t.Fatalf("rejected observations changed N: %d -> %d", n, e.N())
+	}
+	// The engine must still be fully functional afterwards.
+	if _, err := e.Suggest(); err != nil {
+		t.Fatalf("Suggest after rejected tells: %v", err)
+	}
+}
+
+// TestEngineStateSnapshot: State must deep-copy the observation set so
+// later Tells don't mutate a written snapshot.
+func TestEngineStateSnapshot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	e := New(2, cfg)
+	seedEngine(e, 5, 5)
+	st := e.State()
+	if st.Dim != 2 || len(st.X) != 5 || len(st.Y) != 5 || len(st.Censored) != 5 {
+		t.Fatalf("state shape: %+v", st)
+	}
+	x0 := st.X[0][0]
+	e.Tell([]float64{0.9, 0.9}, 2)
+	e.TellCensored([]float64{0.1, 0.1}, 3)
+	if len(st.X) != 5 || st.X[0][0] != x0 {
+		t.Fatal("State aliases live engine buffers")
+	}
+	if got := e.State(); len(got.X) != 7 || !got.Censored[6] {
+		t.Fatalf("post-tell state: n=%d censored=%v", len(got.X), got.Censored)
+	}
+}
+
+// TestJitterRetriesMonotone: the counter only accumulates, and a
+// healthy fit sequence reports zero.
+func TestJitterRetriesMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	e := New(2, cfg)
+	seedEngine(e, 8, 7)
+	if _, err := e.Suggest(); err != nil {
+		t.Fatal(err)
+	}
+	healthy := e.JitterRetries()
+	if healthy < 0 {
+		t.Fatalf("negative retry count %d", healthy)
+	}
+	// Duplicate points force a singular kernel matrix: the escalating
+	// jitter ladder must rescue the factorization (no error, no panic)
+	// and account its retries.
+	dup := New(2, cfg)
+	for i := 0; i < 10; i++ {
+		if err := dup.Tell([]float64{0.5, 0.5}, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dup.Surrogate(); err != nil {
+		t.Fatalf("surrogate on duplicate observations: %v", err)
+	}
+	first := dup.JitterRetries()
+	if _, err := dup.Surrogate(); err != nil {
+		t.Fatal(err)
+	}
+	if dup.JitterRetries() < first {
+		t.Fatalf("retry counter decreased: %d -> %d", first, dup.JitterRetries())
+	}
+}

@@ -2,6 +2,7 @@ package conf
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -244,6 +245,24 @@ func (ss *Subspace) Encode(c Config) []float64 {
 		u[i] = ss.parent.params[idx].EncodeRaw(c.raw[idx])
 	}
 	return u
+}
+
+// Fingerprint returns a short stable hash of the space's structure —
+// parameter names, kinds, bounds, scales and choices in order. Durable
+// session journals store it so a resume against a space with different
+// parameters or bounds (which would silently remap every recorded
+// config) is rejected up front instead of producing garbage.
+func (s *Space) Fingerprint() string {
+	h := fnv.New64a()
+	for i := range s.params {
+		p := &s.params[i]
+		fmt.Fprintf(h, "%s|%d|%g|%g|%t|%g|%s|", p.Name, p.Kind, p.Min, p.Max, p.Log, p.Default, p.Group)
+		for _, c := range p.Choices {
+			fmt.Fprintf(h, "%s,", c)
+		}
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Describe renders the space as a fixed-width reference table: every

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/bo"
 	"repro/internal/conf"
 	"repro/internal/forest"
+	"repro/internal/journal"
 	"repro/internal/mapping"
 	"repro/internal/memo"
 	"repro/internal/sample"
@@ -214,6 +216,7 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 	if id, ok := obj.(identifiable); ok {
 		workload, dataset = id.WorkloadName(), id.DatasetName()
 	}
+	jn := s.Journal()
 
 	// --- Parameter selection (cache check, Figure 1) ---------------------
 	var selected []string
@@ -224,9 +227,35 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 			selected = cached
 		}
 	}
+	// Resume fast-skip: when the recovered snapshot carries the
+	// selection outcome (and the memo state it produced), consume the
+	// leading selection records in one step instead of re-training the
+	// forest on the replayed samples. Disabled under workload mapping,
+	// whose probe side effects the snapshot does not capture; replay
+	// then re-derives the selection, which is equally bit-identical,
+	// just slower.
+	if selected == nil && jn != nil && opts.Mapper == nil && jn.Replayed() == 0 {
+		if snap, ok := jn.Snapshot(); ok && len(snap.Selection) > 0 && snap.SelTrials > 0 &&
+			jn.ReplayPending() >= snap.SelTrials {
+			memoOK := len(snap.Memo) == 0 || json.Unmarshal(snap.Memo, r.store) == nil
+			if memoOK {
+				evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
+				s.SetPhase("selection")
+				if _, err := s.FastForward(snap.SelTrials); err == nil {
+					selected = append([]string(nil), snap.Selection...)
+					selEvals += obj.Evals() - evalsBefore
+					selCost += obj.SearchCost() - costBefore
+					if workload != "" {
+						r.store.PutSelection(workload, selected)
+					}
+				}
+			}
+		}
+	}
 	// Workload mapping (extension): characterize the unseen workload
 	// with a few probes and inherit a similar family's selection.
 	if selected == nil && opts.Mapper != nil && workload != "" && !s.Done() {
+		s.SetPhase("probe")
 		evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
 		sig := opts.Mapper.Characterize(func(c conf.Config) float64 {
 			return s.Evaluate(c).Seconds
@@ -243,6 +272,7 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 	}
 	if selected == nil {
 		evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
+		s.SetPhase("selection")
 		sel, err := r.selectParameters(s, opts.GenericSamples)
 		if err == nil {
 			selected = sel.Params
@@ -269,6 +299,53 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 		// back to the executor-size joint parameter, always relevant.
 		selected = []string{conf.ExecutorCores, conf.ExecutorMemory, conf.ExecutorInstances}
 	}
+
+	// selTrialsBoundary is the journal record count at the end of the
+	// selection stage — the prefix a future resume may fast-skip.
+	selTrialsBoundary := 0
+	if jn != nil {
+		selTrialsBoundary = jn.Trials()
+	}
+	// The memo bytes in every snapshot are the post-selection state,
+	// captured once here: a resume that fast-skips the selection prefix
+	// restores this state and re-derives everything after it by replay
+	// (including the end-of-run AddConfigs). Snapshotting a later store
+	// state would make the replayed init phase pull different memo
+	// configurations than the original run did.
+	var memoBytes []byte
+	if jn != nil {
+		if m, err := json.Marshal(r.store); err == nil {
+			memoBytes = m
+		}
+	}
+	// writeSnap atomically replaces the journal's snapshot side file
+	// with the current session state. Skipped while replay is pending
+	// (the recovered snapshot is still ahead of, or equal to, the
+	// replayed position) and after cancellation — a cancelled phase may
+	// have recorded a degraded outcome (e.g. the fallback selection of
+	// an aborted LHS sweep) that must not masquerade as campaign state;
+	// resume replays the per-evaluation records instead.
+	writeSnap := func(phase string, eng *bo.Engine, spent int) {
+		if jn == nil || jn.Replaying() || s.Done() {
+			return
+		}
+		snap := journal.Snapshot{
+			Phase:       phase,
+			Trials:      jn.Trials(),
+			SelTrials:   selTrialsBoundary,
+			BudgetSpent: spent,
+			Selection:   append([]string(nil), selected...),
+			Stats:       s.Stats().Counts(),
+			Memo:        memoBytes,
+		}
+		if eng != nil {
+			if em, err := json.Marshal(eng.State()); err == nil {
+				snap.Engine = em
+			}
+		}
+		_ = jn.WriteSnapshot(snap)
+	}
+	writeSnap("selection", nil, 0)
 
 	// --- Subspace over the selected parameters ---------------------------
 	// Unselected parameters are frozen to the best configuration seen
@@ -353,6 +430,7 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 		tellEngine(ss.Encode(c), rec)
 		return true
 	}
+	s.SetPhase("init")
 	for _, saved := range memoCfgs {
 		c, err := space.FromRaw(saved.Values)
 		if err != nil {
@@ -367,8 +445,39 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 			break
 		}
 	}
+	writeSnap("init", engine, budget-remaining)
 
 	// --- BO loop (Algorithm 1) --------------------------------------------
+	s.SetPhase("bo")
+	// suggest shields the campaign from a surrogate that cannot be fit
+	// even at maximum jitter (or that panics deep in the linear
+	// algebra): the iteration falls back to a random point and the
+	// session keeps running — an evaluation budget already paid for
+	// must never be abandoned over one degenerate fit.
+	surrFallbacks := 0
+	suggest := func() []float64 {
+		u, err := func() (u []float64, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("bo: suggest panicked: %v", p)
+				}
+			}()
+			return engine.Suggest()
+		}()
+		if err != nil {
+			if engine.N() >= 2 {
+				// A genuine fit failure, not the normal "too few
+				// observations" stage of extreme budgets.
+				surrFallbacks++
+			}
+			u = randomUnit(ss.Dim(), rng)
+		}
+		return u
+	}
+	// snapEvery bounds how much BO progress a crash can lose beyond
+	// what the per-evaluation journal records already preserve.
+	const snapEvery = 5
+	sinceSnap := 0
 	stale := 0
 	lastBest := tr.bestSec
 	_, canBatch := obj.(tuners.BatchEvaluator)
@@ -387,8 +496,13 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 						continue
 					}
 					remaining--
+					sinceSnap++
 					tr.observe(cfgs[i], rec)
 					tellEngine(us[i], rec)
+				}
+				if sinceSnap >= snapEvery {
+					writeSnap("bo", engine, budget-remaining)
+					sinceSnap = 0
 				}
 				if opts.EarlyStopPatience > 0 {
 					if tr.bestSec < lastBest*(1-opts.EarlyStopEpsilon) {
@@ -404,13 +518,14 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 				continue
 			}
 		}
-		u, err := engine.Suggest()
-		if err != nil {
-			// Not enough points to fit (extreme budgets): random point.
-			u = randomUnit(ss.Dim(), rng)
-		}
+		u := suggest()
 		if !tell(ss.Decode(u)) {
 			break
+		}
+		sinceSnap++
+		if sinceSnap >= snapEvery {
+			writeSnap("bo", engine, budget-remaining)
+			sinceSnap = 0
 		}
 		// Automated early stopping (§4): give up when the incumbent
 		// stops improving.
@@ -443,19 +558,44 @@ func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
 		r.store.AddConfigs(workload, saved, opts.MemoConfigs*4)
 	}
 
-	return tuners.Result{
-		Best:           tr.best,
-		BestSeconds:    tr.bestSec,
-		Found:          tr.found,
-		Evals:          obj.Evals() - tuneEvalsBefore,
-		SearchCost:     obj.SearchCost() - tuneCostBefore,
-		Trace:          tr.trace,
-		SelectedParams: append([]string(nil), selected...),
-		SelectionEvals: selEvals,
-		SelectionCost:  selCost,
-		Failures:       s.Stats(),
-		Cancelled:      s.Cancelled(),
+	res := tuners.Result{
+		Best:               tr.best,
+		BestSeconds:        tr.bestSec,
+		Found:              tr.found,
+		Evals:              obj.Evals() - tuneEvalsBefore,
+		SearchCost:         obj.SearchCost() - tuneCostBefore,
+		Trace:              tr.trace,
+		SelectedParams:     append([]string(nil), selected...),
+		SelectionEvals:     selEvals,
+		SelectionCost:      selCost,
+		Failures:           s.Stats(),
+		Cancelled:          s.Cancelled(),
+		SurrogateFallbacks: surrFallbacks,
 	}
+	if jn != nil {
+		if !res.Cancelled {
+			// A cancelled session deliberately leaves no done marker so
+			// its journal stays resumable; a finished one records its
+			// result, and replaying the whole journal reproduces it
+			// without spending a single new evaluation.
+			done := journal.DoneEntry{
+				Found:          res.Found,
+				Evals:          res.Evals,
+				SearchCost:     res.SearchCost,
+				SelectionEvals: res.SelectionEvals,
+				SelectionCost:  res.SelectionCost,
+			}
+			if res.Found {
+				// BestSeconds is +Inf when nothing completed, which JSON
+				// cannot encode; record it only for a found result.
+				done.Best = res.Best.ToMap()
+				done.BestSeconds = res.BestSeconds
+			}
+			_ = jn.AppendDone(done)
+		}
+		writeSnap("done", engine, budget-remaining)
+	}
+	return res
 }
 
 // Selection is the outcome of the Random-Forest parameter selection.
@@ -768,6 +908,15 @@ func (r *ROBOTune) Explain(space *conf.Space, res tuners.Result) string {
 		for i, n := range names {
 			fmt.Fprintf(&sb, "  %-4s %.2f\n", n, probs[i])
 		}
+	}
+
+	if r.LastEngine != nil {
+		if n := r.LastEngine.JitterRetries(); n > 0 {
+			fmt.Fprintf(&sb, "numerical health: %d escalating-jitter Cholesky retries across surrogate fits\n", n)
+		}
+	}
+	if res.SurrogateFallbacks > 0 {
+		fmt.Fprintf(&sb, "surrogate degraded: %d BO iterations fell back to random suggestions\n", res.SurrogateFallbacks)
 	}
 
 	if f := res.Failures; f.Failed > 0 || f.Retries > 0 || f.Skipped > 0 {

@@ -149,6 +149,10 @@ type GP struct {
 	jitter float64
 	alpha  []float64
 	lml    float64
+	// jitterTries counts how many escalating-jitter retries the final
+	// factorization needed (0 = clean Cholesky). The BO engine
+	// accumulates it across fits as a numerical-health signal.
+	jitterTries int
 }
 
 // Fit trains a GP on x (rows = points) and y. It returns an error if
@@ -162,6 +166,11 @@ func Fit(x [][]float64, y []float64, cfg Config) (*GP, error) {
 	for i, r := range x {
 		if len(r) != d {
 			return nil, fmt.Errorf("gp: ragged row %d", i)
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("gp: non-finite target y[%d] = %v", i, v)
 		}
 	}
 	if cfg.Restarts <= 0 {
@@ -447,7 +456,7 @@ func lmlFrom(yNorm, alpha []float64, chol *linalg.Matrix) float64 {
 // hyperparameter search uses logMarginalCached.
 func (g *GP) logMarginal(p Params) (float64, error) {
 	k := g.kernelMatrix(p)
-	l, _, err := linalg.Cholesky(k, 1e-10, 8)
+	l, _, err := linalg.Cholesky(k, jitterStart, jitterMaxTries)
 	if err != nil {
 		return math.Inf(-1), err
 	}
@@ -469,7 +478,7 @@ func (g *GP) logMarginalCached(p Params, c *distCache, s *lmlScratch) (float64, 
 		s.weights = rk.weights
 	}
 	g.kernelMatrixInto(&rk, c, s.k)
-	chol, _, err := linalg.CholeskyInto(s.chol, s.k, 1e-10, 8)
+	chol, _, err := linalg.CholeskyInto(s.chol, s.k, jitterStart, jitterMaxTries)
 	if err != nil {
 		return math.Inf(-1), false
 	}
@@ -481,6 +490,25 @@ func (g *GP) logMarginalCached(p Params, c *distCache, s *lmlScratch) (float64, 
 	return lmlFrom(g.yNorm, alpha, chol), true
 }
 
+// jitterStart and jitterMaxTries define the escalating-jitter ladder
+// used when a near-singular kernel matrix defeats the clean Cholesky:
+// retries add jitterStart·10^k to the diagonal (1e-10 up through 1e-3,
+// past the 1e-4 floor that in practice rescues duplicate-point
+// matrices) before the fit finally reports an error.
+const (
+	jitterStart    = 1e-10
+	jitterMaxTries = 8
+)
+
+// jitterTriesFor recovers how many ladder steps produced the jitter
+// Cholesky settled on (the ladder is deterministic: 0, 1e-10, 1e-9…).
+func jitterTriesFor(jitter float64) int {
+	if jitter <= 0 {
+		return 0
+	}
+	return int(math.Round(math.Log10(jitter/jitterStart))) + 1
+}
+
 // factorize caches the Cholesky factor, weight vector, resolved
 // kernel constants and LML for p. The LML is assembled directly from
 // the factorization just computed — the naive path used to factorize
@@ -490,13 +518,14 @@ func (g *GP) factorize(p Params, c *distCache) error {
 	rk := resolveInto(p, nil)
 	k := linalg.NewMatrix(n, n)
 	g.kernelMatrixInto(&rk, c, k)
-	l, jitter, err := linalg.Cholesky(k, 1e-10, 8)
+	l, jitter, err := linalg.Cholesky(k, jitterStart, jitterMaxTries)
 	if err != nil {
 		return fmt.Errorf("gp: kernel matrix not PD: %w", err)
 	}
 	g.rk = rk
 	g.chol = l
 	g.jitter = jitter
+	g.jitterTries = jitterTriesFor(jitter)
 	g.alpha = linalg.CholSolve(l, g.yNorm)
 	g.lml = lmlFrom(g.yNorm, g.alpha, l)
 	return nil
@@ -620,6 +649,12 @@ func (g *GP) PredictWithNoise(x []float64) (mu, variance float64) {
 
 // Params returns the fitted hyperparameters (log space).
 func (g *GP) Params() Params { return g.params }
+
+// JitterRetries returns how many escalating-jitter retries the fitted
+// factorization needed (0 when the kernel matrix was cleanly positive
+// definite). A GP produced by Extend reports 0 unless it fell back to
+// a full refit.
+func (g *GP) JitterRetries() int { return g.jitterTries }
 
 // LogMarginalLikelihood returns the fitted model's LML (normalized
 // target scale).

@@ -1,0 +1,718 @@
+// Package journal implements a crash-safe write-ahead journal for
+// tuning sessions. Evaluations are the costliest artifact a campaign
+// produces — the paper spends its whole budget on a few dozen cluster
+// runs — so losing a half-finished session to a process crash, OOM
+// kill or node preemption throws away hours of paid-for work.
+//
+// The journal provides three guarantees:
+//
+//   - Durability: every completed evaluation (configuration, observed
+//     cost, failure/censoring status, objective stream position,
+//     failure-ledger state) is appended as a length-prefixed,
+//     CRC32-checksummed record, fsynced per the configured policy,
+//     before the tuner acts on it.
+//   - Atomicity: periodic snapshots (parameter selection, memoization
+//     buffer, surrogate observation set, budget spent) are written via
+//     temp-file + rename, so a torn write can never corrupt the
+//     snapshot — readers see the old snapshot or the new one, never a
+//     mix.
+//   - Recoverability: opening an existing journal replays its records.
+//     A torn tail record (the process died mid-append) is truncated,
+//     losing at most the in-flight evaluation and never a committed
+//     one. Recovery never panics on corrupt input.
+//
+// Resume is replay-based: the tuner re-executes its deterministic
+// decision path, and the session substitutes journaled records for the
+// first k evaluations instead of re-running them. Because every
+// random-number stream in the tuner is derived from the seed (PR 1's
+// SplitMix64 splitting) and the objective's noise streams are indexed
+// by the evaluation counter — whose position each record persists —
+// the resumed campaign is bit-identical to an uninterrupted one.
+//
+// The package is dependency-free (standard library only); the tuners
+// and core packages adapt their own types to the record schema here.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// magic identifies a journal file; it doubles as the format version
+// (bump the trailing digit on incompatible changes).
+var magic = []byte("ROBOJNL1")
+
+// snapMagic identifies a snapshot file.
+var snapMagic = []byte("ROBOSNP1")
+
+// frameOverhead is the per-record framing cost: u32 payload length +
+// u32 CRC32 (IEEE) of the payload.
+const frameOverhead = 8
+
+// maxRecordBytes bounds a single record so a corrupt length prefix
+// cannot drive recovery into a giant allocation.
+const maxRecordBytes = 16 << 20
+
+// SyncPolicy controls when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended record: an evaluation is
+	// durable before the tuner acts on it. This is the default; with
+	// evaluations costing minutes of cluster time each, an fsync is
+	// noise.
+	SyncAlways SyncPolicy = iota
+	// SyncNone never fsyncs explicitly (the OS flushes on its own
+	// schedule). A kernel crash may lose trailing records; a process
+	// crash alone does not. Snapshots are always fsynced regardless.
+	SyncNone
+)
+
+// Meta identifies the session a journal belongs to. Resume validates
+// that every field matches before replaying: a journal recorded under
+// a different seed, budget, workload or fault plan must not silently
+// steer a new session.
+type Meta struct {
+	Seed      uint64  `json:"seed"`
+	Budget    int     `json:"budget"`
+	Workload  string  `json:"workload"`
+	Dataset   string  `json:"dataset"`
+	Tuner     string  `json:"tuner"`
+	Cap       float64 `json:"cap,omitempty"`
+	Deadline  float64 `json:"deadline,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	Faults    string  `json:"faults,omitempty"`
+	SpaceHash string  `json:"space_hash,omitempty"`
+}
+
+func (m Meta) equal(o Meta) bool { return m == o }
+
+// FailureCounts mirrors the session failure ledger
+// (tuners.FailureStats) without importing it, keeping this package
+// dependency-free.
+type FailureCounts struct {
+	Failed         int     `json:"failed,omitempty"`
+	Transient      int     `json:"transient,omitempty"`
+	Retries        int     `json:"retries,omitempty"`
+	OOM            int     `json:"oom,omitempty"`
+	Infeasible     int     `json:"infeasible,omitempty"`
+	BackoffSeconds float64 `json:"backoff_seconds,omitempty"`
+	Skipped        int     `json:"skipped,omitempty"`
+}
+
+// EvalEntry is one committed evaluation: the trial's configuration and
+// outcome, plus the two pieces of state a bit-identical resume needs —
+// the objective's stream position (evaluation counter and accumulated
+// cost, which seed the per-run noise and fault streams) and the
+// session's cumulative failure ledger after the trial.
+type EvalEntry struct {
+	// Phase names the campaign phase that produced the trial (probe,
+	// selection, init, bo); replay validates it against the resumed
+	// run's phase as a divergence tripwire.
+	Phase string `json:"phase"`
+	// Trial is the 0-based ordinal of the record in the journal.
+	Trial int `json:"trial"`
+	// Config holds the evaluated configuration's raw values by
+	// parameter name.
+	Config map[string]float64 `json:"config"`
+	// Seconds, Raw and the outcome flags mirror sparksim.EvalRecord.
+	Seconds    float64 `json:"seconds"`
+	Raw        float64 `json:"raw"`
+	Completed  bool    `json:"completed"`
+	OOM        bool    `json:"oom,omitempty"`
+	Infeasible bool    `json:"infeasible,omitempty"`
+	Transient  bool    `json:"transient,omitempty"`
+	// ObjEvals and ObjCost are the objective's evaluation counter and
+	// accumulated search cost after this trial — the SplitMix64-derived
+	// noise and fault streams are indexed by the counter, so restoring
+	// it (rather than re-deriving it) is what makes a resumed run
+	// consume exactly the streams the original would have.
+	ObjEvals int     `json:"obj_evals"`
+	ObjCost  float64 `json:"obj_cost"`
+	// Stats is the session failure ledger after this trial.
+	Stats FailureCounts `json:"stats"`
+}
+
+// DoneEntry marks a session that ran to completion (budget exhausted
+// or early-stopped — not cancelled) and summarizes its result.
+type DoneEntry struct {
+	Best           map[string]float64 `json:"best,omitempty"`
+	BestSeconds    float64            `json:"best_seconds"`
+	Found          bool               `json:"found"`
+	Evals          int                `json:"evals"`
+	SearchCost     float64            `json:"search_cost"`
+	SelectionEvals int                `json:"selection_evals,omitempty"`
+	SelectionCost  float64            `json:"selection_cost,omitempty"`
+}
+
+// Snapshot captures the session state the tuner wants to restore
+// without replaying math: the parameter selection, the memoization
+// buffer and the surrogate's observation set. Memo and Engine are
+// opaque JSON blobs owned by the memo and bo packages, keeping this
+// package free of tuner dependencies. Snapshots are advisory — the
+// journal records alone suffice for a bit-identical resume — but they
+// let resume skip the selection phase's forest training and give
+// operators a readable picture of a dead campaign.
+type Snapshot struct {
+	// Phase names the boundary the snapshot was taken at.
+	Phase string `json:"phase"`
+	// Trials is the number of journal records covered by the snapshot.
+	Trials int `json:"trials"`
+	// SelTrials is the number of leading records belonging to the
+	// probe/selection phases; resume may skip exactly these when the
+	// snapshot carries the selection outcome.
+	SelTrials int `json:"sel_trials"`
+	// BudgetSpent is the tuning budget consumed at snapshot time.
+	BudgetSpent int `json:"budget_spent"`
+	// Selection is the selected parameter list (post-fallback).
+	Selection []string `json:"selection,omitempty"`
+	// Memo is the memoization store state (memo.Store JSON).
+	Memo json.RawMessage `json:"memo,omitempty"`
+	// Engine is the BO engine observation state (bo.EngineState JSON).
+	Engine json.RawMessage `json:"engine,omitempty"`
+	// Stats is the failure ledger at snapshot time.
+	Stats FailureCounts `json:"stats"`
+}
+
+// RecoveryInfo reports what recovery found and did. Nothing is dropped
+// silently: every discarded byte is accounted for here.
+type RecoveryInfo struct {
+	// Records is the number of intact records recovered (all types).
+	Records int
+	// Truncated is true when a torn or corrupt tail was cut off.
+	Truncated bool
+	// TruncatedBytes is how many trailing bytes were discarded.
+	TruncatedBytes int64
+	// Reason describes why truncation happened (short read, CRC
+	// mismatch, unparsable payload).
+	Reason string
+}
+
+// frame is the on-disk record envelope; exactly one pointer is set.
+type frame struct {
+	T    string     `json:"t"`
+	Meta *Meta      `json:"meta,omitempty"`
+	Eval *EvalEntry `json:"eval,omitempty"`
+	Done *DoneEntry `json:"done,omitempty"`
+}
+
+// Journal is an open session journal. It is safe for use from one
+// tuner goroutine (the Session serializes evaluations); a mutex guards
+// the rare cross-goroutine inspection calls.
+type Journal struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	policy SyncPolicy
+	meta   Meta
+
+	// replay is the queue of recovered evaluation records not yet
+	// consumed; replayOff[i] is the byte offset of replay[i]'s frame,
+	// so aborting replay can truncate the stale tail.
+	replay    []EvalEntry
+	replayOff []int64
+	replayed  int
+
+	trials   int // eval records on disk or replayed so far
+	phase    string
+	done     *DoneEntry
+	snap     *Snapshot
+	resumed  bool
+	recovery RecoveryInfo
+	diverged string // non-empty once replay was aborted
+	writeErr error  // sticky append failure; journaling degrades, the campaign survives
+}
+
+// Open opens or creates the journal at path. If the file does not
+// exist (or is an empty stub), a fresh journal is created with the
+// given meta. If it exists, its records are recovered — truncating a
+// torn tail — its meta is validated against the given meta, and the
+// recovered evaluations become the replay queue. A valid snapshot side
+// file (path + ".snap") is loaded when present; a missing or corrupt
+// snapshot is ignored (the records alone are sufficient).
+func Open(path string, meta Meta, policy SyncPolicy) (*Journal, error) {
+	j := &Journal{path: path, policy: policy, meta: meta}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j.f = f
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	if len(data) < len(magic) {
+		// Fresh file, or a crash landed inside the 8-byte header: no
+		// record can have been committed, so (re)initialize.
+		if err := j.initFresh(int64(len(data))); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	if !bytes.Equal(data[:len(magic)], magic) {
+		f.Close()
+		return nil, fmt.Errorf("journal: %s is not a journal file (bad magic)", path)
+	}
+	if err := j.recover(data); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.loadSnapshot()
+	return j, nil
+}
+
+// initFresh truncates any partial header and writes a new journal
+// header plus the meta record.
+func (j *Journal) initFresh(had int64) error {
+	if had > 0 {
+		if err := j.f.Truncate(0); err != nil {
+			return fmt.Errorf("journal: truncate partial header: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(magic); err != nil {
+		return fmt.Errorf("journal: write header: %w", err)
+	}
+	if err := j.appendFrame(frame{T: "meta", Meta: &j.meta}); err != nil {
+		return err
+	}
+	return j.syncAlways()
+}
+
+// recover parses data (a full journal image), truncates any torn
+// tail, validates meta, and builds the replay queue.
+func (j *Journal) recover(data []byte) error {
+	off := int64(len(magic))
+	var sawMeta bool
+	truncate := func(reason string) {
+		j.recovery.Truncated = true
+		j.recovery.TruncatedBytes = int64(len(data)) - off
+		j.recovery.Reason = reason
+	}
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			truncate("torn frame header")
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n == 0 || n > maxRecordBytes {
+			truncate(fmt.Sprintf("implausible record length %d", n))
+			break
+		}
+		if int64(len(rest)) < frameOverhead+int64(n) {
+			truncate("torn record payload")
+			break
+		}
+		payload := rest[frameOverhead : frameOverhead+int64(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			truncate("record checksum mismatch")
+			break
+		}
+		var fr frame
+		if err := json.Unmarshal(payload, &fr); err != nil {
+			truncate("unparsable record payload")
+			break
+		}
+		switch {
+		case fr.T == "meta" && fr.Meta != nil:
+			if sawMeta {
+				truncate("duplicate meta record")
+			} else {
+				sawMeta = true
+				if !fr.Meta.equal(j.meta) {
+					return fmt.Errorf("journal: %s was recorded for a different session (have %+v, journal %+v); "+
+						"use a new journal file or rerun with the original flags", j.path, j.meta, *fr.Meta)
+				}
+			}
+		case fr.T == "eval" && fr.Eval != nil:
+			j.replay = append(j.replay, *fr.Eval)
+			j.replayOff = append(j.replayOff, off)
+		case fr.T == "done" && fr.Done != nil:
+			d := *fr.Done
+			j.done = &d
+		default:
+			truncate(fmt.Sprintf("unknown record type %q", fr.T))
+		}
+		if j.recovery.Truncated {
+			break
+		}
+		off += frameOverhead + int64(n)
+		j.recovery.Records++
+	}
+	if !sawMeta {
+		// The meta record is written (and fsynced) at creation; its
+		// absence means the header append itself was torn. No eval can
+		// have been committed after it, so reinitialize.
+		return j.initFresh(int64(len(data)))
+	}
+	if j.recovery.Truncated {
+		if err := j.f.Truncate(off); err != nil {
+			return fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	j.resumed = true
+	j.trials = 0 // advances as records are replayed or appended
+	return nil
+}
+
+// loadSnapshot reads the side file, ignoring it unless fully valid.
+func (j *Journal) loadSnapshot() {
+	data, err := os.ReadFile(j.snapPath())
+	if err != nil || len(data) < len(snapMagic)+frameOverhead {
+		return
+	}
+	if !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return
+	}
+	rest := data[len(snapMagic):]
+	n := binary.LittleEndian.Uint32(rest[:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if int64(n) > maxRecordBytes || int64(len(rest)) < frameOverhead+int64(n) {
+		return
+	}
+	payload := rest[frameOverhead : frameOverhead+int64(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return
+	}
+	var s Snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return
+	}
+	j.snap = &s
+}
+
+func (j *Journal) snapPath() string { return j.path + ".snap" }
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Meta returns the session identity the journal was opened with.
+func (j *Journal) Meta() Meta { return j.meta }
+
+// Resumed reports whether Open recovered an existing journal.
+func (j *Journal) Resumed() bool { return j.resumed }
+
+// Recovery returns what recovery found and truncated.
+func (j *Journal) Recovery() RecoveryInfo { return j.recovery }
+
+// ReplayPending returns how many recovered evaluations have not yet
+// been consumed.
+func (j *Journal) ReplayPending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.replay) - j.replayed
+}
+
+// Replayed returns how many recovered evaluations were consumed.
+func (j *Journal) Replayed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayed
+}
+
+// Replaying reports whether recovered evaluations are still pending.
+func (j *Journal) Replaying() bool { return j.ReplayPending() > 0 }
+
+// Trials returns the number of evaluations committed to or replayed
+// from the journal so far.
+func (j *Journal) Trials() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trials
+}
+
+// SetPhase records the campaign phase stamped on subsequent entries
+// and validated by replay.
+func (j *Journal) SetPhase(p string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.phase = p
+}
+
+// Phase returns the current campaign phase.
+func (j *Journal) Phase() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.phase
+}
+
+// PeekReplay returns the next recovered evaluation without consuming
+// it.
+func (j *Journal) PeekReplay() (EvalEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.replayed >= len(j.replay) {
+		return EvalEntry{}, false
+	}
+	return j.replay[j.replayed], true
+}
+
+// NextReplay consumes and returns the next recovered evaluation.
+func (j *Journal) NextReplay() (EvalEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.replayed >= len(j.replay) {
+		return EvalEntry{}, false
+	}
+	e := j.replay[j.replayed]
+	j.replayed++
+	j.trials++
+	return e, true
+}
+
+// SkipReplay consumes the next n recovered evaluations at once (the
+// selection fast-skip path) and returns them in order. It fails
+// without consuming anything if fewer than n are pending.
+func (j *Journal) SkipReplay(n int) ([]EvalEntry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if pending := len(j.replay) - j.replayed; pending < n {
+		return nil, fmt.Errorf("journal: cannot skip %d records, only %d pending", n, pending)
+	}
+	out := j.replay[j.replayed : j.replayed+n]
+	j.replayed += n
+	j.trials += n
+	return out, nil
+}
+
+// AbortReplay discards the pending replay queue and truncates the
+// journal file at the first unconsumed record, so the stale tail is
+// not replayed by a future resume. reason is retained for Diverged.
+// It is called when the resumed run's decision path no longer matches
+// the journal (which a bit-identical tuner never triggers).
+func (j *Journal) AbortReplay(reason string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.replayed >= len(j.replay) {
+		return nil
+	}
+	off := j.replayOff[j.replayed]
+	j.replay = j.replay[:j.replayed]
+	j.replayOff = j.replayOff[:j.replayed]
+	j.diverged = reason
+	j.done = nil
+	if err := j.f.Truncate(off); err != nil {
+		j.writeErr = err
+		return err
+	}
+	if _, err := j.f.Seek(off, io.SeekStart); err != nil {
+		j.writeErr = err
+		return err
+	}
+	return nil
+}
+
+// Diverged returns the divergence reason if replay was aborted, or "".
+func (j *Journal) Diverged() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.diverged
+}
+
+// Append commits one evaluation. The record is on disk (and fsynced
+// under SyncAlways) before Append returns, so a crash immediately
+// after an expensive evaluation loses nothing. Append failures are
+// sticky (see Err) but deliberately non-fatal: a full disk must not
+// kill a paid-for campaign, it only degrades its durability.
+func (j *Journal) Append(e EvalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.replayed < len(j.replay) {
+		return errors.New("journal: Append while replay records are pending")
+	}
+	e.Phase = j.phase
+	e.Trial = j.trials
+	if err := j.appendFrame(frame{T: "eval", Eval: &e}); err != nil {
+		j.writeErr = err
+		return err
+	}
+	if j.policy == SyncAlways {
+		if err := j.f.Sync(); err != nil {
+			j.writeErr = err
+			return err
+		}
+	}
+	j.trials++
+	j.replay = append(j.replay, e)
+	j.replayOff = append(j.replayOff, 0) // offset unused once consumed
+	j.replayed = len(j.replay)
+	return nil
+}
+
+// AppendDone commits the completion marker. Resuming a journal with a
+// done record replays every evaluation and reproduces the recorded
+// result without spending any new evaluation.
+func (j *Journal) AppendDone(d DoneEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done != nil {
+		return nil
+	}
+	if err := j.appendFrame(frame{T: "done", Done: &d}); err != nil {
+		j.writeErr = err
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.writeErr = err
+		return err
+	}
+	j.done = &d
+	return nil
+}
+
+// Done returns the completion marker, if the session finished.
+func (j *Journal) Done() (DoneEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done == nil {
+		return DoneEntry{}, false
+	}
+	return *j.done, true
+}
+
+// appendFrame writes one framed record at the current offset.
+// Callers hold j.mu.
+func (j *Journal) appendFrame(fr frame) error {
+	payload, err := json.Marshal(fr)
+	if err != nil {
+		return fmt.Errorf("journal: marshal record: %w", err)
+	}
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	// One write call keeps a torn append contiguous at the tail, where
+	// recovery truncates it cleanly.
+	buf := make([]byte, 0, len(hdr)+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	return nil
+}
+
+func (j *Journal) syncAlways() error {
+	if err := j.f.Sync(); err != nil {
+		j.writeErr = err
+		return err
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the snapshot side file: the new
+// image is written to a temp file, fsynced, and renamed over the old
+// one, so readers observe the previous snapshot or the new one but
+// never a torn mix. The containing directory is fsynced so the rename
+// itself survives a crash.
+func (j *Journal) WriteSnapshot(s Snapshot) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("journal: marshal snapshot: %w", err)
+	}
+	buf := make([]byte, 0, len(snapMagic)+frameOverhead+len(payload))
+	buf = append(buf, snapMagic...)
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+
+	tmp := j.snapPath() + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.writeErr = err
+		return err
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		j.writeErr = err
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		j.writeErr = err
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		j.writeErr = err
+		return err
+	}
+	if err := os.Rename(tmp, j.snapPath()); err != nil {
+		os.Remove(tmp)
+		j.writeErr = err
+		return err
+	}
+	syncDir(filepath.Dir(j.snapPath()))
+	cp := s
+	j.snap = &cp
+	return nil
+}
+
+// Snapshot returns the most recent valid snapshot, from this run or
+// recovered from disk.
+func (j *Journal) Snapshot() (Snapshot, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.snap == nil {
+		return Snapshot{}, false
+	}
+	return *j.snap, true
+}
+
+// Err returns the first append/snapshot failure, if any. Journaling is
+// deliberately non-fatal to the campaign; callers surface this at the
+// end of the session.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErr
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable; best-effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}

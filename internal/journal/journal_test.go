@@ -1,0 +1,473 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testMeta() Meta {
+	return Meta{Seed: 7, Budget: 20, Workload: "KMeans", Dataset: "D1", Tuner: "ROBOTune", Cap: 480, SpaceHash: "abc"}
+}
+
+func testEntry(i int) EvalEntry {
+	return EvalEntry{
+		Config:    map[string]float64{"a": float64(i) + 0.5, "b": 1.0 / 3.0},
+		Seconds:   100 + float64(i),
+		Raw:       100 + float64(i),
+		Completed: i%3 != 0,
+		OOM:       i%3 == 0,
+		ObjEvals:  i + 1,
+		ObjCost:   float64(i+1) * 100,
+		Stats:     FailureCounts{Failed: i / 3},
+	}
+}
+
+// writeJournal creates a journal with n eval records (and optionally a
+// done record) and returns its path and raw bytes.
+func writeJournal(t testing.TB, n int, done bool) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jnl")
+	j, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		j.SetPhase("bo")
+		if err := j.Append(testEntry(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if done {
+		if err := j.AppendDone(DoneEntry{Found: true, BestSeconds: 99, Evals: n}); err != nil {
+			t.Fatalf("AppendDone: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// frameEnds walks the on-disk format independently of the package's
+// recovery code and returns the byte offset just past each frame —
+// a format contract the tests rely on.
+func frameEnds(t *testing.T, data []byte) []int64 {
+	t.Helper()
+	if !bytes.Equal(data[:8], magic) {
+		t.Fatal("missing magic")
+	}
+	var ends []int64
+	off := int64(8)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			t.Fatalf("torn frame in freshly written journal at %d", off)
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if int64(len(rest)) < frameOverhead+int64(n) {
+			t.Fatalf("short payload in freshly written journal at %d", off)
+		}
+		if crc32.ChecksumIEEE(rest[frameOverhead:frameOverhead+int64(n)]) != sum {
+			t.Fatalf("checksum mismatch in freshly written journal at %d", off)
+		}
+		off += frameOverhead + int64(n)
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+func TestRoundtrip(t *testing.T) {
+	const n = 6
+	path, _ := writeJournal(t, n, true)
+
+	j, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j.Close()
+	if !j.Resumed() {
+		t.Fatal("Resumed() = false after reopening a populated journal")
+	}
+	if got := j.ReplayPending(); got != n {
+		t.Fatalf("ReplayPending = %d, want %d", got, n)
+	}
+	if rec := j.Recovery(); rec.Truncated {
+		t.Fatalf("clean journal reported truncation: %+v", rec)
+	}
+	for i := 0; i < n; i++ {
+		e, ok := j.NextReplay()
+		if !ok {
+			t.Fatalf("NextReplay %d: exhausted early", i)
+		}
+		want := testEntry(i)
+		want.Phase, want.Trial = "bo", i
+		if !reflect.DeepEqual(e, want) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, e, want)
+		}
+	}
+	if _, ok := j.NextReplay(); ok {
+		t.Fatal("NextReplay returned a record past the end")
+	}
+	d, ok := j.Done()
+	if !ok || !d.Found || d.BestSeconds != 99 || d.Evals != n {
+		t.Fatalf("Done = %+v, %v", d, ok)
+	}
+}
+
+func TestFloatRoundtripExact(t *testing.T) {
+	// The parity guarantee depends on config values and costs
+	// surviving the JSON encoding bit-exactly.
+	path := filepath.Join(t.TempDir(), "f.jnl")
+	j, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1.0 / 3.0, 0.1, 2.220446049250313e-16, 1e300, 123456789.123456789}
+	e := EvalEntry{Config: map[string]float64{}, Seconds: vals[0], Raw: vals[1], ObjCost: vals[4]}
+	for i, v := range vals {
+		e.Config[string(rune('a'+i))] = v
+	}
+	if err := j.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, ok := j2.NextReplay()
+	if !ok {
+		t.Fatal("no record")
+	}
+	for k, v := range e.Config {
+		if got.Config[k] != v {
+			t.Fatalf("config[%s] = %v, want bit-identical %v", k, got.Config[k], v)
+		}
+	}
+	if got.Seconds != e.Seconds || got.Raw != e.Raw || got.ObjCost != e.ObjCost {
+		t.Fatalf("floats not bit-identical: %+v vs %+v", got, e)
+	}
+}
+
+func TestMetaMismatch(t *testing.T) {
+	path, _ := writeJournal(t, 2, false)
+	other := testMeta()
+	other.Seed = 8
+	if _, err := Open(path, other, SyncNone); err == nil {
+		t.Fatal("Open with mismatched meta succeeded; want error")
+	}
+}
+
+func TestNotAJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.jnl")
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, testMeta(), SyncNone); err == nil {
+		t.Fatal("Open on a non-journal file succeeded; want error")
+	}
+}
+
+// TestTruncateEveryOffset cuts the journal at every byte offset and
+// asserts recovery never panics, keeps every record fully contained in
+// the prefix, and never invents records.
+func TestTruncateEveryOffset(t *testing.T) {
+	const n = 5
+	_, data := writeJournal(t, n, true)
+	ends := frameEnds(t, data) // meta, n evals, done
+
+	for cut := 0; cut <= len(data); cut++ {
+		// complete = number of whole frames inside the prefix.
+		complete := 0
+		for _, e := range ends {
+			if int64(cut) >= e {
+				complete++
+			}
+		}
+		path := filepath.Join(t.TempDir(), "cut.jnl")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(path, testMeta(), SyncNone)
+		if err != nil {
+			t.Fatalf("cut=%d: Open error: %v", cut, err)
+		}
+		wantEvals := 0
+		if complete >= 1 {
+			wantEvals = complete - 1 // minus the meta frame
+		}
+		wantDone := false
+		if wantEvals > n {
+			wantEvals, wantDone = n, true
+		}
+		if got := j.ReplayPending(); got != wantEvals {
+			t.Fatalf("cut=%d: replay %d records, want %d", cut, got, wantEvals)
+		}
+		if _, ok := j.Done(); ok != wantDone {
+			t.Fatalf("cut=%d: done=%v, want %v", cut, ok, wantDone)
+		}
+		for i := 0; i < wantEvals; i++ {
+			e, ok := j.NextReplay()
+			if !ok {
+				t.Fatalf("cut=%d: record %d missing", cut, i)
+			}
+			want := testEntry(i)
+			want.Phase, want.Trial = "bo", i
+			if !reflect.DeepEqual(e, want) {
+				t.Fatalf("cut=%d: record %d corrupted: %+v", cut, i, e)
+			}
+		}
+		// The truncated journal must stay appendable once drained.
+		j.SetPhase("bo")
+		if err := j.Append(testEntry(wantEvals)); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		j.Close()
+	}
+}
+
+// TestBitFlipEveryOffset flips one bit at every byte offset and
+// asserts recovery never panics and preserves every record that
+// precedes the corruption.
+func TestBitFlipEveryOffset(t *testing.T) {
+	const n = 4
+	_, data := writeJournal(t, n, false)
+	ends := frameEnds(t, data)
+
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		path := filepath.Join(t.TempDir(), "flip.jnl")
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(path, testMeta(), SyncNone)
+		if pos < len(magic) {
+			// A corrupted magic header must be rejected, not recovered.
+			if err == nil {
+				j.Close()
+				t.Fatalf("pos=%d: corrupt magic accepted", pos)
+			}
+			continue
+		}
+		if err != nil {
+			// A flip inside the meta frame may surface as a meta
+			// mismatch (still parsable JSON with a valid checksum is
+			// impossible — but the error path must be an error, never a
+			// panic). Everything else must recover.
+			if int64(pos) < ends[0] {
+				continue
+			}
+			t.Fatalf("pos=%d: Open error: %v", pos, err)
+		}
+		// Frames wholly before the flipped byte must survive intact.
+		intactFrames := 0
+		for _, e := range ends {
+			if e <= int64(pos) {
+				intactFrames++
+			}
+		}
+		wantAtLeast := 0
+		if intactFrames >= 1 {
+			wantAtLeast = intactFrames - 1 // minus meta
+		}
+		if got := j.ReplayPending(); got < wantAtLeast {
+			t.Fatalf("pos=%d: recovered %d records, want >= %d", pos, got, wantAtLeast)
+		}
+		for i := 0; i < wantAtLeast; i++ {
+			e, ok := j.NextReplay()
+			if !ok {
+				t.Fatalf("pos=%d: record %d missing", pos, i)
+			}
+			want := testEntry(i)
+			want.Phase, want.Trial = "bo", i
+			if !reflect.DeepEqual(e, want) {
+				t.Fatalf("pos=%d: intact record %d corrupted: %+v", pos, i, e)
+			}
+		}
+		j.Close()
+	}
+}
+
+func TestAppendWhileReplayingFails(t *testing.T) {
+	path, _ := writeJournal(t, 3, false)
+	j, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(testEntry(9)); err == nil {
+		t.Fatal("Append with pending replay succeeded; want error")
+	}
+	for {
+		if _, ok := j.NextReplay(); !ok {
+			break
+		}
+	}
+	if err := j.Append(testEntry(3)); err != nil {
+		t.Fatalf("Append after replay drained: %v", err)
+	}
+}
+
+func TestAbortReplayTruncates(t *testing.T) {
+	path, _ := writeJournal(t, 5, true)
+	j, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.NextReplay()
+	j.NextReplay()
+	if err := j.AbortReplay("test divergence"); err != nil {
+		t.Fatalf("AbortReplay: %v", err)
+	}
+	if j.Diverged() == "" {
+		t.Fatal("Diverged() empty after abort")
+	}
+	if got := j.ReplayPending(); got != 0 {
+		t.Fatalf("ReplayPending = %d after abort", got)
+	}
+	if _, ok := j.Done(); ok {
+		t.Fatal("done record survived an aborted replay")
+	}
+	// New appends continue from the truncation point...
+	j.SetPhase("bo")
+	if err := j.Append(testEntry(2)); err != nil {
+		t.Fatalf("Append after abort: %v", err)
+	}
+	j.Close()
+	// ...and a fresh open sees 2 replayed + 1 appended records.
+	j2, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.ReplayPending(); got != 3 {
+		t.Fatalf("after abort+append reopen: %d records, want 3", got)
+	}
+}
+
+func TestSkipReplay(t *testing.T) {
+	path, _ := writeJournal(t, 4, false)
+	j, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := j.SkipReplay(5); err == nil {
+		t.Fatal("SkipReplay past the queue succeeded")
+	}
+	got, err := j.SkipReplay(3)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("SkipReplay(3) = %d records, err %v", len(got), err)
+	}
+	if j.ReplayPending() != 1 || j.Trials() != 3 {
+		t.Fatalf("pending %d, trials %d after skip", j.ReplayPending(), j.Trials())
+	}
+}
+
+func TestSnapshotRoundtripAndCorruption(t *testing.T) {
+	path, _ := writeJournal(t, 2, false)
+	j, err := Open(path, testMeta(), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{
+		Phase: "bo", Trials: 2, SelTrials: 1, BudgetSpent: 1,
+		Selection: []string{"a", "b"},
+		Memo:      []byte(`{"k":1}`),
+		Stats:     FailureCounts{Failed: 1},
+	}
+	if err := j.WriteSnapshot(snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	j.Close()
+
+	reopen := func() (*Journal, func()) {
+		jj, err := Open(path, testMeta(), SyncNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jj, func() { jj.Close() }
+	}
+	j2, done := reopen()
+	got, ok := j2.Snapshot()
+	if !ok || !reflect.DeepEqual(got.Selection, snap.Selection) || got.Trials != 2 {
+		t.Fatalf("snapshot not recovered: %+v, %v", got, ok)
+	}
+	done()
+
+	// Corrupt the snapshot at every offset: the journal must open
+	// fine and either see the full snapshot or none.
+	data, err := os.ReadFile(path + ".snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(path+".snap", data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jj, done := reopen()
+		if s, ok := jj.Snapshot(); ok {
+			if cut != len(data) {
+				t.Fatalf("cut=%d: torn snapshot accepted", cut)
+			}
+			if !reflect.DeepEqual(s.Selection, snap.Selection) {
+				t.Fatalf("cut=%d: snapshot corrupted: %+v", cut, s)
+			}
+		} else if cut == len(data) {
+			t.Fatal("intact snapshot rejected")
+		}
+		done()
+	}
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x08
+		if err := os.WriteFile(path+".snap", mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jj, done := reopen()
+		if s, ok := jj.Snapshot(); ok {
+			// A flip that still passes CRC is impossible; any accepted
+			// snapshot must be bit-identical to what was written.
+			if !reflect.DeepEqual(s.Selection, snap.Selection) || s.Trials != snap.Trials {
+				t.Fatalf("pos=%d: corrupt snapshot accepted: %+v", pos, s)
+			}
+		}
+		done()
+	}
+}
+
+func TestFreshAndShortFiles(t *testing.T) {
+	// Opening short/empty stubs must initialize a fresh journal.
+	for _, stub := range [][]byte{nil, {}, []byte("ROB"), magic[:7]} {
+		path := filepath.Join(t.TempDir(), "stub.jnl")
+		if stub != nil {
+			if err := os.WriteFile(path, stub, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j, err := Open(path, testMeta(), SyncAlways)
+		if err != nil {
+			t.Fatalf("stub %q: %v", stub, err)
+		}
+		if j.Resumed() {
+			t.Fatalf("stub %q: resumed from nothing", stub)
+		}
+		if err := j.Append(testEntry(0)); err != nil {
+			t.Fatalf("stub %q: append: %v", stub, err)
+		}
+		j.Close()
+	}
+}

@@ -123,6 +123,35 @@ type persisted struct {
 	Configs    map[string][]SavedConfig `json:"configs"`
 }
 
+// MarshalJSON serializes the store's full contents (both caches), so a
+// *Store embeds directly in larger durable structures such as session
+// journal snapshots.
+func (s *Store) MarshalJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Marshal(persisted{Selections: s.selections, Configs: s.configs})
+}
+
+// UnmarshalJSON replaces the store's contents with the serialized
+// state — the restore half of the journal snapshot path.
+func (s *Store) UnmarshalJSON(data []byte) error {
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return fmt.Errorf("memo: parse snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.selections = p.Selections
+	if s.selections == nil {
+		s.selections = make(map[string][]string)
+	}
+	s.configs = p.Configs
+	if s.configs == nil {
+		s.configs = make(map[string][]SavedConfig)
+	}
+	return nil
+}
+
 // Save writes the store to a JSON file.
 func (s *Store) Save(path string) error {
 	s.mu.Lock()

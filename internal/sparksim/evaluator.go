@@ -203,6 +203,20 @@ func (ev *Evaluator) Best() (EvalRecord, bool) {
 	return best, ok
 }
 
+// RestoreStream moves the evaluation counter and accumulated search
+// cost to a journaled position (tuners.StreamRestorer). The per-run
+// noise and fault streams are derived from the evaluation index, so a
+// resumed session that restores the counter hands its post-replay
+// live evaluations exactly the streams the uninterrupted run would
+// have consumed. History is not rebuilt — replayed observations live
+// in the session's trace, not here.
+func (ev *Evaluator) RestoreStream(evals int, cost float64) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	ev.evals = evals
+	ev.cost = cost
+}
+
 // Reset clears evaluation counters and history (the workload, noise
 // seed and fault plan stay), so one evaluator can serve several tuner
 // runs.

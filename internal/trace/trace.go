@@ -125,6 +125,15 @@ func (r *Recorder) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, wor
 	return recs
 }
 
+// RestoreStream forwards the resume capability (tuners.StreamRestorer)
+// when the wrapped evaluator supports it, so journaled sessions stay
+// bit-identical under tracing.
+func (r *Recorder) RestoreStream(evals int, cost float64) {
+	if sr, ok := r.inner.(tuners.StreamRestorer); ok {
+		sr.RestoreStream(evals, cost)
+	}
+}
+
 // SearchCost implements tuners.Objective.
 func (r *Recorder) SearchCost() float64 { return r.inner.SearchCost() }
 

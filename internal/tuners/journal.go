@@ -1,0 +1,191 @@
+package tuners
+
+import (
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/journal"
+	"repro/internal/sparksim"
+)
+
+// StreamRestorer is the optional capability a durable session needs
+// from its objective for bit-identical resume: restoring the
+// evaluation counter and accumulated search cost to a journaled
+// position. The per-run noise and fault streams are derived from the
+// evaluation index, so an objective that can restore the counter will
+// hand post-replay live evaluations exactly the streams the
+// uninterrupted run would have consumed. *sparksim.Evaluator,
+// *FuncObjective and *trace.Recorder implement it; objectives that do
+// not still resume correctly for the replayed prefix, but later live
+// evaluations draw from the start of their streams.
+type StreamRestorer interface {
+	RestoreStream(evals int, cost float64)
+}
+
+// Counts converts the ledger to the journal's dependency-free mirror
+// (journal deliberately does not import tuners).
+func (s FailureStats) Counts() journal.FailureCounts {
+	return journal.FailureCounts{
+		Failed:         s.Failed,
+		Transient:      s.Transient,
+		Retries:        s.Retries,
+		OOM:            s.OOM,
+		Infeasible:     s.Infeasible,
+		BackoffSeconds: s.BackoffSeconds,
+		Skipped:        s.Skipped,
+	}
+}
+
+// countsFrom converts the session ledger to the journal's mirror.
+func countsFrom(s FailureStats) journal.FailureCounts { return s.Counts() }
+
+// statsFrom is the inverse of countsFrom, used during replay to
+// restore the ledger to its post-trial state.
+func statsFrom(c journal.FailureCounts) FailureStats {
+	return FailureStats{
+		Failed:         c.Failed,
+		Transient:      c.Transient,
+		Retries:        c.Retries,
+		OOM:            c.OOM,
+		Infeasible:     c.Infeasible,
+		BackoffSeconds: c.BackoffSeconds,
+		Skipped:        c.Skipped,
+	}
+}
+
+// sameConfig reports whether a journaled config map matches a live
+// config exactly. JSON round-trips float64 bit-exactly (Go marshals
+// the shortest representation that parses back to the same value), so
+// exact comparison is the correct test, not an epsilon.
+func sameConfig(m map[string]float64, c conf.Config) bool {
+	cm := c.ToMap()
+	if len(m) != len(cm) {
+		return false
+	}
+	for k, v := range cm {
+		jv, ok := m[k]
+		if !ok || jv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// replayNext substitutes the next journaled record for an evaluation
+// of c: it restores the objective's stream position and the failure
+// ledger to their post-trial values and records the observation in
+// the trace/incumbent, without touching the objective. It returns
+// ok=false when no replay is pending — or when the journal diverges
+// from the requested evaluation (wrong phase or config), in which case
+// the stale tail has been truncated and the caller evaluates live.
+func (s *Session) replayNext(c conf.Config) (sparksim.EvalRecord, bool) {
+	j := s.req.Journal
+	if j == nil {
+		return sparksim.EvalRecord{}, false
+	}
+	e, ok := j.PeekReplay()
+	if !ok {
+		return sparksim.EvalRecord{}, false
+	}
+	if e.Phase != j.Phase() {
+		j.AbortReplay(fmt.Sprintf("trial %d: journal phase %q, session phase %q", e.Trial, e.Phase, j.Phase()))
+		return sparksim.EvalRecord{}, false
+	}
+	if !sameConfig(e.Config, c) {
+		j.AbortReplay(fmt.Sprintf("trial %d: journaled config does not match the session's", e.Trial))
+		return sparksim.EvalRecord{}, false
+	}
+	j.NextReplay()
+	if sr, ok := s.obj.(StreamRestorer); ok {
+		sr.RestoreStream(e.ObjEvals, e.ObjCost)
+	}
+	rec := sparksim.EvalRecord{
+		Config:     c,
+		Seconds:    e.Seconds,
+		Raw:        e.Raw,
+		Completed:  e.Completed,
+		OOM:        e.OOM,
+		Infeasible: e.Infeasible,
+		Transient:  e.Transient,
+	}
+	s.stats = statsFrom(e.Stats)
+	s.tr.observe(c, rec)
+	return rec, true
+}
+
+// journalAppend commits one live evaluation to the journal (no-op
+// without one). objEvals/objCost are the objective's counters after
+// the trial — the stream position a resume must restore. Append
+// failures are sticky in the journal but deliberately non-fatal here:
+// a full disk degrades durability, it does not kill the campaign.
+func (s *Session) journalAppend(c conf.Config, rec sparksim.EvalRecord, objEvals int, objCost float64) {
+	j := s.req.Journal
+	if j == nil || rec.Skipped {
+		return
+	}
+	_ = j.Append(journal.EvalEntry{
+		Config:     c.ToMap(),
+		Seconds:    rec.Seconds,
+		Raw:        rec.Raw,
+		Completed:  rec.Completed,
+		OOM:        rec.OOM,
+		Infeasible: rec.Infeasible,
+		Transient:  rec.Transient,
+		ObjEvals:   objEvals,
+		ObjCost:    objCost,
+		Stats:      countsFrom(s.stats),
+	})
+}
+
+// FastForward consumes n pending replay records at once without
+// re-deriving them — the selection fast-skip path, used when a
+// snapshot already carries the selection outcome so resume need not
+// re-train the forest. Each record's observation enters the
+// trace/incumbent, and the objective stream position and failure
+// ledger are restored from the last record. It fails without
+// consuming anything when fewer than n records are pending.
+func (s *Session) FastForward(n int) ([]journal.EvalEntry, error) {
+	j := s.req.Journal
+	if j == nil {
+		return nil, fmt.Errorf("tuners: FastForward without a journal")
+	}
+	entries, err := j.SkipReplay(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		c, err := s.space.FromRaw(e.Config)
+		if err != nil {
+			continue
+		}
+		s.tr.observe(c, sparksim.EvalRecord{
+			Config:     c,
+			Seconds:    e.Seconds,
+			Raw:        e.Raw,
+			Completed:  e.Completed,
+			OOM:        e.OOM,
+			Infeasible: e.Infeasible,
+			Transient:  e.Transient,
+		})
+	}
+	if len(entries) > 0 {
+		last := entries[len(entries)-1]
+		if sr, ok := s.obj.(StreamRestorer); ok {
+			sr.RestoreStream(last.ObjEvals, last.ObjCost)
+		}
+		s.stats = statsFrom(last.Stats)
+	}
+	return entries, nil
+}
+
+// Journal returns the session's journal, or nil.
+func (s *Session) Journal() *journal.Journal { return s.req.Journal }
+
+// SetPhase stamps the campaign phase on subsequently journaled
+// evaluations (and validates it during replay). No-op without a
+// journal.
+func (s *Session) SetPhase(phase string) {
+	if j := s.req.Journal; j != nil {
+		j.SetPhase(phase)
+	}
+}

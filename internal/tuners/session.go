@@ -2,9 +2,11 @@ package tuners
 
 import (
 	"context"
+	"math"
 	"time"
 
 	"repro/internal/conf"
+	"repro/internal/journal"
 	"repro/internal/sparksim"
 )
 
@@ -30,6 +32,12 @@ type Request struct {
 	Deadline float64
 	// Retry bounds re-evaluation of transient failures.
 	Retry RetryPolicy
+	// Journal, when set, makes the session durable: every completed
+	// evaluation is committed to the write-ahead journal before the
+	// tuner acts on it, and a journal recovered from a previous run
+	// replays its records in place of re-evaluating them — the
+	// bit-identical resume path. nil disables journaling.
+	Journal *journal.Journal
 }
 
 // RetryPolicy bounds how transient evaluation failures (lost
@@ -44,7 +52,10 @@ type RetryPolicy struct {
 	BackoffFactor float64
 	// Sleep, when set, is called with each backoff so real systems can
 	// wait out the incident; the simulator leaves it nil and only
-	// accounts the backoff in FailureStats.BackoffSeconds.
+	// accounts the backoff in FailureStats.BackoffSeconds. The session
+	// runs Sleep on its own goroutine and abandons the wait when its
+	// context is cancelled, so a SIGINT unwinds immediately instead of
+	// waiting out the backoff.
 	Sleep func(d time.Duration)
 }
 
@@ -199,17 +210,26 @@ func (s *Session) Evaluate(c conf.Config) sparksim.EvalRecord {
 // counters (a real cluster charged for them too) but the trial enters
 // the trace once, with its final outcome.
 func (s *Session) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
+	if rec, ok := s.replayNext(c); ok {
+		return rec
+	}
 	cap = s.effectiveCap(cap)
 	rec := s.rawEval(c, cap)
 	if rec.Transient {
 		s.stats.Transient++
 	}
 	backoff := s.req.Retry.base()
-	for attempt := 0; rec.Transient && attempt < s.req.Retry.MaxRetries && !s.Done(); attempt++ {
+	aborted := false // retry loop cut short by cancellation
+	for attempt := 0; rec.Transient && attempt < s.req.Retry.MaxRetries; attempt++ {
+		if s.Done() {
+			aborted = true
+			break
+		}
 		s.stats.Retries++
 		s.stats.BackoffSeconds += backoff
-		if s.req.Retry.Sleep != nil {
-			s.req.Retry.Sleep(time.Duration(backoff * float64(time.Second)))
+		if !s.sleepBackoff(backoff) {
+			aborted = true
+			break
 		}
 		backoff *= s.req.Retry.factor()
 		rec = s.rawEval(c, cap)
@@ -219,7 +239,39 @@ func (s *Session) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecor
 	}
 	s.note(rec)
 	s.tr.observe(c, rec)
+	if !aborted {
+		// A trial whose retry loop was abandoned by cancellation is not
+		// committed: an uninterrupted run would have kept retrying, so
+		// its journaled outcome could differ. Resume re-runs the whole
+		// trial from the restored stream position instead, reproducing
+		// the uninterrupted retry sequence bit-identically.
+		s.journalAppend(c, rec, s.obj.Evals(), s.obj.SearchCost())
+	}
 	return rec
+}
+
+// sleepBackoff waits out one retry backoff via the policy's Sleep,
+// returning false when the session's context is cancelled first — the
+// cancellation must unwind immediately, not wait out the incident.
+// The simulator leaves Sleep nil, so no wall-clock time passes and
+// the answer only reflects cancellation.
+func (s *Session) sleepBackoff(seconds float64) bool {
+	if s.req.Retry.Sleep == nil {
+		return !s.Done()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.req.Retry.Sleep(time.Duration(seconds * float64(time.Second)))
+	}()
+	select {
+	case <-done:
+		return !s.Done()
+	case <-s.req.Ctx.Done():
+		// The Sleep goroutine finishes on its own; the session just
+		// stops waiting for it.
+		return false
+	}
 }
 
 // EvaluateBatch evaluates configurations concurrently when the
@@ -232,6 +284,32 @@ func (s *Session) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.Eval
 	if len(cfgs) == 0 {
 		return nil
 	}
+	// Replay journaled records for the leading entries of the batch; a
+	// partially journaled batch (the process died mid-batch) replays
+	// its prefix and evaluates the rest live, which lands the live runs
+	// on exactly the evaluation indices the original batch reserved.
+	if j := s.req.Journal; j != nil && j.Replaying() {
+		recs := make([]sparksim.EvalRecord, 0, len(cfgs))
+		i := 0
+		for ; i < len(cfgs); i++ {
+			rec, ok := s.replayNext(cfgs[i])
+			if !ok {
+				break
+			}
+			recs = append(recs, rec)
+		}
+		if i < len(cfgs) {
+			recs = append(recs, s.evaluateBatchLive(cfgs[i:], workers)...)
+		}
+		return recs
+	}
+	return s.evaluateBatchLive(cfgs, workers)
+}
+
+// evaluateBatchLive is the live half of EvaluateBatch: the concurrent
+// fast path when the objective supports it and no per-trial
+// retry/deadline handling is requested, a sequential loop otherwise.
+func (s *Session) evaluateBatchLive(cfgs []conf.Config, workers int) []sparksim.EvalRecord {
 	be, ok := s.obj.(BatchEvaluator)
 	if !ok || s.req.Deadline > 0 || s.req.Retry.MaxRetries > 0 {
 		recs := make([]sparksim.EvalRecord, 0, len(cfgs))
@@ -245,6 +323,15 @@ func (s *Session) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.Eval
 		}
 		return recs
 	}
+	// Capture the stream position before dispatch: entry i runs at
+	// evaluation index base+i (batch evaluators reserve the whole index
+	// block up front, and cancellation only ever skips a suffix), and
+	// each evaluated entry charges min(Raw, Seconds) — for completed
+	// runs Seconds is already the capped duration, for failed ones it
+	// is the global cap, so this reproduces the evaluator's commit
+	// arithmetic bit-for-bit.
+	base := s.obj.Evals()
+	cost := s.obj.SearchCost()
 	recs := be.EvaluateBatchCtx(s.req.Ctx, cfgs, workers)
 	for i, rec := range recs {
 		if rec.Skipped {
@@ -256,6 +343,8 @@ func (s *Session) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.Eval
 		}
 		s.note(rec)
 		s.tr.observe(cfgs[i], rec)
+		cost += math.Min(rec.Raw, rec.Seconds)
+		s.journalAppend(cfgs[i], rec, base+i+1, cost)
 	}
 	return recs
 }

@@ -55,6 +55,11 @@ type Result struct {
 	SelectionCost  float64
 	// Failures is the session's failure/retry ledger.
 	Failures FailureStats
+	// SurrogateFallbacks counts BO iterations that fell back to a
+	// random suggestion because the surrogate could not be fit even at
+	// maximum jitter — graceful degradation instead of aborting a
+	// paid-for campaign. Zero for tuners without a surrogate.
+	SurrogateFallbacks int
 	// Cancelled is true when the session's context was cancelled and
 	// the result holds the best-so-far at that point.
 	Cancelled bool
