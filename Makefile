@@ -1,9 +1,19 @@
 GO ?= go
 
-.PHONY: build test race bench bench-gp benchstat fuzz fuzz-journal fault-stress crash-stress
+.PHONY: build test lint race bench bench-gp benchstat fuzz fuzz-journal fault-stress crash-stress
 
 build:
 	$(GO) build ./...
+
+# Static analysis: staticcheck when installed (CI installs it),
+# otherwise the vet subset that ships with the toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; running go vet only"; \
+		$(GO) vet ./...; \
+	fi
 
 # Default verification flow: vet plus the full unit/property suite.
 test:

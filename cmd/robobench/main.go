@@ -36,6 +36,7 @@ func main() {
 		outPath = flag.String("out", "", "also write a full Markdown report to this file (runs every experiment)")
 		csvDir  = flag.String("csv", "", "write machine-readable CSVs (sessions, fig3, fig4, traces) into this directory")
 		workers = flag.Int("workers", 0, "tuner compute parallelism (0 = all cores, 1 = serial; results are identical)")
+		conc    = flag.Int("concurrent", 0, "campaign concurrency: tuning sessions scheduled at once over a shared evaluation pool (<= 1 = serial; results are identical)")
 		faults  = flag.String("faults", "", "fault-injection plan for tuning evaluations: 'default', or execloss=,straggler=,stragglerfactor=,transient=,oom=,seed= (empty/off = no faults; quality measurement stays fault-free)")
 		retries = flag.Int("retries", 0, "max re-evaluations of a transiently-failed configuration per session")
 	)
@@ -54,6 +55,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Budget = *budget
 	cfg.Workers = *workers
+	cfg.Concurrency = *conc
 	cfg.Faults = plan
 	cfg.Retry = tuners.RetryPolicy{MaxRetries: *retries}
 	if *repeats > 0 {

@@ -182,9 +182,9 @@ func main() {
 		fmt.Printf("session trace (%d evaluations) saved to %s\n", len(sess.Records), *tracePth)
 	}
 
-	if !res.Found {
+	if code := cli.ExitCode(res); code != 0 {
 		fmt.Println("no completing configuration found within budget")
-		os.Exit(1)
+		os.Exit(code)
 	}
 
 	fmt.Printf("\nbest execution time : %8.1f s (observed during search)\n", res.BestSeconds)

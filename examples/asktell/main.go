@@ -1,0 +1,80 @@
+// Ask/tell: drive ROBOTune without handing it an Objective. The
+// tuner proposes configurations; your code — a real cluster submitter,
+// a lab testbed, anything that can run a Spark job and time it —
+// evaluates them however it likes and tells the tuner what happened.
+// Nothing in the loop below knows about the simulator's Evaluator
+// interface: the measurements are hand-built EvalRecords.
+//
+//	go run ./examples/asktell
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/sparksim"
+)
+
+func main() {
+	space := conf.SparkSpace()
+	tuner := core.New(nil, core.Options{
+		// Reduced model sizes so the example runs in seconds.
+		GenericSamples: 40,
+		TuningSamples:  10,
+	})
+
+	// The external form: no Objective anywhere. The workload/dataset
+	// names key ROBOTune's memoization, exactly as in session mode.
+	budget := 30
+	stepper := tuner.Stepper(space, budget, 7, "TeraSort", "D1")
+
+	// Our stand-in cluster: the simulator, consulted directly. The
+	// tuner never sees it — swap in spark-submit, an ssh command, or
+	// an RPC to a benchmark harness.
+	cluster := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(50), 7, 480)
+	runs, cost := 0, 0.0
+
+	for !stepper.Done() {
+		// Ask for whatever the tuner can usefully propose right now:
+		// one probe at a time early on, whole LHS waves during
+		// parameter selection.
+		proposals := stepper.Propose(0)
+		if len(proposals) == 0 {
+			break
+		}
+		for _, p := range proposals {
+			// p.Cap is the tuner's kill threshold for this run (0 = no
+			// cap): pass it to your cluster's timeout machinery so bad
+			// configurations die cheaply.
+			rec := cluster.EvaluateWithCap(p.Config, p.Cap)
+			runs++
+			cost += rec.Raw
+
+			// Tell the tuner. Only four fields matter to it: the
+			// configuration, the measured Seconds, the consumed Raw
+			// seconds, and whether the run Completed. Build them from
+			// your own measurements in a real deployment.
+			stepper.Observe(p.Config, sparksim.EvalRecord{
+				Config:    p.Config,
+				Seconds:   rec.Seconds,
+				Raw:       rec.Raw,
+				Completed: rec.Completed,
+			})
+		}
+	}
+
+	// Result seals the run (memoizing the selection for the next
+	// dataset of this workload) and reports the best configuration.
+	res := stepper.Result()
+	if !res.Found {
+		log.Fatal("no completing configuration found")
+	}
+	fmt.Printf("best time over %d runs (%.0f s of cluster time): %.1f s\n",
+		runs, cost, res.BestSeconds)
+	fmt.Printf("selected parameters: %v\n", res.SelectedParams)
+	fmt.Printf("executor cores      = %d\n", res.Best.Int("spark.executor.cores"))
+	fmt.Printf("executor memory     = %d MB\n", res.Best.Int("spark.executor.memory"))
+	fmt.Printf("executor instances  = %d\n", res.Best.Int("spark.executor.instances"))
+}

@@ -177,3 +177,15 @@ func ParseFaultPlan(spec string) (sparksim.FaultPlan, error) {
 	}
 	return plan, nil
 }
+
+// ExitCode maps a tuning result to a process exit status: 0 when a
+// completing configuration was found, 1 otherwise. Scripts drive the
+// CLI tools with this contract — a tuner that exhausts its budget
+// without one completing run is a failure, even though the process
+// itself ran fine.
+func ExitCode(res tuners.Result) int {
+	if res.Found {
+		return 0
+	}
+	return 1
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/conf"
 	"repro/internal/sparksim"
+	"repro/internal/tuners"
 )
 
 func TestParseRaw(t *testing.T) {
@@ -179,5 +180,14 @@ func TestParseFaultPlan(t *testing.T) {
 		if _, err := ParseFaultPlan(bad); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(tuners.Result{Found: true}); got != 0 {
+		t.Errorf("found result exits %d, want 0", got)
+	}
+	if got := ExitCode(tuners.Result{Found: false}); got != 1 {
+		t.Errorf("not-found result exits %d, want 1", got)
 	}
 }

@@ -19,7 +19,6 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -28,7 +27,6 @@ import (
 	"repro/internal/bo"
 	"repro/internal/conf"
 	"repro/internal/forest"
-	"repro/internal/journal"
 	"repro/internal/mapping"
 	"repro/internal/memo"
 	"repro/internal/sample"
@@ -208,394 +206,13 @@ func (r *ROBOTune) Tune(obj tuners.Objective, space *conf.Space, budget int, see
 // best-so-far), its deadline tightens the guard cap, and transient
 // evaluation failures are retried per its policy. Failed observations
 // reach the surrogate as censored tells, never as measurements.
+//
+// Run is a thin driver over the ask/tell Stepper (see stepper.go):
+// prepare performs the cache check and snapshot fast-skip, and
+// tuners.Drive owns every evaluation, retry, journal commit and
+// replay substitution.
 func (r *ROBOTune) Run(s *tuners.Session) tuners.Result {
-	opts := r.opts
-	obj, space := s.Objective(), s.Space()
-	budget, seed := s.Budget(), s.Seed()
-	workload, dataset := "", ""
-	if id, ok := obj.(identifiable); ok {
-		workload, dataset = id.WorkloadName(), id.DatasetName()
-	}
-	jn := s.Journal()
-
-	// --- Parameter selection (cache check, Figure 1) ---------------------
-	var selected []string
-	var selEvals int
-	var selCost float64
-	if workload != "" {
-		if cached, hit := r.store.Selection(workload); hit {
-			selected = cached
-		}
-	}
-	// Resume fast-skip: when the recovered snapshot carries the
-	// selection outcome (and the memo state it produced), consume the
-	// leading selection records in one step instead of re-training the
-	// forest on the replayed samples. Disabled under workload mapping,
-	// whose probe side effects the snapshot does not capture; replay
-	// then re-derives the selection, which is equally bit-identical,
-	// just slower.
-	if selected == nil && jn != nil && opts.Mapper == nil && jn.Replayed() == 0 {
-		if snap, ok := jn.Snapshot(); ok && len(snap.Selection) > 0 && snap.SelTrials > 0 &&
-			jn.ReplayPending() >= snap.SelTrials {
-			memoOK := len(snap.Memo) == 0 || json.Unmarshal(snap.Memo, r.store) == nil
-			if memoOK {
-				evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
-				s.SetPhase("selection")
-				if _, err := s.FastForward(snap.SelTrials); err == nil {
-					selected = append([]string(nil), snap.Selection...)
-					selEvals += obj.Evals() - evalsBefore
-					selCost += obj.SearchCost() - costBefore
-					if workload != "" {
-						r.store.PutSelection(workload, selected)
-					}
-				}
-			}
-		}
-	}
-	// Workload mapping (extension): characterize the unseen workload
-	// with a few probes and inherit a similar family's selection.
-	if selected == nil && opts.Mapper != nil && workload != "" && !s.Done() {
-		s.SetPhase("probe")
-		evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
-		sig := opts.Mapper.Characterize(func(c conf.Config) float64 {
-			return s.Evaluate(c).Seconds
-		})
-		if match, ok := opts.Mapper.BestMatch(sig); ok && match.Similarity >= opts.MapThreshold {
-			if sel, hit := r.store.Selection(match.Workload); hit {
-				selected = sel
-				r.store.PutSelection(workload, selected)
-			}
-		}
-		_ = opts.Mapper.Register(workload, sig)
-		selEvals += obj.Evals() - evalsBefore
-		selCost += obj.SearchCost() - costBefore
-	}
-	if selected == nil {
-		evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
-		s.SetPhase("selection")
-		sel, err := r.selectParameters(s, opts.GenericSamples)
-		if err == nil {
-			selected = sel.Params
-			r.LastSelection = &sel
-		}
-		selEvals += obj.Evals() - evalsBefore
-		selCost += obj.SearchCost() - costBefore
-		if workload != "" && selected != nil {
-			r.store.PutSelection(workload, selected)
-		}
-		// The best configuration observed during selection is a valid
-		// tuning observation: memoize it so this and future sessions
-		// start from a viable anchor.
-		if workload != "" && sel.BestSample.Valid() {
-			r.store.AddConfigs(workload, []memo.SavedConfig{{
-				Values:  sel.BestSample.ToMap(),
-				Seconds: sel.BestSeconds,
-				Dataset: dataset,
-			}}, opts.MemoConfigs*4)
-		}
-	}
-	if len(selected) == 0 {
-		// Selection failed entirely (e.g. every sample failed): fall
-		// back to the executor-size joint parameter, always relevant.
-		selected = []string{conf.ExecutorCores, conf.ExecutorMemory, conf.ExecutorInstances}
-	}
-
-	// selTrialsBoundary is the journal record count at the end of the
-	// selection stage — the prefix a future resume may fast-skip.
-	selTrialsBoundary := 0
-	if jn != nil {
-		selTrialsBoundary = jn.Trials()
-	}
-	// The memo bytes in every snapshot are the post-selection state,
-	// captured once here: a resume that fast-skips the selection prefix
-	// restores this state and re-derives everything after it by replay
-	// (including the end-of-run AddConfigs). Snapshotting a later store
-	// state would make the replayed init phase pull different memo
-	// configurations than the original run did.
-	var memoBytes []byte
-	if jn != nil {
-		if m, err := json.Marshal(r.store); err == nil {
-			memoBytes = m
-		}
-	}
-	// writeSnap atomically replaces the journal's snapshot side file
-	// with the current session state. Skipped while replay is pending
-	// (the recovered snapshot is still ahead of, or equal to, the
-	// replayed position) and after cancellation — a cancelled phase may
-	// have recorded a degraded outcome (e.g. the fallback selection of
-	// an aborted LHS sweep) that must not masquerade as campaign state;
-	// resume replays the per-evaluation records instead.
-	writeSnap := func(phase string, eng *bo.Engine, spent int) {
-		if jn == nil || jn.Replaying() || s.Done() {
-			return
-		}
-		snap := journal.Snapshot{
-			Phase:       phase,
-			Trials:      jn.Trials(),
-			SelTrials:   selTrialsBoundary,
-			BudgetSpent: spent,
-			Selection:   append([]string(nil), selected...),
-			Stats:       s.Stats().Counts(),
-			Memo:        memoBytes,
-		}
-		if eng != nil {
-			if em, err := json.Marshal(eng.State()); err == nil {
-				snap.Engine = em
-			}
-		}
-		_ = jn.WriteSnapshot(snap)
-	}
-	writeSnap("selection", nil, 0)
-
-	// --- Subspace over the selected parameters ---------------------------
-	// Unselected parameters are frozen to the best configuration seen
-	// so far for this workload (from the memo buffer, which includes
-	// the best selection sample); the framework default is only the
-	// last resort. Freezing at a viable anchor matters: the Spark
-	// default would OOM several workloads regardless of the tuned
-	// subspace values.
-	base := space.Default()
-	if workload != "" {
-		if anchors := r.store.BestConfigs(workload, 1); len(anchors) > 0 {
-			if c, err := space.FromRaw(anchors[0].Values); err == nil {
-				base = c
-			}
-		}
-	}
-	ss, err := space.Sub(selected, base)
-	if err != nil {
-		// Defensive: unknown names in a stale cache entry.
-		ss, _ = space.Sub([]string{conf.ExecutorCores, conf.ExecutorMemory}, base)
-	}
-	r.LastSubspace = ss
-
-	tuneEvalsBefore, tuneCostBefore := obj.Evals(), obj.SearchCost()
-	tr := &runTracker{bestSec: math.Inf(1)}
-
-	guard := func() float64 {
-		if opts.GuardMultiple <= 0 {
-			return 0
-		}
-		// medianCompleted is 0 while nothing has completed (an
-		// all-failed prefix must not manufacture a cap).
-		return tr.medianCompleted() * opts.GuardMultiple
-	}
-	// The session layers the request deadline and retry policy under
-	// the guard cap and routes through the guard capability when the
-	// objective has one.
-	eval := func(c conf.Config) sparksim.EvalRecord {
-		return s.EvaluateWithCap(c, guard())
-	}
-
-	// --- Initial training set (Memoized Sampling, §3.2) ------------------
-	engine := bo.New(ss.Dim(), withSeed(opts.BO, seed))
-	r.LastEngine = engine
-	remaining := budget
-
-	var memoCfgs []memo.SavedConfig
-	if workload != "" {
-		// Pull a wider slate and keep a diverse subset: the top
-		// configurations of one session are near-duplicates, and
-		// seeding the GP with four copies of the same point
-		// over-anchors exploitation on the previous dataset's optimum.
-		memoCfgs = diverseConfigs(space, r.store.BestConfigs(workload, opts.MemoConfigs*4), opts.MemoConfigs)
-	}
-	lhsCount := opts.TuningSamples - len(memoCfgs)
-	if lhsCount < 0 {
-		lhsCount = 0
-	}
-	rng := sample.NewRNG(seed ^ 0x0b07e2e)
-	design := sample.MaximinLHS(lhsCount, ss.Dim(), 0, rng)
-
-	// tellEngine feeds one observation to the surrogate. The GP models
-	// log execution time: the 480 s evaluation cap saturates much of
-	// the space, and the log transform keeps the surviving region
-	// discriminable. Failed runs are censored — their capped value is
-	// a floor, not a measurement — so the surrogate treats them as "at
-	// least this bad" instead of trusting junk observations.
-	tellEngine := func(u []float64, rec sparksim.EvalRecord) {
-		if rec.Completed {
-			engine.Tell(u, math.Log(rec.Seconds))
-		} else {
-			engine.TellCensored(u, math.Log(rec.Seconds))
-		}
-	}
-	tell := func(c conf.Config) bool {
-		if remaining <= 0 || s.Done() {
-			return false
-		}
-		remaining--
-		rec := eval(c)
-		tr.observe(c, rec)
-		tellEngine(ss.Encode(c), rec)
-		return true
-	}
-	s.SetPhase("init")
-	for _, saved := range memoCfgs {
-		c, err := space.FromRaw(saved.Values)
-		if err != nil {
-			continue
-		}
-		if !tell(c) {
-			break
-		}
-	}
-	for _, u := range design {
-		if !tell(ss.Decode(u)) {
-			break
-		}
-	}
-	writeSnap("init", engine, budget-remaining)
-
-	// --- BO loop (Algorithm 1) --------------------------------------------
-	s.SetPhase("bo")
-	// suggest shields the campaign from a surrogate that cannot be fit
-	// even at maximum jitter (or that panics deep in the linear
-	// algebra): the iteration falls back to a random point and the
-	// session keeps running — an evaluation budget already paid for
-	// must never be abandoned over one degenerate fit.
-	surrFallbacks := 0
-	suggest := func() []float64 {
-		u, err := func() (u []float64, err error) {
-			defer func() {
-				if p := recover(); p != nil {
-					err = fmt.Errorf("bo: suggest panicked: %v", p)
-				}
-			}()
-			return engine.Suggest()
-		}()
-		if err != nil {
-			if engine.N() >= 2 {
-				// A genuine fit failure, not the normal "too few
-				// observations" stage of extreme budgets.
-				surrFallbacks++
-			}
-			u = randomUnit(ss.Dim(), rng)
-		}
-		return u
-	}
-	// snapEvery bounds how much BO progress a crash can lose beyond
-	// what the per-evaluation journal records already preserve.
-	const snapEvery = 5
-	sinceSnap := 0
-	stale := 0
-	lastBest := tr.bestSec
-	_, canBatch := obj.(tuners.BatchEvaluator)
-	for remaining > 0 && !s.Done() {
-		// Parallel rounds: q constant-liar suggestions evaluated
-		// concurrently, then told back with the real observations.
-		if opts.BOBatch > 1 && canBatch && remaining >= opts.BOBatch {
-			if us, err := engine.BatchSuggest(opts.BOBatch); err == nil && len(us) > 1 {
-				cfgs := make([]conf.Config, len(us))
-				for i, u := range us {
-					cfgs[i] = ss.Decode(u)
-				}
-				recs := s.EvaluateBatch(cfgs, opts.BOBatch)
-				for i, rec := range recs {
-					if rec.Skipped { // cancelled before dispatch
-						continue
-					}
-					remaining--
-					sinceSnap++
-					tr.observe(cfgs[i], rec)
-					tellEngine(us[i], rec)
-				}
-				if sinceSnap >= snapEvery {
-					writeSnap("bo", engine, budget-remaining)
-					sinceSnap = 0
-				}
-				if opts.EarlyStopPatience > 0 {
-					if tr.bestSec < lastBest*(1-opts.EarlyStopEpsilon) {
-						stale = 0
-						lastBest = tr.bestSec
-					} else {
-						stale++
-						if stale >= opts.EarlyStopPatience {
-							break
-						}
-					}
-				}
-				continue
-			}
-		}
-		u := suggest()
-		if !tell(ss.Decode(u)) {
-			break
-		}
-		sinceSnap++
-		if sinceSnap >= snapEvery {
-			writeSnap("bo", engine, budget-remaining)
-			sinceSnap = 0
-		}
-		// Automated early stopping (§4): give up when the incumbent
-		// stops improving.
-		if opts.EarlyStopPatience > 0 {
-			if tr.bestSec < lastBest*(1-opts.EarlyStopEpsilon) {
-				stale = 0
-				lastBest = tr.bestSec
-			} else {
-				stale++
-				if stale >= opts.EarlyStopPatience {
-					break
-				}
-			}
-		}
-	}
-
-	// --- Memoize the best configurations for future sessions --------------
-	if workload != "" && tr.found {
-		top := tr.topK(opts.MemoConfigs)
-		// The buffer retains a wider slate (4x) than the per-session
-		// pull so the diverse subset has real choices.
-		saved := make([]memo.SavedConfig, 0, len(top))
-		for _, e := range top {
-			saved = append(saved, memo.SavedConfig{
-				Values:  e.cfg.ToMap(),
-				Seconds: e.sec,
-				Dataset: dataset,
-			})
-		}
-		r.store.AddConfigs(workload, saved, opts.MemoConfigs*4)
-	}
-
-	res := tuners.Result{
-		Best:               tr.best,
-		BestSeconds:        tr.bestSec,
-		Found:              tr.found,
-		Evals:              obj.Evals() - tuneEvalsBefore,
-		SearchCost:         obj.SearchCost() - tuneCostBefore,
-		Trace:              tr.trace,
-		SelectedParams:     append([]string(nil), selected...),
-		SelectionEvals:     selEvals,
-		SelectionCost:      selCost,
-		Failures:           s.Stats(),
-		Cancelled:          s.Cancelled(),
-		SurrogateFallbacks: surrFallbacks,
-	}
-	if jn != nil {
-		if !res.Cancelled {
-			// A cancelled session deliberately leaves no done marker so
-			// its journal stays resumable; a finished one records its
-			// result, and replaying the whole journal reproduces it
-			// without spending a single new evaluation.
-			done := journal.DoneEntry{
-				Found:          res.Found,
-				Evals:          res.Evals,
-				SearchCost:     res.SearchCost,
-				SelectionEvals: res.SelectionEvals,
-				SelectionCost:  res.SelectionCost,
-			}
-			if res.Found {
-				// BestSeconds is +Inf when nothing completed, which JSON
-				// cannot encode; record it only for a found result.
-				done.Best = res.Best.ToMap()
-				done.BestSeconds = res.BestSeconds
-			}
-			_ = jn.AppendDone(done)
-		}
-		writeSnap("done", engine, budget-remaining)
-	}
-	return res
+	return tuners.Drive(r.prepare(s), s)
 }
 
 // Selection is the outcome of the Random-Forest parameter selection.
@@ -748,11 +365,12 @@ func (r *ROBOTune) selectFromData(space *conf.Space, x [][]float64, y []float64,
 // runTracker tracks incumbents and the top-K configurations for
 // memoization.
 type runTracker struct {
-	best    conf.Config
-	bestSec float64
-	found   bool
-	trace   []float64
-	entries []trackEntry
+	best      conf.Config
+	bestSec   float64
+	found     bool
+	trace     []float64
+	completed []bool
+	entries   []trackEntry
 }
 
 type trackEntry struct {
@@ -762,6 +380,7 @@ type trackEntry struct {
 
 func (t *runTracker) observe(c conf.Config, rec sparksim.EvalRecord) {
 	t.trace = append(t.trace, rec.Seconds)
+	t.completed = append(t.completed, rec.Completed)
 	if !rec.Completed {
 		return
 	}

@@ -1,0 +1,756 @@
+// The ask/tell form of ROBOTune: Run's probe → selection → init → BO
+// pipeline decomposed into an explicit phase machine that emits the
+// trials it wants evaluated and consumes their outcomes. The
+// tuners.Session driver (tuners.Drive) owns evaluation, retries,
+// deadlines, cancellation, journaling and replay; external systems
+// can drive the same stepper against a real cluster with no Objective
+// at all. The phase boundaries, rng consumption and journal phase
+// stamps are identical to the old blocking loop, so every existing
+// parity and resume suite holds bit-for-bit.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/bo"
+	"repro/internal/conf"
+	"repro/internal/journal"
+	"repro/internal/mapping"
+	"repro/internal/memo"
+	"repro/internal/sample"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+type phase int
+
+const (
+	phProbe phase = iota
+	phSelection
+	phInit
+	phBO
+	phDone
+)
+
+// snapEvery bounds how much BO progress a crash can lose beyond what
+// the per-evaluation journal records already preserve.
+const snapEvery = 5
+
+// Stepper is ROBOTune as a resumable ask/tell state machine. Build
+// one with ROBOTune.Stepper (external evaluation) or let Run drive
+// one under a session. A Stepper is single-use and not safe for
+// concurrent calls.
+type Stepper struct {
+	r    *ROBOTune
+	opts Options
+
+	s        *tuners.Session  // nil in external-evaluation mode
+	obj      tuners.Objective // nil in external-evaluation mode
+	space    *conf.Space
+	budget   int
+	seed     uint64
+	workload string
+	dataset  string
+	jn       *journal.Journal
+	canBatch bool
+
+	proto    tuners.Protocol
+	phase    phase
+	finished bool
+	slot     map[int]int // proposal sequence → current-phase slot index
+
+	selected []string
+	selEvals int
+	selCost  float64
+
+	// Phase-entry objective counters for the selection accounting.
+	evalsBefore int
+	costBefore  float64
+
+	// Probe phase (workload mapping).
+	probeCfgs []conf.Config
+	probeSecs []float64
+	probeNext int
+	probeSeen int
+
+	// Selection phase.
+	selDesign   [][]float64
+	selCfgs     []conf.Config
+	selRecs     []sparksim.EvalRecord
+	selObserved []bool
+	selNext     int
+	selSeen     int
+
+	// Tuning state (init + BO), built by sealSelection.
+	selTrialsBoundary int
+	memoBytes         []byte
+	ss                *conf.Subspace
+	tr                *runTracker
+	engine            *bo.Engine
+	remaining         int
+	rng               *rand.Rand
+	tuneEvalsBefore   int
+	tuneCostBefore    float64
+	surrFallbacks     int
+
+	initCfgs        []conf.Config
+	initNext        int
+	initOutstanding bool
+
+	sinceSnap int
+	stale     int
+	lastBest  float64
+
+	roundUs           [][]float64
+	roundPending      int
+	singleOutstanding bool
+}
+
+// Stepper builds the external-evaluation form of ROBOTune: the caller
+// evaluates each Proposal (honoring its Cap as a stopping threshold
+// when possible) and feeds the outcome back via Observe, then reads
+// Result. workload and dataset key the memoization store and may be
+// empty. Without an Objective the Result's Evals/SearchCost and
+// selection-cost fields are zero — the caller owns that accounting —
+// and there is no journaling, batching or workload-mapping fast-skip.
+func (r *ROBOTune) Stepper(space *conf.Space, budget int, seed uint64, workload, dataset string) *Stepper {
+	st := &Stepper{
+		r:        r,
+		opts:     r.opts,
+		space:    space,
+		budget:   budget,
+		seed:     seed,
+		workload: workload,
+		dataset:  dataset,
+		slot:     make(map[int]int),
+	}
+	if workload != "" {
+		if cached, hit := r.store.Selection(workload); hit {
+			st.selected = cached
+		}
+	}
+	st.start()
+	return st
+}
+
+// prepare builds the session-backed stepper Run drives: it performs
+// the selection-cache check and the snapshot fast-skip (consuming the
+// journaled selection prefix in one step) before any trial is
+// proposed, exactly like the head of the old blocking Run.
+func (r *ROBOTune) prepare(s *tuners.Session) *Stepper {
+	opts := r.opts
+	obj := s.Objective()
+	st := &Stepper{
+		r:      r,
+		opts:   opts,
+		s:      s,
+		obj:    obj,
+		space:  s.Space(),
+		budget: s.Budget(),
+		seed:   s.Seed(),
+		jn:     s.Journal(),
+		slot:   make(map[int]int),
+	}
+	_, st.canBatch = obj.(tuners.BatchEvaluator)
+	if id, ok := obj.(identifiable); ok {
+		st.workload, st.dataset = id.WorkloadName(), id.DatasetName()
+	}
+
+	// --- Parameter selection (cache check, Figure 1) -------------------
+	if st.workload != "" {
+		if cached, hit := r.store.Selection(st.workload); hit {
+			st.selected = cached
+		}
+	}
+	// Resume fast-skip: when the recovered snapshot carries the
+	// selection outcome (and the memo state it produced), consume the
+	// leading selection records in one step instead of re-training the
+	// forest on the replayed samples. Disabled under workload mapping,
+	// whose probe side effects the snapshot does not capture; replay
+	// then re-derives the selection, which is equally bit-identical,
+	// just slower.
+	jn := st.jn
+	if st.selected == nil && jn != nil && opts.Mapper == nil && jn.Replayed() == 0 {
+		if snap, ok := jn.Snapshot(); ok && len(snap.Selection) > 0 && snap.SelTrials > 0 &&
+			jn.ReplayPending() >= snap.SelTrials {
+			memoOK := len(snap.Memo) == 0 || json.Unmarshal(snap.Memo, r.store) == nil
+			if memoOK {
+				evalsBefore, costBefore := obj.Evals(), obj.SearchCost()
+				s.SetPhase("selection")
+				if _, err := s.FastForward(snap.SelTrials); err == nil {
+					st.selected = append([]string(nil), snap.Selection...)
+					st.selEvals += obj.Evals() - evalsBefore
+					st.selCost += obj.SearchCost() - costBefore
+					if st.workload != "" {
+						r.store.PutSelection(st.workload, st.selected)
+					}
+				}
+			}
+		}
+	}
+	st.start()
+	return st
+}
+
+// start picks the opening phase: straight to tuning on a cached (or
+// fast-skipped) selection, the mapping probe when a Mapper can try to
+// inherit one, or the full LHS selection sweep.
+func (st *Stepper) start() {
+	switch {
+	case st.selected != nil:
+		st.sealSelection()
+	case st.opts.Mapper != nil && st.workload != "" && !st.sessionDone():
+		st.enterProbe()
+	default:
+		st.enterSelection()
+	}
+}
+
+func (st *Stepper) sessionDone() bool {
+	return st.s != nil && st.s.Done()
+}
+
+func (st *Stepper) setPhase(phase string) {
+	if st.s != nil {
+		st.s.SetPhase(phase)
+	}
+}
+
+// Done implements tuners.Stepper.
+func (st *Stepper) Done() bool { return st.phase == phDone }
+
+// EvalParallel implements tuners.Batcher: the selection sweep runs
+// under Options.Parallel, BO rounds under Options.BOBatch, everything
+// else sequentially.
+func (st *Stepper) EvalParallel() int {
+	switch st.phase {
+	case phSelection:
+		return st.opts.Parallel
+	case phBO:
+		return st.opts.BOBatch
+	}
+	return 1
+}
+
+// --- Probe phase (workload mapping, extension) -----------------------
+
+func (st *Stepper) enterProbe() {
+	st.phase = phProbe
+	st.setPhase("probe")
+	if st.obj != nil {
+		st.evalsBefore, st.costBefore = st.obj.Evals(), st.obj.SearchCost()
+	}
+	st.probeCfgs = st.opts.Mapper.ProbeConfigs()
+	st.probeSecs = make([]float64, len(st.probeCfgs))
+	if len(st.probeCfgs) == 0 {
+		st.endProbe()
+	}
+}
+
+func (st *Stepper) endProbe() {
+	// The signature arithmetic of Mapper.Characterize, applied to the
+	// observed probe times in probe order. A probe cut short by
+	// cancellation characterizes with zero entries for the missing
+	// probes; the forced selection that follows falls back anyway.
+	sig := mapping.Signature{LogTimes: make([]float64, len(st.probeCfgs))}
+	for i, sec := range st.probeSecs {
+		if sec <= 0 {
+			sec = 1e-3
+		}
+		sig.LogTimes[i] = math.Log(sec)
+	}
+	if match, ok := st.opts.Mapper.BestMatch(sig); ok && match.Similarity >= st.opts.MapThreshold {
+		if sel, hit := st.r.store.Selection(match.Workload); hit {
+			st.selected = sel
+			st.r.store.PutSelection(st.workload, st.selected)
+		}
+	}
+	_ = st.opts.Mapper.Register(st.workload, sig)
+	if st.obj != nil {
+		st.selEvals += st.obj.Evals() - st.evalsBefore
+		st.selCost += st.obj.SearchCost() - st.costBefore
+	}
+	if st.selected != nil {
+		st.sealSelection()
+		return
+	}
+	st.enterSelection()
+}
+
+// --- Selection phase (Random-Forest parameter selection) -------------
+
+func (st *Stepper) enterSelection() {
+	st.phase = phSelection
+	if st.obj != nil {
+		st.evalsBefore, st.costBefore = st.obj.Evals(), st.obj.SearchCost()
+	}
+	st.setPhase("selection")
+	samples := st.opts.GenericSamples
+	rng := sample.NewRNG(st.seed ^ 0x5e1ec7)
+	st.selDesign = sample.LHS(samples, st.space.Dim(), rng)
+	st.selCfgs = make([]conf.Config, len(st.selDesign))
+	for i, u := range st.selDesign {
+		st.selCfgs[i] = st.space.Decode(u)
+	}
+	st.selRecs = make([]sparksim.EvalRecord, len(st.selCfgs))
+	st.selObserved = make([]bool, len(st.selCfgs))
+	if len(st.selCfgs) == 0 {
+		st.endSelection()
+	}
+}
+
+func (st *Stepper) endSelection() {
+	x := make([][]float64, 0, len(st.selCfgs))
+	y := make([]float64, 0, len(st.selCfgs))
+	bestSec := math.Inf(1)
+	var bestCfg conf.Config
+	for i, rec := range st.selRecs {
+		if !st.selObserved[i] || rec.Skipped {
+			continue
+		}
+		x = append(x, append([]float64(nil), st.selDesign[i]...))
+		y = append(y, rec.Seconds)
+		if rec.Completed && rec.Seconds < bestSec {
+			bestSec, bestCfg = rec.Seconds, st.selCfgs[i]
+		}
+	}
+	sel, err := st.r.selectFromData(st.space, x, y, st.seed)
+	if err == nil {
+		sel.BestSample = bestCfg
+		sel.BestSeconds = bestSec
+		st.selected = sel.Params
+		st.r.LastSelection = &sel
+	}
+	if st.obj != nil {
+		st.selEvals += st.obj.Evals() - st.evalsBefore
+		st.selCost += st.obj.SearchCost() - st.costBefore
+	}
+	if st.workload != "" && st.selected != nil {
+		st.r.store.PutSelection(st.workload, st.selected)
+	}
+	// The best configuration observed during selection is a valid
+	// tuning observation: memoize it so this and future sessions start
+	// from a viable anchor.
+	if st.workload != "" && sel.BestSample.Valid() {
+		st.r.store.AddConfigs(st.workload, []memo.SavedConfig{{
+			Values:  sel.BestSample.ToMap(),
+			Seconds: sel.BestSeconds,
+			Dataset: st.dataset,
+		}}, st.opts.MemoConfigs*4)
+	}
+	st.sealSelection()
+}
+
+// --- Tuning setup (subspace + memoized sampling, §3.2) ---------------
+
+// sealSelection fixes the selection outcome (falling back to the
+// executor-size trio when selection failed entirely), snapshots the
+// selection boundary, builds the subspace and BO engine, and queues
+// the initial training set.
+func (st *Stepper) sealSelection() {
+	opts, space := st.opts, st.space
+	if len(st.selected) == 0 {
+		// Selection failed entirely (e.g. every sample failed): fall
+		// back to the executor-size joint parameter, always relevant.
+		st.selected = []string{conf.ExecutorCores, conf.ExecutorMemory, conf.ExecutorInstances}
+	}
+	// selTrialsBoundary is the journal record count at the end of the
+	// selection stage — the prefix a future resume may fast-skip.
+	if st.jn != nil {
+		st.selTrialsBoundary = st.jn.Trials()
+		// The memo bytes in every snapshot are the post-selection state,
+		// captured once here: a resume that fast-skips the selection
+		// prefix restores this state and re-derives everything after it
+		// by replay (including the end-of-run AddConfigs). Snapshotting a
+		// later store state would make the replayed init phase pull
+		// different memo configurations than the original run did.
+		if m, err := json.Marshal(st.r.store); err == nil {
+			st.memoBytes = m
+		}
+	}
+	st.writeSnap("selection", nil, 0)
+
+	// Unselected parameters are frozen to the best configuration seen
+	// so far for this workload (from the memo buffer, which includes
+	// the best selection sample); the framework default is only the
+	// last resort. Freezing at a viable anchor matters: the Spark
+	// default would OOM several workloads regardless of the tuned
+	// subspace values.
+	base := space.Default()
+	if st.workload != "" {
+		if anchors := st.r.store.BestConfigs(st.workload, 1); len(anchors) > 0 {
+			if c, err := space.FromRaw(anchors[0].Values); err == nil {
+				base = c
+			}
+		}
+	}
+	ss, err := space.Sub(st.selected, base)
+	if err != nil {
+		// Defensive: unknown names in a stale cache entry.
+		ss, _ = space.Sub([]string{conf.ExecutorCores, conf.ExecutorMemory}, base)
+	}
+	st.ss = ss
+	st.r.LastSubspace = ss
+
+	if st.obj != nil {
+		st.tuneEvalsBefore, st.tuneCostBefore = st.obj.Evals(), st.obj.SearchCost()
+	}
+	st.tr = &runTracker{bestSec: math.Inf(1)}
+	st.engine = bo.New(ss.Dim(), withSeed(opts.BO, st.seed))
+	st.r.LastEngine = st.engine
+	st.remaining = st.budget
+
+	var memoCfgs []memo.SavedConfig
+	if st.workload != "" {
+		// Pull a wider slate and keep a diverse subset: the top
+		// configurations of one session are near-duplicates, and seeding
+		// the GP with four copies of the same point over-anchors
+		// exploitation on the previous dataset's optimum.
+		memoCfgs = diverseConfigs(space, st.r.store.BestConfigs(st.workload, opts.MemoConfigs*4), opts.MemoConfigs)
+	}
+	lhsCount := opts.TuningSamples - len(memoCfgs)
+	if lhsCount < 0 {
+		lhsCount = 0
+	}
+	st.rng = sample.NewRNG(st.seed ^ 0x0b07e2e)
+	design := sample.MaximinLHS(lhsCount, ss.Dim(), 0, st.rng)
+
+	st.initCfgs = st.initCfgs[:0]
+	for _, saved := range memoCfgs {
+		c, err := space.FromRaw(saved.Values)
+		if err != nil {
+			continue
+		}
+		st.initCfgs = append(st.initCfgs, c)
+	}
+	for _, u := range design {
+		st.initCfgs = append(st.initCfgs, ss.Decode(u))
+	}
+	st.phase = phInit
+	st.setPhase("init")
+	if st.remaining <= 0 || len(st.initCfgs) == 0 {
+		st.sealInit()
+	}
+}
+
+// sealInit snapshots the trained initial surrogate and opens the BO
+// loop.
+func (st *Stepper) sealInit() {
+	st.writeSnap("init", st.engine, st.budget-st.remaining)
+	st.phase = phBO
+	st.setPhase("bo")
+	st.sinceSnap = 0
+	st.stale = 0
+	st.lastBest = st.tr.bestSec
+	if st.remaining <= 0 {
+		st.phase = phDone
+	}
+}
+
+// guard is the median-multiple stopping cap (0 while nothing has
+// completed — an all-failed prefix must not manufacture a cap).
+func (st *Stepper) guard() float64 {
+	if st.opts.GuardMultiple <= 0 {
+		return 0
+	}
+	return st.tr.medianCompleted() * st.opts.GuardMultiple
+}
+
+// tellEngine feeds one observation to the surrogate. The GP models
+// log execution time: the 480 s evaluation cap saturates much of the
+// space, and the log transform keeps the surviving region
+// discriminable. Failed runs are censored — their capped value is a
+// floor, not a measurement — so the surrogate treats them as "at
+// least this bad" instead of trusting junk observations.
+func (st *Stepper) tellEngine(u []float64, rec sparksim.EvalRecord) {
+	if rec.Completed {
+		st.engine.Tell(u, math.Log(rec.Seconds))
+	} else {
+		st.engine.TellCensored(u, math.Log(rec.Seconds))
+	}
+}
+
+// suggest shields the campaign from a surrogate that cannot be fit
+// even at maximum jitter (or that panics deep in the linear algebra):
+// the iteration falls back to a random point and the session keeps
+// running — an evaluation budget already paid for must never be
+// abandoned over one degenerate fit.
+func (st *Stepper) suggest() []float64 {
+	u, err := func() (u []float64, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("bo: suggest panicked: %v", p)
+			}
+		}()
+		return st.engine.Suggest()
+	}()
+	if err != nil {
+		if st.engine.N() >= 2 {
+			// A genuine fit failure, not the normal "too few
+			// observations" stage of extreme budgets.
+			st.surrFallbacks++
+		}
+		u = randomUnit(st.ss.Dim(), st.rng)
+	}
+	return u
+}
+
+// --- Ask/tell surface ------------------------------------------------
+
+// Propose implements tuners.Stepper. The selection sweep (and each BO
+// batch round) comes out as a multi-trial batch; the probe, init and
+// single-step BO phases propose one trial at a time because each
+// proposal depends on the previous observation (the guard cap and the
+// surrogate posterior).
+func (st *Stepper) Propose(n int) []tuners.Proposal {
+	st.proto.CheckPropose(st.Done())
+	switch st.phase {
+	case phProbe:
+		if st.probeNext > st.probeSeen {
+			return nil // waiting for the outstanding probe
+		}
+		props := []tuners.Proposal{{Config: st.probeCfgs[st.probeNext]}}
+		st.slot[st.proto.Proposed(props)] = st.probeNext
+		st.probeNext++
+		return props
+	case phSelection:
+		if st.selNext >= len(st.selCfgs) {
+			return nil // waiting for outstanding selection samples
+		}
+		k := len(st.selCfgs) - st.selNext
+		if n > 0 && n < k {
+			k = n
+		}
+		props := make([]tuners.Proposal, k)
+		for i := 0; i < k; i++ {
+			props[i] = tuners.Proposal{Config: st.selCfgs[st.selNext+i]}
+		}
+		first := st.proto.Proposed(props)
+		for i := 0; i < k; i++ {
+			st.slot[first+i] = st.selNext + i
+		}
+		st.selNext += k
+		return props
+	case phInit:
+		if st.initOutstanding {
+			return nil
+		}
+		st.initOutstanding = true
+		props := []tuners.Proposal{{Config: st.initCfgs[st.initNext], Cap: st.guard()}}
+		st.proto.Proposed(props)
+		return props
+	case phBO:
+		if st.roundPending > 0 || st.singleOutstanding {
+			return nil
+		}
+		// Parallel rounds: q constant-liar suggestions evaluated
+		// concurrently, then told back with the real observations.
+		if st.opts.BOBatch > 1 && st.canBatch && st.remaining >= st.opts.BOBatch {
+			if us, err := st.engine.BatchSuggest(st.opts.BOBatch); err == nil && len(us) > 1 {
+				props := make([]tuners.Proposal, len(us))
+				for i, u := range us {
+					props[i] = tuners.Proposal{Config: st.ss.Decode(u)}
+				}
+				first := st.proto.Proposed(props)
+				for i := range props {
+					st.slot[first+i] = i
+				}
+				st.roundUs = us
+				st.roundPending = len(us)
+				return props
+			}
+		}
+		u := st.suggest()
+		st.singleOutstanding = true
+		props := []tuners.Proposal{{Config: st.ss.Decode(u), Cap: st.guard()}}
+		st.proto.Proposed(props)
+		return props
+	}
+	return nil
+}
+
+// Observe implements tuners.Stepper.
+func (st *Stepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+	seq := st.proto.Observed(c)
+	idx, hasSlot := st.slot[seq]
+	delete(st.slot, seq)
+	switch st.phase {
+	case phProbe:
+		if !rec.Skipped {
+			st.probeSecs[idx] = rec.Seconds
+		}
+		st.probeSeen++
+		if st.probeSeen == len(st.probeCfgs) {
+			st.endProbe()
+		}
+	case phSelection:
+		st.selRecs[idx] = rec
+		st.selObserved[idx] = true
+		st.selSeen++
+		if st.selSeen == len(st.selCfgs) && st.selNext >= len(st.selCfgs) {
+			st.endSelection()
+		}
+	case phInit:
+		st.initOutstanding = false
+		st.remaining--
+		st.tr.observe(c, rec)
+		st.tellEngine(st.ss.Encode(c), rec)
+		st.initNext++
+		if st.initNext >= len(st.initCfgs) || st.remaining <= 0 {
+			st.sealInit()
+		}
+	case phBO:
+		if st.roundPending > 0 && hasSlot {
+			st.roundPending--
+			if !rec.Skipped { // cancelled before dispatch
+				st.remaining--
+				st.sinceSnap++
+				st.tr.observe(c, rec)
+				st.tellEngine(st.roundUs[idx], rec)
+			}
+			if st.roundPending == 0 {
+				st.roundUs = nil
+				st.endRound()
+			}
+			return
+		}
+		st.singleOutstanding = false
+		st.remaining--
+		rec2 := rec
+		st.tr.observe(c, rec2)
+		st.tellEngine(st.ss.Encode(c), rec2)
+		st.sinceSnap++
+		st.endRound()
+	}
+}
+
+// endRound runs the per-round bookkeeping of the BO loop: periodic
+// snapshots and the automated early stopping of §4.
+func (st *Stepper) endRound() {
+	if st.sinceSnap >= snapEvery {
+		st.writeSnap("bo", st.engine, st.budget-st.remaining)
+		st.sinceSnap = 0
+	}
+	if st.opts.EarlyStopPatience > 0 {
+		if st.tr.bestSec < st.lastBest*(1-st.opts.EarlyStopEpsilon) {
+			st.stale = 0
+			st.lastBest = st.tr.bestSec
+		} else {
+			st.stale++
+			if st.stale >= st.opts.EarlyStopPatience {
+				st.phase = phDone
+				return
+			}
+		}
+	}
+	if st.remaining <= 0 {
+		st.phase = phDone
+	}
+}
+
+// writeSnap atomically replaces the journal's snapshot side file with
+// the current session state. Skipped while replay is pending (the
+// recovered snapshot is still ahead of, or equal to, the replayed
+// position) and after cancellation — a cancelled phase may have
+// recorded a degraded outcome (e.g. the fallback selection of an
+// aborted LHS sweep) that must not masquerade as campaign state;
+// resume replays the per-evaluation records instead.
+func (st *Stepper) writeSnap(phase string, eng *bo.Engine, spent int) {
+	if st.jn == nil || st.jn.Replaying() || st.sessionDone() {
+		return
+	}
+	snap := journal.Snapshot{
+		Phase:       phase,
+		Trials:      st.jn.Trials(),
+		SelTrials:   st.selTrialsBoundary,
+		BudgetSpent: spent,
+		Selection:   append([]string(nil), st.selected...),
+		Stats:       st.s.Stats().Counts(),
+		Memo:        st.memoBytes,
+	}
+	if eng != nil {
+		if em, err := json.Marshal(eng.State()); err == nil {
+			snap.Engine = em
+		}
+	}
+	_ = st.jn.WriteSnapshot(snap)
+}
+
+// Finish implements tuners.Finisher: it forces the remaining phase
+// transitions of an interrupted pipeline (a cancelled sweep still
+// falls back, builds the subspace and engine, and reports — exactly
+// like the blocking loop, whose tail always ran), memoizes the best
+// configurations for future sessions, and writes the final snapshot.
+func (st *Stepper) Finish(*tuners.Session) { st.finish() }
+
+func (st *Stepper) finish() {
+	if st.finished {
+		return
+	}
+	st.finished = true
+	if st.phase == phProbe {
+		st.endProbe()
+	}
+	if st.phase == phSelection {
+		st.endSelection()
+	}
+	if st.phase == phInit {
+		st.sealInit()
+	}
+	if st.phase == phBO {
+		st.phase = phDone
+	}
+
+	// Memoize the best configurations for future sessions. The buffer
+	// retains a wider slate (4x) than the per-session pull so the
+	// diverse subset has real choices.
+	if st.workload != "" && st.tr.found {
+		top := st.tr.topK(st.opts.MemoConfigs)
+		saved := make([]memo.SavedConfig, 0, len(top))
+		for _, e := range top {
+			saved = append(saved, memo.SavedConfig{
+				Values:  e.cfg.ToMap(),
+				Seconds: e.sec,
+				Dataset: st.dataset,
+			})
+		}
+		st.r.store.AddConfigs(st.workload, saved, st.opts.MemoConfigs*4)
+	}
+	st.writeSnap("done", st.engine, st.budget-st.remaining)
+}
+
+// SessionResult implements tuners.ResultMaker: ROBOTune's Result
+// carries the tuning-phase trace and the selection accounting, not
+// the session's generic whole-run view.
+func (st *Stepper) SessionResult(s *tuners.Session) tuners.Result {
+	res := tuners.Result{
+		Best:               st.tr.best,
+		BestSeconds:        st.tr.bestSec,
+		Found:              st.tr.found,
+		Trace:              st.tr.trace,
+		Completed:          st.tr.completed,
+		SelectedParams:     append([]string(nil), st.selected...),
+		SelectionEvals:     st.selEvals,
+		SelectionCost:      st.selCost,
+		SurrogateFallbacks: st.surrFallbacks,
+	}
+	if st.obj != nil {
+		res.Evals = st.obj.Evals() - st.tuneEvalsBefore
+		res.SearchCost = st.obj.SearchCost() - st.tuneCostBefore
+	}
+	if s != nil {
+		res.Failures = s.Stats()
+		res.Cancelled = s.Cancelled()
+	}
+	return res
+}
+
+// Result seals an externally driven stepper and returns its outcome.
+// (Session-driven steppers get their Result from tuners.Drive.)
+func (st *Stepper) Result() tuners.Result {
+	st.finish()
+	return st.SessionResult(st.s)
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/memo"
 	"repro/internal/sample"
+	"repro/internal/schedule"
 	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	// Retry bounds re-evaluation of transiently-failed configurations
 	// per session.
 	Retry tuners.RetryPolicy
+	// Concurrency is the campaign width: how many (workload, tuner,
+	// repeat) tuning tasks run at once, and the capacity of the shared
+	// evaluation pool they are scheduled over (<= 1 = serial). Results
+	// are identical for any value — the scheduler only changes
+	// wall-clock, never outcomes.
+	Concurrency int
 }
 
 // Defaults returns the reduced scale used by the benchmarks: the
@@ -188,6 +195,14 @@ func (c Config) buildTuner(name string, store *memo.Store) tuners.SessionTuner {
 // store, reproducing the paper's repeated-workload setup; every
 // repeat starts cold. The filter (nil = all) restricts workload
 // families by name.
+//
+// The grid runs as a campaign on the schedule package: each
+// (workload, tuner, repeat) triple is one task, and up to
+// cfg.Concurrency of them tune at once over a shared evaluation pool
+// of the same size. Every task owns its evaluators and its tuner, so
+// concurrency changes only wall-clock — the sessions, their order in
+// the result, and every number in them are bit-identical for any
+// Concurrency (the tests assert 1 vs N equality).
 func RunComparison(cfg Config, filter func(workload string) bool) *Comparison {
 	cfg = cfg.withDefaults()
 	grid := sparksim.PaperWorkloads()
@@ -195,37 +210,57 @@ func RunComparison(cfg Config, filter func(workload string) bool) *Comparison {
 	space := sparkSpace()
 	comp := &Comparison{Config: cfg}
 
+	// Enumerate the campaign in report order; each task appends its
+	// three dataset sessions to its own slot, so the flattened result
+	// matches the serial loop exactly.
+	type campaignTask struct {
+		wname, tname string
+		rep          int
+	}
+	var tasks []campaignTask
 	for _, wname := range WorkloadOrder {
 		if filter != nil && !filter(wname) {
 			continue
 		}
-		wls := grid[wname]
 		for _, tname := range TunerNames {
 			for rep := 0; rep < cfg.Repeats; rep++ {
-				store := memo.NewStore() // cold per repeat
-				tn := cfg.buildTuner(tname, store)
-				for di := 0; di < 3; di++ {
-					seed := cfg.Seed + uint64(rep)*1009 + uint64(di)*101 + hashName(wname+tname)
-					ev := cfg.newEvaluator(cluster, wls[di], seed)
-					res := cfg.tune(tn, ev, space, cfg.Budget, seed)
-					quality := 480.0
-					if res.Found {
-						quality = ev.Measure(res.Best, cfg.MeasureReps, cfg.Seed*77+uint64(di))
-					}
-					comp.Sessions = append(comp.Sessions, Session{
-						Tuner:         tname,
-						Workload:      wname,
-						DatasetIdx:    di,
-						Repeat:        rep,
-						Quality:       quality,
-						Found:         res.Found,
-						SearchCost:    res.SearchCost,
-						SelectionCost: res.SelectionCost,
-						Trace:         res.Trace,
-					})
-				}
+				tasks = append(tasks, campaignTask{wname: wname, tname: tname, rep: rep})
 			}
 		}
+	}
+
+	perTask := make([][]Session, len(tasks))
+	sched := schedule.NewScheduler(cfg.Concurrency, cfg.Concurrency)
+	sched.RunTasks(len(tasks), func(i int, pool *schedule.Pool) {
+		t := tasks[i]
+		wls := grid[t.wname]
+		store := memo.NewStore() // cold per repeat
+		tn := cfg.buildTuner(t.tname, store)
+		for di := 0; di < 3; di++ {
+			seed := cfg.Seed + uint64(t.rep)*1009 + uint64(di)*101 + hashName(t.wname+t.tname)
+			ev := cfg.newEvaluator(cluster, wls[di], seed)
+			res := cfg.tune(tn, pool.Wrap(ev), space, cfg.Budget, seed)
+			quality := 480.0
+			if res.Found {
+				// Quality measurement runs on the raw evaluator: it is
+				// bookkeeping, not cluster load the campaign schedules.
+				quality = ev.Measure(res.Best, cfg.MeasureReps, cfg.Seed*77+uint64(di))
+			}
+			perTask[i] = append(perTask[i], Session{
+				Tuner:         t.tname,
+				Workload:      t.wname,
+				DatasetIdx:    di,
+				Repeat:        t.rep,
+				Quality:       quality,
+				Found:         res.Found,
+				SearchCost:    res.SearchCost,
+				SelectionCost: res.SelectionCost,
+				Trace:         res.Trace,
+			})
+		}
+	})
+	for _, ss := range perTask {
+		comp.Sessions = append(comp.Sessions, ss...)
 	}
 	return comp
 }

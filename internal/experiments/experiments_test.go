@@ -48,6 +48,39 @@ func TestComparisonDeterministic(t *testing.T) {
 	}
 }
 
+// TestComparisonConcurrencyParity asserts the campaign scheduler's
+// contract end to end: the full session list — order included — is
+// bit-identical whether the grid runs serially or four tasks wide.
+func TestComparisonConcurrencyParity(t *testing.T) {
+	serial := RunComparison(tinyConfig(), onlyWorkload("KMeans"))
+	wideCfg := tinyConfig()
+	wideCfg.Concurrency = 4
+	wide := RunComparison(wideCfg, onlyWorkload("KMeans"))
+
+	if len(serial.Sessions) != len(wide.Sessions) {
+		t.Fatalf("session count %d vs %d", len(serial.Sessions), len(wide.Sessions))
+	}
+	for i := range serial.Sessions {
+		a, b := serial.Sessions[i], wide.Sessions[i]
+		if a.Tuner != b.Tuner || a.Workload != b.Workload ||
+			a.DatasetIdx != b.DatasetIdx || a.Repeat != b.Repeat {
+			t.Fatalf("session %d identity differs: %+v vs %+v", i, a, b)
+		}
+		if a.Quality != b.Quality || a.Found != b.Found ||
+			a.SearchCost != b.SearchCost || a.SelectionCost != b.SelectionCost {
+			t.Fatalf("session %d numbers differ: %+v vs %+v", i, a, b)
+		}
+		if len(a.Trace) != len(b.Trace) {
+			t.Fatalf("session %d trace length %d vs %d", i, len(a.Trace), len(b.Trace))
+		}
+		for j := range a.Trace {
+			if a.Trace[j] != b.Trace[j] {
+				t.Fatalf("session %d trace[%d] %v vs %v", i, j, a.Trace[j], b.Trace[j])
+			}
+		}
+	}
+}
+
 func TestFig3Fig4Derivations(t *testing.T) {
 	comp := RunComparison(tinyConfig(), onlyWorkload("KMeans"))
 	f3 := comp.Fig3()

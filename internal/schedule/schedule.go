@@ -1,0 +1,219 @@
+// Package schedule multiplexes concurrent tuning sessions over a
+// shared, bounded pool of cluster evaluation slots — the campaign
+// scheduler. A real deployment tunes several workloads at once
+// against one cluster that can only run a few configurations side by
+// side; the scheduler lets N sessions make progress while never
+// exceeding the cluster's evaluation capacity.
+//
+// Determinism: each session owns a private objective, and the pool
+// only delays evaluations — it never reorders anything a session
+// observes and never changes what a batch computes (worker counts
+// affect scheduling, not results, per the evaluator's deterministic
+// parallelism). Campaign results are therefore bit-identical for any
+// pool size, including 1; the tests assert it.
+package schedule
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+// Pool is the cluster's evaluation capacity: a counting semaphore
+// over concurrently running configurations. Wrap an objective with
+// Wrap to charge its evaluations against the pool.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool builds a pool with the given capacity (minimum 1).
+func NewPool(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{sem: make(chan struct{}, capacity)}
+}
+
+// Capacity returns the pool's slot count.
+func (p *Pool) Capacity() int { return cap(p.sem) }
+
+func (p *Pool) acquire()          { p.sem <- struct{}{} }
+func (p *Pool) release()          { <-p.sem }
+func (p *Pool) tryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wrap charges every evaluation of obj against the pool: sequential
+// evaluations hold one slot, batch evaluations hold one slot plus as
+// many extra slots as are free at dispatch (capped by the requested
+// worker count), so a batch degrades gracefully under contention
+// instead of deadlocking the campaign. Counter reads (Evals,
+// SearchCost) pass through ungated.
+//
+// The wrapper preserves the optional capabilities the session and
+// ROBOTune probe for — guard caps, stream restore and workload
+// identity — forwarding each to the inner objective when it supports
+// it and degrading to the capability-absent behavior when it does
+// not. Batch evaluation is only claimed when the inner objective
+// claims it, because its presence changes which algorithm path a
+// tuner picks.
+func (p *Pool) Wrap(obj tuners.Objective) tuners.Objective {
+	g := gated{pool: p, inner: obj}
+	if _, ok := obj.(tuners.BatchEvaluator); ok {
+		return &gatedBatch{g}
+	}
+	return &g
+}
+
+type gated struct {
+	pool  *Pool
+	inner tuners.Objective
+}
+
+func (g *gated) Evaluate(c conf.Config) sparksim.EvalRecord {
+	g.pool.acquire()
+	defer g.pool.release()
+	return g.inner.Evaluate(c)
+}
+
+// EvaluateWithCap forwards the guard capability; an inner objective
+// without it evaluates uncapped, exactly as the session's own
+// fallback would.
+func (g *gated) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
+	g.pool.acquire()
+	defer g.pool.release()
+	if cc, ok := g.inner.(tuners.Capper); ok {
+		return cc.EvaluateWithCap(c, cap)
+	}
+	return g.inner.Evaluate(c)
+}
+
+func (g *gated) SearchCost() float64 { return g.inner.SearchCost() }
+func (g *gated) Evals() int          { return g.inner.Evals() }
+
+// RestoreStream forwards the resume capability when present.
+func (g *gated) RestoreStream(evals int, cost float64) {
+	if sr, ok := g.inner.(tuners.StreamRestorer); ok {
+		sr.RestoreStream(evals, cost)
+	}
+}
+
+// WorkloadName and DatasetName forward the memoization identity; an
+// anonymous inner objective reads as the empty workload, which every
+// consumer treats as "no identity".
+func (g *gated) WorkloadName() string {
+	if id, ok := g.inner.(interface{ WorkloadName() string }); ok {
+		return id.WorkloadName()
+	}
+	return ""
+}
+
+func (g *gated) DatasetName() string {
+	if id, ok := g.inner.(interface{ DatasetName() string }); ok {
+		return id.DatasetName()
+	}
+	return ""
+}
+
+type gatedBatch struct {
+	gated
+}
+
+// EvaluateBatchCtx runs a batch with one guaranteed slot plus
+// whatever extra capacity is free right now. The inner batch is
+// worker-count invariant, so the opportunistic grant affects only
+// wall-clock, never results.
+func (g *gatedBatch) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord {
+	want := workers
+	if want > len(cfgs) {
+		want = len(cfgs)
+	}
+	if want < 1 {
+		want = 1
+	}
+	g.pool.acquire()
+	granted := 1
+	for granted < want && g.pool.tryAcquire() {
+		granted++
+	}
+	defer func() {
+		for i := 0; i < granted; i++ {
+			g.pool.release()
+		}
+	}()
+	return g.inner.(tuners.BatchEvaluator).EvaluateBatchCtx(ctx, cfgs, granted)
+}
+
+// Job is one tuning session for Scheduler.Run: the tuner, its private
+// objective, the search space and the session request.
+type Job struct {
+	Tuner     tuners.SessionTuner
+	Objective tuners.Objective
+	Space     *conf.Space
+	Request   tuners.Request
+}
+
+// Scheduler runs tuning campaigns: N sessions multiplexed over a
+// shared evaluation pool, at most Sessions of them in flight at once.
+type Scheduler struct {
+	pool     *Pool
+	sessions int
+}
+
+// NewScheduler builds a scheduler with the given evaluation-pool
+// capacity and concurrent-session bound (sessions <= 0 means "as many
+// as there are jobs").
+func NewScheduler(evaluators, sessions int) *Scheduler {
+	return &Scheduler{pool: NewPool(evaluators), sessions: sessions}
+}
+
+// Pool returns the shared evaluation pool.
+func (s *Scheduler) Pool() *Pool { return s.pool }
+
+// Run executes every job concurrently (bounded by the session limit),
+// charging all evaluations against the shared pool, and returns the
+// results in job order.
+func (s *Scheduler) Run(jobs []Job) []tuners.Result {
+	results := make([]tuners.Result, len(jobs))
+	s.RunTasks(len(jobs), func(i int, pool *Pool) {
+		j := jobs[i]
+		ses := tuners.NewSession(pool.Wrap(j.Objective), j.Space, j.Request)
+		results[i] = j.Tuner.Run(ses)
+	})
+	return results
+}
+
+// RunTasks is the compound-task form of Run: it invokes task(i, pool)
+// for i in [0, n) on concurrent goroutines (bounded by the session
+// limit) and returns when all have finished. Each task wraps its own
+// objectives with the shared pool; experiments use this to run one
+// multi-dataset tuning sequence per task.
+func (s *Scheduler) RunTasks(n int, task func(i int, pool *Pool)) {
+	slots := s.sessions
+	if slots <= 0 || slots > n {
+		slots = n
+	}
+	if slots < 1 {
+		return
+	}
+	gate := make(chan struct{}, slots)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		gate <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-gate }()
+			task(i, s.pool)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,149 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+func smallOptions() core.Options {
+	o := core.Options{}
+	o.GenericSamples = 12
+	o.TuningSamples = 6
+	o.Forest.Trees = 15
+	o.PermuteRepeats = 2
+	o.BO.CandidatePool = 32
+	o.BO.Starts = 1
+	o.BO.GP.Restarts = 1
+	// Exercise the batched paths so the pool's opportunistic batch
+	// grants are covered too.
+	o.Parallel = 4
+	o.BOBatch = 2
+	return o
+}
+
+// campaignJobs builds a mixed campaign: one session per tuner family,
+// each with a private evaluator, plus a second ROBOTune workload so the
+// campaign is at least five sessions. The space is shared so best
+// configs from separate runs are comparable with Config.Equal.
+func campaignJobs(space *conf.Space) []Job {
+	cluster := sparksim.PaperCluster()
+	mk := func(w sparksim.Workload, seed uint64) *sparksim.Evaluator {
+		return sparksim.NewEvaluator(cluster, w, seed, 480)
+	}
+	return []Job{
+		{Tuner: core.New(nil, smallOptions()), Objective: mk(sparksim.TeraSort(20), 17),
+			Space: space, Request: tuners.Request{Budget: 14, Seed: 11}},
+		{Tuner: tuners.RandomSearch{}, Objective: mk(sparksim.KMeans(4), 23),
+			Space: space, Request: tuners.Request{Budget: 12, Seed: 5}},
+		{Tuner: tuners.BestConfig{RoundSize: 6}, Objective: mk(sparksim.PageRank(2), 31),
+			Space: space, Request: tuners.Request{Budget: 12, Seed: 7}},
+		{Tuner: tuners.Gunther{PopSize: 6, Elite: 2}, Objective: mk(sparksim.TeraSort(10), 41),
+			Space: space, Request: tuners.Request{Budget: 14, Seed: 9}},
+		{Tuner: core.New(nil, smallOptions()), Objective: mk(sparksim.KMeans(2), 53),
+			Space: space, Request: tuners.Request{Budget: 12, Seed: 13}},
+	}
+}
+
+func sameResult(t *testing.T, label string, a, b tuners.Result) {
+	t.Helper()
+	if a.Found != b.Found || a.BestSeconds != b.BestSeconds {
+		t.Fatalf("%s: best mismatch: (%v, %v) vs (%v, %v)",
+			label, a.Found, a.BestSeconds, b.Found, b.BestSeconds)
+	}
+	if a.Evals != b.Evals || a.SearchCost != b.SearchCost {
+		t.Fatalf("%s: cost mismatch: (%d, %v) vs (%d, %v)",
+			label, a.Evals, a.SearchCost, b.Evals, b.SearchCost)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("%s: trace length %d vs %d", label, len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("%s: trace[%d] = %v vs %v", label, i, a.Trace[i], b.Trace[i])
+		}
+	}
+	if len(a.Completed) != len(b.Completed) {
+		t.Fatalf("%s: completed length %d vs %d", label, len(a.Completed), len(b.Completed))
+	}
+	for i := range a.Completed {
+		if a.Completed[i] != b.Completed[i] {
+			t.Fatalf("%s: completed[%d] = %v vs %v", label, i, a.Completed[i], b.Completed[i])
+		}
+	}
+	if a.Found && !a.Best.Equal(b.Best) {
+		t.Fatalf("%s: best config differs", label)
+	}
+}
+
+// TestCampaignPoolSizeInvariance is the scheduler's core promise: a
+// five-session campaign produces bit-identical results whether the
+// evaluation pool has one slot (fully serialized evaluations) or
+// enough for everyone, and matches unscheduled direct runs.
+func TestCampaignPoolSizeInvariance(t *testing.T) {
+	space := conf.SparkSpace()
+	direct := make([]tuners.Result, 0, 5)
+	for _, j := range campaignJobs(space) {
+		direct = append(direct, j.Tuner.Run(tuners.NewSession(j.Objective, j.Space, j.Request)))
+	}
+
+	serial := NewScheduler(1, 0).Run(campaignJobs(space))
+	wide := NewScheduler(8, 8).Run(campaignJobs(space))
+
+	if len(serial) != len(direct) || len(wide) != len(direct) {
+		t.Fatalf("result count mismatch: %d direct, %d serial, %d wide",
+			len(direct), len(serial), len(wide))
+	}
+	for i := range direct {
+		sameResult(t, "pool=1 vs direct", serial[i], direct[i])
+		sameResult(t, "pool=8 vs direct", wide[i], direct[i])
+	}
+}
+
+// TestSessionLimit bounds in-flight sessions without dropping any job.
+func TestSessionLimit(t *testing.T) {
+	jobs := campaignJobs(conf.SparkSpace())[:4]
+	res := NewScheduler(2, 2).Run(jobs)
+	if len(res) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(res), len(jobs))
+	}
+	for i, r := range res {
+		if len(r.Trace) == 0 {
+			t.Fatalf("job %d produced an empty trace", i)
+		}
+	}
+}
+
+// TestPoolWrapCapabilities checks the wrapper's capability surface:
+// batch evaluation is claimed only when the inner objective claims it,
+// and identity/guard capabilities degrade instead of disappearing.
+func TestPoolWrapCapabilities(t *testing.T) {
+	p := NewPool(2)
+	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(20), 3, 480)
+	w := p.Wrap(ev)
+	if _, ok := w.(tuners.BatchEvaluator); !ok {
+		t.Fatal("wrapping a batch evaluator must preserve the batch capability")
+	}
+	if _, ok := w.(tuners.Capper); !ok {
+		t.Fatal("wrapped objective lost the guard-cap capability")
+	}
+	id, ok := w.(interface{ WorkloadName() string })
+	if !ok || id.WorkloadName() != ev.WorkloadName() {
+		t.Fatalf("wrapped workload identity mismatch")
+	}
+
+	// A plain functional objective has no batch capability; the
+	// wrapper must not invent one (its presence changes tuner paths).
+	fo := &tuners.FuncObjective{Fn: func(c conf.Config) (float64, bool) { return 1, true }}
+	wf := p.Wrap(fo)
+	if _, ok := wf.(tuners.BatchEvaluator); ok {
+		t.Fatal("wrapper must not add a batch capability the inner objective lacks")
+	}
+	rec := wf.Evaluate(conf.SparkSpace().Default())
+	if !rec.Completed || rec.Seconds != 1 {
+		t.Fatalf("gated evaluation altered the record: %+v", rec)
+	}
+}

@@ -2,9 +2,11 @@ package tuners
 
 import (
 	"math"
+	"math/rand/v2"
 
 	"repro/internal/conf"
 	"repro/internal/sample"
+	"repro/internal/sparksim"
 )
 
 // BestConfig reimplements the search strategy of "BestConfig: Tapping
@@ -39,88 +41,156 @@ func (b BestConfig) Tune(obj Objective, space *conf.Space, budget int, seed uint
 	return b.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
 }
 
-// Run implements SessionTuner.
+// Run implements SessionTuner by driving the stepper.
 func (b BestConfig) Run(s *Session) Result {
-	space, budget := s.Space(), s.Budget()
+	return Drive(b.Stepper(s.Space(), s.Budget(), s.Seed()), s)
+}
+
+// Stepper returns the ask/tell form of BestConfig. Each DDS round is
+// proposed as a batch; the RBS bounds update runs once the whole
+// round has been observed, so a new round is never proposed while an
+// earlier one is outstanding.
+func (b BestConfig) Stepper(space *conf.Space, budget int, seed uint64) Stepper {
 	roundSize := b.RoundSize
 	if roundSize <= 0 {
 		roundSize = 100
 	}
-	rng := sample.NewRNG(s.Seed())
 	d := space.Dim()
-
-	// Current search bounds in the unit cube.
-	lo := make([]float64, d)
-	hi := make([]float64, d)
-	resetBounds := func() {
-		for j := 0; j < d; j++ {
-			lo[j], hi[j] = 0, 1
-		}
+	st := &bestConfigStepper{
+		space:     space,
+		rng:       sample.NewRNG(seed),
+		roundSize: roundSize,
+		d:         d,
+		remaining: budget,
+		lo:        make([]float64, d),
+		hi:        make([]float64, d),
+		prevBest:  math.Inf(1),
+		slot:      make(map[int]int),
 	}
-	resetBounds()
+	st.resetBounds()
+	return st
+}
 
-	remaining := budget
-	prevBest := math.Inf(1)
-	for remaining > 0 && !s.Done() {
-		n := roundSize
-		if n > remaining {
-			n = remaining
-		}
-		remaining -= n
+type bestConfigStepper struct {
+	Protocol
+	space     *conf.Space
+	rng       *rand.Rand
+	roundSize int
+	d         int
+	remaining int
+	lo, hi    []float64
+	prevBest  float64
 
-		// DDS within the current bounds: stratified like LHS.
-		design := sample.LHS(n, d, rng)
-		points := make([][]float64, n)
-		var roundBest []float64
-		roundBestSec := math.Inf(1)
-		for i, u := range design {
-			if s.Done() {
-				break
-			}
-			p := make([]float64, d)
-			for j := 0; j < d; j++ {
-				p[j] = lo[j] + u[j]*(hi[j]-lo[j])
-			}
-			points[i] = p
-			c := space.Decode(p)
-			rec := s.Evaluate(c)
-			if rec.Completed && rec.Seconds < roundBestSec {
-				roundBestSec = rec.Seconds
-				roundBest = p
-			}
-		}
+	// Current round state.
+	points       [][]float64 // mapped unit points, index-aligned with the design
+	next         int         // next point index to propose
+	seen         int         // observations received this round
+	roundBest    []float64
+	roundBestSec float64
+	slot         map[int]int // proposal sequence → round point index
+}
 
-		if roundBest == nil || roundBestSec >= prevBest {
-			// No improvement: diverge back to the full space
-			// (bound-and-search restart).
-			resetBounds()
-			continue
-		}
-		prevBest = roundBestSec
-
-		// RBS: bound the next round between the incumbent's
-		// neighboring sample values on each axis.
-		for j := 0; j < d; j++ {
-			nlo, nhi := lo[j], hi[j]
-			for _, p := range points {
-				if p == nil { // round cut short by cancellation
-					continue
-				}
-				if p[j] < roundBest[j] && p[j] > nlo {
-					nlo = p[j]
-				}
-				if p[j] > roundBest[j] && p[j] < nhi {
-					nhi = p[j]
-				}
-			}
-			if nhi-nlo < 1e-6 {
-				// Degenerate interval: widen slightly around the best.
-				span := (hi[j] - lo[j]) * 0.05
-				nlo = math.Max(0, roundBest[j]-span)
-				nhi = math.Min(1, roundBest[j]+span)
-			}
-			lo[j], hi[j] = nlo, nhi
-		}
+func (st *bestConfigStepper) resetBounds() {
+	for j := 0; j < st.d; j++ {
+		st.lo[j], st.hi[j] = 0, 1
 	}
-	return s.Result()
+}
+
+func (st *bestConfigStepper) Done() bool {
+	return st.remaining <= 0 && st.next >= len(st.points)
+}
+
+// startRound draws the next DDS design inside the current bounds and
+// reserves its budget, mirroring the legacy loop which decremented
+// the budget at round start.
+func (st *bestConfigStepper) startRound() {
+	n := st.roundSize
+	if n > st.remaining {
+		n = st.remaining
+	}
+	st.remaining -= n
+	design := sample.LHS(n, st.d, st.rng)
+	st.points = make([][]float64, n)
+	for i, u := range design {
+		p := make([]float64, st.d)
+		for j := 0; j < st.d; j++ {
+			p[j] = st.lo[j] + u[j]*(st.hi[j]-st.lo[j])
+		}
+		st.points[i] = p
+	}
+	st.next = 0
+	st.seen = 0
+	st.roundBest = nil
+	st.roundBestSec = math.Inf(1)
+}
+
+func (st *bestConfigStepper) Propose(n int) []Proposal {
+	st.CheckPropose(st.Done())
+	if st.next >= len(st.points) {
+		if st.seen < len(st.points) {
+			return nil // waiting for the round's outstanding observations
+		}
+		st.startRound()
+	}
+	k := len(st.points) - st.next
+	if n > 0 && n < k {
+		k = n
+	}
+	props := make([]Proposal, k)
+	for i := 0; i < k; i++ {
+		props[i] = Proposal{Config: st.space.Decode(st.points[st.next+i])}
+	}
+	first := st.Proposed(props)
+	for i := 0; i < k; i++ {
+		st.slot[first+i] = st.next + i
+	}
+	st.next += k
+	return props
+}
+
+func (st *bestConfigStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+	seq := st.Observed(c)
+	idx := st.slot[seq]
+	delete(st.slot, seq)
+	st.seen++
+	if !rec.Skipped && rec.Completed && rec.Seconds < st.roundBestSec {
+		st.roundBestSec = rec.Seconds
+		st.roundBest = st.points[idx]
+	}
+	if st.seen == len(st.points) && st.next >= len(st.points) {
+		st.endRound()
+	}
+}
+
+// endRound applies the RBS bounds update (or diverges back to the
+// full space) once every point of the round has been observed.
+func (st *bestConfigStepper) endRound() {
+	if st.roundBest == nil || st.roundBestSec >= st.prevBest {
+		// No improvement: diverge back to the full space
+		// (bound-and-search restart).
+		st.resetBounds()
+		return
+	}
+	st.prevBest = st.roundBestSec
+
+	// RBS: bound the next round between the incumbent's neighboring
+	// sample values on each axis.
+	for j := 0; j < st.d; j++ {
+		nlo, nhi := st.lo[j], st.hi[j]
+		for _, p := range st.points {
+			if p[j] < st.roundBest[j] && p[j] > nlo {
+				nlo = p[j]
+			}
+			if p[j] > st.roundBest[j] && p[j] < nhi {
+				nhi = p[j]
+			}
+		}
+		if nhi-nlo < 1e-6 {
+			// Degenerate interval: widen slightly around the best.
+			span := (st.hi[j] - st.lo[j]) * 0.05
+			nlo = math.Max(0, st.roundBest[j]-span)
+			nhi = math.Min(1, st.roundBest[j]+span)
+		}
+		st.lo[j], st.hi[j] = nlo, nhi
+	}
 }

@@ -2,10 +2,12 @@ package tuners
 
 import (
 	"math"
+	"math/rand/v2"
 	"sort"
 
 	"repro/internal/conf"
 	"repro/internal/sample"
+	"repro/internal/sparksim"
 )
 
 // Gunther reimplements the genetic search of "Gunther: Search-Based
@@ -46,9 +48,17 @@ func (g Gunther) Tune(obj Objective, space *conf.Space, budget int, seed uint64)
 	return g.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
 }
 
-// Run implements SessionTuner.
+// Run implements SessionTuner by driving the stepper.
 func (g Gunther) Run(s *Session) Result {
-	space, budget := s.Space(), s.Budget()
+	return Drive(g.Stepper(s.Space(), s.Budget(), s.Seed()), s)
+}
+
+// Stepper returns the ask/tell form of Gunther. Each generation
+// (and the random initialization pool) is proposed as one wave; the
+// next generation's parents are drawn only after the whole wave has
+// been observed. All random draws for a wave happen before any of its
+// evaluations, so the rng sequence is identical to the blocking loop.
+func (g Gunther) Stepper(space *conf.Space, budget int, seed uint64) Stepper {
 	if g.PopSize <= 0 {
 		g.PopSize = 16
 	}
@@ -61,88 +71,188 @@ func (g Gunther) Run(s *Session) Result {
 	if g.Elite <= 0 {
 		g.Elite = 2
 	}
-	rng := sample.NewRNG(s.Seed())
-	d := space.Dim()
-
-	evaluate := func(genes []float64) individual {
-		c := space.Decode(genes)
-		rec := s.Evaluate(c)
-		fit := rec.Seconds
-		return individual{genes: genes, fitness: fit, valid: rec.Completed}
+	st := &guntherStepper{
+		cfg:    g,
+		space:  space,
+		rng:    sample.NewRNG(seed),
+		d:      space.Dim(),
+		budget: budget,
+		slot:   make(map[int]int),
 	}
+	st.startInit()
+	return st
+}
 
-	// Random initialization: 2 configurations per tuned parameter
-	// (faithful to the original; on the 44-parameter Spark space with
-	// the paper's budget of 100 this consumes 88 evaluations — §5.2's
-	// "significant portion of the allocated budget"), leaving at
-	// least one generation of evolution when the budget allows.
-	initN := 2 * d
-	if maxInit := budget - g.PopSize; initN > maxInit {
+type guntherStepper struct {
+	Protocol
+	cfg    Gunther
+	space  *conf.Space
+	rng    *rand.Rand
+	d      int
+	budget int
+	used   int
+	done   bool
+
+	initPhase bool
+	pop       []individual
+	elites    []individual
+
+	// Current wave state.
+	queue   [][]float64  // genes pending evaluation, in creation order
+	results []individual // slot per queue index, filled at observe
+	next    int          // next queue index to propose
+	seen    int          // observations received this wave
+	slot    map[int]int  // proposal sequence → queue index
+}
+
+func (st *guntherStepper) Done() bool { return st.done }
+
+// startInit builds the random initialization pool: 2 configurations
+// per tuned parameter (faithful to the original; on the 44-parameter
+// Spark space with the paper's budget of 100 this consumes 88
+// evaluations — §5.2's "significant portion of the allocated
+// budget"), leaving at least one generation of evolution when the
+// budget allows.
+func (st *guntherStepper) startInit() {
+	st.initPhase = true
+	initN := 2 * st.d
+	if maxInit := st.budget - st.cfg.PopSize; initN > maxInit {
 		initN = maxInit
 	}
-	if initN < g.PopSize {
-		initN = g.PopSize
+	if initN < st.cfg.PopSize {
+		initN = st.cfg.PopSize
 	}
-	if initN > budget {
-		initN = budget
+	if initN > st.budget {
+		initN = st.budget
 	}
-	pool := make([]individual, 0, initN)
-	for i := 0; i < initN && !s.Done(); i++ {
-		genes := make([]float64, d)
+	if initN <= 0 {
+		st.done = true
+		return
+	}
+	queue := make([][]float64, initN)
+	for i := range queue {
+		genes := make([]float64, st.d)
 		for j := range genes {
-			genes[j] = rng.Float64()
+			genes[j] = st.rng.Float64()
 		}
-		pool = append(pool, evaluate(genes))
+		queue[i] = genes
 	}
-	used := len(pool)
+	st.used = initN
+	st.startWave(queue)
+}
 
-	// Aggressive selection: the best PopSize of the random pool seed
-	// the population.
-	sort.SliceStable(pool, func(a, b int) bool { return pool[a].fitness < pool[b].fitness })
-	pop := pool
-	if len(pop) > g.PopSize {
-		pop = pop[:g.PopSize]
-	}
-	if len(pop) == 0 { // cancelled before anything ran
-		return s.Result()
-	}
+func (st *guntherStepper) startWave(queue [][]float64) {
+	st.queue = queue
+	st.results = make([]individual, len(queue))
+	st.next = 0
+	st.seen = 0
+}
 
-	tournament := func() individual {
-		best := pop[rng.IntN(len(pop))]
-		for k := 0; k < 2; k++ {
-			c := pop[rng.IntN(len(pop))]
-			if c.fitness < best.fitness {
-				best = c
+func (st *guntherStepper) tournament() individual {
+	best := st.pop[st.rng.IntN(len(st.pop))]
+	for k := 0; k < 2; k++ {
+		c := st.pop[st.rng.IntN(len(st.pop))]
+		if c.fitness < best.fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// startGeneration draws the whole next generation — elites copied
+// unchanged plus tournament-selected, crossed-over and mutated
+// children — and reserves its budget up front.
+func (st *guntherStepper) startGeneration() {
+	st.initPhase = false
+	st.elites = st.elites[:0]
+	for i := 0; i < st.cfg.Elite && i < len(st.pop); i++ {
+		st.elites = append(st.elites, st.pop[i])
+	}
+	k := st.cfg.PopSize - len(st.elites)
+	if left := st.budget - st.used; k > left {
+		k = left
+	}
+	if k <= 0 {
+		st.done = true
+		return
+	}
+	queue := make([][]float64, k)
+	for i := range queue {
+		p1, p2 := st.tournament(), st.tournament()
+		child := make([]float64, st.d)
+		for j := 0; j < st.d; j++ {
+			if st.rng.Float64() < 0.5 {
+				child[j] = p1.genes[j]
+			} else {
+				child[j] = p2.genes[j]
+			}
+			if st.rng.Float64() < st.cfg.MutationRate {
+				child[j] += st.rng.NormFloat64() * st.cfg.MutationSigma
+				child[j] = math.Min(math.Nextafter(1, 0), math.Max(0, child[j]))
 			}
 		}
-		return best
+		queue[i] = child
 	}
+	st.used += k
+	st.startWave(queue)
+}
 
-	for used < budget && !s.Done() {
-		next := make([]individual, 0, g.PopSize)
-		// Elitism.
-		for i := 0; i < g.Elite && i < len(pop); i++ {
-			next = append(next, pop[i])
+func (st *guntherStepper) Propose(n int) []Proposal {
+	st.CheckPropose(st.done)
+	if st.next >= len(st.queue) {
+		return nil // waiting for the wave's outstanding observations
+	}
+	k := len(st.queue) - st.next
+	if n > 0 && n < k {
+		k = n
+	}
+	props := make([]Proposal, k)
+	for i := 0; i < k; i++ {
+		props[i] = Proposal{Config: st.space.Decode(st.queue[st.next+i])}
+	}
+	first := st.Proposed(props)
+	for i := 0; i < k; i++ {
+		st.slot[first+i] = st.next + i
+	}
+	st.next += k
+	return props
+}
+
+func (st *guntherStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+	seq := st.Observed(c)
+	idx := st.slot[seq]
+	delete(st.slot, seq)
+	fit := rec.Seconds
+	if rec.Skipped {
+		fit = math.Inf(1)
+	}
+	st.results[idx] = individual{genes: st.queue[idx], fitness: fit, valid: rec.Completed}
+	st.seen++
+	if st.seen == len(st.queue) && st.next >= len(st.queue) {
+		st.endWave()
+	}
+}
+
+func (st *guntherStepper) endWave() {
+	if st.initPhase {
+		// Aggressive selection: the best PopSize of the random pool
+		// seed the population.
+		pool := append([]individual(nil), st.results...)
+		sort.SliceStable(pool, func(a, b int) bool { return pool[a].fitness < pool[b].fitness })
+		if len(pool) > st.cfg.PopSize {
+			pool = pool[:st.cfg.PopSize]
 		}
-		for len(next) < g.PopSize && used < budget && !s.Done() {
-			p1, p2 := tournament(), tournament()
-			child := make([]float64, d)
-			for j := 0; j < d; j++ {
-				if rng.Float64() < 0.5 {
-					child[j] = p1.genes[j]
-				} else {
-					child[j] = p2.genes[j]
-				}
-				if rng.Float64() < g.MutationRate {
-					child[j] += rng.NormFloat64() * g.MutationSigma
-					child[j] = math.Min(math.Nextafter(1, 0), math.Max(0, child[j]))
-				}
-			}
-			next = append(next, evaluate(child))
-			used++
-		}
+		st.pop = pool
+	} else {
+		next := make([]individual, 0, st.cfg.PopSize)
+		next = append(next, st.elites...)
+		next = append(next, st.results...)
 		sort.SliceStable(next, func(a, b int) bool { return next[a].fitness < next[b].fitness })
-		pop = next
+		st.pop = next
 	}
-	return s.Result()
+	if st.used >= st.budget || len(st.pop) == 0 {
+		st.done = true
+		return
+	}
+	st.startGeneration()
 }

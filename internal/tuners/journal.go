@@ -36,11 +36,8 @@ func (s FailureStats) Counts() journal.FailureCounts {
 	}
 }
 
-// countsFrom converts the session ledger to the journal's mirror.
-func countsFrom(s FailureStats) journal.FailureCounts { return s.Counts() }
-
-// statsFrom is the inverse of countsFrom, used during replay to
-// restore the ledger to its post-trial state.
+// statsFrom is the inverse of Counts, used during replay to restore
+// the ledger to its post-trial state.
 func statsFrom(c journal.FailureCounts) FailureStats {
 	return FailureStats{
 		Failed:         c.Failed,
@@ -133,59 +130,6 @@ func (s *Session) journalAppend(c conf.Config, rec sparksim.EvalRecord, objEvals
 		Transient:  rec.Transient,
 		ObjEvals:   objEvals,
 		ObjCost:    objCost,
-		Stats:      countsFrom(s.stats),
+		Stats:      s.stats.Counts(),
 	})
-}
-
-// FastForward consumes n pending replay records at once without
-// re-deriving them — the selection fast-skip path, used when a
-// snapshot already carries the selection outcome so resume need not
-// re-train the forest. Each record's observation enters the
-// trace/incumbent, and the objective stream position and failure
-// ledger are restored from the last record. It fails without
-// consuming anything when fewer than n records are pending.
-func (s *Session) FastForward(n int) ([]journal.EvalEntry, error) {
-	j := s.req.Journal
-	if j == nil {
-		return nil, fmt.Errorf("tuners: FastForward without a journal")
-	}
-	entries, err := j.SkipReplay(n)
-	if err != nil {
-		return nil, err
-	}
-	for _, e := range entries {
-		c, err := s.space.FromRaw(e.Config)
-		if err != nil {
-			continue
-		}
-		s.tr.observe(c, sparksim.EvalRecord{
-			Config:     c,
-			Seconds:    e.Seconds,
-			Raw:        e.Raw,
-			Completed:  e.Completed,
-			OOM:        e.OOM,
-			Infeasible: e.Infeasible,
-			Transient:  e.Transient,
-		})
-	}
-	if len(entries) > 0 {
-		last := entries[len(entries)-1]
-		if sr, ok := s.obj.(StreamRestorer); ok {
-			sr.RestoreStream(last.ObjEvals, last.ObjCost)
-		}
-		s.stats = statsFrom(last.Stats)
-	}
-	return entries, nil
-}
-
-// Journal returns the session's journal, or nil.
-func (s *Session) Journal() *journal.Journal { return s.req.Journal }
-
-// SetPhase stamps the campaign phase on subsequently journaled
-// evaluations (and validates it during replay). No-op without a
-// journal.
-func (s *Session) SetPhase(phase string) {
-	if j := s.req.Journal; j != nil {
-		j.SetPhase(phase)
-	}
 }

@@ -1,8 +1,11 @@
 package tuners
 
 import (
+	"math/rand/v2"
+
 	"repro/internal/conf"
 	"repro/internal/sample"
+	"repro/internal/sparksim"
 )
 
 // RandomSearch explores parameter ranges uniformly at random
@@ -20,16 +23,47 @@ func (t RandomSearch) Tune(obj Objective, space *conf.Space, budget int, seed ui
 	return t.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
 }
 
-// Run implements SessionTuner.
-func (RandomSearch) Run(s *Session) Result {
-	space := s.Space()
-	rng := sample.NewRNG(s.Seed())
-	u := make([]float64, space.Dim())
-	for i := 0; i < s.Budget() && !s.Done(); i++ {
-		for j := range u {
-			u[j] = rng.Float64()
-		}
-		s.Evaluate(space.Decode(u))
+// Run implements SessionTuner by driving the stepper.
+func (t RandomSearch) Run(s *Session) Result {
+	return Drive(t.Stepper(s.Space(), s.Budget(), s.Seed()), s)
+}
+
+// Stepper returns the ask/tell form of random search.
+func (RandomSearch) Stepper(space *conf.Space, budget int, seed uint64) Stepper {
+	return &randomSearchStepper{
+		space: space,
+		rng:   sample.NewRNG(seed),
+		left:  budget,
 	}
-	return s.Result()
+}
+
+type randomSearchStepper struct {
+	Protocol
+	space *conf.Space
+	rng   *rand.Rand
+	left  int
+}
+
+func (st *randomSearchStepper) Done() bool { return st.left <= 0 }
+
+func (st *randomSearchStepper) Propose(n int) []Proposal {
+	st.CheckPropose(st.Done())
+	if n <= 0 || n > st.left {
+		n = st.left
+	}
+	props := make([]Proposal, n)
+	u := make([]float64, st.space.Dim())
+	for i := range props {
+		for j := range u {
+			u[j] = st.rng.Float64()
+		}
+		props[i] = Proposal{Config: st.space.Decode(u)}
+	}
+	st.left -= n
+	st.Proposed(props)
+	return props
+}
+
+func (st *randomSearchStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+	st.Observed(c)
 }

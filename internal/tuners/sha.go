@@ -2,6 +2,7 @@ package tuners
 
 import (
 	"math"
+	"math/rand/v2"
 	"sort"
 
 	"repro/internal/conf"
@@ -40,10 +41,24 @@ func (s SuccessiveHalving) Tune(obj Objective, space *conf.Space, budget int, se
 	return s.Run(NewSession(obj, space, Request{Budget: budget, Seed: seed}))
 }
 
-// Run implements SessionTuner. The rung caps ride on the session's
-// guard capability, so the request deadline tightens them further.
+// Run implements SessionTuner by driving the stepper. The rung caps
+// ride on the session's guard capability, so the request deadline
+// tightens them further.
 func (s SuccessiveHalving) Run(ses *Session) Result {
-	space, budget := ses.Space(), ses.Budget()
+	return Drive(s.Stepper(ses.Space(), ses.Budget(), ses.Seed()), ses)
+}
+
+type shaEntry struct {
+	c   conf.Config
+	sec float64
+}
+
+// Stepper returns the ask/tell form of successive halving. Each rung
+// is proposed as one wave (every proposal carrying the rung's cap);
+// promotion runs once the whole rung has been observed. Leftover
+// budget after the final rung is spent on jittered copies of the best
+// survivor, proposed on demand.
+func (s SuccessiveHalving) Stepper(space *conf.Space, budget int, seed uint64) Stepper {
 	if s.Eta < 2 {
 		s.Eta = 3
 	}
@@ -53,11 +68,7 @@ func (s SuccessiveHalving) Run(ses *Session) Result {
 	if s.MaxCap <= s.MinCap {
 		s.MaxCap = 480
 	}
-	rng := sample.NewRNG(ses.Seed())
-
-	evalAt := func(c conf.Config, cap float64) sparksim.EvalRecord {
-		return ses.EvaluateWithCap(c, cap)
-	}
+	rng := sample.NewRNG(seed)
 
 	// Rounds: caps MinCap, MinCap*Eta, ... up to MaxCap.
 	rounds := 1
@@ -76,56 +87,139 @@ func (s SuccessiveHalving) Run(ses *Session) Result {
 		cohort = 1
 	}
 
-	type entry struct {
-		c   conf.Config
-		sec float64
+	st := &shaStepper{
+		cfg:       s,
+		space:     space,
+		rng:       rng,
+		rounds:    rounds,
+		remaining: budget,
+		cap:       s.MinCap,
+		slot:      make(map[int]int),
 	}
-	var survivors []entry
 	for _, u := range sample.LHS(cohort, space.Dim(), rng) {
-		survivors = append(survivors, entry{c: space.Decode(u)})
+		st.survivors = append(st.survivors, shaEntry{c: space.Decode(u)})
 	}
+	st.startRound()
+	return st
+}
 
-	remaining := budget
-	cap := s.MinCap
-	for r := 0; r < rounds && remaining > 0 && len(survivors) > 0 && !ses.Done(); r++ {
-		if r == rounds-1 {
-			cap = s.MaxCap
-		}
-		evaluated := survivors[:0]
-		for _, e := range survivors {
-			if remaining <= 0 || ses.Done() {
-				break
-			}
-			remaining--
-			rec := evalAt(e.c, cap)
-			// Runs killed by the tight cap carry their consumed time
-			// as the ranking key (they are at least that slow).
-			sec := rec.Seconds
-			if !rec.Completed {
-				sec = math.Max(rec.Raw, cap)
-			}
-			evaluated = append(evaluated, entry{c: e.c, sec: sec})
-		}
-		sort.SliceStable(evaluated, func(a, b int) bool { return evaluated[a].sec < evaluated[b].sec })
-		keep := len(evaluated) / s.Eta
-		if keep < 1 {
-			keep = 1
-		}
-		survivors = append([]entry(nil), evaluated[:keep]...)
-		cap = math.Min(cap*float64(s.Eta), s.MaxCap)
-	}
+type shaStepper struct {
+	Protocol
+	cfg       SuccessiveHalving
+	space     *conf.Space
+	rng       *rand.Rand
+	rounds    int
+	r         int
+	remaining int
+	cap       float64
+	survivors []shaEntry
+	jitter    bool
 
-	// Spend any leftover budget re-evaluating the incumbent region:
-	// jittered copies of the best survivor.
-	for remaining > 0 && len(survivors) > 0 && !ses.Done() {
-		remaining--
-		u := space.Encode(survivors[0].c)
-		for j := range u {
-			u[j] = clampUnit(u[j] + 0.03*rng.NormFloat64())
+	// Current rung state.
+	queue    []shaEntry // entries pending evaluation this rung
+	roundCap float64
+	next     int
+	seen     int
+	slot     map[int]int // proposal sequence → rung entry index
+}
+
+func (st *shaStepper) Done() bool { return st.jitter && st.remaining <= 0 }
+
+// startRound reserves the rung's budget and queues its survivors, or
+// switches to the jitter phase when the rung schedule is exhausted.
+func (st *shaStepper) startRound() {
+	if st.r >= st.rounds || st.remaining <= 0 || len(st.survivors) == 0 {
+		st.jitter = true
+		if len(st.survivors) == 0 {
+			st.remaining = 0
 		}
-		evalAt(space.Decode(u), s.MaxCap)
+		return
 	}
-	return ses.Result()
+	st.roundCap = st.cap
+	if st.r == st.rounds-1 {
+		st.roundCap = st.cfg.MaxCap
+	}
+	k := len(st.survivors)
+	if k > st.remaining {
+		k = st.remaining
+	}
+	st.remaining -= k
+	st.queue = append([]shaEntry(nil), st.survivors[:k]...)
+	st.next = 0
+	st.seen = 0
+}
+
+func (st *shaStepper) Propose(n int) []Proposal {
+	st.CheckPropose(st.Done())
+	if st.jitter {
+		k := st.remaining
+		if n > 0 && n < k {
+			k = n
+		}
+		props := make([]Proposal, k)
+		for i := 0; i < k; i++ {
+			// Jittered copy of the best survivor under the full cap.
+			u := st.space.Encode(st.survivors[0].c)
+			for j := range u {
+				u[j] = clampUnit(u[j] + 0.03*st.rng.NormFloat64())
+			}
+			props[i] = Proposal{Config: st.space.Decode(u), Cap: st.cfg.MaxCap}
+		}
+		st.remaining -= k
+		st.Proposed(props)
+		return props
+	}
+	if st.next >= len(st.queue) {
+		return nil // waiting for the rung's outstanding observations
+	}
+	k := len(st.queue) - st.next
+	if n > 0 && n < k {
+		k = n
+	}
+	props := make([]Proposal, k)
+	for i := 0; i < k; i++ {
+		props[i] = Proposal{Config: st.queue[st.next+i].c, Cap: st.roundCap}
+	}
+	first := st.Proposed(props)
+	for i := 0; i < k; i++ {
+		st.slot[first+i] = st.next + i
+	}
+	st.next += k
+	return props
+}
+
+func (st *shaStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+	seq := st.Observed(c)
+	if st.jitter {
+		return // jitter evaluations only feed the session incumbent
+	}
+	idx := st.slot[seq]
+	delete(st.slot, seq)
+	// Runs killed by the tight cap carry their consumed time as the
+	// ranking key (they are at least that slow).
+	sec := rec.Seconds
+	if !rec.Completed {
+		sec = math.Max(rec.Raw, st.roundCap)
+	}
+	st.queue[idx].sec = sec
+	st.seen++
+	if st.seen == len(st.queue) && st.next >= len(st.queue) {
+		st.endRound()
+	}
+}
+
+// endRound promotes the fastest 1/Eta of the rung and loosens the cap.
+func (st *shaStepper) endRound() {
+	evaluated := append([]shaEntry(nil), st.queue...)
+	sort.SliceStable(evaluated, func(a, b int) bool { return evaluated[a].sec < evaluated[b].sec })
+	keep := len(evaluated) / st.cfg.Eta
+	if keep < 1 {
+		keep = 1
+	}
+	st.survivors = evaluated[:keep]
+	st.cap = math.Min(st.cap*float64(st.cfg.Eta), st.cfg.MaxCap)
+	st.r++
+	st.startRound()
 }
 
 func clampUnit(v float64) float64 {

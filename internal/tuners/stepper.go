@@ -1,0 +1,199 @@
+package tuners
+
+import (
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/journal"
+	"repro/internal/sparksim"
+)
+
+// Proposal is one trial a stepper asks its driver to run: the
+// configuration plus the stopping cap the tuner chose for it (0 means
+// no tuner-side cap; a session deadline still applies when the driver
+// is a Session).
+type Proposal struct {
+	Config conf.Config
+	Cap    float64
+}
+
+// Stepper is the inverted (ask/tell) tuner protocol: instead of a
+// blocking loop that calls the objective, a stepper emits the trials
+// it wants evaluated and is fed the outcomes. Every tuner in this
+// repository is implemented as a stepper; Drive runs one under a
+// Session (the in-process driver), and external systems can drive one
+// directly against a real cluster without any Objective at all.
+//
+// Protocol:
+//
+//   - Propose(n) returns up to n trials to evaluate next (n <= 0
+//     means "as many as the stepper can usefully emit"). An empty
+//     return with no outstanding observations means the stepper has
+//     nothing further; an empty return *with* outstanding
+//     observations means it is waiting for them (sequential phases
+//     propose one trial at a time).
+//   - Observe(c, rec) feeds back the outcome of a proposed trial.
+//     Observations of distinct trials may arrive in any order, but
+//     every observation must match a pending proposal: observing a
+//     configuration that was never proposed (or already observed)
+//     panics rather than corrupting tuner state.
+//   - Done() reports that the stepper will never propose again.
+//     Calling Propose after Done panics.
+type Stepper interface {
+	Propose(n int) []Proposal
+	Observe(c conf.Config, rec sparksim.EvalRecord)
+	Done() bool
+}
+
+// Batcher is the optional stepper capability for concurrent
+// evaluation: EvalParallel returns the worker count the driver should
+// use when a multi-trial proposal batch has no per-trial caps.
+type Batcher interface {
+	EvalParallel() int
+}
+
+// Finisher is the optional stepper capability for end-of-session
+// bookkeeping (ROBOTune's memoization and final snapshot): Drive
+// calls Finish exactly once, after the propose/observe loop ends —
+// whether the stepper completed or the session was cancelled.
+type Finisher interface {
+	Finish(s *Session)
+}
+
+// ResultMaker is the optional stepper capability for tuners whose
+// Result carries more than the session's generic view (ROBOTune's
+// selection accounting and trace). Without it, Drive returns
+// s.Result().
+type ResultMaker interface {
+	SessionResult(s *Session) Result
+}
+
+// Protocol is the embeddable bookkeeping that makes a stepper fail
+// loudly on misuse instead of corrupting state: it tracks proposed
+// trials in flight and matches every observation back to the earliest
+// pending proposal of that configuration.
+type Protocol struct {
+	pending []pendingTrial
+	next    int
+}
+
+type pendingTrial struct {
+	seq int
+	cfg map[string]float64
+}
+
+// CheckPropose panics when Propose is called on a finished stepper —
+// each stepper calls it at the top of Propose with its own Done().
+func (p *Protocol) CheckPropose(done bool) {
+	if done {
+		panic("tuners: Propose called after Done")
+	}
+}
+
+// Proposed registers a batch of outgoing proposals and returns the
+// sequence number assigned to the first (the rest follow
+// consecutively).
+func (p *Protocol) Proposed(ps []Proposal) int {
+	first := p.next
+	for _, pr := range ps {
+		p.pending = append(p.pending, pendingTrial{seq: p.next, cfg: pr.Config.ToMap()})
+		p.next++
+	}
+	return first
+}
+
+// Observed consumes the earliest pending proposal matching c and
+// returns its sequence number. It panics when no pending proposal
+// matches — an Observe without a Propose, or a double Observe of the
+// same trial.
+func (p *Protocol) Observed(c conf.Config) int {
+	for i, pt := range p.pending {
+		if sameConfig(pt.cfg, c) {
+			seq := pt.seq
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			return seq
+		}
+	}
+	panic(fmt.Sprintf("tuners: Observe without a matching Propose (or double Observe): %v", c.ToMap()))
+}
+
+// Outstanding returns the number of proposed-but-unobserved trials.
+func (p *Protocol) Outstanding() int { return len(p.pending) }
+
+// Drive runs a stepper to completion under a session — the single
+// driver loop that owns evaluation, retries, deadlines, cancellation,
+// journal commit and replay substitution for every tuner. Proposal
+// batches with no per-trial caps go through the session's concurrent
+// batch path when the stepper asks for parallelism; everything else
+// is evaluated sequentially with a cancellation check per trial.
+func Drive(st Stepper, s *Session) Result {
+	for !s.Done() && !st.Done() {
+		props := st.Propose(0)
+		if len(props) == 0 {
+			break
+		}
+		par := 1
+		if b, ok := st.(Batcher); ok {
+			par = b.EvalParallel()
+		}
+		if par > 1 && len(props) > 1 && capsZero(props) {
+			cfgs := make([]conf.Config, len(props))
+			for i, p := range props {
+				cfgs[i] = p.Config
+			}
+			for i, rec := range s.EvaluateBatch(cfgs, par) {
+				st.Observe(cfgs[i], rec)
+			}
+			continue
+		}
+		for _, p := range props {
+			if s.Done() {
+				break
+			}
+			st.Observe(p.Config, s.EvaluateWithCap(p.Config, p.Cap))
+		}
+	}
+	if f, ok := st.(Finisher); ok {
+		f.Finish(s)
+	}
+	res := s.Result()
+	if rm, ok := st.(ResultMaker); ok {
+		res = rm.SessionResult(s)
+	}
+	appendDone(s.Journal(), res)
+	return res
+}
+
+func capsZero(props []Proposal) bool {
+	for _, p := range props {
+		if p.Cap != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendDone records the session outcome in the journal. A cancelled
+// session deliberately leaves no done marker so its journal stays
+// resumable; a finished one records its result, and replaying the
+// whole journal reproduces it without spending a single new
+// evaluation.
+func appendDone(jn *journal.Journal, res Result) {
+	if jn == nil || res.Cancelled {
+		return
+	}
+	done := journal.DoneEntry{
+		Found:          res.Found,
+		Evals:          res.Evals,
+		SearchCost:     res.SearchCost,
+		SelectionEvals: res.SelectionEvals,
+		SelectionCost:  res.SelectionCost,
+	}
+	if res.Found {
+		// BestSeconds is +Inf when nothing completed, which JSON cannot
+		// encode; record it only for a found result.
+		done.Best = res.Best.ToMap()
+		done.BestSeconds = res.BestSeconds
+	}
+	_ = jn.AppendDone(done)
+}

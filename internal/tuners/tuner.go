@@ -40,9 +40,17 @@ type Result struct {
 	// SearchCost is the total simulated seconds spent evaluating.
 	SearchCost float64
 	// Trace holds the observed objective value of every evaluation in
-	// order (capped values for failures), for search-speed analysis
-	// (Figure 6, Table 2).
+	// order, for search-speed analysis (Figure 6, Table 2). It
+	// includes capped and failed observations — a trial stopped by the
+	// guard or deadline contributes its capped duration, an OOM or
+	// infeasible run its charged time — so the trace is the session's
+	// full spend, not just its successes. Use Completed to tell them
+	// apart.
 	Trace []float64
+	// Completed parallels Trace: Completed[i] is true when the i-th
+	// observation finished (its Trace value is a measurement), false
+	// when it was capped or failed (its Trace value is a floor).
+	Completed []bool
 	// SelectedParams lists the high-impact parameters tuned, when the
 	// tuner performs parameter selection (ROBOTune); nil otherwise.
 	SelectedParams []string
@@ -74,16 +82,18 @@ type Tuner interface {
 
 // tracker accumulates the incumbent across evaluations.
 type tracker struct {
-	best    conf.Config
-	bestSec float64
-	found   bool
-	trace   []float64
+	best      conf.Config
+	bestSec   float64
+	found     bool
+	trace     []float64
+	completed []bool
 }
 
 func newTracker() *tracker { return &tracker{bestSec: math.Inf(1)} }
 
 func (t *tracker) observe(c conf.Config, rec sparksim.EvalRecord) {
 	t.trace = append(t.trace, rec.Seconds)
+	t.completed = append(t.completed, rec.Completed)
 	if rec.Completed && rec.Seconds < t.bestSec {
 		t.best = c
 		t.bestSec = rec.Seconds
@@ -99,5 +109,6 @@ func (t *tracker) result(obj Objective) Result {
 		Evals:       obj.Evals(),
 		SearchCost:  obj.SearchCost(),
 		Trace:       append([]float64(nil), t.trace...),
+		Completed:   append([]bool(nil), t.completed...),
 	}
 }
