@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race bench bench-gp benchstat fuzz fuzz-journal fault-stress crash-stress
+.PHONY: build test lint race bench bench-gp benchstat fuzz fuzz-journal fuzz-server fault-stress crash-stress load-test
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,7 @@ fault-stress:
 # adds the real-process half.
 crash-stress:
 	ROBOTUNE_CRASH_STRESS=1 $(GO) test -run 'TestKillResumeStress' -v -count 1 -timeout 600s ./internal/core
+	ROBOTUNE_CRASH_STRESS=1 $(GO) test -run 'TestWireKillResume' -v -count 1 -timeout 600s ./internal/server
 	$(GO) test -run 'Resume|Journal|Truncate|BitFlip|Snapshot' -count 1 ./internal/journal ./internal/core ./internal/tuners
 
 # Seed-splitting fuzz target: distinct worker streams must never alias.
@@ -72,3 +73,16 @@ fuzz:
 fuzz-journal:
 	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 30s ./internal/journal
 	$(GO) test -run '^$$' -fuzz FuzzSnapshot -fuzztime 30s ./internal/journal
+
+# Protocol fuzzing against robotuned: hostile session specs and observe
+# bodies must 4xx cleanly — never panic, never corrupt a session.
+fuzz-server:
+	$(GO) test -run '^$$' -fuzz FuzzSessionSpec -fuzztime 30s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzObserveBody -fuzztime 30s ./internal/server
+
+# robotuned throughput acceptance run: concurrent journaled sessions
+# over direct handler dispatch and real loopback TCP. The in-process
+# number must clear 10,000 propose/observe round trips per second;
+# results land in BENCH_robotuned.json.
+load-test:
+	ROBOTUNE_LOADTEST=1 $(GO) test -run 'TestLoadFull' -v -count 1 -timeout 300s ./internal/server/loadtest

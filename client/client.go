@@ -1,0 +1,220 @@
+// Package client is the thin Go client for robotuned, the networked
+// ask/tell tuning service. It mirrors the in-process stepper shape —
+// Propose returns trials, Observe reports outcomes — over HTTP, so a
+// driver loop written against a local tuners.Stepper ports to a live
+// server by swapping the two calls.
+//
+//	cl := client.New("http://127.0.0.1:7077")
+//	sess, err := cl.Create(client.SessionSpec{
+//	    Tuner:  "robotune",
+//	    Space:  json.RawMessage(`"spark"`),
+//	    Budget: 100,
+//	    Seed:   7,
+//	})
+//	for {
+//	    props, done, err := sess.Propose(0)
+//	    if len(props) == 0 && done { break }
+//	    for _, p := range props {
+//	        rec := runOnCluster(p.Config, p.Cap)
+//	        sess.Observe(client.Observation{Config: p.Config, Seconds: rec.Seconds, Completed: true})
+//	    }
+//	}
+//	res, err := sess.Finish()
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// Wire types are shared with the server package so the two cannot
+// drift; the aliases keep client code free of the internal import.
+type (
+	SessionSpec     = server.SessionSpec
+	SpecOptions     = server.SpecOptions
+	Proposal        = server.WireProposal
+	Observation     = server.Observation
+	ObserveResponse = server.ObserveResponse
+	StatusResponse  = server.StatusResponse
+	ResultResponse  = server.ResultResponse
+)
+
+// APIError is a non-2xx server response, decoded from the uniform
+// error envelope.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // machine-readable class: bad_request, conflict, throttled, ...
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("robotuned: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// IsConflict reports a 409: the observation did not match a pending
+// proposal. After a reconnect this usually means the server already
+// has the observation (it was journaled before the crash) — drivers
+// treat it as already-applied.
+func IsConflict(err error) bool { return hasStatus(err, 409) }
+
+// IsThrottled reports a 429: per-tenant backpressure, retry later.
+func IsThrottled(err error) bool { return hasStatus(err, 429) }
+
+// IsNotFound reports a 404.
+func IsNotFound(err error) bool { return hasStatus(err, 404) }
+
+// IsFinished reports a 410: the session is sealed.
+func IsFinished(err error) bool { return hasStatus(err, 410) }
+
+func hasStatus(err error, status int) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == status
+}
+
+// Client talks to one robotuned server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7077".
+	BaseURL string
+	// Tenant is sent as X-Robotune-Tenant ("" = the default tenant).
+	Tenant string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// Create starts a session from spec and returns a handle to it.
+func (c *Client) Create(spec SessionSpec) (*Session, error) {
+	var st StatusResponse
+	if err := c.do("POST", "/v1/sessions", spec, &st); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: st.ID}, nil
+}
+
+// Attach returns a handle to an existing session (possibly created by
+// a previous process against the same journal directory), verifying
+// it exists.
+func (c *Client) Attach(id string) (*Session, error) {
+	s := &Session{c: c, ID: id}
+	if _, err := s.Status(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health() error {
+	return c.do("GET", "/healthz", nil, nil)
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Robotune-Tenant", c.Tenant)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, server.MaxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb server.ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error.Code != "" {
+			return &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+		}
+		return &APIError{Status: resp.StatusCode, Code: "http_error",
+			Message: fmt.Sprintf("%s %s: %s", method, path, bytes.TrimSpace(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Session is a handle to one server-side tuning session.
+type Session struct {
+	c  *Client
+	ID string
+}
+
+// Propose asks for up to n trials (n <= 0 = as many as the tuner can
+// usefully emit). done is true when the tuner will never propose
+// again; an empty non-done batch means the tuner is waiting for
+// outstanding observations.
+func (s *Session) Propose(n int) (props []Proposal, done bool, err error) {
+	var resp server.ProposeResponse
+	body := map[string]int{"n": n}
+	if err := s.c.do("POST", "/v1/sessions/"+s.ID+"/propose", body, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Proposals, resp.Done, nil
+}
+
+// Observe reports evaluated trials back. Each observation's Config
+// must exactly match a proposal from Propose.
+func (s *Session) Observe(obs ...Observation) (ObserveResponse, error) {
+	var resp ObserveResponse
+	body := map[string]any{"observations": obs}
+	err := s.c.do("POST", "/v1/sessions/"+s.ID+"/observe", body, &resp)
+	return resp, err
+}
+
+// Skip abandons a proposed trial without running it; the tuner moves
+// on and no evaluation is charged.
+func (s *Session) Skip(config map[string]float64) (ObserveResponse, error) {
+	return s.Observe(Observation{Config: config, Skipped: true})
+}
+
+// Status fetches the session's current state (a bounded trace tail).
+func (s *Session) Status() (StatusResponse, error) {
+	var st StatusResponse
+	err := s.c.do("GET", "/v1/sessions/"+s.ID, nil, &st)
+	return st, err
+}
+
+// FullStatus fetches the state with the complete trace.
+func (s *Session) FullStatus() (StatusResponse, error) {
+	var st StatusResponse
+	err := s.c.do("GET", "/v1/sessions/"+s.ID+"?trace=all", nil, &st)
+	return st, err
+}
+
+// Finish seals the session (even mid-campaign) and returns its
+// result. The journal on disk stays readable afterwards.
+func (s *Session) Finish() (ResultResponse, error) {
+	var res ResultResponse
+	err := s.c.do("DELETE", "/v1/sessions/"+s.ID, nil, &res)
+	return res, err
+}

@@ -6,19 +6,44 @@
 // interface: the measurements are hand-built EvalRecords.
 //
 //	go run ./examples/asktell
+//
+// With -server, the same loop runs against a live robotuned daemon
+// instead of an in-process stepper: the tuner lives in the server,
+// every observation is journaled there, and this process is just the
+// cluster-side driver. Start one with
+//
+//	go run ./cmd/robotuned -addr 127.0.0.1:7077 -journal-dir /tmp/robotuned
+//	go run ./examples/asktell -server http://127.0.0.1:7077
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 
+	"repro/client"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/sparksim"
 )
 
 func main() {
+	serverURL := flag.String("server", "", "robotuned base URL (empty = drive an in-process stepper)")
+	flag.Parse()
+
 	space := conf.SparkSpace()
+	// Our stand-in cluster: the simulator, consulted directly. The
+	// tuner never sees it — swap in spark-submit, an ssh command, or
+	// an RPC to a benchmark harness.
+	cluster := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(50), 7, 480)
+	budget := 30
+
+	if *serverURL != "" {
+		runRemote(*serverURL, space, cluster, budget)
+		return
+	}
+
 	tuner := core.New(nil, core.Options{
 		// Reduced model sizes so the example runs in seconds.
 		GenericSamples: 40,
@@ -27,13 +52,7 @@ func main() {
 
 	// The external form: no Objective anywhere. The workload/dataset
 	// names key ROBOTune's memoization, exactly as in session mode.
-	budget := 30
 	stepper := tuner.Stepper(space, budget, 7, "TeraSort", "D1")
-
-	// Our stand-in cluster: the simulator, consulted directly. The
-	// tuner never sees it — swap in spark-submit, an ssh command, or
-	// an RPC to a benchmark harness.
-	cluster := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(50), 7, 480)
 	runs, cost := 0, 0.0
 
 	for !stepper.Done() {
@@ -77,4 +96,76 @@ func main() {
 	fmt.Printf("executor cores      = %d\n", res.Best.Int("spark.executor.cores"))
 	fmt.Printf("executor memory     = %d MB\n", res.Best.Int("spark.executor.memory"))
 	fmt.Printf("executor instances  = %d\n", res.Best.Int("spark.executor.instances"))
+}
+
+// runRemote is the same driver loop over the wire: the server owns the
+// tuner and the journal, we own the cluster.
+func runRemote(baseURL string, space *conf.Space, cluster *sparksim.Evaluator, budget int) {
+	cl := client.New(baseURL)
+	sess, err := cl.Create(client.SessionSpec{
+		Tuner:    "robotune",
+		Space:    json.RawMessage(`"spark"`),
+		Budget:   budget,
+		Seed:     7,
+		Workload: "TeraSort",
+		Dataset:  "D1",
+		Options:  client.SpecOptions{GenericSamples: 40, TuningSamples: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s on %s\n", sess.ID, baseURL)
+	runs, cost := 0, 0.0
+
+	for {
+		proposals, done, err := sess.Propose(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// done can ride along with a final batch; drain the proposals
+		// first and stop only on an empty response.
+		if len(proposals) == 0 {
+			if !done {
+				log.Fatal("tuner is waiting on observations we never made")
+			}
+			break
+		}
+		for _, p := range proposals {
+			// Proposals arrive as name → raw-value maps; the space turns
+			// them back into typed configurations for the cluster.
+			cfg, err := space.FromRaw(p.Config)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rec := cluster.EvaluateWithCap(cfg, p.Cap)
+			runs++
+			cost += rec.Raw
+			if _, err := sess.Observe(client.Observation{
+				Config:    p.Config,
+				Seconds:   rec.Seconds,
+				Raw:       rec.Raw,
+				Completed: rec.Completed,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	res, err := sess.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatal("no completing configuration found")
+	}
+	best, err := space.FromRaw(res.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best time over %d runs (%.0f s of cluster time): %.1f s\n",
+		runs, cost, res.BestSeconds)
+	fmt.Printf("selected parameters: %v\n", res.SelectedParams)
+	fmt.Printf("executor cores      = %d\n", best.Int("spark.executor.cores"))
+	fmt.Printf("executor memory     = %d MB\n", best.Int("spark.executor.memory"))
+	fmt.Printf("executor instances  = %d\n", best.Int("spark.executor.instances"))
 }

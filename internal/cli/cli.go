@@ -116,6 +116,37 @@ func BuildTuner(name string, store *memo.Store, workers int) (tuners.SessionTune
 	return nil, fmt.Errorf("unknown tuner %q (have ROBOTune, BestConfig, Gunther, RandomSearch, SuccessiveHalving, CMAES)", name)
 }
 
+// TunerKinds lists the canonical tuner names BuildTuner and
+// BuildStepper accept, for error messages and wire-spec validation.
+func TunerKinds() []string {
+	return []string{"robotune", "bestconfig", "gunther", "randomsearch", "successivehalving", "cmaes"}
+}
+
+// BuildStepper constructs the ask/tell (externally driven) form of a
+// tuner by name — the factory behind the robotuned wire server, where
+// every session is a stepper fed observations from remote clients.
+// opts only applies to ROBOTune; the baselines ignore it. Each call
+// builds an isolated tuner (ROBOTune gets a private memo store), so
+// two sessions never couple through shared selection caches — a
+// rehydrated session must re-derive exactly what the original did.
+func BuildStepper(name string, space *conf.Space, budget int, seed uint64, workload, dataset string, opts core.Options) (tuners.Stepper, error) {
+	switch strings.ToLower(name) {
+	case "robotune":
+		return core.New(nil, opts).Stepper(space, budget, seed, workload, dataset), nil
+	case "bestconfig":
+		return tuners.BestConfig{}.Stepper(space, budget, seed), nil
+	case "gunther":
+		return tuners.Gunther{}.Stepper(space, budget, seed), nil
+	case "randomsearch", "rs", "random":
+		return tuners.RandomSearch{}.Stepper(space, budget, seed), nil
+	case "successivehalving", "sha":
+		return tuners.SuccessiveHalving{}.Stepper(space, budget, seed), nil
+	case "cmaes", "cma-es":
+		return tuners.CMAES{}.Stepper(space, budget, seed), nil
+	}
+	return nil, fmt.Errorf("unknown tuner %q (have %s)", name, strings.Join(TunerKinds(), ", "))
+}
+
 // ParseFaultPlan parses a fault-injection spec of the form
 //
 //	execloss=0.1,straggler=0.08,stragglerfactor=3,transient=0.12,oom=0.04,seed=7

@@ -130,6 +130,13 @@ type EvalEntry struct {
 	OOM        bool    `json:"oom,omitempty"`
 	Infeasible bool    `json:"infeasible,omitempty"`
 	Transient  bool    `json:"transient,omitempty"`
+	// Skipped marks a trial whose evaluation was abandoned by the
+	// driver (a remote client dropping a proposal) rather than run: it
+	// advanced the tuner's protocol state but charged no evaluation.
+	// The in-process session never journals skipped trials; the
+	// robotuned wire server does, so a resumed session replays the
+	// abandonment instead of waiting forever for the lost observation.
+	Skipped bool `json:"skipped,omitempty"`
 	// ObjEvals and ObjCost are the objective's evaluation counter and
 	// accumulated search cost after this trial — the SplitMix64-derived
 	// noise and fault streams are indexed by the counter, so restoring

@@ -1,0 +1,223 @@
+// Package loadtest is the robotuned throughput harness: it stands up
+// a server, fans out concurrent driver sessions, and measures
+// propose/observe round trips per second over two transports — real
+// HTTP over loopback TCP (httptest), and direct handler dispatch
+// (httptest.ResponseRecorder, no sockets), which isolates the
+// service's own cost from kernel networking. `make load-test` runs it
+// and records the numbers in BENCH_robotuned.json.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Options sizes a load run.
+type Options struct {
+	// Sessions is the number of concurrent tuning sessions, each with
+	// a dedicated driver goroutine.
+	Sessions int
+	// Duration is how long the drivers hammer the server.
+	Duration time.Duration
+	// Transport is "tcp" (httptest server over loopback) or "direct"
+	// (handler dispatch, no sockets).
+	Transport string
+	// Journal enables a journal directory with sync "none" (the
+	// realistic service configuration); without it sessions are
+	// ephemeral.
+	JournalDir string
+}
+
+// Report is one transport's measured throughput.
+type Report struct {
+	Transport  string  `json:"transport"`
+	Sessions   int     `json:"sessions"`
+	Journaled  bool    `json:"journaled"`
+	Seconds    float64 `json:"seconds"`
+	RoundTrips int64   `json:"round_trips"`
+	PerSecond  float64 `json:"per_second"`
+	// Observe latency distribution from the server's own histogram.
+	ObserveMeanUS float64 `json:"observe_mean_us"`
+}
+
+// oneRoundTrip drives a single propose(1)+observe pair; the config
+// comes back from the server, the "measurement" is synthetic.
+type driver struct {
+	post func(path string, body []byte) (int, []byte, error)
+	id   string
+}
+
+func (d *driver) roundTrip() (done bool, err error) {
+	status, body, err := d.post("/v1/sessions/"+d.id+"/propose", []byte(`{"n":1}`))
+	if err != nil {
+		return false, err
+	}
+	if status != 200 {
+		return false, fmt.Errorf("propose: HTTP %d: %s", status, body)
+	}
+	var pr struct {
+		Proposals []struct {
+			Config map[string]float64 `json:"config"`
+		} `json:"proposals"`
+		Done bool `json:"done"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return false, err
+	}
+	if len(pr.Proposals) == 0 {
+		return pr.Done, nil
+	}
+	obs, _ := json.Marshal(map[string]any{
+		"observations": []map[string]any{{
+			"config":    pr.Proposals[0].Config,
+			"seconds":   42.0,
+			"completed": true,
+		}},
+	})
+	status, body, err = d.post("/v1/sessions/"+d.id+"/observe", obs)
+	if err != nil {
+		return false, err
+	}
+	if status != 200 {
+		return false, fmt.Errorf("observe: HTTP %d: %s", status, body)
+	}
+	return false, nil
+}
+
+// Run executes one load test and returns its report.
+func Run(opts Options) (Report, error) {
+	if opts.Sessions <= 0 {
+		opts.Sessions = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 3 * time.Second
+	}
+	srv := server.New(server.Options{JournalDir: opts.JournalDir, Shards: 32})
+	defer srv.Shutdown()
+	handler := srv.Handler()
+
+	var post func(path string, body []byte) (int, []byte, error)
+	switch opts.Transport {
+	case "direct":
+		post = func(path string, body []byte) (int, []byte, error) {
+			req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			return rec.Code, rec.Body.Bytes(), nil
+		}
+	case "tcp", "":
+		opts.Transport = "tcp"
+		ts := httptest.NewServer(handler)
+		defer ts.Close()
+		hc := &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: opts.Sessions + 4,
+		}}
+		post = func(path string, body []byte) (int, []byte, error) {
+			resp, err := hc.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return 0, nil, err
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				return 0, nil, err
+			}
+			return resp.StatusCode, buf.Bytes(), nil
+		}
+	default:
+		return Report{}, fmt.Errorf("unknown transport %q", opts.Transport)
+	}
+
+	// One session per driver: random search with an effectively
+	// unbounded budget, a small inline space, journal sync "none".
+	specBody := func(seed int) []byte {
+		b, _ := json.Marshal(map[string]any{
+			"tuner": "randomsearch",
+			"space": json.RawMessage(`{
+			  "system": "loadtest",
+			  "params": [
+			    {"name": "a", "type": "int", "min": 1, "max": 1000, "default": 10},
+			    {"name": "b", "type": "float", "min": 0, "max": 1, "default": 0.5},
+			    {"name": "c", "type": "categorical", "choices": ["x", "y", "z"], "default": "x"}
+			  ]
+			}`),
+			"budget": server.MaxBudget,
+			"seed":   seed,
+			"sync":   "none",
+		})
+		return b
+	}
+	drivers := make([]*driver, opts.Sessions)
+	for i := range drivers {
+		status, body, err := post("/v1/sessions", specBody(i+1))
+		if err != nil {
+			return Report{}, err
+		}
+		if status != 201 {
+			return Report{}, fmt.Errorf("create: HTTP %d: %s", status, body)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return Report{}, err
+		}
+		drivers[i] = &driver{post: post, id: st.ID}
+	}
+
+	var trips atomic.Int64
+	var firstErr atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, d := range drivers {
+		wg.Add(1)
+		go func(d *driver) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				done, err := d.roundTrip()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if done {
+					return
+				}
+				trips.Add(1)
+			}
+		}(d)
+	}
+	start := time.Now()
+	time.Sleep(opts.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return Report{}, err
+	}
+
+	mv := srv.Metrics().View()
+	return Report{
+		Transport:     opts.Transport,
+		Sessions:      opts.Sessions,
+		Journaled:     opts.JournalDir != "",
+		Seconds:       elapsed,
+		RoundTrips:    trips.Load(),
+		PerSecond:     float64(trips.Load()) / elapsed,
+		ObserveMeanUS: mv.ObserveLatency.MeanUS,
+	}, nil
+}

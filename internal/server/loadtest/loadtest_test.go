@@ -1,0 +1,136 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke is the always-on sanity check: a short direct-dispatch
+// burst must clear a conservative floor. The real acceptance number
+// (>= 10k round trips/s in-process) comes from the full run below.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short")
+	}
+	rep, err := Run(Options{
+		Sessions:  4,
+		Duration:  500 * time.Millisecond,
+		Transport: "direct",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("direct: %d round trips in %.2fs = %.0f/s (observe mean %.0fus)",
+		rep.RoundTrips, rep.Seconds, rep.PerSecond, rep.ObserveMeanUS)
+	// Deliberately far below the acceptance criterion: this floor only
+	// catches order-of-magnitude regressions on loaded CI machines.
+	if rep.PerSecond < 500 {
+		t.Fatalf("direct throughput %.0f/s below the 500/s smoke floor", rep.PerSecond)
+	}
+}
+
+// TestLoadFull is the acceptance run (`make load-test`): both
+// transports with journaling on, the in-process number checked against
+// the >= 10,000 round trips/s criterion, and the results written to
+// BENCH_robotuned.json at the repo root.
+func TestLoadFull(t *testing.T) {
+	if os.Getenv("ROBOTUNE_LOADTEST") == "" {
+		t.Skip("set ROBOTUNE_LOADTEST=1 (or run `make load-test`) to enable")
+	}
+	// At least 8 sessions even on small machines, so the sharded store
+	// and tenant ledger see real concurrency rather than a single
+	// goroutine per shard.
+	sessions := max(8, 2*runtime.GOMAXPROCS(0))
+	runs := []Options{
+		{Sessions: sessions, Duration: 5 * time.Second, Transport: "direct", JournalDir: t.TempDir()},
+		{Sessions: sessions, Duration: 5 * time.Second, Transport: "tcp", JournalDir: t.TempDir()},
+	}
+	reports := make([]Report, 0, len(runs))
+	for _, opts := range runs {
+		rep, err := Run(opts)
+		if err != nil {
+			t.Fatalf("%s run: %v", opts.Transport, err)
+		}
+		t.Logf("%s: %d sessions, %d round trips in %.2fs = %.0f/s (observe mean %.0fus)",
+			rep.Transport, rep.Sessions, rep.RoundTrips, rep.Seconds, rep.PerSecond, rep.ObserveMeanUS)
+		reports = append(reports, rep)
+	}
+	if direct := reports[0]; direct.PerSecond < 10_000 {
+		t.Errorf("in-process throughput %.0f/s below the 10,000/s acceptance criterion", direct.PerSecond)
+	}
+	writeBench(t, reports)
+}
+
+// writeBench records the run in BENCH_robotuned.json, mirroring the
+// layout of the other BENCH_*.json files at the repo root.
+func writeBench(t *testing.T, reports []Report) {
+	type doc struct {
+		Description string         `json:"description"`
+		Environment map[string]any `json:"environment"`
+		Notes       []string       `json:"notes"`
+		Benchmarks  []Report       `json:"benchmarks"`
+	}
+	d := doc{
+		Description: "robotuned service throughput: concurrent journaled sessions (randomsearch, sync=none), one propose(1)+observe round trip per count. direct = handler dispatch without sockets, tcp = real HTTP over loopback. Reproduce with `make load-test`.",
+		Environment: map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cpu":        cpuModel(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"date":       time.Now().UTC().Format("2006-01-02"),
+		},
+		Notes: []string{
+			"Acceptance criterion: the direct (in-process) transport must sustain >= 10,000 propose/observe round trips per second aggregate.",
+			"Every round trip journals its observation (journal sync policy \"none\": buffered appends, snapshot on eviction/shutdown).",
+			"observe_mean_us is the server-side observe handler latency from the /metrics histogram, not client-perceived latency.",
+		},
+		Benchmarks: reports,
+	}
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(repoRoot(t), "BENCH_robotuned.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+// repoRoot walks up from the package directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the loadtest package")
+		}
+		dir = parent
+	}
+}
+
+// cpuModel best-effort reads the CPU model name (Linux only).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return fmt.Sprintf("unknown (%d cores)", runtime.NumCPU())
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return fmt.Sprintf("unknown (%d cores)", runtime.NumCPU())
+}

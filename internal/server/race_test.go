@@ -1,0 +1,242 @@
+package server_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// TestConcurrentSessions hammers the sharded store from many
+// goroutines at once: each worker runs its own session end-to-end
+// (create, propose/observe to completion, status, finish) while
+// sharing the server with everyone else. Run under -race (make race /
+// the CI server job) this is the data-race suite for the session
+// table, the tenant ledger and the metrics counters.
+func TestConcurrentSessions(t *testing.T) {
+	env := newEnv(t, server.Options{JournalDir: t.TempDir(), Shards: 4})
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.New(env.ts.URL)
+			cl.Tenant = fmt.Sprintf("tenant-%d", w%3)
+			sp := spec("randomsearch", 8, uint64(w))
+			sp.Sync = "none" // throughput over durability in the stress loop
+			sess, err := cl.Create(sp)
+			if err != nil {
+				t.Errorf("worker %d create: %v", w, err)
+				return
+			}
+			for i := 0; i < 1000; i++ {
+				props, done, err := sess.Propose(2)
+				if err != nil {
+					t.Errorf("worker %d propose: %v", w, err)
+					return
+				}
+				if len(props) == 0 {
+					if done {
+						break
+					}
+					t.Errorf("worker %d: idle without done", w)
+					return
+				}
+				for _, p := range props {
+					sec, ok := objective(p.Config)
+					if _, err := sess.Observe(client.Observation{Config: p.Config, Seconds: sec, Completed: ok}); err != nil {
+						t.Errorf("worker %d observe: %v", w, err)
+						return
+					}
+				}
+				if i%3 == 0 {
+					if _, err := sess.Status(); err != nil {
+						t.Errorf("worker %d status: %v", w, err)
+						return
+					}
+				}
+			}
+			if _, err := sess.Finish(); err != nil {
+				t.Errorf("worker %d finish: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := env.srv.Metrics()
+	if created, finished := m.SessionsCreated.Load(), m.SessionsFinished.Load(); created != workers || finished != workers {
+		t.Fatalf("created=%d finished=%d, want %d of each", created, finished, workers)
+	}
+	if live := m.SessionsLive.Load(); live != 0 {
+		t.Fatalf("sessions still live after all finished: %d", live)
+	}
+}
+
+// TestEvictionTouchRace races the eviction janitor against live
+// traffic on the same sessions: every touch must either hit the live
+// session or transparently rehydrate it — never a 404, never a lost
+// observation, never a double-open journal.
+func TestEvictionTouchRace(t *testing.T) {
+	var fake atomic.Int64
+	fake.Store(1_700_000_000)
+	clock := func() time.Time { return time.Unix(fake.Load(), 0) }
+
+	env := newEnv(t, server.Options{JournalDir: t.TempDir(), Shards: 2, Now: clock})
+	const nSessions = 6
+	sessions := make([]*client.Session, nSessions)
+	for i := range sessions {
+		sp := spec("randomsearch", 200, uint64(100+i))
+		sp.Sync = "none"
+		s, err := env.cl.Create(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+
+	stop := make(chan struct{})
+	var wg, jwg sync.WaitGroup
+
+	// The janitor, sped up: the fake clock gains a second every couple
+	// of real milliseconds and anything idle for three fake seconds is
+	// evicted — so a driver that keeps its session busy usually
+	// survives, and one the scheduler pauses gets evicted mid-
+	// conversation. (A janitor that evicts unconditionally on every
+	// pass livelocks the drivers: each propose/observe pair would race
+	// a guaranteed eviction and nothing would ever complete.)
+	jwg.Add(1)
+	go func() {
+		defer jwg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fake.Add(1)
+				env.srv.Store().EvictIdle(3 * time.Second)
+			}
+		}
+	}()
+
+	// The traffic: one driver per session racing the janitor.
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(i int, sess *client.Session) {
+			defer wg.Done()
+			delivered := 0
+			for attempt := 0; delivered < 40; attempt++ {
+				if attempt > 50_000 {
+					t.Errorf("session %d livelocked: %d observations after %d attempts", i, delivered, attempt)
+					return
+				}
+				props, done, err := sess.Propose(1)
+				if err != nil {
+					t.Errorf("session %d propose: %v", i, err)
+					return
+				}
+				if len(props) == 0 {
+					if done {
+						break
+					}
+					continue
+				}
+				sec, ok := objective(props[0].Config)
+				if _, err := sess.Observe(client.Observation{Config: props[0].Config, Seconds: sec, Completed: ok}); err != nil {
+					// A conflict is legal here: eviction between our propose
+					// and observe can resurface the proposal as unclaimed and
+					// a previous delivery attempt may have landed. Anything
+					// else is a bug.
+					if client.IsConflict(err) {
+						continue
+					}
+					t.Errorf("session %d observe: %v", i, err)
+					return
+				}
+				delivered++
+			}
+		}(i, sess)
+	}
+	wg.Wait()
+	close(stop)
+	jwg.Wait()
+
+	// Every session must have exactly its delivered observations —
+	// rehydration replayed them, nothing lost, nothing duplicated.
+	for i, sess := range sessions {
+		st, err := sess.FullStatus()
+		if err != nil {
+			t.Fatalf("session %d final status: %v", i, err)
+		}
+		if st.Trials < 40 {
+			t.Errorf("session %d: %d trials, want >= 40", i, st.Trials)
+		}
+		if st.Diverged != "" {
+			t.Errorf("session %d diverged: %s", i, st.Diverged)
+		}
+	}
+}
+
+// TestConcurrentObservesSameSession: many goroutines proposing and
+// observing against one session must serialize cleanly — every
+// accepted observation matched a proposal, and the books balance.
+func TestConcurrentObservesSameSession(t *testing.T) {
+	env := newEnv(t, server.Options{JournalDir: t.TempDir()})
+	sp := spec("randomsearch", 64, 9)
+	sp.Sync = "none"
+	sess, err := env.cl.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				props, done, err := sess.Propose(2)
+				if err != nil {
+					t.Errorf("propose: %v", err)
+					return
+				}
+				if len(props) == 0 {
+					if done {
+						return
+					}
+					continue
+				}
+				for _, p := range props {
+					sec, ok := objective(p.Config)
+					if _, err := sess.Observe(client.Observation{Config: p.Config, Seconds: sec, Completed: ok}); err != nil {
+						if client.IsConflict(err) || client.IsFinished(err) {
+							continue
+						}
+						t.Errorf("observe: %v", err)
+						return
+					}
+					delivered.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st, err := sess.FullStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatalf("session not done after workers drained it: %+v trials=%d", st.Done, st.Trials)
+	}
+	if int64(st.Trials) != delivered.Load() {
+		t.Fatalf("trials=%d but %d observations were acknowledged", st.Trials, delivered.Load())
+	}
+	if st.Trials != 64 {
+		t.Fatalf("trials=%d, want the full 64 budget", st.Trials)
+	}
+}

@@ -1,0 +1,540 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cli"
+	"repro/internal/conf"
+	"repro/internal/journal"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+// session is one hosted tuning session: a stepper, its journal, and
+// the protocol bookkeeping that turns the in-process ask/tell
+// contract into a crash-safe wire protocol. All fields below mu are
+// guarded by it; lastTouch is atomic so the eviction janitor can scan
+// without taking session locks.
+type session struct {
+	id     string
+	tenant string
+	spec   SessionSpec
+	space  *conf.Space
+
+	created   int64
+	lastTouch atomic.Int64
+
+	mu sync.Mutex
+	st tuners.Stepper
+	jn *journal.Journal // nil on an ephemeral (journal-less) server
+
+	// pending counts proposed-but-unobserved configurations by
+	// Config.Key — the server-side mirror of the stepper's Protocol
+	// state, checked before Observe so protocol misuse surfaces as a
+	// 409 instead of a panic.
+	pending map[string]int
+	// unclaimed holds proposals regenerated during journal replay that
+	// no live client has received yet (their original handout died with
+	// the previous process). They are served before new stepper
+	// proposals so a reattaching client picks up exactly where the
+	// crashed conversation stopped.
+	unclaimed []unclaimedProposal
+
+	// Incumbent / history (mirrors tuners.tracker; the generic
+	// steppers do not expose theirs).
+	trace     []float64
+	completed []bool
+	best      conf.Config
+	bestSec   float64
+	found     bool
+	evals     int
+	cost      float64
+	failed    int
+	skipped   int
+
+	resumed  bool
+	evicted  bool
+	finished bool
+	sealed   bool // done record appended
+	poisoned error
+	result   *ResultResponse
+}
+
+type unclaimedProposal struct {
+	prop tuners.Proposal
+	key  string
+}
+
+// apiErr is an error with an HTTP mapping.
+type apiErr struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *apiErr) Error() string { return e.message }
+
+func errBadRequest(format string, args ...any) *apiErr {
+	return &apiErr{status: 400, code: "bad_request", message: fmt.Sprintf(format, args...)}
+}
+
+func errConflict(format string, args ...any) *apiErr {
+	return &apiErr{status: 409, code: "conflict", message: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) *apiErr {
+	return &apiErr{status: 404, code: "not_found", message: fmt.Sprintf(format, args...)}
+}
+
+func errThrottled(format string, args ...any) *apiErr {
+	return &apiErr{status: 429, code: "throttled", message: fmt.Sprintf(format, args...)}
+}
+
+func errInternal(format string, args ...any) *apiErr {
+	return &apiErr{status: 500, code: "internal", message: fmt.Sprintf(format, args...)}
+}
+
+func errGone(format string, args ...any) *apiErr {
+	return &apiErr{status: 410, code: "finished", message: fmt.Sprintf(format, args...)}
+}
+
+// journalMeta derives the journal identity from a spec. A rehydration
+// whose journal was recorded under different parameters is rejected by
+// the journal's own meta validation.
+func journalMeta(spec SessionSpec, space *conf.Space) journal.Meta {
+	return journal.Meta{
+		Seed:      spec.Seed,
+		Budget:    spec.Budget,
+		Workload:  spec.Workload,
+		Dataset:   spec.Dataset,
+		Tuner:     spec.Tuner,
+		SpaceHash: space.Fingerprint(),
+	}
+}
+
+// newSession builds (or rebuilds) a session from its validated spec.
+// journalPath == "" makes the session ephemeral. When the journal
+// already holds records, they are replayed through a fresh stepper —
+// the bit-identical resume path — and any proposals regenerated along
+// the way that the journal never saw observed become the unclaimed
+// queue.
+func newSession(id, tenant string, ps ParsedSpec, journalPath string, nowUnix int64) (*session, error) {
+	st, err := cli.BuildStepper(ps.Spec.Tuner, ps.Space, ps.Spec.Budget, ps.Spec.Seed,
+		ps.Spec.Workload, ps.Spec.Dataset, ps.Spec.Options.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		id:      id,
+		tenant:  tenant,
+		spec:    ps.Spec,
+		space:   ps.Space,
+		created: nowUnix,
+		st:      st,
+		pending: make(map[string]int),
+		bestSec: math.Inf(1),
+	}
+	s.lastTouch.Store(nowUnix)
+	if journalPath != "" {
+		policy := journal.SyncAlways
+		if ps.Spec.Sync == "none" {
+			policy = journal.SyncNone
+		}
+		jn, err := journal.Open(journalPath, journalMeta(ps.Spec, ps.Space), policy)
+		if err != nil {
+			return nil, err
+		}
+		s.jn = jn
+		if jn.Resumed() {
+			s.resumed = true
+			s.replay()
+		}
+	}
+	return s, nil
+}
+
+// stepperPropose calls Propose with panics converted to errors; a
+// panic poisons nothing by itself (Propose panics only on
+// propose-after-done, before mutating state).
+func (s *session) stepperPropose(n int) (props []tuners.Proposal, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("propose: %v", p)
+		}
+	}()
+	return s.st.Propose(n), nil
+}
+
+// stepperObserve calls Observe with panics converted to errors.
+// Protocol.Observed panics before any stepper state changes, so a
+// recovered panic leaves the session consistent.
+func (s *session) stepperObserve(c conf.Config, rec sparksim.EvalRecord) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("observe: %v", p)
+		}
+	}()
+	s.st.Observe(c, rec)
+	return nil
+}
+
+// register adds freshly proposed trials to the pending ledger.
+func (s *session) register(props []tuners.Proposal) {
+	for _, p := range props {
+		s.pending[p.Config.Key()]++
+	}
+}
+
+// replay feeds the journal's recovered records through the fresh
+// stepper: for each journaled observation, proposals are drawn one at
+// a time until the journaled configuration is pending (steppers
+// propose deterministically, so the regenerated stream matches the
+// original), then the recorded outcome is observed. A mismatch —
+// corrupt record, diverged stepper — aborts replay, truncating the
+// stale tail exactly like the in-process resume path.
+func (s *session) replay() {
+	jn := s.jn
+	// Bounds the propose loop against a diverged stepper that keeps
+	// emitting non-matching proposals.
+	guard := s.spec.Budget*4 + 256
+	for {
+		e, ok := jn.PeekReplay()
+		if !ok {
+			break
+		}
+		cfg, err := s.space.FromRaw(e.Config)
+		if err != nil {
+			jn.AbortReplay(fmt.Sprintf("trial %d: journaled config invalid for the session space: %v", e.Trial, err))
+			break
+		}
+		key := cfg.Key()
+		diverged := false
+		for s.pending[key] == 0 {
+			if guard <= 0 || s.st.Done() {
+				jn.AbortReplay(fmt.Sprintf("trial %d: stepper never re-proposed the journaled config", e.Trial))
+				diverged = true
+				break
+			}
+			guard--
+			props, perr := s.stepperPropose(1)
+			if perr != nil || len(props) == 0 {
+				jn.AbortReplay(fmt.Sprintf("trial %d: stepper stopped proposing before the journaled config", e.Trial))
+				diverged = true
+				break
+			}
+			s.register(props)
+			for _, p := range props {
+				s.unclaimed = append(s.unclaimed, unclaimedProposal{prop: p, key: p.Config.Key()})
+			}
+		}
+		if diverged {
+			break
+		}
+		jn.NextReplay()
+		rec := sparksim.EvalRecord{
+			Config:     cfg,
+			Seconds:    e.Seconds,
+			Raw:        e.Raw,
+			Completed:  e.Completed,
+			OOM:        e.OOM,
+			Infeasible: e.Infeasible,
+			Transient:  e.Transient,
+			Skipped:    e.Skipped,
+		}
+		if oerr := s.stepperObserve(cfg, rec); oerr != nil {
+			jn.AbortReplay(fmt.Sprintf("trial %d: replayed observation rejected by the stepper: %v", e.Trial, oerr))
+			break
+		}
+		s.consumePending(key)
+		s.note(cfg, rec, e.ObjEvals, e.ObjCost)
+	}
+	if d, ok := jn.Done(); ok {
+		// A done record is authoritative: the session was sealed (to
+		// completion, or early by an explicit finish) and must come back
+		// sealed — reproduce its recorded result without spending
+		// anything. The stepper may disagree (an early finish leaves it
+		// mid-campaign); the seal wins.
+		s.finished, s.sealed = true, true
+		s.result = s.resultFromDone(d)
+	}
+}
+
+// consumePending removes one pending count for key and drops the
+// first matching unclaimed proposal, if any (an observation may race
+// ahead of the client re-claiming it).
+func (s *session) consumePending(key string) {
+	if s.pending[key] <= 1 {
+		delete(s.pending, key)
+	} else {
+		s.pending[key]--
+	}
+	for i := range s.unclaimed {
+		if s.unclaimed[i].key == key {
+			s.unclaimed = append(s.unclaimed[:i], s.unclaimed[i+1:]...)
+			break
+		}
+	}
+}
+
+// note updates the incumbent, trace and counters for one observation.
+// evalsAfter/costAfter are the post-trial counter values (from the
+// journal during replay, computed live otherwise).
+func (s *session) note(c conf.Config, rec sparksim.EvalRecord, evalsAfter int, costAfter float64) {
+	if rec.Skipped {
+		s.skipped++
+		return
+	}
+	s.trace = append(s.trace, rec.Seconds)
+	s.completed = append(s.completed, rec.Completed)
+	if !rec.Completed {
+		s.failed++
+	}
+	if rec.Completed && rec.Seconds < s.bestSec {
+		s.best, s.bestSec, s.found = c, rec.Seconds, true
+	}
+	s.evals = evalsAfter
+	s.cost = costAfter
+}
+
+// propose hands out up to n trials (n <= 0 or > MaxBatch means
+// MaxBatch): first the unclaimed queue left behind by a resume, then
+// fresh stepper proposals.
+func (s *session) propose(n int) (ProposeResponse, *apiErr) {
+	if s.poisoned != nil {
+		return ProposeResponse{}, errInternal("session is poisoned: %v", s.poisoned)
+	}
+	want := n
+	if want <= 0 || want > MaxBatch {
+		want = MaxBatch
+	}
+	out := make([]WireProposal, 0, min(want, 16))
+	for len(s.unclaimed) > 0 && len(out) < want {
+		u := s.unclaimed[0]
+		s.unclaimed = s.unclaimed[1:]
+		out = append(out, WireProposal{Config: u.prop.Config.ToMap(), Cap: u.prop.Cap})
+	}
+	if len(out) < want && !s.finished && !s.st.Done() {
+		props, err := s.stepperPropose(want - len(out))
+		if err != nil {
+			return ProposeResponse{}, errConflict("%v", err)
+		}
+		s.register(props)
+		for _, p := range props {
+			out = append(out, WireProposal{Config: p.Config.ToMap(), Cap: p.Cap})
+		}
+	}
+	return ProposeResponse{
+		Proposals:   out,
+		Done:        s.finished || s.st.Done(),
+		Outstanding: s.outstanding(),
+	}, nil
+}
+
+func (s *session) outstanding() int {
+	total := 0
+	for _, c := range s.pending {
+		total += c
+	}
+	return total
+}
+
+// observe applies one client-reported outcome: it must match a
+// pending proposal (409 otherwise), is committed to the journal
+// before the stepper acts on it, and then advances the stepper.
+func (s *session) observe(o Observation) *apiErr {
+	if s.poisoned != nil {
+		return errInternal("session is poisoned: %v", s.poisoned)
+	}
+	if s.finished {
+		return errGone("session already finished")
+	}
+	cfg, err := s.space.FromRaw(o.Config)
+	if err != nil {
+		return errBadRequest("%v", err)
+	}
+	key := cfg.Key()
+	if s.pending[key] == 0 {
+		return errConflict("no matching pending proposal for the observed config (never proposed, already observed, or lost to a restart)")
+	}
+	rec := sparksim.EvalRecord{
+		Config:     cfg,
+		Seconds:    o.Seconds,
+		Raw:        o.Raw,
+		Completed:  o.Completed,
+		OOM:        o.OOM,
+		Infeasible: o.Infeasible,
+		Transient:  o.Transient,
+		Skipped:    o.Skipped,
+	}
+	evalsAfter, costAfter := s.evals, s.cost
+	if !rec.Skipped {
+		evalsAfter++
+		costAfter += math.Min(rec.Raw, rec.Seconds)
+	}
+	if s.jn != nil {
+		// Durability before action, exactly like the in-process session:
+		// the observation is on disk before the tuner state advances, so
+		// a crash immediately after loses nothing a client paid for.
+		_ = s.jn.Append(journal.EvalEntry{
+			Config:     cfg.ToMap(),
+			Seconds:    rec.Seconds,
+			Raw:        rec.Raw,
+			Completed:  rec.Completed,
+			OOM:        rec.OOM,
+			Infeasible: rec.Infeasible,
+			Transient:  rec.Transient,
+			Skipped:    rec.Skipped,
+			ObjEvals:   evalsAfter,
+			ObjCost:    costAfter,
+			Stats:      journal.FailureCounts{Failed: s.failed, Skipped: s.skipped},
+		})
+	}
+	if oerr := s.stepperObserve(cfg, rec); oerr != nil {
+		// Cannot happen after the pending precheck; if it does, the
+		// journal and stepper disagree — stop serving rather than let
+		// them drift further apart.
+		s.poisoned = oerr
+		return errInternal("stepper rejected a prechecked observation: %v", oerr)
+	}
+	s.consumePending(key)
+	s.note(cfg, rec, evalsAfter, costAfter)
+	// Done means "will never propose again", not "nothing pending":
+	// batch steppers hand out their whole budget before the first
+	// observation lands. Seal only once every handout is answered.
+	if s.st.Done() && s.outstanding() == 0 {
+		s.seal()
+	}
+	return nil
+}
+
+// seal records the session outcome: the stepper's own sealed result
+// when it has one (ROBOTune's Result memoizes and carries the
+// selection), the generic incumbent otherwise, plus the journal done
+// record that lets a resume reproduce the result without spending
+// evaluations.
+func (s *session) seal() {
+	if s.sealed {
+		return
+	}
+	s.sealed, s.finished = true, true
+	res := tuners.Result{
+		Best:        s.best,
+		BestSeconds: s.bestSec,
+		Found:       s.found,
+		Evals:       s.evals,
+		SearchCost:  s.cost,
+		Trace:       s.trace,
+		Completed:   s.completed,
+	}
+	if rm, ok := s.st.(interface{ Result() tuners.Result }); ok {
+		sealed := rm.Result()
+		res.SelectedParams = sealed.SelectedParams
+	}
+	tuners.AppendDone(s.jn, res)
+	s.result = &ResultResponse{
+		ID:             s.id,
+		Found:          s.found,
+		BestSeconds:    s.bestSec,
+		Trials:         len(s.trace),
+		Evals:          s.evals,
+		Cost:           s.cost,
+		SelectedParams: res.SelectedParams,
+	}
+	if s.found {
+		s.result.Best = s.best.ToMap()
+	} else {
+		s.result.BestSeconds = 0
+	}
+}
+
+// resultFromDone rebuilds a sealed result from a journal done record
+// (the resume-of-a-completed-session path).
+func (s *session) resultFromDone(d journal.DoneEntry) *ResultResponse {
+	r := &ResultResponse{
+		ID:     s.id,
+		Found:  d.Found,
+		Trials: len(s.trace),
+		Evals:  d.Evals,
+		Cost:   d.SearchCost,
+	}
+	if d.Found {
+		r.Best = d.Best
+		r.BestSeconds = d.BestSeconds
+	}
+	return r
+}
+
+// finish seals the session (even mid-campaign — the client owns the
+// decision to stop early) and closes the journal.
+func (s *session) finish() (ResultResponse, *apiErr) {
+	if s.poisoned != nil {
+		return ResultResponse{}, errInternal("session is poisoned: %v", s.poisoned)
+	}
+	s.seal()
+	if s.jn != nil {
+		_ = s.jn.Close()
+		s.jn = nil
+	}
+	return *s.result, nil
+}
+
+// suspend writes an advisory shutdown snapshot and closes the
+// journal; the session can be rebuilt from disk on the next touch.
+// Called by the eviction janitor and by server shutdown.
+func (s *session) suspend(phase string) {
+	if s.jn == nil {
+		return
+	}
+	if !s.sealed {
+		_ = s.jn.WriteSnapshot(journal.Snapshot{
+			Phase:  phase,
+			Trials: s.jn.Trials(),
+			Stats:  journal.FailureCounts{Failed: s.failed, Skipped: s.skipped},
+		})
+	}
+	_ = s.jn.Close()
+	s.jn = nil
+}
+
+// status reports the session's current state. traceTail <= 0 returns
+// the full trace.
+func (s *session) status(traceTail int) StatusResponse {
+	st := StatusResponse{
+		ID:            s.id,
+		Tuner:         s.spec.Tuner,
+		Tenant:        s.tenant,
+		Workload:      s.spec.Workload,
+		Dataset:       s.spec.Dataset,
+		Budget:        s.spec.Budget,
+		Seed:          s.spec.Seed,
+		Done:          s.finished || s.st.Done(),
+		Found:         s.found,
+		Trials:        len(s.trace),
+		Outstanding:   s.outstanding(),
+		Unclaimed:     len(s.unclaimed),
+		Evals:         s.evals,
+		Cost:          s.cost,
+		Failed:        s.failed,
+		Resumed:       s.resumed,
+		CreatedUnix:   s.created,
+		LastTouchUnix: s.lastTouch.Load(),
+	}
+	if s.jn != nil {
+		st.Diverged = s.jn.Diverged()
+	}
+	if s.found {
+		st.Best = s.best.ToMap()
+		st.BestSeconds = s.bestSec
+	}
+	start := 0
+	if traceTail > 0 && len(s.trace) > traceTail {
+		start = len(s.trace) - traceTail
+	}
+	st.Trace = append([]float64(nil), s.trace[start:]...)
+	st.Completed = append([]bool(nil), s.completed[start:]...)
+	st.TraceStart = start
+	return st
+}

@@ -1,0 +1,417 @@
+// Wire types and JSON decoders of the robotuned protocol. Every
+// request body that crosses the trust boundary is decoded and
+// validated here — the fuzz suite (FuzzSessionSpec, FuzzObserveBody)
+// hammers these functions with hostile bytes, and nothing past them
+// may panic or corrupt a session. Numbers are re-checked for
+// NaN/Inf even though JSON cannot encode them directly: a decoder
+// swap or a future format must not weaken the invariant that only
+// finite observations reach a tuner.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+)
+
+// Limits bound what a single request may carry; they are generous for
+// real clients and tight enough that a hostile body cannot balloon
+// memory.
+const (
+	// MaxBodyBytes caps any request body.
+	MaxBodyBytes = 4 << 20
+	// MaxBatch caps proposals returned (and observations accepted) per
+	// request. A client wanting more simply calls again.
+	MaxBatch = 1024
+	// MaxBudget caps a session's evaluation budget.
+	MaxBudget = 10_000_000
+	// MaxSpaceDim caps the dimensionality of a client-supplied space.
+	MaxSpaceDim = 4096
+)
+
+// SessionSpec is the body of POST /v1/sessions: everything needed to
+// build (and, after a crash, rebuild) a tuning session. It is
+// persisted verbatim next to the session's journal, so every field
+// must be sufficient to reconstruct the stepper deterministically.
+type SessionSpec struct {
+	// Tuner is the tuner kind (cli.TunerKinds: robotune, randomsearch,
+	// bestconfig, gunther, successivehalving, cmaes).
+	Tuner string `json:"tuner"`
+	// Space is either the JSON string "spark" (the built-in
+	// 44-parameter Spark space) or an inline space definition in the
+	// conf.ParseSpace schema ({"system": ..., "params": [...]}).
+	Space json.RawMessage `json:"space"`
+	// Budget is the evaluation budget.
+	Budget int `json:"budget"`
+	// Seed drives the tuner's randomness; the same spec and the same
+	// observation sequence reproduce the same proposals bit-for-bit.
+	Seed uint64 `json:"seed"`
+	// Workload and Dataset key ROBOTune's memoization; optional.
+	Workload string `json:"workload,omitempty"`
+	Dataset  string `json:"dataset,omitempty"`
+	// Sync selects the journal fsync policy: "always" (default — an
+	// observation is durable before the tuner acts on it) or "none"
+	// (the OS flushes on its own schedule; a kernel crash may lose
+	// trailing observations, a process crash does not).
+	Sync string `json:"sync,omitempty"`
+	// Options tunes ROBOTune-specific knobs; ignored by the baselines.
+	Options SpecOptions `json:"options,omitempty"`
+}
+
+// SpecOptions is the wire subset of core.Options. Zero values select
+// the paper defaults.
+type SpecOptions struct {
+	GenericSamples      int     `json:"generic_samples,omitempty"`
+	TuningSamples       int     `json:"tuning_samples,omitempty"`
+	PermuteRepeats      int     `json:"permute_repeats,omitempty"`
+	MinSelected         int     `json:"min_selected,omitempty"`
+	MaxSelected         int     `json:"max_selected,omitempty"`
+	ImportanceThreshold float64 `json:"importance_threshold,omitempty"`
+	GuardMultiple       float64 `json:"guard_multiple,omitempty"`
+	EarlyStopPatience   int     `json:"early_stop_patience,omitempty"`
+	EarlyStopEpsilon    float64 `json:"early_stop_epsilon,omitempty"`
+	Workers             int     `json:"workers,omitempty"`
+}
+
+// coreOptions maps the wire knobs onto core.Options.
+func (o SpecOptions) coreOptions() core.Options {
+	return core.Options{
+		GenericSamples:      o.GenericSamples,
+		TuningSamples:       o.TuningSamples,
+		PermuteRepeats:      o.PermuteRepeats,
+		MinSelected:         o.MinSelected,
+		MaxSelected:         o.MaxSelected,
+		ImportanceThreshold: o.ImportanceThreshold,
+		GuardMultiple:       o.GuardMultiple,
+		EarlyStopPatience:   o.EarlyStopPatience,
+		EarlyStopEpsilon:    o.EarlyStopEpsilon,
+		Workers:             o.Workers,
+	}
+}
+
+// validate bounds every numeric knob; hostile specs must not smuggle
+// NaN/Inf or absurd sizes into the tuner.
+func (o SpecOptions) validate() error {
+	ints := map[string]int{
+		"generic_samples": o.GenericSamples, "tuning_samples": o.TuningSamples,
+		"permute_repeats": o.PermuteRepeats, "min_selected": o.MinSelected,
+		"max_selected": o.MaxSelected, "early_stop_patience": o.EarlyStopPatience,
+		"workers": o.Workers,
+	}
+	for name, v := range ints {
+		if v < 0 || v > 1_000_000 {
+			return fmt.Errorf("options.%s out of range: %d", name, v)
+		}
+	}
+	floats := map[string]float64{
+		"importance_threshold": o.ImportanceThreshold,
+		"guard_multiple":       o.GuardMultiple,
+		"early_stop_epsilon":   o.EarlyStopEpsilon,
+	}
+	for name, v := range floats {
+		if !finite(v) || v < 0 || v > 1e9 {
+			return fmt.Errorf("options.%s must be finite and in [0, 1e9], got %v", name, v)
+		}
+	}
+	return nil
+}
+
+// ParsedSpec is a validated SessionSpec with its space resolved.
+type ParsedSpec struct {
+	Spec  SessionSpec
+	Space *conf.Space
+	// SparkSpace is true when Spec.Space named the built-in space.
+	SparkSpace bool
+}
+
+// DecodeSessionSpec parses and validates a session spec. The returned
+// error is safe to surface to clients (no internal state leaks).
+func DecodeSessionSpec(data []byte) (ParsedSpec, error) {
+	if len(data) > MaxBodyBytes {
+		return ParsedSpec{}, fmt.Errorf("body exceeds %d bytes", MaxBodyBytes)
+	}
+	var spec SessionSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return ParsedSpec{}, fmt.Errorf("parse spec: %v", err)
+	}
+	if dec.More() {
+		return ParsedSpec{}, fmt.Errorf("trailing data after spec")
+	}
+	return ValidateSessionSpec(spec)
+}
+
+// ValidateSessionSpec checks an already-parsed spec and resolves its
+// space. Shared by the HTTP handler and the rehydration path (which
+// re-reads persisted specs from disk).
+func ValidateSessionSpec(spec SessionSpec) (ParsedSpec, error) {
+	if spec.Tuner == "" {
+		return ParsedSpec{}, fmt.Errorf("tuner is required")
+	}
+	if !knownTuner(spec.Tuner) {
+		return ParsedSpec{}, fmt.Errorf("unknown tuner %q", spec.Tuner)
+	}
+	if spec.Budget <= 0 || spec.Budget > MaxBudget {
+		return ParsedSpec{}, fmt.Errorf("budget must be in [1, %d], got %d", MaxBudget, spec.Budget)
+	}
+	switch spec.Sync {
+	case "", "always", "none":
+	default:
+		return ParsedSpec{}, fmt.Errorf("sync must be \"always\" or \"none\", got %q", spec.Sync)
+	}
+	if len(spec.Workload) > 256 || len(spec.Dataset) > 256 {
+		return ParsedSpec{}, fmt.Errorf("workload/dataset names are capped at 256 bytes")
+	}
+	if err := spec.Options.validate(); err != nil {
+		return ParsedSpec{}, err
+	}
+	space, spark, err := resolveSpace(spec.Space)
+	if err != nil {
+		return ParsedSpec{}, err
+	}
+	return ParsedSpec{Spec: spec, Space: space, SparkSpace: spark}, nil
+}
+
+// resolveSpace turns the spec's space field into a conf.Space: the
+// string "spark" selects the built-in space, an object is parsed as a
+// space definition.
+func resolveSpace(raw json.RawMessage) (*conf.Space, bool, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, false, fmt.Errorf("space is required (\"spark\" or a space definition object)")
+	}
+	if trimmed[0] == '"' {
+		var name string
+		if err := json.Unmarshal(trimmed, &name); err != nil {
+			return nil, false, fmt.Errorf("parse space name: %v", err)
+		}
+		if !strings.EqualFold(name, "spark") {
+			return nil, false, fmt.Errorf("unknown space %q (only \"spark\" is built in; send a space definition object otherwise)", name)
+		}
+		return conf.SparkSpace(), true, nil
+	}
+	space, err := conf.ParseSpace(trimmed)
+	if err != nil {
+		return nil, false, fmt.Errorf("invalid space definition: %v", err)
+	}
+	if space.Dim() > MaxSpaceDim {
+		return nil, false, fmt.Errorf("space has %d parameters, cap is %d", space.Dim(), MaxSpaceDim)
+	}
+	return space, false, nil
+}
+
+func knownTuner(name string) bool {
+	switch strings.ToLower(name) {
+	case "robotune", "bestconfig", "gunther", "randomsearch", "rs", "random",
+		"successivehalving", "sha", "cmaes", "cma-es":
+		return true
+	}
+	return false
+}
+
+// ProposeRequest is the body of POST /v1/sessions/{id}/propose. An
+// empty body is equivalent to {"n": 0}.
+type ProposeRequest struct {
+	// N is the maximum number of proposals wanted; <= 0 means "as many
+	// as the tuner can usefully emit", capped at MaxBatch.
+	N int `json:"n"`
+}
+
+// DecodeProposeRequest parses a propose body (empty means defaults).
+func DecodeProposeRequest(data []byte) (ProposeRequest, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return ProposeRequest{}, nil
+	}
+	var req ProposeRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return ProposeRequest{}, fmt.Errorf("parse propose request: %v", err)
+	}
+	if req.N > MaxBatch {
+		req.N = MaxBatch
+	}
+	return req, nil
+}
+
+// WireProposal is one trial handed to a client: the configuration (as
+// a name → raw-value map) and the tuner's stopping cap for the run
+// (0 = none).
+type WireProposal struct {
+	Config map[string]float64 `json:"config"`
+	Cap    float64            `json:"cap,omitempty"`
+}
+
+// ProposeResponse answers a propose call.
+type ProposeResponse struct {
+	Proposals []WireProposal `json:"proposals"`
+	// Done is true when the tuner will never propose again.
+	Done bool `json:"done"`
+	// Outstanding counts proposals awaiting observation (including the
+	// ones in this response).
+	Outstanding int `json:"outstanding"`
+}
+
+// Observation is one evaluated trial reported back by a client.
+type Observation struct {
+	// Config must exactly match a previously proposed configuration.
+	Config map[string]float64 `json:"config"`
+	// Seconds is the observed objective value (capped execution time).
+	Seconds float64 `json:"seconds"`
+	// Raw is the uncapped (or consumed-before-failure) duration; it
+	// defaults to Seconds when omitted.
+	Raw float64 `json:"raw,omitempty"`
+	// Completed is true when the run finished (Seconds is a
+	// measurement, not a floor).
+	Completed bool `json:"completed"`
+	// OOM / Infeasible / Transient mirror sparksim.EvalRecord.
+	OOM        bool `json:"oom,omitempty"`
+	Infeasible bool `json:"infeasible,omitempty"`
+	Transient  bool `json:"transient,omitempty"`
+	// Skipped abandons the proposal without an observation: the tuner
+	// advances past it and no evaluation is charged.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// ObserveRequest is the body of POST /v1/sessions/{id}/observe.
+type ObserveRequest struct {
+	Observations []Observation `json:"observations"`
+}
+
+// DecodeObserveBody parses and validates an observe body. Every
+// numeric field must be finite and non-negative; configs must be
+// non-empty. Matching against pending proposals happens later, under
+// the session lock.
+func DecodeObserveBody(data []byte) (ObserveRequest, error) {
+	if len(data) > MaxBodyBytes {
+		return ObserveRequest{}, fmt.Errorf("body exceeds %d bytes", MaxBodyBytes)
+	}
+	var req ObserveRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return ObserveRequest{}, fmt.Errorf("parse observe request: %v", err)
+	}
+	if dec.More() {
+		return ObserveRequest{}, fmt.Errorf("trailing data after request")
+	}
+	if len(req.Observations) == 0 {
+		return ObserveRequest{}, fmt.Errorf("observations must not be empty")
+	}
+	if len(req.Observations) > MaxBatch {
+		return ObserveRequest{}, fmt.Errorf("at most %d observations per request, got %d", MaxBatch, len(req.Observations))
+	}
+	for i := range req.Observations {
+		o := &req.Observations[i]
+		if len(o.Config) == 0 {
+			return ObserveRequest{}, fmt.Errorf("observation %d: config is required", i)
+		}
+		for name, v := range o.Config {
+			if !finite(v) {
+				return ObserveRequest{}, fmt.Errorf("observation %d: config value %s is not finite", i, name)
+			}
+		}
+		if o.Skipped {
+			continue // no measurement to validate
+		}
+		if !finite(o.Seconds) || o.Seconds < 0 {
+			return ObserveRequest{}, fmt.Errorf("observation %d: seconds must be finite and >= 0, got %v", i, o.Seconds)
+		}
+		if !finite(o.Raw) || o.Raw < 0 {
+			return ObserveRequest{}, fmt.Errorf("observation %d: raw must be finite and >= 0, got %v", i, o.Raw)
+		}
+		if o.Raw == 0 {
+			o.Raw = o.Seconds
+		}
+	}
+	return req, nil
+}
+
+// ObserveResponse answers an observe call.
+type ObserveResponse struct {
+	// Applied counts observations accepted by this call.
+	Applied int `json:"applied"`
+	// Trials is the session's total observed-trial count.
+	Trials int  `json:"trials"`
+	Done   bool `json:"done"`
+	Found  bool `json:"found"`
+	// BestSeconds is the incumbent objective value (present once
+	// Found).
+	BestSeconds float64 `json:"best_seconds,omitempty"`
+}
+
+// StatusResponse answers GET /v1/sessions/{id}.
+type StatusResponse struct {
+	ID       string `json:"id"`
+	Tuner    string `json:"tuner"`
+	Tenant   string `json:"tenant,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Dataset  string `json:"dataset,omitempty"`
+	Budget   int    `json:"budget"`
+	Seed     uint64 `json:"seed"`
+
+	Done        bool               `json:"done"`
+	Found       bool               `json:"found"`
+	Best        map[string]float64 `json:"best,omitempty"`
+	BestSeconds float64            `json:"best_seconds,omitempty"`
+
+	// Trials counts observed trials; Outstanding counts proposed but
+	// unobserved ones; Unclaimed counts proposals regenerated by a
+	// resume and not yet handed to any client.
+	Trials      int `json:"trials"`
+	Outstanding int `json:"outstanding"`
+	Unclaimed   int `json:"unclaimed"`
+	// Evals and Cost are the charged evaluation counter and the
+	// accumulated cost in (client-reported) seconds.
+	Evals  int     `json:"evals"`
+	Cost   float64 `json:"cost"`
+	Failed int     `json:"failed,omitempty"`
+
+	// Resumed is true when the session was rehydrated from its journal
+	// (after an eviction or a server restart); Diverged carries the
+	// replay-divergence reason when the journal tail had to be cut.
+	Resumed  bool   `json:"resumed,omitempty"`
+	Diverged string `json:"diverged,omitempty"`
+
+	// Trace is the tail (or, with ?trace=all, the whole) of observed
+	// objective values; Completed parallels it.
+	Trace     []float64 `json:"trace,omitempty"`
+	Completed []bool    `json:"trace_completed,omitempty"`
+	// TraceStart is the index of Trace[0] in the full history.
+	TraceStart int `json:"trace_start"`
+
+	CreatedUnix   int64 `json:"created_unix"`
+	LastTouchUnix int64 `json:"last_touch_unix"`
+}
+
+// ResultResponse answers DELETE /v1/sessions/{id}: the sealed session
+// outcome.
+type ResultResponse struct {
+	ID             string             `json:"id"`
+	Found          bool               `json:"found"`
+	Best           map[string]float64 `json:"best,omitempty"`
+	BestSeconds    float64            `json:"best_seconds,omitempty"`
+	Trials         int                `json:"trials"`
+	Evals          int                `json:"evals"`
+	Cost           float64            `json:"cost"`
+	SelectedParams []string           `json:"selected_params,omitempty"`
+}
+
+// ErrorBody is the uniform error envelope.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail names the failure class and describes it.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

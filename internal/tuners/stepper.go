@@ -160,7 +160,7 @@ func Drive(st Stepper, s *Session) Result {
 	if rm, ok := st.(ResultMaker); ok {
 		res = rm.SessionResult(s)
 	}
-	appendDone(s.Journal(), res)
+	AppendDone(s.Journal(), res)
 	return res
 }
 
@@ -173,12 +173,13 @@ func capsZero(props []Proposal) bool {
 	return true
 }
 
-// appendDone records the session outcome in the journal. A cancelled
+// AppendDone records the session outcome in the journal. A cancelled
 // session deliberately leaves no done marker so its journal stays
 // resumable; a finished one records its result, and replaying the
 // whole journal reproduces it without spending a single new
-// evaluation.
-func appendDone(jn *journal.Journal, res Result) {
+// evaluation. Exported for drivers outside this package (the
+// robotuned wire server seals its sessions with it).
+func AppendDone(jn *journal.Journal, res Result) {
 	if jn == nil || res.Cancelled {
 		return
 	}
