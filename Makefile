@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race bench bench-gp benchstat fuzz fuzz-journal fuzz-server fault-stress crash-stress load-test
+.PHONY: build test lint race bench bench-gp bench-gp-scale benchstat fuzz fuzz-journal fuzz-server fault-stress crash-stress load-test
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ bench:
 # Reference numbers (seed vs fast path) live in BENCH_gp_fastpath.json.
 bench-gp:
 	$(GO) test -run '^$$' -bench 'BenchmarkGPFitScale|BenchmarkGPFitARDScale|BenchmarkGPPredict|BenchmarkBOSuggestScale' -benchmem -benchtime 3x .
+
+# Large-n surrogate scaling: exact (blocked Cholesky) vs sparse
+# local-subset fit/extend/suggest at n in {500, 1000, 2000}. Set
+# ROBOTUNE_BENCH_FULL=1 to add n=5000 and n=10000 (the exact rows take
+# minutes). Reference numbers live in BENCH_gp_scale.json.
+bench-gp-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkGPScale' -benchmem -benchtime 1x .
 
 # A/B comparison helper: save a baseline, make a change, compare.
 # Uses benchstat when installed, otherwise falls back to diff.

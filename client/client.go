@@ -63,6 +63,16 @@ func (e *APIError) Error() string {
 // treat it as already-applied.
 func IsConflict(err error) bool { return hasStatus(err, 409) }
 
+// IsMaxObservations reports the server's per-session observation cap:
+// the session will never accept another evaluated observation, so
+// drivers should skip their outstanding proposals and finish the
+// session rather than retry. Matched by code, not status — the cap
+// shares 409 with IsConflict but means "stop", not "already applied".
+func IsMaxObservations(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == "max_observations"
+}
+
 // IsThrottled reports a 429: per-tenant backpressure, retry later.
 func IsThrottled(err error) bool { return hasStatus(err, 429) }
 

@@ -41,6 +41,7 @@ func main() {
 		shards      = flag.Int("shards", 16, "session table stripe count")
 		maxSessions = flag.Int("max-sessions", 0, "global live-session cap (0 = unlimited)")
 		tenantSess  = flag.Int("tenant-sessions", 0, "live-session cap per tenant (0 = unlimited)")
+		maxObs      = flag.Int("max-observations", 0, "per-session cap on evaluated observations; past it observations answer 409 max_observations (0 = unlimited)")
 		tenantRate  = flag.Float64("tenant-evals-per-sec", 0, "observation rate limit per tenant (0 = unlimited)")
 		tenantBurst = flag.Int("tenant-burst", 0, "observation token-bucket depth (0 = 2x rate, floor one max batch)")
 		idleTTL     = flag.Duration("idle-ttl", 15*time.Minute, "evict sessions untouched this long (journal-backed only; 0 = never)")
@@ -54,6 +55,7 @@ func main() {
 		Shards:            *shards,
 		MaxSessions:       *maxSessions,
 		TenantSessions:    *tenantSess,
+		MaxObservations:   *maxObs,
 		TenantEvalsPerSec: *tenantRate,
 		TenantBurst:       *tenantBurst,
 		IdleTTL:           *idleTTL,

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sync"
+	"time"
 
 	"repro/internal/gp"
 	"repro/internal/optimize"
@@ -44,6 +45,29 @@ type Config struct {
 	// hyperparameter refits. Results are identical either way; this
 	// exists for parity testing and ablation.
 	DisableIncremental bool
+	// Sparse gates the GP's local-subset approximation: past
+	// SparseThreshold observations the surrogate is fitted exactly on
+	// the observations nearest the incumbent plus a uniform reservoir
+	// of the rest, bounding per-iteration cost by the subset size.
+	// Off by default — the exact surrogate is used at every size.
+	Sparse bool
+	// SparseThreshold is the observation count past which the sparse
+	// path engages (default 512; only meaningful with Sparse set).
+	SparseThreshold int
+	// RefitBudget, when > 0, replaces the fixed every-5-observations
+	// hyperparameter-refit cadence with a cost-budgeted one: the
+	// hyperparameters are refit only while cumulative refit time stays
+	// at or below RefitBudget as a fraction of the engine's wall clock
+	// (e.g. 0.2 = spend at most ~20% of elapsed time refitting);
+	// otherwise the cached Cholesky factor is extended at the last
+	// fitted hyperparameters. 0 keeps the fixed cadence, bit-identical
+	// to the pre-budget engine. Budgeted cadence makes decisions from
+	// the wall clock, so exact journal-replay bit-reproducibility is
+	// traded for bounded surrogate overhead.
+	RefitBudget float64
+	// Now overrides the clock used for refit budgeting (tests inject a
+	// fake clock). nil = time.Now.
+	Now func() time.Time
 }
 
 // DefaultConfig returns the engine configuration used by ROBOTune.
@@ -91,6 +115,16 @@ type Engine struct {
 	// factorizations needed. A non-zero value flags a numerically
 	// delicate kernel matrix; Explain surfaces it.
 	jitterRetries int
+	// Refit-cadence bookkeeping: now is the (injectable) clock, start
+	// anchors the engine's wall clock, refitSeconds accumulates time
+	// spent in hyperparameter refits, and the counters record which
+	// path each Surrogate call took.
+	now             func() time.Time
+	start           time.Time
+	refitSeconds    float64
+	hyperRefits     int
+	posteriorRefits int
+	extends         int
 }
 
 // New builds an engine over the unit hypercube of the given
@@ -115,13 +149,30 @@ func New(dim int, cfg Config) *Engine {
 	if cfg.GP.Workers == 0 {
 		cfg.GP.Workers = cfg.Workers
 	}
+	if cfg.Sparse {
+		if cfg.SparseThreshold <= 0 {
+			cfg.SparseThreshold = DefaultSparseThreshold
+		}
+		cfg.GP.SparseThreshold = cfg.SparseThreshold
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Engine{
-		dim:  dim,
-		cfg:  cfg,
-		rng:  sample.NewRNG(cfg.Seed ^ 0xb0b0b0b0),
-		gain: make([]float64, len(cfg.Portfolio)),
+		dim:   dim,
+		cfg:   cfg,
+		rng:   sample.NewRNG(cfg.Seed ^ 0xb0b0b0b0),
+		gain:  make([]float64, len(cfg.Portfolio)),
+		now:   now,
+		start: now(),
 	}
 }
+
+// DefaultSparseThreshold is the observation count past which
+// Config.Sparse switches the surrogate to the local-subset path when
+// no explicit threshold is configured.
+const DefaultSparseThreshold = 512
 
 // Tell adds an observation. x must be in the unit cube of the
 // engine's dimension. Non-finite observations are rejected: a single
@@ -226,7 +277,20 @@ func (e *Engine) Surrogate() (*gp.GP, error) {
 	}
 	const hyperRefitEvery = 5
 	cfg := e.cfg.GP
-	if e.hyperFitAtN > 0 && len(e.x)-e.hyperFitAtN < hyperRefitEvery {
+	reuseHyper := false
+	if e.hyperFitAtN > 0 {
+		if e.cfg.RefitBudget > 0 {
+			// Budgeted cadence: refit only while observed refit time
+			// stays at or below the target share of wall clock.
+			elapsed := e.now().Sub(e.start).Seconds()
+			reuseHyper = e.refitSeconds > e.cfg.RefitBudget*elapsed
+		} else {
+			// Fixed cadence (the pre-budget behavior): refit every
+			// hyperRefitEvery observations.
+			reuseHyper = len(e.x)-e.hyperFitAtN < hyperRefitEvery
+		}
+	}
+	if reuseHyper {
 		// Reuse the last fitted hyperparameters; only the posterior
 		// (Cholesky + weights) changes for the new data.
 		cfg.FitHyper = false
@@ -244,22 +308,66 @@ func (e *Engine) Surrogate() (*gp.GP, error) {
 				e.g = g
 				e.gN = len(e.x)
 				e.jitterRetries += g.JitterRetries()
+				e.extends++
 				return g, nil
 			}
 		}
 	}
+	t0 := e.now()
 	g, err := gp.Fit(e.x, e.y, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.FitHyper {
+		// Only hyperparameter searches count against the refit
+		// budget; posterior-only refits are part of the floor cost.
+		e.refitSeconds += e.now().Sub(t0).Seconds()
+		e.hyperRefits++
 		e.lastHyper = g.Params()
 		e.hyperFitAtN = len(e.x)
+	} else {
+		e.posteriorRefits++
 	}
 	e.g = g
 	e.gN = len(e.x)
 	e.jitterRetries += g.JitterRetries()
 	return g, nil
+}
+
+// RefitStats describes how the engine has been spending its surrogate
+// budget: which of the three fit paths (hyperparameter refit,
+// posterior-only refit, incremental extension) each Surrogate call
+// took, the cumulative hyper-refit time against the wall clock, and
+// whether the sparse path is active. Explain and the server's /metrics
+// endpoint surface it.
+type RefitStats struct {
+	HyperRefits     int     `json:"hyper_refits"`
+	PosteriorRefits int     `json:"posterior_refits"`
+	Extends         int     `json:"extends"`
+	RefitSeconds    float64 `json:"refit_seconds"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	RefitBudget     float64 `json:"refit_budget,omitempty"`
+	Sparse          bool    `json:"sparse,omitempty"`
+	ActiveSize      int     `json:"active_size,omitempty"`
+	Observations    int     `json:"observations"`
+}
+
+// RefitStats returns the engine's surrogate-cadence accounting.
+func (e *Engine) RefitStats() RefitStats {
+	st := RefitStats{
+		HyperRefits:     e.hyperRefits,
+		PosteriorRefits: e.posteriorRefits,
+		Extends:         e.extends,
+		RefitSeconds:    e.refitSeconds,
+		ElapsedSeconds:  e.now().Sub(e.start).Seconds(),
+		RefitBudget:     e.cfg.RefitBudget,
+		Observations:    len(e.x),
+	}
+	if e.g != nil {
+		st.Sparse = e.g.Sparse()
+		st.ActiveSize = e.g.ActiveSize()
+	}
+	return st
 }
 
 // JitterRetries reports the cumulative number of escalating-jitter
@@ -417,6 +525,11 @@ func (e *Engine) Fork() *Engine {
 	f.lastHyper = e.lastHyper
 	f.hyperFitAtN = e.hyperFitAtN
 	f.jitterRetries = e.jitterRetries
+	f.start = e.start
+	f.refitSeconds = e.refitSeconds
+	f.hyperRefits = e.hyperRefits
+	f.posteriorRefits = e.posteriorRefits
+	f.extends = e.extends
 	// The fitted GP is immutable, so the fork shares it; the fork's
 	// first Tell then extends it incrementally instead of refitting
 	// from scratch (the constant-liar loop in BatchSuggest leans on

@@ -99,9 +99,17 @@ func SaveConfigValues(c conf.Config, path string) error {
 // so callers can attach a context, deadline and retry policy via
 // tuners.NewSession.
 func BuildTuner(name string, store *memo.Store, workers int) (tuners.SessionTuner, error) {
+	return BuildTunerOpts(name, store, core.Options{Workers: workers})
+}
+
+// BuildTunerOpts is BuildTuner taking full ROBOTune options, for
+// callers that thread scaling knobs (refit budget, sparse surrogate)
+// beyond the worker count. opts only applies to ROBOTune; the
+// baselines ignore it.
+func BuildTunerOpts(name string, store *memo.Store, opts core.Options) (tuners.SessionTuner, error) {
 	switch strings.ToLower(name) {
 	case "robotune":
-		return core.New(store, core.Options{Workers: workers}), nil
+		return core.New(store, opts), nil
 	case "bestconfig":
 		return tuners.BestConfig{}, nil
 	case "gunther":

@@ -104,6 +104,23 @@ type Options struct {
 	// MapThreshold is the minimum signature correlation for adopting
 	// another family's selection (default 0.9).
 	MapThreshold float64
+	// RefitBudget, when > 0, switches the BO engine's hyperparameter
+	// refits from the fixed every-5-observations cadence to a
+	// cost-budgeted one: refit only while cumulative refit time stays
+	// at or below this fraction of session wall clock (e.g. 0.2),
+	// extending the cached Cholesky factor otherwise. Long sessions
+	// keep a bounded surrogate overhead at the price of bit-exact
+	// journal-replay reproducibility.
+	RefitBudget float64
+	// SparseSurrogate gates the GP's local-subset approximation: past
+	// SparseThreshold observations the surrogate is fitted on the
+	// points nearest the incumbent plus a uniform reservoir, bounding
+	// per-iteration cost by the subset size.
+	SparseSurrogate bool
+	// SparseThreshold is the observation count past which the sparse
+	// surrogate engages (default 512; only meaningful with
+	// SparseSurrogate set).
+	SparseThreshold int
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +165,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BO.Workers == 0 {
 		o.BO.Workers = o.Workers
+	}
+	// The scaling knobs live on Options (not o.BO) so they survive the
+	// BO-defaulting block above; map them onto the engine config last.
+	if o.RefitBudget > 0 {
+		o.BO.RefitBudget = o.RefitBudget
+	}
+	if o.SparseSurrogate {
+		o.BO.Sparse = true
+		if o.SparseThreshold > 0 {
+			o.BO.SparseThreshold = o.SparseThreshold
+		}
 	}
 	return o
 }
@@ -532,6 +560,19 @@ func (r *ROBOTune) Explain(space *conf.Space, res tuners.Result) string {
 	if r.LastEngine != nil {
 		if n := r.LastEngine.JitterRetries(); n > 0 {
 			fmt.Fprintf(&sb, "numerical health: %d escalating-jitter Cholesky retries across surrogate fits\n", n)
+		}
+		if st := r.LastEngine.RefitStats(); st.RefitBudget > 0 || st.Sparse {
+			fmt.Fprintf(&sb, "surrogate cadence: %d hyper refits, %d incremental extends, %d posterior refits",
+				st.HyperRefits, st.Extends, st.PosteriorRefits)
+			if st.RefitBudget > 0 {
+				fmt.Fprintf(&sb, " (refit time %.2fs of %.2fs elapsed, budget %.0f%%)",
+					st.RefitSeconds, st.ElapsedSeconds, 100*st.RefitBudget)
+			}
+			sb.WriteString("\n")
+			if st.Sparse {
+				fmt.Fprintf(&sb, "sparse surrogate: active set %d of %d observations (incumbent-local subset + uniform reservoir)\n",
+					st.ActiveSize, st.Observations)
+			}
 		}
 	}
 	if res.SurrogateFallbacks > 0 {

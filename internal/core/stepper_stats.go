@@ -1,0 +1,15 @@
+package core
+
+import "repro/internal/bo"
+
+// SurrogateStats returns the BO engine's refit-cadence accounting —
+// which fit paths Surrogate took, refit time against wall clock, and
+// whether the sparse active-set path is live. ok is false before the
+// session reaches its BO phase (no engine yet). The server's /metrics
+// endpoint aggregates this across sessions.
+func (st *Stepper) SurrogateStats() (stats bo.RefitStats, ok bool) {
+	if st.engine == nil {
+		return bo.RefitStats{}, false
+	}
+	return st.engine.RefitStats(), true
+}

@@ -20,10 +20,12 @@ package gp
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/optimize"
+	"repro/internal/par"
 	"repro/internal/sample"
 	"repro/internal/stats"
 )
@@ -121,6 +123,17 @@ type Config struct {
 	// goroutines (<= 0 selects GOMAXPROCS); results are bit-identical
 	// for any worker count.
 	Workers int
+	// SparseThreshold, when > 0, switches Fit to a local-subset sparse
+	// approximation once the training set exceeds it: the exact GP is
+	// built on the SparseSubset observations nearest the incumbent
+	// (lowest target, distance in the normalized config space) plus a
+	// uniform reservoir of the rest, bounding fit and predict cost by
+	// the subset size. 0 (the default) keeps the exact GP at every
+	// size, bit-identical to the pre-sparse implementation.
+	SparseThreshold int
+	// SparseSubset is the active-set size the sparse path targets
+	// (default: SparseThreshold).
+	SparseSubset int
 }
 
 // DefaultConfig returns the fitting configuration used by the BO
@@ -153,10 +166,93 @@ type GP struct {
 	// factorization needed (0 = clean Cholesky). The BO engine
 	// accumulates it across fits as a numerical-health signal.
 	jitterTries int
+	// Sparse-path bookkeeping: when activeIdx is non-nil the GP was
+	// fitted on the active subset x = fullX[activeIdx], and fullX/fullY
+	// retain the complete training set so Extend can keep appending and
+	// the next Fit can re-select.
+	fullX     [][]float64
+	fullY     []float64
+	activeIdx []int
+}
+
+// sparseSubset picks the active set for the local-subset sparse path:
+// the ~¾k observations nearest the incumbent (lowest target; squared
+// Euclidean distance in input space, index as the deterministic
+// tie-break) plus a uniform reservoir of ~¼k drawn from the remainder
+// so the model keeps global coverage. Indices are returned ascending,
+// preserving chronological order for Extend's append semantics.
+func sparseSubset(x [][]float64, y []float64, k int, seed uint64) []int {
+	n := len(x)
+	if k >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	inc := 0
+	for i := 1; i < n; i++ {
+		if y[i] < y[inc] {
+			inc = i
+		}
+	}
+	d2 := make([]float64, n)
+	xi := x[inc]
+	for i, r := range x {
+		var s float64
+		for j := range r {
+			dv := r[j] - xi[j]
+			s += dv * dv
+		}
+		d2[i] = s
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if d2[order[a]] != d2[order[b]] {
+			return d2[order[a]] < d2[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	kRes := k / 4
+	kNear := k - kRes
+	chosen := make(map[int]bool, k)
+	for _, i := range order[:kNear] {
+		chosen[i] = true
+	}
+	// Uniform reservoir over the non-near remainder (Algorithm R),
+	// seeded deterministically so the same data always selects the
+	// same subset.
+	rng := sample.NewRNG(seed ^ 0x5ab5e7)
+	reservoir := make([]int, 0, kRes)
+	seen := 0
+	for _, i := range order[kNear:] {
+		seen++
+		if len(reservoir) < kRes {
+			reservoir = append(reservoir, i)
+		} else if j := rng.IntN(seen); j < kRes {
+			reservoir[j] = i
+		}
+	}
+	for _, i := range reservoir {
+		chosen[i] = true
+	}
+	idx := make([]int, 0, len(chosen))
+	for i := range chosen {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
 }
 
 // Fit trains a GP on x (rows = points) and y. It returns an error if
-// the kernel matrix cannot be factorized even with jitter.
+// the kernel matrix cannot be factorized even with jitter. When
+// cfg.SparseThreshold > 0 and the training set is larger, the GP is
+// fitted exactly on the local subset chosen by sparseSubset; below
+// the threshold (or with it unset) the path is the exact GP,
+// bit-identical to the pre-sparse implementation.
 func Fit(x [][]float64, y []float64, cfg Config) (*GP, error) {
 	n := len(x)
 	if n == 0 || n != len(y) {
@@ -172,6 +268,30 @@ func Fit(x [][]float64, y []float64, cfg Config) (*GP, error) {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("gp: non-finite target y[%d] = %v", i, v)
 		}
+	}
+	if cfg.SparseThreshold > 0 && n > cfg.SparseThreshold {
+		k := cfg.SparseSubset
+		if k <= 0 {
+			k = cfg.SparseThreshold
+		}
+		idx := sparseSubset(x, y, k, cfg.Seed)
+		sx := make([][]float64, len(idx))
+		sy := make([]float64, len(idx))
+		for i, j := range idx {
+			sx[i] = x[j]
+			sy[i] = y[j]
+		}
+		sub := cfg
+		sub.SparseThreshold = 0
+		g, err := Fit(sx, sy, sub)
+		if err != nil {
+			return nil, err
+		}
+		g.cfg = cfg
+		g.fullX = x
+		g.fullY = y
+		g.activeIdx = idx
+		return g, nil
 	}
 	if cfg.Restarts <= 0 {
 		cfg.Restarts = 4
@@ -518,7 +638,11 @@ func (g *GP) factorize(p Params, c *distCache) error {
 	rk := resolveInto(p, nil)
 	k := linalg.NewMatrix(n, n)
 	g.kernelMatrixInto(&rk, c, k)
-	l, jitter, err := linalg.Cholesky(k, jitterStart, jitterMaxTries)
+	// The final factorization is the one place worth spreading the
+	// blocked Cholesky's tiles over workers: the likelihood search
+	// already parallelizes across restarts, but this factorization
+	// runs alone. Results are identical for any worker count.
+	l, jitter, err := linalg.CholeskyWorkersInto(nil, k, jitterStart, jitterMaxTries, par.Workers(g.cfg.Workers))
 	if err != nil {
 		return fmt.Errorf("gp: kernel matrix not PD: %w", err)
 	}
@@ -542,7 +666,11 @@ func (g *GP) factorize(p Params, c *distCache) error {
 // positive (near-duplicate points), Extend transparently falls back
 // to a full refit with jitter escalation.
 func (g *GP) Extend(x [][]float64, y []float64) (*GP, error) {
-	n0 := len(g.x)
+	prev := g.x
+	if g.activeIdx != nil {
+		prev = g.fullX
+	}
+	n0 := len(prev)
 	n := len(x)
 	if n <= n0 {
 		return nil, fmt.Errorf("gp: Extend needs more than the %d existing points, got %d", n0, n)
@@ -557,35 +685,52 @@ func (g *GP) Extend(x [][]float64, y []float64) (*GP, error) {
 		}
 	}
 	for i := 0; i < n0; i++ {
-		for j, v := range g.x[i] {
+		for j, v := range prev[i] {
 			if x[i][j] != v {
 				return nil, fmt.Errorf("gp: Extend prefix mismatch at row %d", i)
 			}
 		}
 	}
 
-	ng := &GP{cfg: g.cfg, params: g.params, rk: g.rk, x: x, jitter: g.jitter}
-	ng.yMean = stats.Mean(y)
-	ng.yStd = stats.StdDev(y)
+	// The active set is the receiver's training rows plus every
+	// appended point (re-selection of the subset happens at the next
+	// full Fit, not here). On the exact path the active set is simply
+	// the whole input and this gathers nothing.
+	ax, ay := x, y
+	if g.activeIdx != nil {
+		ax = make([][]float64, 0, len(g.activeIdx)+n-n0)
+		ay = make([]float64, 0, len(g.activeIdx)+n-n0)
+		for _, j := range g.activeIdx {
+			ax = append(ax, x[j])
+			ay = append(ay, y[j])
+		}
+		ax = append(ax, x[n0:]...)
+		ay = append(ay, y[n0:]...)
+	}
+
+	ng := &GP{cfg: g.cfg, params: g.params, rk: g.rk, x: ax, jitter: g.jitter}
+	ng.yMean = stats.Mean(ay)
+	ng.yStd = stats.StdDev(ay)
 	if ng.yStd < 1e-12 {
 		ng.yStd = 1
 	}
-	ng.yNorm = make([]float64, n)
-	for i, v := range y {
+	ng.yNorm = make([]float64, len(ay))
+	for i, v := range ay {
 		ng.yNorm[i] = (v - ng.yMean) / ng.yStd
 	}
 
 	chol := g.chol
-	for m := n0; m < n; m++ {
+	for m := len(ax) - (n - n0); m < len(ax); m++ {
 		kvec := make([]float64, m)
 		for i := 0; i < m; i++ {
-			kvec[i] = g.kernelResolved(&g.rk, x[i], x[m])
+			kvec[i] = g.kernelResolved(&g.rk, ax[i], ax[m])
 		}
-		diag := g.kernelResolved(&g.rk, x[m], x[m]) + g.rk.noise
+		diag := g.kernelResolved(&g.rk, ax[m], ax[m]) + g.rk.noise
 		next, err := linalg.CholAppend(chol, kvec, diag, g.jitter)
 		if err != nil {
 			// Near-singular extension: refit from scratch so the
-			// jitter can escalate.
+			// jitter can escalate (and, on the sparse path, the
+			// subset can be re-selected).
 			cfg := g.cfg
 			cfg.FitHyper = false
 			cfg.Init = g.params
@@ -596,6 +741,16 @@ func (g *GP) Extend(x [][]float64, y []float64) (*GP, error) {
 	ng.chol = chol
 	ng.alpha = linalg.CholSolve(chol, ng.yNorm)
 	ng.lml = lmlFrom(ng.yNorm, ng.alpha, chol)
+	if g.activeIdx != nil {
+		idx := make([]int, 0, len(g.activeIdx)+n-n0)
+		idx = append(idx, g.activeIdx...)
+		for i := n0; i < n; i++ {
+			idx = append(idx, i)
+		}
+		ng.fullX = x
+		ng.fullY = y
+		ng.activeIdx = idx
+	}
 	return ng, nil
 }
 
@@ -607,11 +762,18 @@ type PredictScratch struct {
 	ks, v []float64
 }
 
+// predictPool backs the non-Into Predict path so casual callers (hedge
+// settle, Explain, external users) get the zero-allocation fast path
+// without owning a scratch.
+var predictPool = sync.Pool{New: func() any { return new(PredictScratch) }}
+
 // Predict returns the posterior mean and variance of the latent
 // function at x, in the original target scale.
 func (g *GP) Predict(x []float64) (mu, variance float64) {
-	var s PredictScratch
-	return g.PredictInto(&s, x)
+	s := predictPool.Get().(*PredictScratch)
+	mu, variance = g.PredictInto(s, x)
+	predictPool.Put(s)
+	return mu, variance
 }
 
 // PredictInto is Predict using caller-owned scratch buffers: zero
@@ -660,8 +822,23 @@ func (g *GP) JitterRetries() int { return g.jitterTries }
 // target scale).
 func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
 
-// N returns the number of training points.
-func (g *GP) N() int { return len(g.x) }
+// N returns the number of training points the GP has seen (the full
+// set, even when the sparse path fitted only an active subset).
+func (g *GP) N() int {
+	if g.activeIdx != nil {
+		return len(g.fullX)
+	}
+	return len(g.x)
+}
+
+// Sparse reports whether the GP was fitted on a local active subset
+// rather than the full training set.
+func (g *GP) Sparse() bool { return g.activeIdx != nil }
+
+// ActiveSize returns the number of training points actually inside
+// the fitted model — the active-subset size on the sparse path, N on
+// the exact path. Predict cost scales with this, not with N.
+func (g *GP) ActiveSize() int { return len(g.x) }
 
 // Dim returns the input dimensionality.
 func (g *GP) Dim() int {

@@ -1,0 +1,284 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sample"
+)
+
+// smoothObjective is a random smooth test function: a quadratic bowl
+// with a seeded center plus low-frequency sinusoids. No noise — the
+// sparse-vs-exact comparisons need a deterministic target.
+func smoothObjective(seed uint64, d int) func(u []float64) float64 {
+	rng := sample.NewRNG(seed)
+	center := make([]float64, d)
+	freq := make([]float64, d)
+	for i := range center {
+		center[i] = 0.2 + 0.6*rng.Float64()
+		freq[i] = 1 + 2*rng.Float64()
+	}
+	return func(u []float64) float64 {
+		s := 0.0
+		for i := range u {
+			dv := u[i] - center[i]
+			s += dv*dv + 0.05*math.Sin(freq[i]*3*u[i])
+		}
+		return s
+	}
+}
+
+func sparseTrainingSet(seed uint64, n, d int) ([][]float64, []float64) {
+	f := smoothObjective(seed, d)
+	rng := sample.NewRNG(seed ^ 0xfeed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		y[i] = f(row)
+	}
+	return x, y
+}
+
+var sparseFixedInit = Params{LogVariance: 0, LogLength: math.Log(0.5), LogNoise: math.Log(1e-4)}
+
+// TestSparseThresholdGating: below the threshold (or with it unset)
+// Fit must produce the exact GP, bit-identical to a config with no
+// sparse fields at all.
+func TestSparseThresholdGating(t *testing.T) {
+	x, y := sparseTrainingSet(1, 80, 4)
+	exact := DefaultConfig()
+	exact.FitHyper = false
+	exact.Init = sparseFixedInit
+	gExact, err := Fit(x, y, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := exact
+	gated.SparseThreshold = 80 // n == threshold: not exceeded, stays exact
+	gGated, err := Fit(x, y, gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gGated.Sparse() {
+		t.Fatalf("n == threshold must stay exact")
+	}
+	if gExact.lml != gGated.lml {
+		t.Fatalf("gated LML %v != exact %v", gGated.lml, gExact.lml)
+	}
+	for i := range gExact.alpha {
+		if gExact.alpha[i] != gGated.alpha[i] {
+			t.Fatalf("gated alpha differs at %d", i)
+		}
+	}
+	for i := range gExact.chol.Data {
+		if gExact.chol.Data[i] != gGated.chol.Data[i] {
+			t.Fatalf("gated factor differs at %d", i)
+		}
+	}
+}
+
+// TestSparseSubsetSelection pins the selection contract: incumbent
+// always included, indices unique/ascending, size exactly k,
+// deterministic for a fixed seed.
+func TestSparseSubsetSelection(t *testing.T) {
+	x, y := sparseTrainingSet(2, 200, 3)
+	inc := 0
+	for i := range y {
+		if y[i] < y[inc] {
+			inc = i
+		}
+	}
+	idx := sparseSubset(x, y, 48, 9)
+	if len(idx) != 48 {
+		t.Fatalf("subset size %d, want 48", len(idx))
+	}
+	found := false
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatalf("indices not strictly ascending at %d", i)
+		}
+	}
+	for _, i := range idx {
+		if i == inc {
+			found = true
+		}
+		if i < 0 || i >= len(x) {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+	if !found {
+		t.Fatalf("incumbent %d not in active set", inc)
+	}
+	again := sparseSubset(x, y, 48, 9)
+	for i := range idx {
+		if idx[i] != again[i] {
+			t.Fatalf("selection not deterministic at %d", i)
+		}
+	}
+	other := sparseSubset(x, y, 48, 10)
+	same := true
+	for i := range idx {
+		if idx[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Logf("note: reservoir identical across seeds (possible but unlikely)")
+	}
+}
+
+// TestSparsePredictionsNearIncumbent is the quality property test: on
+// random smooth objectives, the sparse GP's posterior mean at and
+// around the incumbent must agree with the exact GP's to within 2% of
+// the target's standard deviation — the active set keeps every
+// near-incumbent point, so only far-field mass is approximated.
+func TestSparsePredictionsNearIncumbent(t *testing.T) {
+	const tol = 0.02 // fraction of yStd, the stated tolerance
+	for seed := uint64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			d := 4
+			x, y := sparseTrainingSet(seed*31, 700, d)
+			cfg := DefaultConfig()
+			cfg.FitHyper = false
+			cfg.Init = sparseFixedInit
+			cfg.Seed = seed
+			gExact, err := Fit(x, y, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := cfg
+			sp.SparseThreshold = 512
+			gSparse, err := Fit(x, y, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gSparse.Sparse() || gSparse.ActiveSize() != 512 || gSparse.N() != 700 {
+				t.Fatalf("sparse=%v active=%d n=%d", gSparse.Sparse(), gSparse.ActiveSize(), gSparse.N())
+			}
+			yStd := gExact.yStd
+			inc := 0
+			for i := range y {
+				if y[i] < y[inc] {
+					inc = i
+				}
+			}
+			rng := sample.NewRNG(seed ^ 0xabc)
+			probe := [][]float64{x[inc]}
+			for p := 0; p < 8; p++ {
+				q := make([]float64, d)
+				for j := range q {
+					q[j] = x[inc][j] + 0.05*(rng.Float64()-0.5)
+				}
+				probe = append(probe, q)
+			}
+			for pi, q := range probe {
+				muE, varE := gExact.Predict(q)
+				muS, varS := gSparse.Predict(q)
+				if math.Abs(muE-muS) > tol*yStd {
+					t.Errorf("probe %d: |Δmu| = %g > %g (mu exact %g sparse %g)",
+						pi, math.Abs(muE-muS), tol*yStd, muE, muS)
+				}
+				if varS < 0 || math.IsNaN(varS) || math.IsInf(varS, 0) {
+					t.Errorf("probe %d: bad sparse variance %g (exact %g)", pi, varS, varE)
+				}
+			}
+		})
+	}
+}
+
+// TestSparseExtendMatchesSubsetRefit: Extend on the sparse path must
+// be bit-identical to an exact refit on (active subset + new points)
+// at the same hyperparameters — the same contract the exact path's
+// Extend already has, applied to the active set.
+func TestSparseExtendMatchesSubsetRefit(t *testing.T) {
+	x, y := sparseTrainingSet(7, 600, 4)
+	cfg := DefaultConfig()
+	cfg.FitHyper = false
+	cfg.Init = sparseFixedInit
+	cfg.SparseThreshold = 512
+	g, err := Fit(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothObjective(7, 4)
+	x2 := append(append([][]float64(nil), x...),
+		[]float64{0.31, 0.62, 0.13, 0.84},
+		[]float64{0.11, 0.92, 0.53, 0.24})
+	y2 := append(append([]float64(nil), y...), f(x2[600]), f(x2[601]))
+	ext, err := g.Extend(x2, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Sparse() || ext.N() != 602 || ext.ActiveSize() != g.ActiveSize()+2 {
+		t.Fatalf("sparse=%v n=%d active=%d", ext.Sparse(), ext.N(), ext.ActiveSize())
+	}
+	// Reference: exact fit on the same active rows.
+	rx := make([][]float64, 0, len(g.activeIdx)+2)
+	ry := make([]float64, 0, len(g.activeIdx)+2)
+	for _, j := range g.activeIdx {
+		rx = append(rx, x2[j])
+		ry = append(ry, y2[j])
+	}
+	rx = append(rx, x2[600], x2[601])
+	ry = append(ry, y2[600], y2[601])
+	rcfg := cfg
+	rcfg.SparseThreshold = 0
+	rcfg.Init = g.Params()
+	ref, err := Fit(rx, ry, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.lml != ref.lml {
+		t.Fatalf("Extend LML %v != subset-refit %v", ext.lml, ref.lml)
+	}
+	for i := range ref.alpha {
+		if ext.alpha[i] != ref.alpha[i] {
+			t.Fatalf("alpha differs at %d", i)
+		}
+	}
+	probe := []float64{0.4, 0.5, 0.6, 0.3}
+	me, ve := ext.Predict(probe)
+	mr, vr := ref.Predict(probe)
+	if me != mr || ve != vr {
+		t.Fatalf("Extend prediction (%v,%v) != refit (%v,%v)", me, ve, mr, vr)
+	}
+	// The receiver must be untouched (Fork sharing).
+	if g.N() != 600 || g.ActiveSize() != 512 {
+		t.Fatalf("Extend mutated receiver: n=%d active=%d", g.N(), g.ActiveSize())
+	}
+}
+
+// TestSparseExtendDuplicateFallback: appending a duplicate of an
+// active point defeats CholAppend; the sparse path must transparently
+// refit (re-selecting the subset) instead of failing.
+func TestSparseExtendDuplicateFallback(t *testing.T) {
+	x, y := sparseTrainingSet(9, 600, 4)
+	cfg := DefaultConfig()
+	cfg.FitHyper = false
+	cfg.Init = sparseFixedInit
+	cfg.SparseThreshold = 512
+	g, err := Fit(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append([]float64(nil), g.x[0]...)
+	x2 := append(append([][]float64(nil), x...), dup)
+	y2 := append(append([]float64(nil), y...), y[g.activeIdx[0]])
+	ext, err := g.Extend(x2, y2)
+	if err != nil {
+		t.Fatalf("duplicate extension failed: %v", err)
+	}
+	if ext.N() != 601 {
+		t.Fatalf("n=%d, want 601", ext.N())
+	}
+	mu, v := ext.Predict(x[0])
+	if math.IsNaN(mu) || math.IsNaN(v) {
+		t.Fatalf("bad posterior after duplicate: mu=%g var=%g", mu, v)
+	}
+}

@@ -120,38 +120,19 @@ func Cholesky(a *Matrix, startJitter float64, maxTries int) (l *Matrix, jitter f
 // SolveLower solves L y = b for y where L is lower triangular
 // (forward substitution).
 func SolveLower(l *Matrix, b []float64) []float64 {
-	n := l.Rows
-	if len(b) != n {
+	if len(b) != l.Rows {
 		panic("linalg: SolveLower length mismatch")
 	}
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		row := l.Row(i)
-		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
-		}
-		y[i] = s / row[i]
-	}
-	return y
+	return SolveLowerInto(l, b, nil)
 }
 
 // SolveUpperT solves Lᵀ x = y for x where L is lower triangular
 // (backward substitution on the transpose).
 func SolveUpperT(l *Matrix, y []float64) []float64 {
-	n := l.Rows
-	if len(y) != n {
+	if len(y) != l.Rows {
 		panic("linalg: SolveUpperT length mismatch")
 	}
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
-		}
-		x[i] = s / l.At(i, i)
-	}
-	return x
+	return SolveUpperTInto(l, y, nil)
 }
 
 // CholSolve solves A x = b given the lower Cholesky factor L of A.

@@ -21,6 +21,11 @@ type Metrics struct {
 	Errors5xx atomic.Int64
 	Throttled atomic.Int64
 	Conflicts atomic.Int64
+	// ObsCapped counts observations rejected by Options.MaxObservations
+	// (code "max_observations"; not folded into Conflicts even though
+	// both are 409s — a capped session is an operator signal, not a
+	// protocol hiccup).
+	ObsCapped atomic.Int64
 
 	Proposals    atomic.Int64
 	Observations atomic.Int64
@@ -106,6 +111,7 @@ type MetricsView struct {
 		Errors5xx int64 `json:"errors_5xx"`
 		Throttled int64 `json:"throttled"`
 		Conflicts int64 `json:"conflicts"`
+		ObsCapped int64 `json:"observations_capped"`
 	} `json:"requests"`
 	Trials struct {
 		Proposals    int64 `json:"proposals"`
@@ -113,6 +119,26 @@ type MetricsView struct {
 		Skips        int64 `json:"skips"`
 	} `json:"trials"`
 	ObserveLatency histogramView `json:"observe_latency"`
+}
+
+// SurrogateView is the /metrics "surrogate" section: refit-cadence
+// accounting summed across every live session whose stepper exposes it
+// (ROBOTune sessions with a fitted surrogate). Unlike the atomic
+// counters it is computed on demand by walking the session table —
+// /metrics is cold-path, so the walk is fine.
+type SurrogateView struct {
+	Sessions        int     `json:"sessions"`
+	SparseSessions  int     `json:"sparse_sessions"`
+	HyperRefits     int     `json:"hyper_refits"`
+	PosteriorRefits int     `json:"posterior_refits"`
+	Extends         int     `json:"extends"`
+	RefitSeconds    float64 `json:"refit_seconds"`
+	Observations    int     `json:"observations"`
+	// ActivePoints is the summed surrogate working-set size: the sparse
+	// active set where the sparse path is on, the full history where it
+	// is not. ActivePoints << Observations means the local-subset path
+	// is doing its job.
+	ActivePoints int `json:"active_points"`
 }
 
 // View snapshots the counters. Reads are not mutually atomic — this is
@@ -129,6 +155,7 @@ func (m *Metrics) View() MetricsView {
 	v.Requests.Errors5xx = m.Errors5xx.Load()
 	v.Requests.Throttled = m.Throttled.Load()
 	v.Requests.Conflicts = m.Conflicts.Load()
+	v.Requests.ObsCapped = m.ObsCapped.Load()
 	v.Trials.Proposals = m.Proposals.Load()
 	v.Trials.Observations = m.Observations.Load()
 	v.Trials.Skips = m.Skips.Load()

@@ -31,6 +31,12 @@ type Options struct {
 	MaxSessions int
 	// TenantSessions caps live sessions per tenant; 0 = unlimited.
 	TenantSessions int
+	// MaxObservations caps each session's applied observation history;
+	// past the cap new observations answer 409 with code
+	// "max_observations" until the client finishes the session.
+	// 0 = unlimited. The cap bounds server-side memory and surrogate
+	// cost per session regardless of the spec's nominal budget.
+	MaxObservations int
 	// TenantEvalsPerSec rate-limits observations per tenant (token
 	// bucket, burst TenantBurst); 0 = unlimited.
 	TenantEvalsPerSec float64
@@ -305,7 +311,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics)
+	doc := struct {
+		MetricsView
+		Surrogate SurrogateView `json:"surrogate"`
+	}{MetricsView: s.metrics.View(), Surrogate: s.store.SurrogateStats()}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // --- Plumbing --------------------------------------------------------
@@ -338,8 +348,11 @@ func (s *Server) writeErr(w http.ResponseWriter, e *apiErr) {
 	case e.status >= 400:
 		s.metrics.Errors4xx.Add(1)
 	}
-	if e.code == "conflict" {
+	switch e.code {
+	case "conflict":
 		s.metrics.Conflicts.Add(1)
+	case "max_observations":
+		s.metrics.ObsCapped.Add(1)
 	}
 	writeJSON(w, e.status, ErrorBody{Error: ErrorDetail{Code: e.code, Message: e.message}})
 }

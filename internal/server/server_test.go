@@ -143,16 +143,19 @@ func TestSpecValidation(t *testing.T) {
 	bad := []string{
 		``,
 		`{`,
-		`{"tuner":"robotune"}`,                                        // no space, no budget
-		`{"tuner":"nope","space":"spark","budget":5}`,                 // unknown tuner
-		`{"tuner":"randomsearch","space":"mars","budget":5}`,          // unknown space
-		`{"tuner":"randomsearch","space":"spark","budget":0}`,         // zero budget
-		`{"tuner":"randomsearch","space":"spark","budget":-3}`,        // negative budget
+		`{"tuner":"robotune"}`, // no space, no budget
+		`{"tuner":"nope","space":"spark","budget":5}`,          // unknown tuner
+		`{"tuner":"randomsearch","space":"mars","budget":5}`,   // unknown space
+		`{"tuner":"randomsearch","space":"spark","budget":0}`,  // zero budget
+		`{"tuner":"randomsearch","space":"spark","budget":-3}`, // negative budget
 		`{"tuner":"randomsearch","space":"spark","budget":99999999999}`,
 		`{"tuner":"randomsearch","space":"spark","budget":5,"sync":"sometimes"}`,
 		`{"tuner":"randomsearch","space":"spark","budget":5,"bogus":1}`, // unknown field
 		`{"tuner":"randomsearch","space":{"system":"x","params":[]},"budget":5}`,
 		`{"tuner":"randomsearch","space":"spark","budget":5,"options":{"workers":-1}}`,
+		`{"tuner":"robotune","space":"spark","budget":5,"options":{"refit_budget":1}}`,    // budget fraction must be < 1
+		`{"tuner":"robotune","space":"spark","budget":5,"options":{"refit_budget":-0.1}}`, // ... and non-negative
+		`{"tuner":"robotune","space":"spark","budget":5,"options":{"sparse_threshold":-1}}`,
 	}
 	for _, body := range bad {
 		resp, err := http.Post(env.ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))

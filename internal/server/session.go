@@ -26,6 +26,9 @@ type session struct {
 
 	created   int64
 	lastTouch atomic.Int64
+	// maxObs caps the applied observation history (Options
+	// .MaxObservations); 0 = unlimited.
+	maxObs int
 
 	mu sync.Mutex
 	st tuners.Stepper
@@ -101,6 +104,13 @@ func errGone(format string, args ...any) *apiErr {
 	return &apiErr{status: 410, code: "finished", message: fmt.Sprintf(format, args...)}
 }
 
+// errMaxObservations shares the 409 status with errConflict but keeps
+// a distinct code so clients can tell "resend/dedupe" (conflict) from
+// "this session is full, stop sending" (max_observations).
+func errMaxObservations(format string, args ...any) *apiErr {
+	return &apiErr{status: 409, code: "max_observations", message: fmt.Sprintf(format, args...)}
+}
+
 // journalMeta derives the journal identity from a spec. A rehydration
 // whose journal was recorded under different parameters is rejected by
 // the journal's own meta validation.
@@ -121,7 +131,7 @@ func journalMeta(spec SessionSpec, space *conf.Space) journal.Meta {
 // the bit-identical resume path — and any proposals regenerated along
 // the way that the journal never saw observed become the unclaimed
 // queue.
-func newSession(id, tenant string, ps ParsedSpec, journalPath string, nowUnix int64) (*session, error) {
+func newSession(id, tenant string, ps ParsedSpec, journalPath string, nowUnix int64, maxObs int) (*session, error) {
 	st, err := cli.BuildStepper(ps.Spec.Tuner, ps.Space, ps.Spec.Budget, ps.Spec.Seed,
 		ps.Spec.Workload, ps.Spec.Dataset, ps.Spec.Options.coreOptions())
 	if err != nil {
@@ -133,6 +143,7 @@ func newSession(id, tenant string, ps ParsedSpec, journalPath string, nowUnix in
 		spec:    ps.Spec,
 		space:   ps.Space,
 		created: nowUnix,
+		maxObs:  maxObs,
 		st:      st,
 		pending: make(map[string]int),
 		bestSec: math.Inf(1),
@@ -368,6 +379,14 @@ func (s *session) observe(o Observation) *apiErr {
 		Infeasible: o.Infeasible,
 		Transient:  o.Transient,
 		Skipped:    o.Skipped,
+	}
+	// The cap counts evaluated (non-skipped) observations — the ones
+	// that grow the surrogate and the replayable history. Skips stay
+	// exempt so a client at the cap can still resolve its outstanding
+	// proposals before finishing. Checked before the journal append, so
+	// a rejected observation leaves no state anywhere.
+	if s.maxObs > 0 && !rec.Skipped && s.evals >= s.maxObs {
+		return errMaxObservations("session at its %d-observation cap; skip outstanding proposals and finish the session (DELETE)", s.maxObs)
 	}
 	evalsAfter, costAfter := s.evals, s.cost
 	if !rec.Skipped {

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/bo"
 )
 
 // Store is the sharded in-memory session table. Lookups hash the
@@ -125,7 +127,7 @@ func (st *Store) Create(tenant string, ps ParsedSpec) (*session, *apiErr) {
 		}
 		jnlPath = st.journalPath(id)
 	}
-	s, err := newSession(id, tenant, ps, jnlPath, st.opts.Now().Unix())
+	s, err := newSession(id, tenant, ps, jnlPath, st.opts.Now().Unix(), st.opts.MaxObservations)
 	if err != nil {
 		st.releaseSession(tenant)
 		if st.opts.JournalDir != "" {
@@ -230,7 +232,7 @@ func (st *Store) rehydrate(id string) (*session, *apiErr) {
 	if tenant == "" {
 		tenant = "default"
 	}
-	s, err := newSession(id, tenant, parsed, st.journalPath(id), st.opts.Now().Unix())
+	s, err := newSession(id, tenant, parsed, st.journalPath(id), st.opts.Now().Unix(), st.opts.MaxObservations)
 	if err != nil {
 		return nil, errInternal("rehydrate session %q: %v", id, err)
 	}
@@ -340,6 +342,51 @@ func (st *Store) checkClosed() *apiErr {
 
 // List returns the ids of live (in-memory) sessions, most recently
 // touched last; informational only.
+// SurrogateStats sums the refit-cadence accounting of every live
+// session whose stepper exposes it. Sessions are collected under the
+// shard locks, then each is sampled under its own lock — never both at
+// once, matching the lock order everywhere else in the store.
+func (st *Store) SurrogateStats() SurrogateView {
+	type statser interface {
+		SurrogateStats() (bo.RefitStats, bool)
+	}
+	var live []*session
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.m {
+			live = append(live, s)
+		}
+		sh.mu.Unlock()
+	}
+	var v SurrogateView
+	for _, s := range live {
+		s.mu.Lock()
+		ss, ok := s.st.(statser)
+		var rs bo.RefitStats
+		if ok {
+			rs, ok = ss.SurrogateStats()
+		}
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		v.Sessions++
+		v.HyperRefits += rs.HyperRefits
+		v.PosteriorRefits += rs.PosteriorRefits
+		v.Extends += rs.Extends
+		v.RefitSeconds += rs.RefitSeconds
+		v.Observations += rs.Observations
+		if rs.Sparse {
+			v.SparseSessions++
+			v.ActivePoints += rs.ActiveSize
+		} else {
+			v.ActivePoints += rs.Observations
+		}
+	}
+	return v
+}
+
 func (st *Store) List() []string {
 	var ids []string
 	for i := range st.shards {

@@ -76,6 +76,13 @@ type SpecOptions struct {
 	EarlyStopPatience   int     `json:"early_stop_patience,omitempty"`
 	EarlyStopEpsilon    float64 `json:"early_stop_epsilon,omitempty"`
 	Workers             int     `json:"workers,omitempty"`
+	// RefitBudget caps GP hyperparameter-refit time at this fraction
+	// of session wall clock (0 = fixed every-5 cadence).
+	RefitBudget float64 `json:"refit_budget,omitempty"`
+	// Sparse switches the surrogate to the bounded local-subset path
+	// past SparseThreshold observations (default threshold 512).
+	Sparse          bool `json:"sparse,omitempty"`
+	SparseThreshold int  `json:"sparse_threshold,omitempty"`
 }
 
 // coreOptions maps the wire knobs onto core.Options.
@@ -91,6 +98,9 @@ func (o SpecOptions) coreOptions() core.Options {
 		EarlyStopPatience:   o.EarlyStopPatience,
 		EarlyStopEpsilon:    o.EarlyStopEpsilon,
 		Workers:             o.Workers,
+		RefitBudget:         o.RefitBudget,
+		SparseSurrogate:     o.Sparse,
+		SparseThreshold:     o.SparseThreshold,
 	}
 }
 
@@ -101,7 +111,7 @@ func (o SpecOptions) validate() error {
 		"generic_samples": o.GenericSamples, "tuning_samples": o.TuningSamples,
 		"permute_repeats": o.PermuteRepeats, "min_selected": o.MinSelected,
 		"max_selected": o.MaxSelected, "early_stop_patience": o.EarlyStopPatience,
-		"workers": o.Workers,
+		"workers": o.Workers, "sparse_threshold": o.SparseThreshold,
 	}
 	for name, v := range ints {
 		if v < 0 || v > 1_000_000 {
@@ -117,6 +127,11 @@ func (o SpecOptions) validate() error {
 		if !finite(v) || v < 0 || v > 1e9 {
 			return fmt.Errorf("options.%s must be finite and in [0, 1e9], got %v", name, v)
 		}
+	}
+	// The refit budget is a fraction of wall clock; anything at or
+	// above 1 would let the surrogate monopolize the session.
+	if !finite(o.RefitBudget) || o.RefitBudget < 0 || o.RefitBudget >= 1 {
+		return fmt.Errorf("options.refit_budget must be finite and in [0, 1), got %v", o.RefitBudget)
 	}
 	return nil
 }
