@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race bench bench-gp bench-gp-scale benchstat fuzz fuzz-journal fuzz-server fault-stress crash-stress load-test
+.PHONY: build test lint race bench bench-gp bench-gp-scale bench-multifidelity benchstat fuzz fuzz-journal fuzz-server fault-stress crash-stress load-test
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,14 @@ bench-gp:
 # minutes). Reference numbers live in BENCH_gp_scale.json.
 bench-gp-scale:
 	$(GO) test -run '^$$' -bench 'BenchmarkGPScale' -benchmem -benchtime 1x .
+
+# Multi-fidelity cost-to-quality acceptance run: BOHB (fidelity ladder
+# + cost-aware acquisition) vs full-fidelity ROBOTune on the paper
+# workloads, at a larger budget than the always-on CI gate
+# (TestMultiFidelityQualityRegression in `make test`). Results land in
+# BENCH_multifidelity.json.
+bench-multifidelity:
+	ROBOTUNE_BENCH_MF=1 $(GO) test -run 'TestBenchMultiFidelity' -v -count 1 -timeout 1200s ./internal/experiments
 
 # A/B comparison helper: save a baseline, make a change, compare.
 # Uses benchstat when installed, otherwise falls back to diff.

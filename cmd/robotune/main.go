@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -57,8 +58,20 @@ func main() {
 		faults   = flag.String("faults", "", "fault-injection plan: 'default', or execloss=,straggler=,stragglerfactor=,transient=,oom=,seed= (empty/off = no faults)")
 		jrnPath  = flag.String("journal", "", "session journal file: every evaluation is committed before the tuner acts on it; if the file exists, the session resumes from it bit-identically (Ctrl-C leaves a resumable journal)")
 		jrnSync  = flag.String("journal-sync", "always", "journal fsync policy: always | none (snapshots are always fsynced)")
+		multiFid = flag.Bool("multifidelity", false, "run the BOHB multi-fidelity tuner (shorthand for -tuner BOHB): brackets start on cheap input-scale proxies and promote survivors toward the full workload")
+		ladder   = flag.String("fidelity-ladder", "", "BOHB: comma-separated ascending fidelity ladder ending at 1, e.g. 0.111,0.333,1 (empty = default 1/9,1/3,1)")
+		fidAxis  = flag.String("fidelity-axis", "input", "BOHB: workload dimension the ladder scales: input (data volumes) or stage (stage-plan prefix; usually the cheaper proxy for iterative workloads)")
+		costAwre = flag.Bool("cost-aware", false, "divide positive acquisition scores by predicted evaluation cost (EI-per-second; applies to ROBOTune and BOHB)")
 	)
 	flag.Parse()
+	if *multiFid {
+		*tuner = "BOHB"
+	}
+	ladderVals, err := cli.ParseFidelityLadder(*ladder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	w, err := sparksim.WorkloadByName(*workload, *dataset-1)
 	if err != nil {
@@ -80,6 +93,9 @@ func main() {
 		RefitBudget:     *refitBdg,
 		SparseSurrogate: *sparse,
 		SparseThreshold: *sparseAt,
+		CostAware:       *costAwre,
+		FidelityLadder:  ladderVals,
+		FidelityAxis:    *fidAxis,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -217,16 +233,22 @@ func main() {
 	}
 
 	// Convergence trace: running minimum every 10 iterations. A
-	// session cancelled during selection has no tuning trace.
+	// session cancelled during selection has no tuning trace. Proxy
+	// (reduced-fidelity) observations are excluded — their seconds
+	// measure a scaled-down workload, not the real objective.
 	if len(res.Trace) > 0 {
 		fmt.Println("\nconvergence (running min):")
-		runMin := res.Trace[0]
+		runMin := math.Inf(1)
 		for i, v := range res.Trace {
-			if v < runMin {
+			if (len(res.Proxy) <= i || !res.Proxy[i]) && v < runMin {
 				runMin = v
 			}
 			if (i+1)%10 == 0 || i == len(res.Trace)-1 {
-				fmt.Printf("  iter %3d: %7.1f s\n", i+1, runMin)
+				if math.IsInf(runMin, 1) {
+					fmt.Printf("  iter %3d:     n/a (proxy evaluations only so far)\n", i+1)
+				} else {
+					fmt.Printf("  iter %3d: %7.1f s\n", i+1, runMin)
+				}
 			}
 		}
 	}

@@ -54,6 +54,12 @@ type Config struct {
 	// SparseThreshold is the observation count past which the sparse
 	// path engages (default 512; only meaningful with Sparse set).
 	SparseThreshold int
+	// CostAware divides positive acquisition scores by the predicted
+	// evaluation cost (a k-nearest-neighbor model over the costs fed
+	// via ObserveCost), implementing EI-per-second: among equally
+	// promising points, prefer the cheaper one. Without cost
+	// observations the engine behaves exactly as with CostAware off.
+	CostAware bool
 	// RefitBudget, when > 0, replaces the fixed every-5-observations
 	// hyperparameter-refit cadence with a cost-budgeted one: the
 	// hyperparameters are refit only while cumulative refit time stays
@@ -110,6 +116,11 @@ type Engine struct {
 	// chosen is the index of the portfolio member whose proposal was
 	// returned by the last Suggest.
 	chosen int
+	// costX/costY hold the cost model's observations (unit-cube point,
+	// evaluation cost in seconds), fed via ObserveCost and consulted by
+	// Suggest when CostAware is set.
+	costX [][]float64
+	costY []float64
 	// jitterRetries accumulates, across all surrogate fits this
 	// session, how many escalating-jitter retries the Cholesky
 	// factorizations needed. A non-zero value flags a numerically
@@ -235,6 +246,76 @@ func (e *Engine) Censored() int {
 		}
 	}
 	return n
+}
+
+// ObserveCost feeds the cost model one (point, evaluation cost)
+// pair. Costs are what the evaluation *spent* (full-fidelity-
+// equivalent seconds for multi-fidelity tuners), independent of the
+// objective value; non-finite or non-positive costs are ignored. The
+// model only influences Suggest when Config.CostAware is set.
+func (e *Engine) ObserveCost(x []float64, cost float64) {
+	if len(x) != e.dim {
+		panic(fmt.Sprintf("bo: ObserveCost dim %d, engine dim %d", len(x), e.dim))
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) || cost <= 0 {
+		return
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+	}
+	e.costX = append(e.costX, append([]float64(nil), x...))
+	e.costY = append(e.costY, cost)
+}
+
+// CostObservations returns how many points the cost model holds.
+func (e *Engine) CostObservations() int { return len(e.costX) }
+
+// predictCost estimates the evaluation cost at x as the mean cost of
+// the k=3 nearest observed points (squared Euclidean distance in the
+// unit cube), floored well above zero so a cost division can never
+// blow an acquisition score up to infinity. Read-only: safe to call
+// concurrently from the acquisition multistart.
+func (e *Engine) predictCost(x []float64) float64 {
+	const k = 3
+	var dist [k]float64
+	var cost [k]float64
+	n := 0
+	for i, xi := range e.costX {
+		d := 0.0
+		for j, v := range xi {
+			dv := v - x[j]
+			d += dv * dv
+		}
+		if n < k {
+			dist[n], cost[n] = d, e.costY[i]
+			n++
+			continue
+		}
+		// Replace the farthest of the current k if this one is nearer.
+		far := 0
+		for m := 1; m < k; m++ {
+			if dist[m] > dist[far] {
+				far = m
+			}
+		}
+		if d < dist[far] {
+			dist[far], cost[far] = d, e.costY[i]
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	sum := 0.0
+	for m := 0; m < n; m++ {
+		sum += cost[m]
+	}
+	mean := sum / float64(n)
+	if mean < 1e-6 {
+		mean = 1e-6
+	}
+	return mean
 }
 
 // N returns the number of observations.
@@ -412,6 +493,7 @@ func (e *Engine) Suggest() ([]float64, error) {
 	}
 
 	bounds := optimize.UnitBox(e.dim)
+	costAware := e.cfg.CostAware && len(e.costX) > 0
 	nominees := make([][]float64, len(e.cfg.Portfolio))
 	for i, acq := range e.cfg.Portfolio {
 		// neg is called concurrently by Multistart, so each call
@@ -420,7 +502,15 @@ func (e *Engine) Suggest() ([]float64, error) {
 			s := predictScratch.Get().(*gp.PredictScratch)
 			mu, v := g.PredictInto(s, x)
 			predictScratch.Put(s)
-			return -acq.Score(mu, math.Sqrt(v), fBest)
+			score := acq.Score(mu, math.Sqrt(v), fBest)
+			// Cost-aware acquisition (EI-per-second): positive promise
+			// is discounted by predicted cost; non-positive scores are
+			// left alone so dividing by cost cannot make a bad point
+			// look less bad.
+			if costAware && score > 0 {
+				score /= e.predictCost(x)
+			}
+			return -score
 		}
 		// Seed local search with the best pool candidates.
 		type cand struct {
@@ -521,6 +611,11 @@ func (e *Engine) Fork() *Engine {
 	}
 	f.y = append([]float64(nil), e.y...)
 	f.cens = append([]bool(nil), e.cens...)
+	f.costX = make([][]float64, len(e.costX))
+	for i, xi := range e.costX {
+		f.costX[i] = append([]float64(nil), xi...)
+	}
+	f.costY = append([]float64(nil), e.costY...)
 	copy(f.gain, e.gain)
 	f.lastHyper = e.lastHyper
 	f.hyperFitAtN = e.hyperFitAtN

@@ -120,14 +120,76 @@ func BuildTunerOpts(name string, store *memo.Store, opts core.Options) (tuners.S
 		return tuners.SuccessiveHalving{}, nil
 	case "cmaes", "cma-es":
 		return tuners.CMAES{}, nil
+	case "bohb":
+		b, err := buildBOHB(opts)
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
 	}
-	return nil, fmt.Errorf("unknown tuner %q (have ROBOTune, BestConfig, Gunther, RandomSearch, SuccessiveHalving, CMAES)", name)
+	return nil, fmt.Errorf("unknown tuner %q (have ROBOTune, BestConfig, Gunther, RandomSearch, SuccessiveHalving, CMAES, BOHB)", name)
+}
+
+// buildBOHB maps the shared Options onto the multi-fidelity tuner:
+// the fidelity ladder, axis and cost-aware toggle come straight from
+// Options, Parallel becomes the rung-wave worker count, and Workers
+// drives the engine's internal math like everywhere else.
+func buildBOHB(opts core.Options) (tuners.BOHB, error) {
+	if opts.FidelityLadder != nil {
+		if err := tuners.ValidFidelityLadder(opts.FidelityLadder); err != nil {
+			return tuners.BOHB{}, fmt.Errorf("fidelity ladder: %w", err)
+		}
+	}
+	axis, err := ParseFidelityAxis(opts.FidelityAxis)
+	if err != nil {
+		return tuners.BOHB{}, err
+	}
+	bocfg := opts.BO
+	bocfg.CostAware = bocfg.CostAware || opts.CostAware
+	if bocfg.Workers == 0 {
+		bocfg.Workers = opts.Workers
+	}
+	return tuners.BOHB{Ladder: opts.FidelityLadder, Axis: axis, BO: bocfg, Workers: opts.Parallel}, nil
+}
+
+// ParseFidelityAxis maps the textual fidelity axis ("", "input",
+// "stage") onto the tuner constant.
+func ParseFidelityAxis(s string) (tuners.FidelityAxis, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "input":
+		return tuners.AxisInput, nil
+	case "stage":
+		return tuners.AxisStage, nil
+	}
+	return tuners.AxisInput, fmt.Errorf("fidelity axis %q: want \"input\" or \"stage\"", s)
+}
+
+// ParseFidelityLadder parses a comma-separated fidelity ladder —
+// ascending input-scale fractions ending at 1, e.g. "0.111,0.333,1"
+// — and validates it. "" returns nil (the tuner's default ladder).
+func ParseFidelityLadder(spec string) ([]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fidelity ladder: bad rung %q", p)
+		}
+		out = append(out, v)
+	}
+	if err := tuners.ValidFidelityLadder(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // TunerKinds lists the canonical tuner names BuildTuner and
 // BuildStepper accept, for error messages and wire-spec validation.
 func TunerKinds() []string {
-	return []string{"robotune", "bestconfig", "gunther", "randomsearch", "successivehalving", "cmaes"}
+	return []string{"robotune", "bestconfig", "gunther", "randomsearch", "successivehalving", "cmaes", "bohb"}
 }
 
 // BuildStepper constructs the ask/tell (externally driven) form of a
@@ -151,6 +213,12 @@ func BuildStepper(name string, space *conf.Space, budget int, seed uint64, workl
 		return tuners.SuccessiveHalving{}.Stepper(space, budget, seed), nil
 	case "cmaes", "cma-es":
 		return tuners.CMAES{}.Stepper(space, budget, seed), nil
+	case "bohb":
+		b, err := buildBOHB(opts)
+		if err != nil {
+			return nil, err
+		}
+		return b.Stepper(space, budget, seed), nil
 	}
 	return nil, fmt.Errorf("unknown tuner %q (have %s)", name, strings.Join(TunerKinds(), ", "))
 }

@@ -141,6 +141,21 @@ func TestBuildTuner(t *testing.T) {
 	}
 }
 
+func TestParseFidelityAxis(t *testing.T) {
+	for spec, want := range map[string]tuners.FidelityAxis{
+		"": tuners.AxisInput, "input": tuners.AxisInput, " Input ": tuners.AxisInput,
+		"stage": tuners.AxisStage, "STAGE": tuners.AxisStage,
+	} {
+		got, err := ParseFidelityAxis(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseFidelityAxis(%q) = %v, %v; want %v", spec, got, err, want)
+		}
+	}
+	if _, err := ParseFidelityAxis("volume"); err == nil {
+		t.Error("bad axis accepted")
+	}
+}
+
 func TestParseFaultPlan(t *testing.T) {
 	for _, spec := range []string{"", "off", "none", " "} {
 		p, err := ParseFaultPlan(spec)

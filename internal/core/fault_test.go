@@ -136,6 +136,14 @@ func (c *cancellingObjective) EvaluateWithCap(cfg conf.Config, cap float64) spar
 	return c.Evaluator.EvaluateWithCap(cfg, cap)
 }
 
+// EvaluateSpec keeps the cancel hook on the unified entry point the
+// session actually routes through (the promoted embedded method
+// would bypass it).
+func (c *cancellingObjective) EvaluateSpec(cfg conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
+	defer c.tick()
+	return c.Evaluator.EvaluateSpec(cfg, spec)
+}
+
 // TestTuneCancelledReturnsBestSoFar: a context cancelled mid-session
 // must stop the tuner within one evaluation and surface the
 // best-so-far.

@@ -301,6 +301,13 @@ func (c *countingEvaluator) EvaluateWithCap(cfg conf.Config, cap float64) sparks
 	return c.Evaluator.EvaluateWithCap(cfg, cap)
 }
 
+// EvaluateSpec keeps the call counter on the unified entry point the
+// session actually routes through.
+func (c *countingEvaluator) EvaluateSpec(cfg conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
+	c.calls++
+	return c.Evaluator.EvaluateSpec(cfg, spec)
+}
+
 // TestResumeCompletedJournal replays a finished session end-to-end:
 // same result, zero new objective evaluations, and the snapshot
 // fast-skip path (selection forest never re-trained) engaged.

@@ -121,6 +121,21 @@ type Options struct {
 	// surrogate engages (default 512; only meaningful with
 	// SparseSurrogate set).
 	SparseThreshold int
+	// CostAware divides positive acquisition scores by the engine's
+	// predicted evaluation cost (EI-per-second): among equally
+	// promising configurations the search prefers the cheaper one.
+	// The BOHB multi-fidelity tuner shares the toggle via the cli.
+	CostAware bool
+	// FidelityLadder is the fidelity ladder for the BOHB multi-fidelity
+	// tuner (see tuners.BOHB); ROBOTune itself ignores it. The cli
+	// threads it here so one Options value configures whichever tuner
+	// -tuner selects. nil selects the default ladder.
+	FidelityLadder []float64
+	// FidelityAxis selects the workload dimension the ladder scales:
+	// "input" (data volumes, the default) or "stage" (stage-plan
+	// prefix — usually the better proxy for iterative workloads).
+	// Empty means "input". BOHB-only, like FidelityLadder.
+	FidelityAxis string
 }
 
 func (o Options) withDefaults() Options {
@@ -176,6 +191,9 @@ func (o Options) withDefaults() Options {
 		if o.SparseThreshold > 0 {
 			o.BO.SparseThreshold = o.SparseThreshold
 		}
+	}
+	if o.CostAware {
+		o.BO.CostAware = true
 	}
 	return o
 }
@@ -574,6 +592,10 @@ func (r *ROBOTune) Explain(space *conf.Space, res tuners.Result) string {
 					st.ActiveSize, st.Observations)
 			}
 		}
+	}
+	if r.opts.BO.CostAware && r.LastEngine != nil {
+		fmt.Fprintf(&sb, "cost-aware acquisition: positive scores divided by predicted spend (%d cost observations)\n",
+			r.LastEngine.CostObservations())
 	}
 	if res.SurrogateFallbacks > 0 {
 		fmt.Fprintf(&sb, "surrogate degraded: %d BO iterations fell back to random suggestions\n", res.SurrogateFallbacks)

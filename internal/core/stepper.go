@@ -471,6 +471,11 @@ func (st *Stepper) tellEngine(u []float64, rec sparksim.EvalRecord) {
 	} else {
 		st.engine.TellCensored(u, math.Log(rec.Seconds))
 	}
+	// The cost model (consulted only under Options.CostAware) learns
+	// the uncapped spend of every trial, completed or not.
+	if rec.Raw > 0 {
+		st.engine.ObserveCost(u, rec.Raw)
+	}
 }
 
 // suggest shields the campaign from a surrogate that cannot be fit

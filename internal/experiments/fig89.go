@@ -84,6 +84,16 @@ func (r *recordingEvaluator) EvaluateWithCap(c conf.Config, cap float64) sparksi
 	return r.Evaluator.EvaluateWithCap(c, cap)
 }
 
+// EvaluateSpec keeps the sample recorder on the unified entry point
+// the session actually routes through.
+func (r *recordingEvaluator) EvaluateSpec(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
+	r.points = append(r.points, [2]float64{
+		float64(c.Int(conf.ExecutorCores)),
+		float64(c.Int(conf.ExecutorMemory)),
+	})
+	return r.Evaluator.EvaluateSpec(c, spec)
+}
+
 // Render prints each tuner's sampling density as an ASCII grid over
 // the cores-vs-memory plane (columns: cores 1-32; rows: memory,
 // log-scaled 8-180 GB), mirroring the scatter plots of Figure 8.

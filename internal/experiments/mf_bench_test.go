@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchMultiFidelity is the multi-fidelity acceptance run: the
+// ROBOTune-vs-BOHB cost-to-quality comparison at a larger budget than
+// the always-on CI gate, recorded in BENCH_multifidelity.json at the
+// repo root. Gated behind ROBOTUNE_BENCH_MF=1 (`make
+// bench-multifidelity`) because it simulates several full tuning
+// campaigns.
+func TestBenchMultiFidelity(t *testing.T) {
+	if os.Getenv("ROBOTUNE_BENCH_MF") == "" {
+		t.Skip("set ROBOTUNE_BENCH_MF=1 (or run `make bench-multifidelity`) for the acceptance run")
+	}
+	cfg := Config{Seed: 1, Budget: 60, Repeats: 1, MeasureReps: 2, Fast: true}
+	rows := RunMultiFidelity(cfg, nil)
+	t.Logf("\n%s", RenderMultiFidelity(rows))
+
+	passed := 0
+	for _, r := range rows {
+		if r.Pass {
+			passed++
+		}
+	}
+	if passed < 2 {
+		t.Errorf("only %d/%d workloads meet the 5%%-quality / 50%%-cost acceptance criterion", passed, len(rows))
+	}
+
+	type doc struct {
+		Description string             `json:"description"`
+		Environment map[string]any     `json:"environment"`
+		Notes       []string           `json:"notes"`
+		Benchmarks  []MultiFidelityRow `json:"benchmarks"`
+	}
+	d := doc{
+		Description: "Multi-fidelity cost-to-quality: BOHB (fidelity ladder + cost-aware EI, shared surrogate across fidelities) vs full-fidelity ROBOTune on the paper workloads' D1 datasets. Reproduce with `make bench-multifidelity`.",
+		Environment: map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cpu":        cpuModel(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"date":       time.Now().UTC().Format("2006-01-02"),
+		},
+		Notes: []string{
+			"Acceptance criterion: on >= 2 workloads BOHB's incumbent reaches within 5% of ROBOTune's best-found execution time after spending at most 50% of the simulated seconds ROBOTune's search consumed (cost_ratio <= 0.5).",
+			"Costs are sums over each session's evaluation trace in simulated cluster seconds, so both tuners are measured in the same units; BOHB's spend includes every reduced-fidelity proxy trial.",
+			"BOHB's fidelity axis is chosen per workload: stage-prefix ladders for the iterative workloads (PageRank, KMeans), input-scale for TeraSort — see internal/experiments/multifidelity.go (mfAxis).",
+			"The always-on CI gate (TestMultiFidelityQualityRegression) runs the same comparison at budget 40; this acceptance run uses budget 60.",
+		},
+		Benchmarks: rows,
+	}
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(repoRootMF(t), "BENCH_multifidelity.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+// repoRootMF walks up from the package directory to the go.mod.
+func repoRootMF(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the experiments package")
+		}
+		dir = parent
+	}
+}
+
+// cpuModel best-effort reads the CPU model name (Linux only).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return fmt.Sprintf("unknown (%d cores)", runtime.NumCPU())
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return fmt.Sprintf("unknown (%d cores)", runtime.NumCPU())
+}

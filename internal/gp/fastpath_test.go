@@ -392,9 +392,9 @@ func TestPosteriorMatchesNaiveReference(t *testing.T) {
 // factor, weights, LML, and predictions.
 func TestExtendMatchesFullRefit(t *testing.T) {
 	for _, tc := range []struct {
-		name    string
-		ard     bool
-		newPts  int
+		name   string
+		ard    bool
+		newPts int
 	}{{"iso+1", false, 1}, {"iso+4", false, 4}, {"ard+2", true, 2}} {
 		t.Run(tc.name, func(t *testing.T) {
 			xAll, yAll := randomTraining(30+tc.newPts, 4, 11)

@@ -137,6 +137,15 @@ type EvalEntry struct {
 	// robotuned wire server does, so a resumed session replays the
 	// abandonment instead of waiting forever for the lost observation.
 	Skipped bool `json:"skipped,omitempty"`
+	// FidelityInput and FidelityStage mirror the evaluation's
+	// sparksim.Fidelity (input-scale fraction and stage fraction; 0 =
+	// full fidelity, the journal stays dependency-free). Replay
+	// validates them against the resumed run's proposal as a
+	// divergence tripwire, so a ladder change invalidates the stale
+	// tail instead of silently replaying proxy observations as full
+	// ones.
+	FidelityInput float64 `json:"fidelity_input,omitempty"`
+	FidelityStage float64 `json:"fidelity_stage,omitempty"`
 	// ObjEvals and ObjCost are the objective's evaluation counter and
 	// accumulated search cost after this trial — the SplitMix64-derived
 	// noise and fault streams are indexed by the counter, so restoring

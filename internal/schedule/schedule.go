@@ -40,8 +40,8 @@ func NewPool(capacity int) *Pool {
 // Capacity returns the pool's slot count.
 func (p *Pool) Capacity() int { return cap(p.sem) }
 
-func (p *Pool) acquire()          { p.sem <- struct{}{} }
-func (p *Pool) release()          { <-p.sem }
+func (p *Pool) acquire() { p.sem <- struct{}{} }
+func (p *Pool) release() { <-p.sem }
 func (p *Pool) tryAcquire() bool {
 	select {
 	case p.sem <- struct{}{}:
@@ -67,7 +67,12 @@ func (p *Pool) tryAcquire() bool {
 // tuner picks.
 func (p *Pool) Wrap(obj tuners.Objective) tuners.Objective {
 	g := gated{pool: p, inner: obj}
-	if _, ok := obj.(tuners.BatchEvaluator); ok {
+	_, isSpec := obj.(tuners.SpecEvaluator)
+	_, isBatch := obj.(tuners.BatchEvaluator)
+	switch {
+	case isSpec:
+		return &gatedSpec{g}
+	case isBatch:
 		return &gatedBatch{g}
 	}
 	return &g
@@ -150,6 +155,55 @@ func (g *gatedBatch) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, w
 		}
 	}()
 	return g.inner.(tuners.BatchEvaluator).EvaluateBatchCtx(ctx, cfgs, granted)
+}
+
+// gatedSpec gates an objective with the unified SpecEvaluator
+// capability (cap + fidelity + workers in one EvalSpec). Spec-capable
+// objectives also answer the legacy batch surface through the same
+// gate, so whichever path a tuner probes for charges the pool
+// identically.
+type gatedSpec struct {
+	gated
+}
+
+// EvaluateSpec runs one spec-driven evaluation holding one slot.
+func (g *gatedSpec) EvaluateSpec(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
+	g.pool.acquire()
+	defer g.pool.release()
+	return g.inner.(tuners.SpecEvaluator).EvaluateSpec(c, spec)
+}
+
+// EvaluateSpecCtx runs a spec batch with one guaranteed slot plus
+// whatever extra capacity is free right now, like the legacy batch
+// gate: the inner batch is worker-count invariant, so the grant
+// affects only wall-clock, never results.
+func (g *gatedSpec) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord {
+	want := spec.Workers
+	if want > len(cfgs) {
+		want = len(cfgs)
+	}
+	if want < 1 {
+		want = 1
+	}
+	g.pool.acquire()
+	granted := 1
+	for granted < want && g.pool.tryAcquire() {
+		granted++
+	}
+	defer func() {
+		for i := 0; i < granted; i++ {
+			g.pool.release()
+		}
+	}()
+	spec.Workers = granted
+	return g.inner.(tuners.SpecEvaluator).EvaluateSpecCtx(ctx, cfgs, spec)
+}
+
+// EvaluateBatchCtx keeps the legacy batch capability claimable on
+// spec-capable objectives (its presence changes which path a tuner
+// picks), routed through the same spec gate.
+func (g *gatedSpec) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord {
+	return g.EvaluateSpecCtx(ctx, cfgs, sparksim.EvalSpec{Workers: workers})
 }
 
 // Job is one tuning session for Scheduler.Run: the tuner, its private

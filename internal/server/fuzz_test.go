@@ -25,6 +25,13 @@ func FuzzSessionSpec(f *testing.F) {
 	f.Add([]byte(`{"tuner":"randomsearch","space":"spark","budget":1e99}`))
 	f.Add([]byte(`{"tuner":"","space":"","budget":0}`))
 	f.Add([]byte(`{"tuner":"randomsearch","space":"spark","budget":10,"options":{"importance_threshold":1e308}}`))
+	f.Add([]byte(`{"tuner":"bohb","space":"spark","budget":20,"seed":3,"options":{"fidelity_ladder":[0.111,0.333,1],"cost_aware":true}}`))
+	f.Add([]byte(`{"tuner":"bohb","space":"spark","budget":20,"options":{"fidelity_ladder":[0.5,0.2,1]}}`))
+	f.Add([]byte(`{"tuner":"bohb","space":"spark","budget":20,"options":{"fidelity_ladder":[0.25,0.5]}}`))
+	f.Add([]byte(`{"tuner":"bohb","space":"spark","budget":20,"options":{"fidelity_ladder":[-1,1]}}`))
+	f.Add([]byte(`{"tuner":"bohb","space":"spark","budget":20,"seed":3,"options":{"fidelity_ladder":[0.111,0.333,1],"fidelity_axis":"stage"}}`))
+	f.Add([]byte(`{"tuner":"bohb","space":"spark","budget":20,"options":{"fidelity_axis":"volume"}}`))
+	f.Add([]byte(`{"tuner":"randomsearch","space":"spark","budget":10,"options":{"cost_aware":true}}`))
 	f.Add([]byte(`{"tuner":"randomsearch","space":{"system":"x","params":[{"name":"a","type":"int","min":9,"max":1}]},"budget":3}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`null`))
@@ -78,6 +85,11 @@ func FuzzObserveBody(f *testing.F) {
 	f.Add([]byte(`{"observations":[{"config":{"size_mb":1e999},"seconds":1}]}`))
 	f.Add([]byte(`{"observations":[{"config":{"size_mb":256,"ttl":5,"policy":0},"seconds":1e999}]}`))
 	f.Add([]byte(`{"observations":[{"config":{"unknown_param":1},"seconds":1}]}`))
+	f.Add([]byte(`{"observations":[{"config":{"size_mb":256,"ttl":5,"policy":0},"seconds":4.2,"cap":480,"fidelity_input":0.333,"completed":true}]}`))
+	f.Add([]byte(`{"observations":[{"config":{"size_mb":256,"ttl":5,"policy":0},"seconds":4.2,"fidelity_input":1.5,"completed":true}]}`))
+	f.Add([]byte(`{"observations":[{"config":{"size_mb":256,"ttl":5,"policy":0},"seconds":4.2,"fidelity_stage":-0.25}]}`))
+	f.Add([]byte(`{"observations":[{"config":{"size_mb":256,"ttl":5,"policy":0},"skipped":true,"fidelity_input":2}]}`))
+	f.Add([]byte(`{"observations":[{"config":{"size_mb":256,"ttl":5,"policy":0},"seconds":4.2,"cap":-3}]}`))
 	f.Add([]byte(`{"observations":null}`))
 	f.Add([]byte(`{"observation":[{"config":{"size_mb":256},"seconds":1}]}`)) // wrong field
 	f.Add([]byte(`"observations"`))
@@ -95,6 +107,16 @@ func FuzzObserveBody(f *testing.F) {
 				}
 				if !o.Skipped && (math.IsNaN(o.Seconds) || math.IsInf(o.Seconds, 0) || o.Seconds < 0) {
 					t.Fatalf("decoder passed bad seconds %v", o.Seconds)
+				}
+				// Fidelity must be validated even on skips — a malformed
+				// fidelity must never reach the journal.
+				for _, v := range [...]float64{o.FidelityInput, o.FidelityStage} {
+					if math.IsNaN(v) || v < 0 || v > 1 {
+						t.Fatalf("decoder passed bad fidelity %v", v)
+					}
+				}
+				if !o.Skipped && (math.IsNaN(o.Cap) || math.IsInf(o.Cap, 0) || o.Cap < 0) {
+					t.Fatalf("decoder passed bad cap %v", o.Cap)
 				}
 			}
 		}

@@ -1,0 +1,273 @@
+package server_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// bohbSpec is a wire spec for a multi-fidelity session: a BOHB tuner
+// with an explicit three-rung ladder and cost-aware acquisition.
+func bohbSpec(budget int, seed uint64) client.SessionSpec {
+	sp := spec("bohb", budget, seed)
+	sp.Options.FidelityLadder = []float64{0.25, 0.5, 1}
+	sp.Options.CostAware = true
+	return sp
+}
+
+// TestBOHBOverWire drives a multi-fidelity session through the wire
+// protocol end to end: proposals carry the rung fidelity, observations
+// echo it, the trace marks proxies, and the incumbent only ever comes
+// from a full-fidelity completion.
+func TestBOHBOverWire(t *testing.T) {
+	env := newEnv(t, server.Options{JournalDir: t.TempDir()})
+	sess, err := env.cl.Create(bohbSpec(20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ladder := map[float64]bool{0.25: true, 0.5: true}
+	proxies, fulls := 0, 0
+	for i := 0; i < 10_000; i++ {
+		props, done, err := sess.Propose(0)
+		if err != nil {
+			t.Fatalf("propose: %v", err)
+		}
+		if len(props) == 0 {
+			if done {
+				break
+			}
+			t.Fatal("stepper idle with nothing outstanding")
+		}
+		for _, p := range props {
+			if p.FidelityStage != 0 {
+				t.Fatalf("unexpected stage fidelity %v on the wire", p.FidelityStage)
+			}
+			sec, ok := objective(p.Config)
+			if p.FidelityInput > 0 && p.FidelityInput < 1 {
+				if !ladder[p.FidelityInput] {
+					t.Fatalf("proposal fidelity %v is not a ladder rung", p.FidelityInput)
+				}
+				sec *= p.FidelityInput
+				proxies++
+			} else {
+				fulls++
+			}
+			obs := client.Observation{
+				Config: p.Config, Seconds: sec, Completed: ok,
+				FidelityInput: p.FidelityInput, FidelityStage: p.FidelityStage,
+			}
+			if _, err := sess.Observe(obs); err != nil {
+				t.Fatalf("observe: %v", err)
+			}
+		}
+	}
+	if proxies == 0 || fulls == 0 {
+		t.Fatalf("want a mix of fidelities, got %d proxies / %d full", proxies, fulls)
+	}
+
+	st, err := sess.FullStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TraceProxy) != st.Trials || len(st.Trace) != st.Trials {
+		t.Fatalf("trace_proxy has %d entries for %d trials", len(st.TraceProxy), st.Trials)
+	}
+	gotProxies := 0
+	bestFull := math.Inf(1)
+	for i, isProxy := range st.TraceProxy {
+		if isProxy {
+			gotProxies++
+		} else if st.Completed[i] && st.Trace[i] < bestFull {
+			bestFull = st.Trace[i]
+		}
+	}
+	if gotProxies != proxies {
+		t.Fatalf("trace_proxy marks %d proxies, client ran %d", gotProxies, proxies)
+	}
+	if !st.Found || st.BestSeconds != bestFull {
+		t.Fatalf("incumbent %v (found=%v), want best full-fidelity completion %v",
+			st.BestSeconds, st.Found, bestFull)
+	}
+	if _, err := sess.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBOHBStageAxisOverWire: with options.fidelity_axis "stage" the
+// proposals carry stage-fraction fidelities on the wire (input scale
+// zero), and a bad axis is rejected at session creation.
+func TestBOHBStageAxisOverWire(t *testing.T) {
+	env := newEnv(t, server.Options{})
+
+	bad := bohbSpec(10, 3)
+	bad.Options.FidelityAxis = "volume"
+	if _, err := env.cl.Create(bad); err == nil {
+		t.Fatal("bad fidelity axis accepted")
+	}
+
+	sp := bohbSpec(20, 5)
+	sp.Options.FidelityAxis = "stage"
+	sess, err := env.cl.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := 0
+	for i := 0; i < 10_000; i++ {
+		props, done, err := sess.Propose(0)
+		if err != nil {
+			t.Fatalf("propose: %v", err)
+		}
+		if len(props) == 0 {
+			if done {
+				break
+			}
+			t.Fatal("stepper idle with nothing outstanding")
+		}
+		for _, p := range props {
+			if p.FidelityInput != 0 {
+				t.Fatalf("stage-axis proposal carries input scale %v", p.FidelityInput)
+			}
+			sec, ok := objective(p.Config)
+			if p.FidelityStage > 0 && p.FidelityStage < 1 {
+				sec *= p.FidelityStage
+				stages++
+			}
+			obs := client.Observation{
+				Config: p.Config, Seconds: sec, Completed: ok,
+				FidelityInput: p.FidelityInput, FidelityStage: p.FidelityStage,
+			}
+			if _, err := sess.Observe(obs); err != nil {
+				t.Fatalf("observe: %v", err)
+			}
+		}
+	}
+	if stages == 0 {
+		t.Fatal("no stage-fraction proxies proposed")
+	}
+	st, err := sess.FullStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Found {
+		t.Fatal("no incumbent")
+	}
+}
+
+// TestObserveRejectsMalformedFidelity: fidelity fields outside [0, 1]
+// are rejected with a 400 before they can reach the journal, and the
+// pending proposal stays observable.
+func TestObserveRejectsMalformedFidelity(t *testing.T) {
+	env := newEnv(t, server.Options{})
+	sess, err := env.cl.Create(spec("randomsearch", 4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, _, err := sess.Propose(1)
+	if err != nil || len(props) != 1 {
+		t.Fatalf("propose: %v %v", props, err)
+	}
+	bad := []client.Observation{
+		{Config: props[0].Config, Seconds: 5, Completed: true, FidelityInput: 1.5},
+		{Config: props[0].Config, Seconds: 5, Completed: true, FidelityStage: -0.25},
+		{Config: props[0].Config, Skipped: true, FidelityInput: 2},
+		{Config: props[0].Config, Seconds: 5, Completed: true, Cap: -1},
+	}
+	for _, o := range bad {
+		if _, err := sess.Observe(o); err == nil {
+			t.Fatalf("malformed observation accepted: %+v", o)
+		}
+	}
+	if _, err := sess.Observe(client.Observation{Config: props[0].Config, Seconds: 5, Completed: true}); err != nil {
+		t.Fatalf("pending proposal unobservable after rejections: %v", err)
+	}
+}
+
+// TestBOHBWireRestartResume: a server restart mid-bracket resumes the
+// multi-fidelity session bit-identically — same trace, same proxy
+// flags, same incumbent — because the journal records each trial's
+// fidelity and replay rebuilds the bracket state from it.
+func TestBOHBWireRestartResume(t *testing.T) {
+	sp := bohbSpec(17, 12)
+
+	// Uninterrupted baseline.
+	base := newEnv(t, server.Options{JournalDir: t.TempDir()})
+	bs, err := base.cl.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, bs)
+	baseSt, err := bs.FullStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: seven observations (mid-rung for the 3^2-trial
+	// first rung of a 3-rung bracket), then a full server restart.
+	dir := t.TempDir()
+	envA := newEnv(t, server.Options{JournalDir: dir})
+	sa, err := envA.cl.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		props, done, err := sa.Propose(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done || len(props) == 0 {
+			break
+		}
+		p := props[0]
+		sec, ok := objective(p.Config)
+		if p.FidelityInput > 0 && p.FidelityInput < 1 {
+			sec *= p.FidelityInput
+		}
+		obs := client.Observation{
+			Config: p.Config, Seconds: sec, Completed: ok,
+			FidelityInput: p.FidelityInput, FidelityStage: p.FidelityStage,
+		}
+		if _, err := sa.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	envA.ts.Close()
+	envA.srv.Shutdown()
+
+	envB := newEnv(t, server.Options{JournalDir: dir})
+	sb, err := envB.cl.Attach(sa.ID)
+	if err != nil {
+		t.Fatalf("attach after restart: %v", err)
+	}
+	st, err := sb.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Resumed || st.Trials != 7 {
+		t.Fatalf("after restart: resumed=%v trials=%d, want resumed with 7", st.Resumed, st.Trials)
+	}
+	if st.Diverged != "" {
+		t.Fatalf("replay diverged: %s", st.Diverged)
+	}
+	drive(t, sb)
+	resSt, err := sb.FullStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(resSt.Trace) != len(baseSt.Trace) {
+		t.Fatalf("trace lengths: restarted %d vs baseline %d", len(resSt.Trace), len(baseSt.Trace))
+	}
+	for i := range resSt.Trace {
+		if resSt.Trace[i] != baseSt.Trace[i] || resSt.TraceProxy[i] != baseSt.TraceProxy[i] {
+			t.Fatalf("trial %d drifted: %x/proxy=%v vs baseline %x/proxy=%v",
+				i, resSt.Trace[i], resSt.TraceProxy[i], baseSt.Trace[i], baseSt.TraceProxy[i])
+		}
+	}
+	if resSt.BestSeconds != baseSt.BestSeconds || resSt.Evals != baseSt.Evals {
+		t.Fatalf("result drifted: best %x/%d vs baseline %x/%d",
+			resSt.BestSeconds, resSt.Evals, baseSt.BestSeconds, baseSt.Evals)
+	}
+}

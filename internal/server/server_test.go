@@ -89,7 +89,17 @@ func drive(t *testing.T, sess *client.Session) int {
 		}
 		for _, p := range props {
 			sec, ok := objective(p.Config)
-			if _, err := sess.Observe(client.Observation{Config: p.Config, Seconds: sec, Completed: ok}); err != nil {
+			// A reduced-fidelity proposal runs a scaled-down workload:
+			// shrink the measurement accordingly and echo the fidelity
+			// back, as the protocol requires.
+			if p.FidelityInput > 0 && p.FidelityInput < 1 {
+				sec *= p.FidelityInput
+			}
+			obs := client.Observation{
+				Config: p.Config, Seconds: sec, Completed: ok,
+				Cap: p.Cap, FidelityInput: p.FidelityInput, FidelityStage: p.FidelityStage,
+			}
+			if _, err := sess.Observe(obs); err != nil {
 				t.Fatalf("observe: %v", err)
 			}
 			delivered++

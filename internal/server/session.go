@@ -50,6 +50,7 @@ type session struct {
 	// steppers do not expose theirs).
 	trace     []float64
 	completed []bool
+	proxy     []bool
 	best      conf.Config
 	bestSec   float64
 	found     bool
@@ -254,6 +255,7 @@ func (s *session) replay() {
 			Infeasible: e.Infeasible,
 			Transient:  e.Transient,
 			Skipped:    e.Skipped,
+			Fidelity:   sparksim.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage},
 		}
 		if oerr := s.stepperObserve(cfg, rec); oerr != nil {
 			jn.AbortReplay(fmt.Sprintf("trial %d: replayed observation rejected by the stepper: %v", e.Trial, oerr))
@@ -300,10 +302,14 @@ func (s *session) note(c conf.Config, rec sparksim.EvalRecord, evalsAfter int, c
 	}
 	s.trace = append(s.trace, rec.Seconds)
 	s.completed = append(s.completed, rec.Completed)
+	s.proxy = append(s.proxy, !rec.Fidelity.Full())
 	if !rec.Completed {
 		s.failed++
 	}
-	if rec.Completed && rec.Seconds < s.bestSec {
+	// Only full-fidelity completions can take the incumbent: a
+	// reduced-fidelity run's seconds measure a scaled-down workload and
+	// are incomparable with full-fidelity observations.
+	if rec.Completed && rec.Fidelity.Full() && rec.Seconds < s.bestSec {
 		s.best, s.bestSec, s.found = c, rec.Seconds, true
 	}
 	s.evals = evalsAfter
@@ -325,7 +331,7 @@ func (s *session) propose(n int) (ProposeResponse, *apiErr) {
 	for len(s.unclaimed) > 0 && len(out) < want {
 		u := s.unclaimed[0]
 		s.unclaimed = s.unclaimed[1:]
-		out = append(out, WireProposal{Config: u.prop.Config.ToMap(), Cap: u.prop.Cap})
+		out = append(out, wireProposal(u.prop))
 	}
 	if len(out) < want && !s.finished && !s.st.Done() {
 		props, err := s.stepperPropose(want - len(out))
@@ -334,7 +340,7 @@ func (s *session) propose(n int) (ProposeResponse, *apiErr) {
 		}
 		s.register(props)
 		for _, p := range props {
-			out = append(out, WireProposal{Config: p.Config.ToMap(), Cap: p.Cap})
+			out = append(out, wireProposal(p))
 		}
 	}
 	return ProposeResponse{
@@ -342,6 +348,17 @@ func (s *session) propose(n int) (ProposeResponse, *apiErr) {
 		Done:        s.finished || s.st.Done(),
 		Outstanding: s.outstanding(),
 	}, nil
+}
+
+// wireProposal maps an in-process proposal onto its wire form,
+// including the fidelity the client must evaluate (and echo back) at.
+func wireProposal(p tuners.Proposal) WireProposal {
+	return WireProposal{
+		Config:        p.Config.ToMap(),
+		Cap:           p.Cap,
+		FidelityInput: p.Fidelity.InputScale,
+		FidelityStage: p.Fidelity.StageFrac,
+	}
 }
 
 func (s *session) outstanding() int {
@@ -379,6 +396,7 @@ func (s *session) observe(o Observation) *apiErr {
 		Infeasible: o.Infeasible,
 		Transient:  o.Transient,
 		Skipped:    o.Skipped,
+		Fidelity:   sparksim.Fidelity{InputScale: o.FidelityInput, StageFrac: o.FidelityStage},
 	}
 	// The cap counts evaluated (non-skipped) observations — the ones
 	// that grow the surrogate and the replayable history. Skips stay
@@ -398,17 +416,19 @@ func (s *session) observe(o Observation) *apiErr {
 		// the observation is on disk before the tuner state advances, so
 		// a crash immediately after loses nothing a client paid for.
 		_ = s.jn.Append(journal.EvalEntry{
-			Config:     cfg.ToMap(),
-			Seconds:    rec.Seconds,
-			Raw:        rec.Raw,
-			Completed:  rec.Completed,
-			OOM:        rec.OOM,
-			Infeasible: rec.Infeasible,
-			Transient:  rec.Transient,
-			Skipped:    rec.Skipped,
-			ObjEvals:   evalsAfter,
-			ObjCost:    costAfter,
-			Stats:      journal.FailureCounts{Failed: s.failed, Skipped: s.skipped},
+			Config:        cfg.ToMap(),
+			Seconds:       rec.Seconds,
+			Raw:           rec.Raw,
+			Completed:     rec.Completed,
+			OOM:           rec.OOM,
+			Infeasible:    rec.Infeasible,
+			Transient:     rec.Transient,
+			Skipped:       rec.Skipped,
+			FidelityInput: rec.Fidelity.InputScale,
+			FidelityStage: rec.Fidelity.StageFrac,
+			ObjEvals:      evalsAfter,
+			ObjCost:       costAfter,
+			Stats:         journal.FailureCounts{Failed: s.failed, Skipped: s.skipped},
 		})
 	}
 	if oerr := s.stepperObserve(cfg, rec); oerr != nil {
@@ -447,6 +467,7 @@ func (s *session) seal() {
 		SearchCost:  s.cost,
 		Trace:       s.trace,
 		Completed:   s.completed,
+		Proxy:       s.proxy,
 	}
 	if rm, ok := s.st.(interface{ Result() tuners.Result }); ok {
 		sealed := rm.Result()
@@ -554,6 +575,7 @@ func (s *session) status(traceTail int) StatusResponse {
 	}
 	st.Trace = append([]float64(nil), s.trace[start:]...)
 	st.Completed = append([]bool(nil), s.completed[start:]...)
+	st.TraceProxy = append([]bool(nil), s.proxy[start:]...)
 	st.TraceStart = start
 	return st
 }

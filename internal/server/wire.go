@@ -15,8 +15,10 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/conf"
 	"repro/internal/core"
+	"repro/internal/tuners"
 )
 
 // Limits bound what a single request may carry; they are generous for
@@ -83,6 +85,18 @@ type SpecOptions struct {
 	// past SparseThreshold observations (default threshold 512).
 	Sparse          bool `json:"sparse,omitempty"`
 	SparseThreshold int  `json:"sparse_threshold,omitempty"`
+	// FidelityLadder is the fidelity ladder for the bohb tuner: 1-16
+	// finite values, strictly ascending, each in (0, 1], ending at
+	// exactly 1. Empty selects the default ladder; other tuners
+	// ignore it.
+	FidelityLadder []float64 `json:"fidelity_ladder,omitempty"`
+	// FidelityAxis is the workload dimension the ladder scales:
+	// "input" (data volumes; the default when empty) or "stage"
+	// (stage-plan prefix). bohb-only, like the ladder.
+	FidelityAxis string `json:"fidelity_axis,omitempty"`
+	// CostAware divides positive acquisition scores by predicted
+	// evaluation cost (EI-per-second); applies to robotune and bohb.
+	CostAware bool `json:"cost_aware,omitempty"`
 }
 
 // coreOptions maps the wire knobs onto core.Options.
@@ -101,6 +115,9 @@ func (o SpecOptions) coreOptions() core.Options {
 		RefitBudget:         o.RefitBudget,
 		SparseSurrogate:     o.Sparse,
 		SparseThreshold:     o.SparseThreshold,
+		FidelityLadder:      o.FidelityLadder,
+		FidelityAxis:        o.FidelityAxis,
+		CostAware:           o.CostAware,
 	}
 }
 
@@ -132,6 +149,14 @@ func (o SpecOptions) validate() error {
 	// above 1 would let the surrogate monopolize the session.
 	if !finite(o.RefitBudget) || o.RefitBudget < 0 || o.RefitBudget >= 1 {
 		return fmt.Errorf("options.refit_budget must be finite and in [0, 1), got %v", o.RefitBudget)
+	}
+	if len(o.FidelityLadder) > 0 {
+		if err := tuners.ValidFidelityLadder(o.FidelityLadder); err != nil {
+			return fmt.Errorf("options.fidelity_ladder: %v", err)
+		}
+	}
+	if _, err := cli.ParseFidelityAxis(o.FidelityAxis); err != nil {
+		return fmt.Errorf("options.fidelity_axis: %v", err)
 	}
 	return nil
 }
@@ -224,7 +249,7 @@ func resolveSpace(raw json.RawMessage) (*conf.Space, bool, error) {
 func knownTuner(name string) bool {
 	switch strings.ToLower(name) {
 	case "robotune", "bestconfig", "gunther", "randomsearch", "rs", "random",
-		"successivehalving", "sha", "cmaes", "cma-es":
+		"successivehalving", "sha", "cmaes", "cma-es", "bohb":
 		return true
 	}
 	return false
@@ -256,11 +281,18 @@ func DecodeProposeRequest(data []byte) (ProposeRequest, error) {
 }
 
 // WireProposal is one trial handed to a client: the configuration (as
-// a name → raw-value map) and the tuner's stopping cap for the run
-// (0 = none).
+// a name → raw-value map), the tuner's stopping cap for the run
+// (0 = none), and the fidelity the trial should run at. FidelityInput
+// is the input-scale fraction, FidelityStage the stage-truncation
+// fraction; 0 (omitted) means full — a multi-fidelity tuner (bohb)
+// asks the client to run a proportionally scaled-down workload on its
+// lower rungs, and the client must report the observation back with
+// the same fidelity.
 type WireProposal struct {
-	Config map[string]float64 `json:"config"`
-	Cap    float64            `json:"cap,omitempty"`
+	Config        map[string]float64 `json:"config"`
+	Cap           float64            `json:"cap,omitempty"`
+	FidelityInput float64            `json:"fidelity_input,omitempty"`
+	FidelityStage float64            `json:"fidelity_stage,omitempty"`
 }
 
 // ProposeResponse answers a propose call.
@@ -292,6 +324,16 @@ type Observation struct {
 	// Skipped abandons the proposal without an observation: the tuner
 	// advances past it and no evaluation is charged.
 	Skipped bool `json:"skipped,omitempty"`
+	// Cap echoes the stopping cap the trial actually ran under (0 =
+	// none). Advisory: the server records it nowhere, but an explicit
+	// echo keeps request logs self-describing.
+	Cap float64 `json:"cap,omitempty"`
+	// FidelityInput/FidelityStage report the fidelity the trial ran
+	// at (0 = full). They must match the proposal's fidelity — the
+	// incumbent only advances on full-fidelity completions, and a
+	// proxy observation mislabeled as full would corrupt it.
+	FidelityInput float64 `json:"fidelity_input,omitempty"`
+	FidelityStage float64 `json:"fidelity_stage,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/sessions/{id}/observe.
@@ -332,6 +374,17 @@ func DecodeObserveBody(data []byte) (ObserveRequest, error) {
 				return ObserveRequest{}, fmt.Errorf("observation %d: config value %s is not finite", i, name)
 			}
 		}
+		// Fidelity is validated even on skips: a skip still consumes the
+		// pending proposal, and a malformed fidelity must never enter
+		// the journal.
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{{"fidelity_input", o.FidelityInput}, {"fidelity_stage", o.FidelityStage}} {
+			if !finite(f.v) || f.v < 0 || f.v > 1 {
+				return ObserveRequest{}, fmt.Errorf("observation %d: %s must be finite and in [0, 1], got %v", i, f.name, f.v)
+			}
+		}
 		if o.Skipped {
 			continue // no measurement to validate
 		}
@@ -340,6 +393,9 @@ func DecodeObserveBody(data []byte) (ObserveRequest, error) {
 		}
 		if !finite(o.Raw) || o.Raw < 0 {
 			return ObserveRequest{}, fmt.Errorf("observation %d: raw must be finite and >= 0, got %v", i, o.Raw)
+		}
+		if !finite(o.Cap) || o.Cap < 0 {
+			return ObserveRequest{}, fmt.Errorf("observation %d: cap must be finite and >= 0, got %v", i, o.Cap)
 		}
 		if o.Raw == 0 {
 			o.Raw = o.Seconds
@@ -395,9 +451,12 @@ type StatusResponse struct {
 	Diverged string `json:"diverged,omitempty"`
 
 	// Trace is the tail (or, with ?trace=all, the whole) of observed
-	// objective values; Completed parallels it.
-	Trace     []float64 `json:"trace,omitempty"`
-	Completed []bool    `json:"trace_completed,omitempty"`
+	// objective values; Completed and TraceProxy parallel it.
+	// TraceProxy[i] is true when observation i ran at reduced fidelity
+	// (its seconds measure a scaled-down workload).
+	Trace      []float64 `json:"trace,omitempty"`
+	Completed  []bool    `json:"trace_completed,omitempty"`
+	TraceProxy []bool    `json:"trace_proxy,omitempty"`
 	// TraceStart is the index of Trace[0] in the full history.
 	TraceStart int `json:"trace_start"`
 

@@ -29,6 +29,30 @@ type EvalRecord struct {
 	// Skipped marks an evaluation that never ran because its batch was
 	// cancelled: it carries no observation and was charged no cost.
 	Skipped bool
+	// Fidelity records the proxy scale the run executed at. The zero
+	// value is full fidelity; lower fidelities mean Seconds measures a
+	// deterministically derived cheap proxy workload, not the full
+	// job, and is comparable only with observations at the same
+	// fidelity.
+	Fidelity Fidelity
+}
+
+// EvalSpec bundles every per-evaluation control into one value: the
+// guard cap, the fidelity, and the batch parallelism. The zero value
+// reproduces a plain Evaluate call — full fidelity, global cap,
+// sequential. It is the single argument of the unified evaluation
+// entry points (Evaluator.EvaluateSpec / EvaluateSpecCtx and
+// tuners.Session.Eval); the older Evaluate / EvaluateWithCap /
+// EvaluateBatch surfaces are thin wrappers over it.
+type EvalSpec struct {
+	// Cap is the per-run stopping threshold in simulated seconds;
+	// <= 0 or above the evaluator's global limit selects the limit.
+	Cap float64
+	// Fidelity selects the proxy scale (zero = full workload).
+	Fidelity Fidelity
+	// Workers bounds batch parallelism (<= 0 = GOMAXPROCS). Ignored
+	// for single evaluations.
+	Workers int
 }
 
 // Evaluator exposes the simulator as the expensive black-box
@@ -75,19 +99,22 @@ func (ev *Evaluator) WorkloadName() string { return ev.Workload.Name }
 // DatasetName returns the input dataset description.
 func (ev *Evaluator) DatasetName() string { return ev.Workload.Dataset }
 
-// faultRun executes one simulated run at the given evaluation index,
-// injecting the plan's faults when enabled.
-func (ev *Evaluator) faultRun(c conf.Config, seed uint64, idx int, plan FaultPlan, cap float64) Outcome {
+// faultRun executes one simulated run of w at the given evaluation
+// index, injecting the plan's faults when enabled. The noise and
+// fault streams are seeded by the index alone, so a proxy run at
+// index i consumes exactly the stream a full-fidelity run at i would
+// have — fidelity never shifts the randomness of later evaluations.
+func (ev *Evaluator) faultRun(w Workload, c conf.Config, seed uint64, idx int, plan FaultPlan, cap float64) Outcome {
 	rng := sample.NewRNG(seed*1e9 + uint64(idx))
 	if !plan.Enabled() {
-		return Run(ev.Cluster, ev.Workload, c, rng, cap)
+		return Run(ev.Cluster, w, c, rng, cap)
 	}
 	frng := sample.NewRNG(plan.Seed ^ (seed*1e9 + uint64(idx)) ^ 0xfa1175ee)
-	return RunWithFaults(ev.Cluster, ev.Workload, c, rng, cap, plan, frng)
+	return RunWithFaults(ev.Cluster, w, c, rng, cap, plan, frng)
 }
 
 // record converts an outcome into the charged observation.
-func (ev *Evaluator) record(c conf.Config, out Outcome, cap float64) EvalRecord {
+func (ev *Evaluator) record(c conf.Config, out Outcome, cap float64, fid Fidelity) EvalRecord {
 	rec := EvalRecord{
 		Config:     c,
 		Raw:        out.Seconds,
@@ -95,6 +122,9 @@ func (ev *Evaluator) record(c conf.Config, out Outcome, cap float64) EvalRecord 
 		OOM:        out.OOM,
 		Infeasible: out.Infeasible,
 		Transient:  out.Transient,
+	}
+	if !fid.Full() {
+		rec.Fidelity = fid
 	}
 	if out.Completed {
 		rec.Seconds = math.Min(out.Seconds, cap)
@@ -119,6 +149,15 @@ func (ev *Evaluator) Evaluate(c conf.Config) EvalRecord {
 // the objective value and reduces the charged search cost. cap is
 // clamped to the evaluator's global limit.
 func (ev *Evaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
+	return ev.EvaluateSpec(c, EvalSpec{Cap: cap})
+}
+
+// EvaluateSpec is the unified single-run entry point: one run under
+// the spec's cap and fidelity. A non-full fidelity runs the derived
+// proxy workload; the search cost is charged what the proxy actually
+// consumed, which is the whole point of multi-fidelity tuning.
+func (ev *Evaluator) EvaluateSpec(c conf.Config, spec EvalSpec) EvalRecord {
+	cap := spec.Cap
 	if cap <= 0 || cap > ev.CapSeconds {
 		cap = ev.CapSeconds
 	}
@@ -132,8 +171,8 @@ func (ev *Evaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
 	plan := ev.Faults
 	ev.mu.Unlock()
 
-	out := ev.faultRun(c, seed, n, plan, cap)
-	rec := ev.record(c, out, cap)
+	out := ev.faultRun(spec.Fidelity.Apply(ev.Workload), c, seed, n, plan, cap)
+	rec := ev.record(c, out, cap, spec.Fidelity)
 	consumed := math.Min(out.Seconds, cap)
 
 	ev.mu.Lock()
@@ -247,6 +286,20 @@ func (ev *Evaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord
 // back with Skipped=true (no observation, no cost). A nil ctx means
 // no cancellation.
 func (ev *Evaluator) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []EvalRecord {
+	return ev.EvaluateSpecCtx(ctx, cfgs, EvalSpec{Workers: workers})
+}
+
+// EvaluateSpecCtx is the unified batch entry point: every
+// configuration runs under the same spec (cap and fidelity), on up
+// to spec.Workers goroutines, with EvaluateBatchCtx's cancellation
+// and ordering guarantees. The zero spec reproduces EvaluateBatch
+// byte for byte.
+func (ev *Evaluator) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec EvalSpec) []EvalRecord {
+	workers := spec.Workers
+	cap := spec.Cap
+	if cap <= 0 || cap > ev.CapSeconds {
+		cap = ev.CapSeconds
+	}
 	n := len(cfgs)
 	if n == 0 {
 		return nil
@@ -282,6 +335,7 @@ func (ev *Evaluator) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, w
 	plan := ev.Faults
 	ev.mu.Unlock()
 
+	wl := spec.Fidelity.Apply(ev.Workload)
 	recs := make([]EvalRecord, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -290,8 +344,8 @@ func (ev *Evaluator) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, w
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out := ev.faultRun(cfgs[i], seed, base+i, plan, ev.CapSeconds)
-				recs[i] = ev.record(cfgs[i], out, ev.CapSeconds)
+				out := ev.faultRun(wl, cfgs[i], seed, base+i, plan, cap)
+				recs[i] = ev.record(cfgs[i], out, cap, spec.Fidelity)
 			}
 		}()
 	}
@@ -322,7 +376,7 @@ dispatch:
 		if rec.Skipped {
 			continue
 		}
-		ev.cost += math.Min(rec.Raw, ev.CapSeconds)
+		ev.cost += math.Min(rec.Raw, cap)
 		ev.history = append(ev.history, rec)
 	}
 	ev.mu.Unlock()

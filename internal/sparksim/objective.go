@@ -63,6 +63,26 @@ func (r *ResourceCostEvaluator) price(c conf.Config, rec EvalRecord) EvalRecord 
 	return rec
 }
 
+// EvaluateSpec forwards the unified spec entry point and prices the
+// result; low-fidelity proxy runs are priced at the same per-second
+// rate (the layout occupies the cluster either way).
+func (r *ResourceCostEvaluator) EvaluateSpec(c conf.Config, spec EvalSpec) EvalRecord {
+	return r.price(c, r.Evaluator.EvaluateSpec(c, spec))
+}
+
+// EvaluateSpecCtx forwards the unified batch entry point; skipped
+// entries carry no observation and are left unpriced.
+func (r *ResourceCostEvaluator) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec EvalSpec) []EvalRecord {
+	recs := r.Evaluator.EvaluateSpecCtx(ctx, cfgs, spec)
+	for i := range recs {
+		if recs[i].Skipped {
+			continue
+		}
+		recs[i] = r.price(cfgs[i], recs[i])
+	}
+	return recs
+}
+
 // EvaluateBatch prices each record of the embedded Evaluator's batch
 // path (which would otherwise report raw seconds).
 func (r *ResourceCostEvaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord {

@@ -33,6 +33,12 @@ type Record struct {
 	OOM        bool `json:"oom,omitempty"`
 	Infeasible bool `json:"infeasible,omitempty"`
 	Transient  bool `json:"transient,omitempty"`
+	// FidelityInput/FidelityStage mirror the run's sparksim.Fidelity
+	// (omitted at full fidelity): proxy observations are marked so
+	// offline analysis never mistakes their seconds for full-workload
+	// measurements.
+	FidelityInput float64 `json:"fidelityInput,omitempty"`
+	FidelityStage float64 `json:"fidelityStage,omitempty"`
 }
 
 // Session is a complete tuning session log.
@@ -125,6 +131,42 @@ func (r *Recorder) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, wor
 	return recs
 }
 
+// EvaluateSpec forwards the unified spec capability
+// (tuners.SpecEvaluator) when the wrapped evaluator supports it and
+// degrades to the legacy cap routing otherwise (the fidelity is then
+// necessarily full — the session only requests proxy runs from
+// spec-capable objectives).
+func (r *Recorder) EvaluateSpec(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
+	var rec sparksim.EvalRecord
+	if se, ok := r.inner.(tuners.SpecEvaluator); ok {
+		rec = se.EvaluateSpec(c, spec)
+	} else if spec.Cap > 0 {
+		rec = r.inner.EvaluateWithCap(c, spec.Cap)
+	} else {
+		rec = r.inner.Evaluate(c)
+	}
+	r.log(c, rec)
+	return rec
+}
+
+// EvaluateSpecCtx forwards the unified batch capability, degrading to
+// the legacy batch path (which can only run full fidelity) when the
+// wrapped evaluator lacks it.
+func (r *Recorder) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord {
+	se, ok := r.inner.(tuners.SpecEvaluator)
+	if !ok {
+		return r.EvaluateBatchCtx(ctx, cfgs, spec.Workers)
+	}
+	recs := se.EvaluateSpecCtx(ctx, cfgs, spec)
+	for i, rec := range recs {
+		if rec.Skipped {
+			continue
+		}
+		r.log(cfgs[i], rec)
+	}
+	return recs
+}
+
 // RestoreStream forwards the resume capability (tuners.StreamRestorer)
 // when the wrapped evaluator supports it, so journaled sessions stay
 // bit-identical under tracing.
@@ -150,14 +192,16 @@ func (r *Recorder) log(c conf.Config, rec sparksim.EvalRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.records = append(r.records, Record{
-		Index:      len(r.records),
-		Values:     c.ToMap(),
-		Seconds:    sanitize(rec.Seconds),
-		Raw:        sanitize(rec.Raw),
-		Completed:  rec.Completed,
-		OOM:        rec.OOM,
-		Infeasible: rec.Infeasible,
-		Transient:  rec.Transient,
+		Index:         len(r.records),
+		Values:        c.ToMap(),
+		Seconds:       sanitize(rec.Seconds),
+		Raw:           sanitize(rec.Raw),
+		Completed:     rec.Completed,
+		OOM:           rec.OOM,
+		Infeasible:    rec.Infeasible,
+		Transient:     rec.Transient,
+		FidelityInput: rec.Fidelity.InputScale,
+		FidelityStage: rec.Fidelity.StageFrac,
 	})
 }
 
@@ -222,14 +266,23 @@ func Load(path string) (Session, error) {
 	return s, nil
 }
 
+// FullFidelity reports whether the record measured the full workload
+// (proxy runs from a multi-fidelity session report reduced-scale
+// seconds).
+func (r Record) FullFidelity() bool {
+	return (r.FidelityInput == 0 || r.FidelityInput == 1) &&
+		(r.FidelityStage == 0 || r.FidelityStage == 1)
+}
+
 // RunningMin returns the running minimum of the completed records'
 // objective values — the Figure 6 convergence curve of a saved
-// session.
+// session. Proxy (reduced-fidelity) observations are excluded: their
+// seconds measure a smaller workload and would fake convergence.
 func (s Session) RunningMin() []float64 {
 	out := make([]float64, len(s.Records))
 	best := math.Inf(1)
 	for i, rec := range s.Records {
-		if rec.Seconds > 0 && rec.Seconds < best {
+		if rec.Seconds > 0 && rec.Seconds < best && rec.FullFidelity() {
 			best = rec.Seconds
 		}
 		out[i] = best
@@ -248,7 +301,7 @@ func (s Session) SeedStore(store *memo.Store, keep int) int {
 	}
 	var saved []memo.SavedConfig
 	for _, rec := range s.Records {
-		if !rec.Completed || rec.Seconds <= 0 {
+		if !rec.Completed || rec.Seconds <= 0 || !rec.FullFidelity() {
 			continue
 		}
 		saved = append(saved, memo.SavedConfig{

@@ -69,13 +69,14 @@ func sameConfig(m map[string]float64, c conf.Config) bool {
 }
 
 // replayNext substitutes the next journaled record for an evaluation
-// of c: it restores the objective's stream position and the failure
-// ledger to their post-trial values and records the observation in
-// the trace/incumbent, without touching the objective. It returns
-// ok=false when no replay is pending — or when the journal diverges
-// from the requested evaluation (wrong phase or config), in which case
-// the stale tail has been truncated and the caller evaluates live.
-func (s *Session) replayNext(c conf.Config) (sparksim.EvalRecord, bool) {
+// of c at fidelity fid: it restores the objective's stream position
+// and the failure ledger to their post-trial values and records the
+// observation in the trace/incumbent, without touching the objective.
+// It returns ok=false when no replay is pending — or when the journal
+// diverges from the requested evaluation (wrong phase, config or
+// fidelity), in which case the stale tail has been truncated and the
+// caller evaluates live.
+func (s *Session) replayNext(c conf.Config, fid sparksim.Fidelity) (sparksim.EvalRecord, bool) {
 	j := s.req.Journal
 	if j == nil {
 		return sparksim.EvalRecord{}, false
@@ -92,6 +93,14 @@ func (s *Session) replayNext(c conf.Config) (sparksim.EvalRecord, bool) {
 		j.AbortReplay(fmt.Sprintf("trial %d: journaled config does not match the session's", e.Trial))
 		return sparksim.EvalRecord{}, false
 	}
+	jfid := sparksim.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage}
+	if jfid != fid && !(jfid.Full() && fid.Full()) {
+		// A journaled proxy observation must never replay as a
+		// full-fidelity one (or vice versa, or at a different rung): a
+		// ladder change between runs invalidates the stale tail.
+		j.AbortReplay(fmt.Sprintf("trial %d: journaled fidelity %s, session fidelity %s", e.Trial, jfid, fid))
+		return sparksim.EvalRecord{}, false
+	}
 	j.NextReplay()
 	if sr, ok := s.obj.(StreamRestorer); ok {
 		sr.RestoreStream(e.ObjEvals, e.ObjCost)
@@ -104,6 +113,7 @@ func (s *Session) replayNext(c conf.Config) (sparksim.EvalRecord, bool) {
 		OOM:        e.OOM,
 		Infeasible: e.Infeasible,
 		Transient:  e.Transient,
+		Fidelity:   jfid,
 	}
 	s.stats = statsFrom(e.Stats)
 	s.tr.observe(c, rec)
@@ -121,15 +131,17 @@ func (s *Session) journalAppend(c conf.Config, rec sparksim.EvalRecord, objEvals
 		return
 	}
 	_ = j.Append(journal.EvalEntry{
-		Config:     c.ToMap(),
-		Seconds:    rec.Seconds,
-		Raw:        rec.Raw,
-		Completed:  rec.Completed,
-		OOM:        rec.OOM,
-		Infeasible: rec.Infeasible,
-		Transient:  rec.Transient,
-		ObjEvals:   objEvals,
-		ObjCost:    objCost,
-		Stats:      s.stats.Counts(),
+		Config:        c.ToMap(),
+		Seconds:       rec.Seconds,
+		Raw:           rec.Raw,
+		Completed:     rec.Completed,
+		OOM:           rec.OOM,
+		Infeasible:    rec.Infeasible,
+		Transient:     rec.Transient,
+		FidelityInput: rec.Fidelity.InputScale,
+		FidelityStage: rec.Fidelity.StageFrac,
+		ObjEvals:      objEvals,
+		ObjCost:       objCost,
+		Stats:         s.stats.Counts(),
 	})
 }

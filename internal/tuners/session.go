@@ -108,6 +108,20 @@ type BatchEvaluator interface {
 	EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord
 }
 
+// SpecEvaluator is the unified evaluation capability: one single-run
+// and one batch entry point, both driven by a sparksim.EvalSpec (cap
+// + fidelity + workers). Objectives that implement it get the
+// fidelity axis — multi-fidelity steppers' proxy-run proposals reach
+// the backend instead of silently running the full workload — and
+// the session routes every evaluation through it, making Capper and
+// BatchEvaluator redundant for such objectives
+// (*sparksim.Evaluator, *sparksim.ResourceCostEvaluator,
+// *trace.Recorder).
+type SpecEvaluator interface {
+	EvaluateSpec(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord
+	EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord
+}
+
 // Session is the context a tuner runs in: it owns the objective, the
 // search space and the request, funnels every evaluation through the
 // retry/deadline/cancellation machinery, and accumulates the
@@ -172,15 +186,38 @@ func (s *Session) effectiveCap(cap float64) float64 {
 	return cap
 }
 
-// rawEval runs one attempt, routing through the guard capability when
-// a cap applies and the objective supports it.
-func (s *Session) rawEval(c conf.Config, cap float64) sparksim.EvalRecord {
+// rawEval runs one attempt. Objectives with the unified SpecEvaluator
+// capability get the spec (cap + fidelity) directly; otherwise the
+// legacy routing applies — the guard capability when a cap applies,
+// plain Evaluate else — and the fidelity has already been degraded to
+// full by effectiveFidelity.
+func (s *Session) rawEval(c conf.Config, cap float64, fid sparksim.Fidelity) sparksim.EvalRecord {
+	if se, ok := s.obj.(SpecEvaluator); ok {
+		return se.EvaluateSpec(c, sparksim.EvalSpec{Cap: cap, Fidelity: fid})
+	}
 	if cap > 0 {
 		if cc, ok := s.obj.(Capper); ok {
 			return cc.EvaluateWithCap(c, cap)
 		}
 	}
 	return s.obj.Evaluate(c)
+}
+
+// effectiveFidelity returns the fidelity the session will actually
+// execute: the requested one when the objective understands EvalSpec,
+// full fidelity otherwise — an objective without the capability can
+// only run the full workload, and the record and journal stay honest
+// about what ran. A full-fidelity request canonicalizes to the zero
+// value so explicit {InputScale: 1} and the zero Fidelity journal and
+// replay identically.
+func (s *Session) effectiveFidelity(f sparksim.Fidelity) sparksim.Fidelity {
+	if f.Full() {
+		return sparksim.Fidelity{}
+	}
+	if _, ok := s.obj.(SpecEvaluator); !ok {
+		return sparksim.Fidelity{}
+	}
+	return f
 }
 
 // note tallies the final observation of a trial.
@@ -197,25 +234,55 @@ func (s *Session) note(rec sparksim.EvalRecord) {
 	}
 }
 
+// Eval is the session's unified evaluation entry point: every trial
+// — single or batch, capped or not, full or proxy fidelity — runs
+// under one sparksim.EvalSpec. A single configuration takes the
+// sequential path (replay substitution, deadline layering, transient
+// retries); multiple configurations take the batch path, which
+// evaluates concurrently on spec.Workers goroutines when the
+// objective supports it and degrades to the sequential loop when
+// per-trial retry/deadline handling is requested. The legacy
+// Evaluate / EvaluateWithCap / EvaluateBatch methods are thin
+// wrappers over the same internals.
+func (s *Session) Eval(spec sparksim.EvalSpec, cfgs ...conf.Config) []sparksim.EvalRecord {
+	switch len(cfgs) {
+	case 0:
+		return nil
+	case 1:
+		return []sparksim.EvalRecord{s.evalOne(cfgs[0], spec)}
+	}
+	return s.evalMany(cfgs, spec)
+}
+
 // Evaluate runs one trial of the configuration under the session's
 // deadline and retry policy and records it in the trace/incumbent.
+//
+// Deprecated: use Eval with a zero EvalSpec.
 func (s *Session) Evaluate(c conf.Config) sparksim.EvalRecord {
-	return s.EvaluateWithCap(c, 0)
+	return s.evalOne(c, sparksim.EvalSpec{})
 }
 
 // EvaluateWithCap is Evaluate with a tuner-supplied stopping
 // threshold (ROBOTune's median-multiple guard, SHA's rung caps); the
-// request deadline tightens it further. Transient failures are
+// request deadline tightens it further.
+//
+// Deprecated: use Eval with EvalSpec{Cap: cap}.
+func (s *Session) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
+	return s.evalOne(c, sparksim.EvalSpec{Cap: cap})
+}
+
+// evalOne runs one trial under the spec. Transient failures are
 // retried with exponential backoff up to the policy's bound — the
 // retried attempts inflate the objective's evaluation and cost
 // counters (a real cluster charged for them too) but the trial enters
 // the trace once, with its final outcome.
-func (s *Session) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
-	if rec, ok := s.replayNext(c); ok {
+func (s *Session) evalOne(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
+	fid := s.effectiveFidelity(spec.Fidelity)
+	if rec, ok := s.replayNext(c, fid); ok {
 		return rec
 	}
-	cap = s.effectiveCap(cap)
-	rec := s.rawEval(c, cap)
+	cap := s.effectiveCap(spec.Cap)
+	rec := s.rawEval(c, cap, fid)
 	if rec.Transient {
 		s.stats.Transient++
 	}
@@ -233,7 +300,7 @@ func (s *Session) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecor
 			break
 		}
 		backoff *= s.req.Retry.factor()
-		rec = s.rawEval(c, cap)
+		rec = s.rawEval(c, cap, fid)
 		if rec.Transient {
 			s.stats.Transient++
 		}
@@ -281,7 +348,15 @@ func (s *Session) sleepBackoff(seconds float64) bool {
 // sequential loop so every robustness knob still applies. Entries
 // skipped by cancellation come back with Skipped=true and are not
 // recorded as observations.
+//
+// Deprecated: use Eval with EvalSpec{Workers: workers}.
 func (s *Session) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.EvalRecord {
+	return s.evalMany(cfgs, sparksim.EvalSpec{Workers: workers})
+}
+
+// evalMany is the batch half of Eval: replay substitution for the
+// leading entries, then the live remainder under one spec.
+func (s *Session) evalMany(cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord {
 	if len(cfgs) == 0 {
 		return nil
 	}
@@ -290,29 +365,32 @@ func (s *Session) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.Eval
 	// its prefix and evaluates the rest live, which lands the live runs
 	// on exactly the evaluation indices the original batch reserved.
 	if j := s.req.Journal; j != nil && j.Replaying() {
+		fid := s.effectiveFidelity(spec.Fidelity)
 		recs := make([]sparksim.EvalRecord, 0, len(cfgs))
 		i := 0
 		for ; i < len(cfgs); i++ {
-			rec, ok := s.replayNext(cfgs[i])
+			rec, ok := s.replayNext(cfgs[i], fid)
 			if !ok {
 				break
 			}
 			recs = append(recs, rec)
 		}
 		if i < len(cfgs) {
-			recs = append(recs, s.evaluateBatchLive(cfgs[i:], workers)...)
+			recs = append(recs, s.evaluateBatchLive(cfgs[i:], spec)...)
 		}
 		return recs
 	}
-	return s.evaluateBatchLive(cfgs, workers)
+	return s.evaluateBatchLive(cfgs, spec)
 }
 
-// evaluateBatchLive is the live half of EvaluateBatch: the concurrent
-// fast path when the objective supports it and no per-trial
-// retry/deadline handling is requested, a sequential loop otherwise.
-func (s *Session) evaluateBatchLive(cfgs []conf.Config, workers int) []sparksim.EvalRecord {
-	be, ok := s.obj.(BatchEvaluator)
-	if !ok || s.req.Deadline > 0 || s.req.Retry.MaxRetries > 0 {
+// evaluateBatchLive is the live half of the batch path: the
+// concurrent fast path when the objective supports it and no
+// per-trial retry/deadline handling is requested, a sequential loop
+// otherwise.
+func (s *Session) evaluateBatchLive(cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord {
+	se, isSpec := s.obj.(SpecEvaluator)
+	be, isBatch := s.obj.(BatchEvaluator)
+	if (!isSpec && !isBatch) || s.req.Deadline > 0 || s.req.Retry.MaxRetries > 0 {
 		recs := make([]sparksim.EvalRecord, 0, len(cfgs))
 		for _, c := range cfgs {
 			if s.Done() {
@@ -320,7 +398,7 @@ func (s *Session) evaluateBatchLive(cfgs []conf.Config, workers int) []sparksim.
 				s.stats.Skipped++
 				continue
 			}
-			recs = append(recs, s.EvaluateWithCap(c, 0))
+			recs = append(recs, s.evalOne(c, sparksim.EvalSpec{Cap: spec.Cap, Fidelity: spec.Fidelity}))
 		}
 		return recs
 	}
@@ -333,7 +411,16 @@ func (s *Session) evaluateBatchLive(cfgs []conf.Config, workers int) []sparksim.
 	// arithmetic bit-for-bit.
 	base := s.obj.Evals()
 	cost := s.obj.SearchCost()
-	recs := be.EvaluateBatchCtx(s.req.Ctx, cfgs, workers)
+	var recs []sparksim.EvalRecord
+	if isSpec {
+		recs = se.EvaluateSpecCtx(s.req.Ctx, cfgs, sparksim.EvalSpec{
+			Cap:      spec.Cap,
+			Fidelity: s.effectiveFidelity(spec.Fidelity),
+			Workers:  spec.Workers,
+		})
+	} else {
+		recs = be.EvaluateBatchCtx(s.req.Ctx, cfgs, spec.Workers)
+	}
 	for i, rec := range recs {
 		if rec.Skipped {
 			s.stats.Skipped++
@@ -394,6 +481,7 @@ func (s *Session) FastForward(n int) ([]journal.EvalEntry, error) {
 			OOM:        e.OOM,
 			Infeasible: e.Infeasible,
 			Transient:  e.Transient,
+			Fidelity:   sparksim.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage},
 		})
 	}
 	if len(entries) > 0 {

@@ -11,10 +11,13 @@ import (
 // Proposal is one trial a stepper asks its driver to run: the
 // configuration plus the stopping cap the tuner chose for it (0 means
 // no tuner-side cap; a session deadline still applies when the driver
-// is a Session).
+// is a Session) and the fidelity the trial should run at (the zero
+// value is the full workload; multi-fidelity steppers like BOHB
+// propose cheap proxy runs on the lower rungs of their ladder).
 type Proposal struct {
-	Config conf.Config
-	Cap    float64
+	Config   conf.Config
+	Cap      float64
+	Fidelity sparksim.Fidelity
 }
 
 // Stepper is the inverted (ask/tell) tuner protocol: instead of a
@@ -123,9 +126,10 @@ func (p *Protocol) Outstanding() int { return len(p.pending) }
 // Drive runs a stepper to completion under a session — the single
 // driver loop that owns evaluation, retries, deadlines, cancellation,
 // journal commit and replay substitution for every tuner. Proposal
-// batches with no per-trial caps go through the session's concurrent
-// batch path when the stepper asks for parallelism; everything else
-// is evaluated sequentially with a cancellation check per trial.
+// batches sharing one cap and one fidelity go through the session's
+// concurrent batch path when the stepper asks for parallelism;
+// everything else is evaluated sequentially with a cancellation check
+// per trial.
 func Drive(st Stepper, s *Session) Result {
 	for !s.Done() && !st.Done() {
 		props := st.Propose(0)
@@ -136,12 +140,13 @@ func Drive(st Stepper, s *Session) Result {
 		if b, ok := st.(Batcher); ok {
 			par = b.EvalParallel()
 		}
-		if par > 1 && len(props) > 1 && capsZero(props) {
+		if par > 1 && len(props) > 1 && sameCap(props) && sameFidelity(props) {
 			cfgs := make([]conf.Config, len(props))
 			for i, p := range props {
 				cfgs[i] = p.Config
 			}
-			for i, rec := range s.EvaluateBatch(cfgs, par) {
+			spec := sparksim.EvalSpec{Cap: props[0].Cap, Fidelity: props[0].Fidelity, Workers: par}
+			for i, rec := range s.Eval(spec, cfgs...) {
 				st.Observe(cfgs[i], rec)
 			}
 			continue
@@ -150,7 +155,8 @@ func Drive(st Stepper, s *Session) Result {
 			if s.Done() {
 				break
 			}
-			st.Observe(p.Config, s.EvaluateWithCap(p.Config, p.Cap))
+			spec := sparksim.EvalSpec{Cap: p.Cap, Fidelity: p.Fidelity}
+			st.Observe(p.Config, s.Eval(spec, p.Config)[0])
 		}
 	}
 	if f, ok := st.(Finisher); ok {
@@ -164,9 +170,23 @@ func Drive(st Stepper, s *Session) Result {
 	return res
 }
 
-func capsZero(props []Proposal) bool {
-	for _, p := range props {
-		if p.Cap != 0 {
+// sameCap reports whether every proposal carries one stopping cap — a
+// uniform wave (capped or not) can run under a single batch EvalSpec.
+func sameCap(props []Proposal) bool {
+	for _, p := range props[1:] {
+		if p.Cap != props[0].Cap {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFidelity reports whether every proposal runs at one fidelity —
+// the batch path evaluates a whole wave under a single EvalSpec, so
+// mixed-fidelity waves fall back to the sequential loop.
+func sameFidelity(props []Proposal) bool {
+	for _, p := range props[1:] {
+		if p.Fidelity != props[0].Fidelity {
 			return false
 		}
 	}

@@ -51,6 +51,12 @@ type Result struct {
 	// observation finished (its Trace value is a measurement), false
 	// when it was capped or failed (its Trace value is a floor).
 	Completed []bool
+	// Proxy parallels Trace: Proxy[i] is true when the i-th
+	// observation ran at reduced fidelity — its seconds measure a
+	// scaled-down workload and are not comparable with full-fidelity
+	// entries (convergence analysis must skip them). All false for
+	// single-fidelity tuners.
+	Proxy []bool
 	// SelectedParams lists the high-impact parameters tuned, when the
 	// tuner performs parameter selection (ROBOTune); nil otherwise.
 	SelectedParams []string
@@ -87,6 +93,7 @@ type tracker struct {
 	found     bool
 	trace     []float64
 	completed []bool
+	proxy     []bool
 }
 
 func newTracker() *tracker { return &tracker{bestSec: math.Inf(1)} }
@@ -94,7 +101,11 @@ func newTracker() *tracker { return &tracker{bestSec: math.Inf(1)} }
 func (t *tracker) observe(c conf.Config, rec sparksim.EvalRecord) {
 	t.trace = append(t.trace, rec.Seconds)
 	t.completed = append(t.completed, rec.Completed)
-	if rec.Completed && rec.Seconds < t.bestSec {
+	t.proxy = append(t.proxy, !rec.Fidelity.Full())
+	// Only full-fidelity completions can take the incumbent: a proxy
+	// run's seconds measure a reduced workload and are incomparable
+	// with — and far smaller than — full-fidelity observations.
+	if rec.Completed && rec.Fidelity.Full() && rec.Seconds < t.bestSec {
 		t.best = c
 		t.bestSec = rec.Seconds
 		t.found = true
@@ -110,5 +121,6 @@ func (t *tracker) result(obj Objective) Result {
 		SearchCost:  obj.SearchCost(),
 		Trace:       append([]float64(nil), t.trace...),
 		Completed:   append([]bool(nil), t.completed...),
+		Proxy:       append([]bool(nil), t.proxy...),
 	}
 }
