@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race bench bench-gp bench-gp-scale bench-multifidelity benchstat fuzz fuzz-journal fuzz-server fault-stress crash-stress load-test
+.PHONY: build test lint race bench bench-gp bench-gp-scale bench-multifidelity benchstat fuzz fuzz-journal fuzz-server fault-stress crash-stress crash-stress-campaign load-test
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,17 @@ crash-stress:
 	ROBOTUNE_CRASH_STRESS=1 $(GO) test -run 'TestKillResumeStress' -v -count 1 -timeout 600s ./internal/core
 	ROBOTUNE_CRASH_STRESS=1 $(GO) test -run 'TestWireKillResume' -v -count 1 -timeout 600s ./internal/server
 	$(GO) test -run 'Resume|Journal|Truncate|BitFlip|Snapshot' -count 1 ./internal/journal ./internal/core ./internal/tuners
+
+# Campaign-level kill/resume stress: a 4-session concurrent campaign
+# (ledger + per-session journals) is SIGKILLed at escalating depths
+# and resumed until it finishes; the stitched result must be
+# bit-identical to an uninterrupted run, with zero completed sessions
+# re-executed (asserted via task-constructor counters). The in-process
+# ledger tests (resume, mid-grid, panic containment, budget
+# reallocation, grant replay) run under plain `make test`.
+crash-stress-campaign:
+	ROBOTUNE_CRASH_STRESS=1 $(GO) test -run 'TestCampaignKillResumeStress' -v -count 1 -timeout 600s ./internal/schedule
+	$(GO) test -run 'TestCampaign|TestLedger|TestDurable' -count 1 ./internal/schedule ./internal/journal ./internal/experiments
 
 # Seed-splitting fuzz target: distinct worker streams must never alias.
 fuzz:

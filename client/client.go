@@ -24,11 +24,16 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
+	"strconv"
+	"time"
 
 	"repro/internal/server"
 )
@@ -51,6 +56,9 @@ type APIError struct {
 	Status  int    // HTTP status
 	Code    string // machine-readable class: bad_request, conflict, throttled, ...
 	Message string
+	// RetryAfter is the server's Retry-After header when it sent one
+	// (0 otherwise); the retry policy waits at least this long.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -87,6 +95,95 @@ func hasStatus(err error, status int) bool {
 	return errors.As(err, &ae) && ae.Status == status
 }
 
+// IsRetryable reports whether an error is transient: a server answer
+// of 429 (throttled), 502, or 503 (overload, a restarting or draining
+// peer behind a load balancer), or a transport-level failure such as a
+// connection reset or refused dial. Context cancellation is never
+// retryable — the caller asked to stop. Client errors (4xx other than
+// 429) and body-decoding failures are permanent.
+func IsRetryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case 429, 502, 503:
+			return true
+		}
+		return false
+	}
+	// http.Client wraps every transport failure — reset, refused,
+	// EOF mid-body — in a url.Error; anything else (JSON decode,
+	// request construction) is a bug worth surfacing, not retrying.
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// RetryPolicy makes Session.Propose and Session.Observe retry
+// transient failures (see IsRetryable) with exponential backoff and
+// jitter, honoring the server's Retry-After when one is sent. The
+// zero value retries nothing. Create, Finish, and the status calls
+// are never retried automatically: Create is not idempotent, and the
+// others are cheap for the driver to repeat with its own policy.
+//
+// Observing after a retried send can answer 409 conflict when the
+// first attempt was applied but its response was lost; drivers treat
+// that as already-applied (see IsConflict).
+type RetryPolicy struct {
+	// MaxRetries is how many times a failed call is re-sent beyond
+	// the first attempt (0 = no retry).
+	MaxRetries int
+	// BaseBackoff is the first wait, doubled each retry (default
+	// 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling (default 2s).
+	MaxBackoff time.Duration
+	// Jitter spreads each wait uniformly over ±Jitter of its nominal
+	// value so a restarted server is not hit by every client at once
+	// (default 0.2; negative = none).
+	Jitter float64
+	// Sleep is the wait function (nil = time.Sleep); tests inject a
+	// recorder.
+	Sleep func(time.Duration)
+}
+
+// backoff is the wait before retry number attempt (0-based), floored
+// by the server's Retry-After when the error carries one.
+func (p RetryPolicy) backoff(attempt int, err error) time.Duration {
+	base, ceil := p.BaseBackoff, p.MaxBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > ceil {
+		d = ceil
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 {
+		d = time.Duration(float64(d) * (1 - jitter + 2*jitter*rand.Float64()))
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter // the server knows its own backpressure window
+	}
+	return d
+}
+
+func (p RetryPolicy) sleep(d time.Duration) {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // Client talks to one robotuned server.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:7077".
@@ -95,6 +192,9 @@ type Client struct {
 	Tenant string
 	// HTTP is the transport (http.DefaultClient when nil).
 	HTTP *http.Client
+	// Retry makes Propose and Observe survive transient failures; the
+	// zero value retries nothing.
+	Retry RetryPolicy
 }
 
 // New returns a client for the server at baseURL.
@@ -160,17 +260,48 @@ func (c *Client) do(method, path string, in, out any) error {
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 		var eb server.ErrorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error.Code != "" {
-			return &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+			return &APIError{Status: resp.StatusCode, Code: eb.Error.Code,
+				Message: eb.Error.Message, RetryAfter: retryAfter}
 		}
-		return &APIError{Status: resp.StatusCode, Code: "http_error",
+		return &APIError{Status: resp.StatusCode, Code: "http_error", RetryAfter: retryAfter,
 			Message: fmt.Sprintf("%s %s: %s", method, path, bytes.TrimSpace(data))}
 	}
 	if out == nil {
 		return nil
 	}
 	return json.Unmarshal(data, out)
+}
+
+// doRetry is do under the client's retry policy: transient failures
+// (IsRetryable) are re-sent with backoff until the policy is spent.
+func (c *Client) doRetry(method, path string, in, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.do(method, path, in, out)
+		if err == nil || attempt >= c.Retry.MaxRetries || !IsRetryable(err) {
+			return err
+		}
+		c.Retry.sleep(c.Retry.backoff(attempt, err))
+	}
+}
+
+// parseRetryAfter reads a Retry-After header: delay seconds or an
+// HTTP-date ("" or garbage = 0).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(h); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Session is a handle to one server-side tuning session.
@@ -186,7 +317,7 @@ type Session struct {
 func (s *Session) Propose(n int) (props []Proposal, done bool, err error) {
 	var resp server.ProposeResponse
 	body := map[string]int{"n": n}
-	if err := s.c.do("POST", "/v1/sessions/"+s.ID+"/propose", body, &resp); err != nil {
+	if err := s.c.doRetry("POST", "/v1/sessions/"+s.ID+"/propose", body, &resp); err != nil {
 		return nil, false, err
 	}
 	return resp.Proposals, resp.Done, nil
@@ -197,7 +328,7 @@ func (s *Session) Propose(n int) (props []Proposal, done bool, err error) {
 func (s *Session) Observe(obs ...Observation) (ObserveResponse, error) {
 	var resp ObserveResponse
 	body := map[string]any{"observations": obs}
-	err := s.c.do("POST", "/v1/sessions/"+s.ID+"/observe", body, &resp)
+	err := s.c.doRetry("POST", "/v1/sessions/"+s.ID+"/observe", body, &resp)
 	return resp, err
 }
 

@@ -1,0 +1,185 @@
+package client_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// flakyHandler serves /v1/sessions/{id} status GETs unconditionally
+// and fails the first `fail` propose/observe POSTs the given way
+// before succeeding.
+type flakyHandler struct {
+	fail  int32
+	calls atomic.Int32
+	mode  string // "503", "429", "reset"
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == "GET" {
+		fmt.Fprint(w, `{"id":"abc"}`)
+		return
+	}
+	n := h.calls.Add(1)
+	if n <= h.fail {
+		switch h.mode {
+		case "503":
+			w.WriteHeader(503)
+			fmt.Fprint(w, `{"error":{"code":"overloaded","message":"try again"}}`)
+		case "429":
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(429)
+			fmt.Fprint(w, `{"error":{"code":"throttled","message":"slow down"}}`)
+		case "reset":
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close() // mid-request connection reset
+		}
+		return
+	}
+	fmt.Fprint(w, `{"done":true}`)
+}
+
+func retryEnv(t *testing.T, h *flakyHandler, retries int) (*client.Session, *[]time.Duration) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	slept := &[]time.Duration{}
+	cl := client.New(ts.URL)
+	cl.Retry = client.RetryPolicy{
+		MaxRetries: retries,
+		Sleep:      func(d time.Duration) { *slept = append(*slept, d) },
+	}
+	sess, err := cl.Attach("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, slept
+}
+
+// TestRetryTransient503: two 503s then success — the caller sees only
+// the success, after two backoff sleeps.
+func TestRetryTransient503(t *testing.T) {
+	h := &flakyHandler{fail: 2, mode: "503"}
+	sess, slept := retryEnv(t, h, 3)
+	_, done, err := sess.Propose(0)
+	if err != nil || !done {
+		t.Fatalf("propose after retries: done=%v err=%v", done, err)
+	}
+	if h.calls.Load() != 3 {
+		t.Fatalf("server saw %d propose calls, want 3", h.calls.Load())
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2: %v", len(*slept), *slept)
+	}
+	// Exponential with default base 100ms and jitter 0.2: the second
+	// wait is drawn from a strictly higher band than the first.
+	if (*slept)[0] < 80*time.Millisecond || (*slept)[0] > 120*time.Millisecond {
+		t.Fatalf("first backoff %v outside the 100ms +/- 20%% band", (*slept)[0])
+	}
+	if (*slept)[1] < 160*time.Millisecond || (*slept)[1] > 240*time.Millisecond {
+		t.Fatalf("second backoff %v outside the 200ms +/- 20%% band", (*slept)[1])
+	}
+}
+
+// TestRetryHonorsRetryAfter: a 429 carrying Retry-After: 2 floors the
+// wait at the server's window even though nominal backoff is 100ms.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	h := &flakyHandler{fail: 1, mode: "429"}
+	sess, slept := retryEnv(t, h, 2)
+	if _, _, err := sess.Propose(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] < 2*time.Second {
+		t.Fatalf("slept %v, want one wait of at least the Retry-After 2s", *slept)
+	}
+}
+
+// TestRetryConnectionReset: a connection torn down mid-request is
+// transient — the next attempt lands.
+func TestRetryConnectionReset(t *testing.T) {
+	h := &flakyHandler{fail: 1, mode: "reset"}
+	sess, slept := retryEnv(t, h, 2)
+	resp, err := sess.Observe(client.Observation{Config: map[string]float64{"x": 1}, Skipped: true})
+	_ = resp
+	if err != nil {
+		t.Fatalf("observe after reset: %v", err)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(*slept))
+	}
+}
+
+// TestRetryExhaustion: a server that never recovers costs exactly
+// MaxRetries re-sends, then the last error surfaces.
+func TestRetryExhaustion(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30, mode: "503"}
+	sess, slept := retryEnv(t, h, 3)
+	_, _, err := sess.Propose(0)
+	if err == nil {
+		t.Fatal("propose succeeded against a permanently failing server")
+	}
+	if !client.IsRetryable(err) {
+		t.Fatalf("surfaced error %v should still classify retryable", err)
+	}
+	if h.calls.Load() != 4 {
+		t.Fatalf("server saw %d calls, want 1 + 3 retries", h.calls.Load())
+	}
+	if len(*slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(*slept))
+	}
+}
+
+// TestNoRetryOnPermanentErrors: 4xx answers (here a 409 conflict) are
+// not transient — no sleep, the error surfaces immediately.
+func TestNoRetryOnPermanentErrors(t *testing.T) {
+	calls := atomic.Int32{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == "GET" {
+			fmt.Fprint(w, `{"id":"abc"}`)
+			return
+		}
+		calls.Add(1)
+		w.WriteHeader(409)
+		fmt.Fprint(w, `{"error":{"code":"conflict","message":"no matching proposal"}}`)
+	}))
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+	cl.Retry = client.RetryPolicy{MaxRetries: 5, Sleep: func(time.Duration) {
+		t.Fatal("slept for a permanent error")
+	}}
+	sess, err := cl.Attach("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Observe(client.Observation{Skipped: true}); !client.IsConflict(err) {
+		t.Fatalf("want the 409 conflict surfaced, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1", calls.Load())
+	}
+}
+
+// TestZeroPolicyRetriesNothing: the zero RetryPolicy is the old
+// behavior — first failure surfaces.
+func TestZeroPolicyRetriesNothing(t *testing.T) {
+	h := &flakyHandler{fail: 1, mode: "503"}
+	sess, slept := retryEnv(t, h, 0)
+	if _, _, err := sess.Propose(0); err == nil {
+		t.Fatal("zero policy retried")
+	}
+	if len(*slept) != 0 || h.calls.Load() != 1 {
+		t.Fatalf("zero policy slept %v / %d calls", *slept, h.calls.Load())
+	}
+}

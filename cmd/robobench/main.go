@@ -39,6 +39,7 @@ func main() {
 		conc    = flag.Int("concurrent", 0, "campaign concurrency: tuning sessions scheduled at once over a shared evaluation pool (<= 1 = serial; results are identical)")
 		faults  = flag.String("faults", "", "fault-injection plan for tuning evaluations: 'default', or execloss=,straggler=,stragglerfactor=,transient=,oom=,seed= (empty/off = no faults; quality measurement stays fault-free)")
 		retries = flag.Int("retries", 0, "max re-evaluations of a transiently-failed configuration per session")
+		lgrPath = flag.String("campaign-journal", "", "campaign ledger path for the comparison grid: a killed run resumes mid-grid (completed sessions reused, in-flight ones continued from their session journals)")
 	)
 	flag.Parse()
 
@@ -78,7 +79,7 @@ func main() {
 	if *outPath != "" {
 		// Report mode runs every experiment once and writes Markdown.
 		section("Full report")
-		comp := experiments.RunComparison(cfg, nil)
+		comp := runComparison(cfg, *lgrPath)
 		md := report.FullReport(cfg, comp)
 		if err := os.WriteFile(*outPath, []byte(md), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "writing report:", err)
@@ -99,7 +100,7 @@ func main() {
 	needsComparison := has("fig3") || has("fig4") || has("fig5") || has("fig6") || has("table2") || *csvDir != ""
 	if needsComparison {
 		section("Comparison grid (4 tuners x 5 workloads x 3 datasets)")
-		comp := experiments.RunComparison(cfg, nil)
+		comp := runComparison(cfg, *lgrPath)
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, comp); err != nil {
 				fmt.Fprintln(os.Stderr, "writing CSVs:", err)
@@ -188,6 +189,29 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runComparison runs the shared tuner grid, durably when a campaign
+// ledger path was given: a re-run after a crash (or SIGKILL) resumes
+// mid-grid instead of starting over.
+func runComparison(cfg experiments.Config, ledgerPath string) *experiments.Comparison {
+	if ledgerPath == "" {
+		return experiments.RunComparison(cfg, nil)
+	}
+	comp, info, err := experiments.RunComparisonDurable(cfg, nil, ledgerPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign journal:", err)
+		os.Exit(1)
+	}
+	// Notices go to stderr so a resumed run's report stays
+	// byte-identical to an uninterrupted one.
+	if info.Resumed {
+		fmt.Fprintf(os.Stderr, "campaign journal: resumed %s (%d tasks reused)\n", info.LedgerPath, info.Reused)
+	}
+	for _, f := range info.Failed {
+		fmt.Fprintln(os.Stderr, "campaign journal: task failed:", f)
+	}
+	return comp
 }
 
 func section(title string) {

@@ -13,10 +13,13 @@
 //
 // The daemon prints "robotuned listening on http://HOST:PORT" once the
 // listener is up (scripts parse this line when using port 0). SIGINT
-// or SIGTERM triggers a graceful shutdown: in-flight requests finish,
-// every live session gets a shutdown snapshot, and all journals are
-// closed. Restarting on the same -journal-dir resumes every session
-// bit-identically; see docs/SERVICE.md for the API.
+// or SIGTERM starts a graceful drain bounded by -drain-timeout: new
+// sessions are rejected with 503 "draining" and /healthz flips to 503
+// (so load balancers stop routing here) while live sessions keep
+// serving; once in-flight traffic settles, every live session gets a
+// shutdown snapshot, all journals are fsynced and closed, and the
+// process exits 0. Restarting on the same -journal-dir resumes every
+// session bit-identically; see docs/SERVICE.md for the API.
 package main
 
 import (
@@ -46,7 +49,7 @@ func main() {
 		tenantBurst = flag.Int("tenant-burst", 0, "observation token-bucket depth (0 = 2x rate, floor one max batch)")
 		idleTTL     = flag.Duration("idle-ttl", 15*time.Minute, "evict sessions untouched this long (journal-backed only; 0 = never)")
 		evictEvery  = flag.Duration("evict-every", 0, "eviction janitor period (0 = idle-ttl/4)")
-		drainWait   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound: how long in-flight session traffic may settle after SIGTERM before shutdown is forced")
 	)
 	flag.Parse()
 
@@ -84,14 +87,22 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests,
-	// then snapshot and close every live session's journal.
-	fmt.Println("robotuned: shutting down")
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	// Graceful drain, bounded by -drain-timeout: flip into draining
+	// mode first (creates answer 503 "draining", /healthz answers 503
+	// so load balancers stop routing here) while live sessions keep
+	// serving, wait for in-flight traffic to settle, then stop the
+	// listener and snapshot + fsync + close every session journal.
+	fmt.Println("robotuned: draining")
+	srv.StartDrain()
+	deadline := time.Now().Add(*drainWait)
+	for srv.InFlight() > 0 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	drainCtx, cancel := context.WithDeadline(context.Background(), deadline)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, err)
 	}
 	srv.Shutdown()
-	fmt.Println("robotuned: all sessions suspended")
+	fmt.Println("robotuned: drained; all sessions suspended")
 }

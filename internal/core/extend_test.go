@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+// scriptedGrants answers a fixed grant sequence and records when it
+// was asked.
+type scriptedGrants struct {
+	grants  []int
+	askedAt []int
+}
+
+func (g *scriptedGrants) Grant(trials int) int {
+	g.askedAt = append(g.askedAt, trials)
+	if len(g.grants) == 0 {
+		return 0
+	}
+	n := g.grants[0]
+	g.grants = g.grants[1:]
+	return n
+}
+
+// TestROBOTuneBudgetExtension: a ROBOTune session that exhausts its
+// tuning budget is revived by a campaign grant and keeps optimizing —
+// the trace grows by exactly the granted trials and the result can
+// only improve.
+func TestROBOTuneBudgetExtension(t *testing.T) {
+	space := conf.SparkSpace()
+	baseRes := New(nil, fastOptions()).Run(tuners.NewSession(
+		newEvaluator(sparksim.TeraSort(20), 7), space, tuners.Request{Budget: 20, Seed: 7}))
+	if !baseRes.Found || len(baseRes.Trace) != 20 {
+		t.Fatalf("baseline: found=%v trace=%d", baseRes.Found, len(baseRes.Trace))
+	}
+
+	gs := &scriptedGrants{grants: []int{6}}
+	res := New(nil, fastOptions()).Run(tuners.NewSession(
+		newEvaluator(sparksim.TeraSort(20), 7), space, tuners.Request{Budget: 20, Seed: 7, Grants: gs}))
+	if got := len(res.Trace); got != 26 {
+		t.Fatalf("extended trace = %d trials, want 26 (20 base + 6 granted)", got)
+	}
+	if res.Evals != 26 {
+		t.Fatalf("extended evals = %d, want 26", res.Evals)
+	}
+	// First draw at base exhaustion, second after the grant is spent.
+	// The reported trial counts include the 60 selection evaluations
+	// (Session.Trials counts the whole session, not just tuning).
+	if len(gs.askedAt) != 2 || gs.askedAt[0] != 80 || gs.askedAt[1] != 86 {
+		t.Fatalf("grant draws at %v, want [80 86]", gs.askedAt)
+	}
+	if res.BestSeconds > baseRes.BestSeconds {
+		t.Fatalf("extra budget made the result worse: %v vs %v", res.BestSeconds, baseRes.BestSeconds)
+	}
+}
+
+// TestROBOTuneEarlyStopDeclinesGrants: a session that stopped on
+// patience (not exhaustion) must not absorb grants — the budget it
+// deliberately declined to spend stays in the campaign pool.
+func TestROBOTuneEarlyStopDeclinesGrants(t *testing.T) {
+	opts := fastOptions()
+	opts.EarlyStopPatience = 8
+	gs := &scriptedGrants{grants: []int{50}}
+	res := New(nil, opts).Run(tuners.NewSession(
+		newEvaluator(sparksim.TeraSort(20), 15), conf.SparkSpace(),
+		tuners.Request{Budget: 100, Seed: 15, Grants: gs}))
+	if !res.Found {
+		t.Fatal("nothing found")
+	}
+	if res.Evals >= 100 {
+		t.Fatalf("early stopping never fired: %d evals", res.Evals)
+	}
+	if len(gs.askedAt) != 0 {
+		t.Fatalf("early-stopped session drew from the grant pool at %v", gs.askedAt)
+	}
+	if len(gs.grants) != 1 {
+		t.Fatal("grant consumed despite the early stop")
+	}
+}

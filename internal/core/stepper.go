@@ -57,10 +57,11 @@ type Stepper struct {
 	jn       *journal.Journal
 	canBatch bool
 
-	proto    tuners.Protocol
-	phase    phase
-	finished bool
-	slot     map[int]int // proposal sequence → current-phase slot index
+	proto     tuners.Protocol
+	phase     phase
+	finished  bool
+	exhausted bool        // phDone was caused by remaining<=0, not early stop
+	slot      map[int]int // proposal sequence → current-phase slot index
 
 	selected []string
 	selEvals int
@@ -447,6 +448,7 @@ func (st *Stepper) sealInit() {
 	st.lastBest = st.tr.bestSec
 	if st.remaining <= 0 {
 		st.phase = phDone
+		st.exhausted = true
 	}
 }
 
@@ -653,6 +655,37 @@ func (st *Stepper) endRound() {
 	}
 	if st.remaining <= 0 {
 		st.phase = phDone
+		st.exhausted = true
+	}
+}
+
+// CanExtend implements tuners.Extender: ROBOTune can absorb a
+// campaign budget grant while its BO loop is live or when it stopped
+// purely on budget exhaustion. A deliberate stop — early-stop
+// patience, a sealed session — declines, so the grant stays in the
+// pool for a session that will actually spend it.
+func (st *Stepper) CanExtend() bool {
+	if st.finished {
+		return false
+	}
+	return st.phase == phBO || (st.phase == phDone && st.exhausted)
+}
+
+// ExtendBudget implements tuners.Extender: the grant grows the budget
+// and remaining counters and, when exhaustion had closed the BO loop,
+// reopens it. Snapshot arithmetic (BudgetSpent = budget - remaining)
+// and the early-stop staleness counter carry over unchanged, so an
+// extended run behaves exactly like one started with the larger
+// budget from the beginning of the BO phase.
+func (st *Stepper) ExtendBudget(n int) {
+	if n <= 0 || !st.CanExtend() {
+		return
+	}
+	st.budget += n
+	st.remaining += n
+	if st.phase == phDone {
+		st.phase = phBO
+		st.exhausted = false
 	}
 }
 

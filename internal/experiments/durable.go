@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/journal"
+	"repro/internal/memo"
+	"repro/internal/schedule"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+// CampaignInfo reports what the durable comparison campaign reused or
+// lost across restarts.
+type CampaignInfo struct {
+	// LedgerPath is the campaign ledger file.
+	LedgerPath string
+	// Resumed is true when the ledger carried records from an earlier
+	// run.
+	Resumed bool
+	// Reused is how many (workload, tuner, repeat) tasks were satisfied
+	// straight from done records, with zero evaluations spent.
+	Reused int
+	// Failed names tasks that crashed (this run or a recorded one);
+	// their sessions are absent from the comparison.
+	Failed []string
+}
+
+// fingerprint condenses the result-affecting configuration into the
+// ledger manifest, so resuming with a different grid fails fast
+// instead of stitching incompatible halves. Workers and Concurrency
+// are deliberately absent — they change wall-clock, never results.
+func (c Config) fingerprint() string {
+	return fmt.Sprintf("budget=%d repeats=%d measure=%d fast=%t faults=%+v retries=%d",
+		c.Budget, c.Repeats, c.MeasureReps, c.Fast, c.Faults, c.Retry.MaxRetries)
+}
+
+// RunComparisonDurable is RunComparison with campaign-level
+// durability: every (workload, tuner, repeat) task is recorded in a
+// CRC-framed campaign ledger at ledgerPath, and each of its three
+// dataset sessions keeps a session journal next to it
+// (<ledger>.tNN.dK.jnl). A run killed at any point — including
+// SIGKILL — resumes mid-grid: tasks with done records return their
+// recorded sessions without re-running anything, in-flight tasks
+// resume through their session journals, and the stitched Comparison
+// is bit-identical to an uninterrupted run. A panicking task is
+// recorded failed and the rest of the grid completes.
+//
+// An empty ledgerPath runs without durability and is exactly
+// RunComparison.
+func RunComparisonDurable(cfg Config, filter func(workload string) bool, ledgerPath string) (*Comparison, *CampaignInfo, error) {
+	cfg = cfg.withDefaults()
+	grid := sparksim.PaperWorkloads()
+	cluster := sparksim.PaperCluster()
+	space := sparkSpace()
+	comp := &Comparison{Config: cfg}
+
+	type campaignTask struct {
+		wname, tname string
+		rep          int
+	}
+	var tasks []campaignTask
+	for _, wname := range WorkloadOrder {
+		if filter != nil && !filter(wname) {
+			continue
+		}
+		for _, tname := range TunerNames {
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				tasks = append(tasks, campaignTask{wname: wname, tname: tname, rep: rep})
+			}
+		}
+	}
+
+	perTask := make([][]Session, len(tasks))
+	settled := make([]bool, len(tasks))
+	failed := make([]string, len(tasks))
+
+	var led *journal.Ledger
+	var info *CampaignInfo
+	if ledgerPath != "" {
+		meta := journal.LedgerMeta{Seed: cfg.Seed, Config: cfg.fingerprint()}
+		for i, t := range tasks {
+			meta.Tasks = append(meta.Tasks, fmt.Sprintf("%s/%s/rep%d", t.wname, t.tname, t.rep))
+			meta.Journals = append(meta.Journals, sessionJournalPath(ledgerPath, i, -1))
+		}
+		var err error
+		led, err = journal.OpenLedger(ledgerPath, meta, journal.SyncAlways)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer led.Close()
+		info = &CampaignInfo{LedgerPath: ledgerPath, Resumed: led.Resumed()}
+		for i := range tasks {
+			if d, ok := led.TaskDone(i); ok {
+				var ss []Session
+				if err := json.Unmarshal(d.Result, &ss); err != nil {
+					return nil, nil, fmt.Errorf("experiments: task %d (%s): recorded sessions unreadable: %w",
+						i, meta.Tasks[i], err)
+				}
+				perTask[i] = ss
+				settled[i] = true
+				info.Reused++
+			} else if f, ok := led.TaskFailed(i); ok {
+				settled[i] = true
+				failed[i] = f.Reason
+			}
+		}
+	}
+
+	sched := schedule.NewScheduler(cfg.Concurrency, cfg.Concurrency)
+	sched.RunTasks(len(tasks), func(i int, pool *schedule.Pool) {
+		if settled[i] {
+			return
+		}
+		if led != nil {
+			_ = led.AppendStart(i)
+		}
+		t := tasks[i]
+		defer func() {
+			// Panic containment: a crashing session loses its own task
+			// (recorded failed in the ledger, never retried — a
+			// deterministic panic would only repeat) but not the grid.
+			if p := recover(); p != nil {
+				failed[i] = fmt.Sprintf("panic: %v", p)
+				perTask[i] = nil
+				if led != nil {
+					_ = led.AppendTaskFailed(journal.TaskFailed{Task: i, Reason: failed[i]})
+				}
+			}
+		}()
+		wls := grid[t.wname]
+		store := memo.NewStore() // cold per repeat
+		tn := cfg.buildTuner(t.tname, store)
+		trials := 0
+		for di := 0; di < 3; di++ {
+			seed := cfg.Seed + uint64(t.rep)*1009 + uint64(di)*101 + hashName(t.wname+t.tname)
+			ev := cfg.newEvaluator(cluster, wls[di], seed)
+			var jn *journal.Journal
+			if led != nil {
+				var err error
+				jn, err = journal.Open(sessionJournalPath(ledgerPath, i, di), journal.Meta{
+					Seed:     seed,
+					Budget:   cfg.Budget,
+					Workload: t.wname,
+					Dataset:  fmt.Sprintf("D%d", di+1),
+					Tuner:    t.tname,
+					Retries:  cfg.Retry.MaxRetries,
+				}, journal.SyncAlways)
+				if err != nil {
+					// Environmental, not a session crash: no failed record,
+					// so a corrected environment can still resume the task.
+					failed[i] = fmt.Sprintf("journal: %v", err)
+					perTask[i] = nil
+					return
+				}
+			}
+			res := tn.Run(tuners.NewSession(pool.Wrap(ev), space, tuners.Request{
+				Budget:  cfg.Budget,
+				Seed:    seed,
+				Retry:   cfg.Retry,
+				Journal: jn,
+			}))
+			if jn != nil {
+				jn.Close()
+			}
+			trials += len(res.Trace)
+			quality := 480.0
+			if res.Found {
+				// Quality measurement runs on the raw evaluator: it is
+				// bookkeeping, not cluster load the campaign schedules.
+				quality = ev.Measure(res.Best, cfg.MeasureReps, cfg.Seed*77+uint64(di))
+			}
+			perTask[i] = append(perTask[i], Session{
+				Tuner:         t.tname,
+				Workload:      t.wname,
+				DatasetIdx:    di,
+				Repeat:        t.rep,
+				Quality:       quality,
+				Found:         res.Found,
+				SearchCost:    res.SearchCost,
+				SelectionCost: res.SelectionCost,
+				Trace:         res.Trace,
+			})
+		}
+		if led != nil {
+			payload, err := json.Marshal(perTask[i])
+			if err != nil {
+				payload = nil
+			}
+			_ = led.AppendTaskDone(journal.TaskDone{Task: i, Trials: trials, Result: payload})
+		}
+	})
+
+	for i, ss := range perTask {
+		comp.Sessions = append(comp.Sessions, ss...)
+		if failed[i] != "" && info != nil {
+			info.Failed = append(info.Failed, fmt.Sprintf("%s/%s/rep%d: %s",
+				tasks[i].wname, tasks[i].tname, tasks[i].rep, failed[i]))
+		}
+	}
+	return comp, info, nil
+}
+
+// sessionJournalPath derives a task's session-journal location from
+// the ledger path; di < 0 returns the task-wide prefix recorded in the
+// manifest.
+func sessionJournalPath(ledgerPath string, task, di int) string {
+	if di < 0 {
+		return fmt.Sprintf("%s.t%02d", ledgerPath, task)
+	}
+	return fmt.Sprintf("%s.t%02d.d%d.jnl", ledgerPath, task, di)
+}

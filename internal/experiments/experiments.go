@@ -26,7 +26,6 @@ import (
 	"repro/internal/forest"
 	"repro/internal/memo"
 	"repro/internal/sample"
-	"repro/internal/schedule"
 	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
@@ -203,65 +202,11 @@ func (c Config) buildTuner(name string, store *memo.Store) tuners.SessionTuner {
 // concurrency changes only wall-clock — the sessions, their order in
 // the result, and every number in them are bit-identical for any
 // Concurrency (the tests assert 1 vs N equality).
+//
+// RunComparison is the non-durable form of RunComparisonDurable: same
+// grid, same results, no ledger or journals on disk.
 func RunComparison(cfg Config, filter func(workload string) bool) *Comparison {
-	cfg = cfg.withDefaults()
-	grid := sparksim.PaperWorkloads()
-	cluster := sparksim.PaperCluster()
-	space := sparkSpace()
-	comp := &Comparison{Config: cfg}
-
-	// Enumerate the campaign in report order; each task appends its
-	// three dataset sessions to its own slot, so the flattened result
-	// matches the serial loop exactly.
-	type campaignTask struct {
-		wname, tname string
-		rep          int
-	}
-	var tasks []campaignTask
-	for _, wname := range WorkloadOrder {
-		if filter != nil && !filter(wname) {
-			continue
-		}
-		for _, tname := range TunerNames {
-			for rep := 0; rep < cfg.Repeats; rep++ {
-				tasks = append(tasks, campaignTask{wname: wname, tname: tname, rep: rep})
-			}
-		}
-	}
-
-	perTask := make([][]Session, len(tasks))
-	sched := schedule.NewScheduler(cfg.Concurrency, cfg.Concurrency)
-	sched.RunTasks(len(tasks), func(i int, pool *schedule.Pool) {
-		t := tasks[i]
-		wls := grid[t.wname]
-		store := memo.NewStore() // cold per repeat
-		tn := cfg.buildTuner(t.tname, store)
-		for di := 0; di < 3; di++ {
-			seed := cfg.Seed + uint64(t.rep)*1009 + uint64(di)*101 + hashName(t.wname+t.tname)
-			ev := cfg.newEvaluator(cluster, wls[di], seed)
-			res := cfg.tune(tn, pool.Wrap(ev), space, cfg.Budget, seed)
-			quality := 480.0
-			if res.Found {
-				// Quality measurement runs on the raw evaluator: it is
-				// bookkeeping, not cluster load the campaign schedules.
-				quality = ev.Measure(res.Best, cfg.MeasureReps, cfg.Seed*77+uint64(di))
-			}
-			perTask[i] = append(perTask[i], Session{
-				Tuner:         t.tname,
-				Workload:      t.wname,
-				DatasetIdx:    di,
-				Repeat:        t.rep,
-				Quality:       quality,
-				Found:         res.Found,
-				SearchCost:    res.SearchCost,
-				SelectionCost: res.SelectionCost,
-				Trace:         res.Trace,
-			})
-		}
-	})
-	for _, ss := range perTask {
-		comp.Sessions = append(comp.Sessions, ss...)
-	}
+	comp, _, _ := RunComparisonDurable(cfg, filter, "") // error-free without a ledger
 	return comp
 }
 

@@ -1,0 +1,45 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// frameRecord frames a payload for append: u32 little-endian length +
+// u32 CRC32 (IEEE) of the payload, then the payload itself, as one
+// contiguous buffer — a single write keeps a torn append contiguous at
+// the tail, where recovery truncates it cleanly. The session journal
+// and the campaign ledger share this framing.
+func frameRecord(payload []byte) []byte {
+	buf := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameOverhead:], payload)
+	return buf
+}
+
+// nextFrame parses the frame starting at data[off]. On success it
+// returns the payload and the frame's total on-disk size; otherwise a
+// non-empty reason names the torn or corrupt condition recovery must
+// truncate at. It never panics on hostile input: lengths are bounded
+// before any allocation.
+func nextFrame(data []byte, off int64) (payload []byte, size int64, reason string) {
+	rest := data[off:]
+	if len(rest) < frameOverhead {
+		return nil, 0, "torn frame header"
+	}
+	n := binary.LittleEndian.Uint32(rest[:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if n == 0 || n > maxRecordBytes {
+		return nil, 0, fmt.Sprintf("implausible record length %d", n)
+	}
+	if int64(len(rest)) < frameOverhead+int64(n) {
+		return nil, 0, "torn record payload"
+	}
+	payload = rest[frameOverhead : frameOverhead+int64(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, "record checksum mismatch"
+	}
+	return payload, frameOverhead + int64(n), ""
+}

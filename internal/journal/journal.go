@@ -35,11 +35,9 @@ package journal
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -318,24 +316,9 @@ func (j *Journal) recover(data []byte) error {
 		j.recovery.Reason = reason
 	}
 	for off < int64(len(data)) {
-		rest := data[off:]
-		if len(rest) < frameOverhead {
-			truncate("torn frame header")
-			break
-		}
-		n := binary.LittleEndian.Uint32(rest[:4])
-		sum := binary.LittleEndian.Uint32(rest[4:8])
-		if n == 0 || n > maxRecordBytes {
-			truncate(fmt.Sprintf("implausible record length %d", n))
-			break
-		}
-		if int64(len(rest)) < frameOverhead+int64(n) {
-			truncate("torn record payload")
-			break
-		}
-		payload := rest[frameOverhead : frameOverhead+int64(n)]
-		if crc32.ChecksumIEEE(payload) != sum {
-			truncate("record checksum mismatch")
+		payload, size, reason := nextFrame(data, off)
+		if reason != "" {
+			truncate(reason)
 			break
 		}
 		var fr frame
@@ -366,7 +349,7 @@ func (j *Journal) recover(data []byte) error {
 		if j.recovery.Truncated {
 			break
 		}
-		off += frameOverhead + int64(n)
+		off += size
 		j.recovery.Records++
 	}
 	if !sawMeta {
@@ -397,14 +380,8 @@ func (j *Journal) loadSnapshot() {
 	if !bytes.Equal(data[:len(snapMagic)], snapMagic) {
 		return
 	}
-	rest := data[len(snapMagic):]
-	n := binary.LittleEndian.Uint32(rest[:4])
-	sum := binary.LittleEndian.Uint32(rest[4:8])
-	if int64(n) > maxRecordBytes || int64(len(rest)) < frameOverhead+int64(n) {
-		return
-	}
-	payload := rest[frameOverhead : frameOverhead+int64(n)]
-	if crc32.ChecksumIEEE(payload) != sum {
+	payload, _, reason := nextFrame(data, int64(len(snapMagic)))
+	if reason != "" {
 		return
 	}
 	var s Snapshot
@@ -610,15 +587,7 @@ func (j *Journal) appendFrame(fr frame) error {
 	if err != nil {
 		return fmt.Errorf("journal: marshal record: %w", err)
 	}
-	var hdr [frameOverhead]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	// One write call keeps a torn append contiguous at the tail, where
-	// recovery truncates it cleanly.
-	buf := make([]byte, 0, len(hdr)+len(payload))
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, payload...)
-	if _, err := j.f.Write(buf); err != nil {
+	if _, err := j.f.Write(frameRecord(payload)); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	return nil
@@ -644,13 +613,7 @@ func (j *Journal) WriteSnapshot(s Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("journal: marshal snapshot: %w", err)
 	}
-	buf := make([]byte, 0, len(snapMagic)+frameOverhead+len(payload))
-	buf = append(buf, snapMagic...)
-	var hdr [frameOverhead]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, payload...)
+	buf := append(append([]byte(nil), snapMagic...), frameRecord(payload)...)
 
 	tmp := j.snapPath() + ".tmp"
 	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

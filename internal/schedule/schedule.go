@@ -40,6 +40,12 @@ func NewPool(capacity int) *Pool {
 // Capacity returns the pool's slot count.
 func (p *Pool) Capacity() int { return cap(p.sem) }
 
+// InUse returns the number of slots currently held. It is the pool's
+// teardown invariant: after every session of a campaign has returned
+// — including ones that panicked and were contained — InUse must be 0,
+// or some evaluation leaked a slot. RunCampaign asserts this.
+func (p *Pool) InUse() int { return len(p.sem) }
+
 func (p *Pool) acquire() { p.sem <- struct{}{} }
 func (p *Pool) release() { <-p.sem }
 func (p *Pool) tryAcquire() bool {
@@ -137,6 +143,9 @@ type gatedBatch struct {
 // worker-count invariant, so the opportunistic grant affects only
 // wall-clock, never results.
 func (g *gatedBatch) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord {
+	if recs, cancelled := skipAllCancelled(ctx, cfgs); cancelled {
+		return recs
+	}
 	want := workers
 	if want > len(cfgs) {
 		want = len(cfgs)
@@ -178,6 +187,9 @@ func (g *gatedSpec) EvaluateSpec(c conf.Config, spec sparksim.EvalSpec) sparksim
 // gate: the inner batch is worker-count invariant, so the grant
 // affects only wall-clock, never results.
 func (g *gatedSpec) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord {
+	if recs, cancelled := skipAllCancelled(ctx, cfgs); cancelled {
+		return recs
+	}
 	want := spec.Workers
 	if want > len(cfgs) {
 		want = len(cfgs)
@@ -204,6 +216,23 @@ func (g *gatedSpec) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spe
 // picks), routed through the same spec gate.
 func (g *gatedSpec) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord {
 	return g.EvaluateSpecCtx(ctx, cfgs, sparksim.EvalSpec{Workers: workers})
+}
+
+// skipAllCancelled is the batch gate's cancellation re-check: a batch
+// dispatched after its campaign was cancelled must not burn pool slots
+// (possibly blocking on acquire) computing results every consumer
+// discards. The all-Skipped response is bit-identical to what the
+// inner evaluators return for a pre-cancelled context, so the fix
+// changes scheduling only, never results.
+func skipAllCancelled(ctx context.Context, cfgs []conf.Config) ([]sparksim.EvalRecord, bool) {
+	if ctx == nil || ctx.Err() == nil {
+		return nil, false
+	}
+	recs := make([]sparksim.EvalRecord, len(cfgs))
+	for i := range recs {
+		recs[i] = sparksim.EvalRecord{Config: cfgs[i], Skipped: true}
+	}
+	return recs, true
 }
 
 // Job is one tuning session for Scheduler.Run: the tuner, its private

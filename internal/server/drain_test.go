@@ -1,0 +1,106 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// TestDrainRejectsNewSessions: a draining server turns away creates
+// with 503 code "draining" but keeps serving its live sessions — the
+// shutdown window lets clients finish what they started.
+func TestDrainRejectsNewSessions(t *testing.T) {
+	env := newEnv(t, server.Options{JournalDir: t.TempDir()})
+
+	sess, err := env.cl.Create(spec("random", 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env.srv.StartDrain()
+	if !env.srv.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+
+	if _, err := env.cl.Create(spec("random", 8, 4)); err == nil {
+		t.Fatal("create succeeded on a draining server")
+	} else {
+		var ae *client.APIError
+		if !asAPIError(err, &ae) || ae.Status != 503 || ae.Code != "draining" {
+			t.Fatalf("create on draining server: %v, want 503 draining", err)
+		}
+	}
+
+	// The live session still works end to end through the drain.
+	delivered := drive(t, sess)
+	if delivered != 8 {
+		t.Fatalf("draining server delivered %d observations, want 8", delivered)
+	}
+	if _, err := sess.Finish(); err != nil {
+		t.Fatalf("finish during drain: %v", err)
+	}
+}
+
+// TestDrainHealthz: /healthz flips to 503 with a draining marker so
+// load balancers stop routing, and the session gauge stays visible.
+func TestDrainHealthz(t *testing.T) {
+	env := newEnv(t, server.Options{})
+
+	if err := env.cl.Health(); err != nil {
+		t.Fatalf("healthy server: %v", err)
+	}
+	env.srv.StartDrain()
+
+	resp, err := http.Get(env.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz status %d, want 503", resp.StatusCode)
+	}
+	var doc struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	data, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("healthz body %q: %v", data, err)
+	}
+	if doc.OK || !doc.Draining {
+		t.Fatalf("draining /healthz body %q, want ok=false draining=true", data)
+	}
+	if err := env.cl.Health(); err == nil {
+		t.Fatal("client Health() reported a draining server healthy")
+	}
+}
+
+// TestDrainInFlightGauge: the handler's in-flight gauge returns to
+// zero once traffic stops — the daemon polls it before closing
+// journals, so a leak would stall every shutdown.
+func TestDrainInFlightGauge(t *testing.T) {
+	env := newEnv(t, server.Options{JournalDir: t.TempDir()})
+	sess, err := env.cl.Create(spec("bestconfig", 6, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, sess)
+	if _, err := sess.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n := env.srv.InFlight(); n != 0 {
+		t.Fatalf("%d requests still counted in flight after traffic stopped", n)
+	}
+}
+
+func asAPIError(err error, out **client.APIError) bool {
+	ae, ok := err.(*client.APIError)
+	if ok {
+		*out = ae
+	}
+	return ok
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -81,6 +82,9 @@ type Server struct {
 	store   *Store
 	metrics *Metrics
 	mux     *http.ServeMux
+
+	draining atomic.Bool
+	inflight atomic.Int64
 }
 
 // New builds a server. Call Handler for its http.Handler, Janitor to
@@ -105,10 +109,26 @@ func New(opts Options) *Server {
 // Handler returns the HTTP handler (request counting included).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 		s.metrics.Requests.Add(1)
 		s.mux.ServeHTTP(w, r)
 	})
 }
+
+// StartDrain puts the server into draining mode: session creation
+// answers 503 with code "draining", /healthz flips to 503 so load
+// balancers stop routing here, and everything else keeps working —
+// live sessions can still propose, observe, and finish, so clients
+// get a window to checkpoint before the process exits. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight is the number of requests currently inside the handler;
+// the shutdown path polls it to zero before closing journals.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
 
 // Metrics exposes the counter set (tests and the load harness read
 // it directly).
@@ -146,6 +166,10 @@ func (s *Server) Shutdown() {
 // --- Handlers --------------------------------------------------------
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeErr(w, errDraining("server is draining; create the session elsewhere"))
+		return
+	}
 	body, aerr := readBody(w, r)
 	if aerr != nil {
 		s.writeErr(w, aerr)
@@ -304,6 +328,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ok":            false,
+			"draining":      true,
+			"sessions_live": s.metrics.SessionsLive.Load(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":            true,
 		"sessions_live": s.metrics.SessionsLive.Load(),

@@ -105,6 +105,12 @@ func errGone(format string, args ...any) *apiErr {
 	return &apiErr{status: 410, code: "finished", message: fmt.Sprintf(format, args...)}
 }
 
+// errDraining is the shutdown signal: the server still serves its
+// live sessions but accepts no new ones.
+func errDraining(format string, args ...any) *apiErr {
+	return &apiErr{status: 503, code: "draining", message: fmt.Sprintf(format, args...)}
+}
+
 // errMaxObservations shares the 409 status with errConflict but keeps
 // a distinct code so clients can tell "resend/dedupe" (conflict) from
 // "this session is full, stop sending" (max_observations).

@@ -39,6 +39,25 @@ type Request struct {
 	// replays its records in place of re-evaluating them — the
 	// bit-identical resume path. nil disables journaling.
 	Journal *journal.Journal
+	// Grants, when set, lets the session draw extra evaluations from a
+	// campaign-level budget pool once its tuner has exhausted the base
+	// Budget (the adaptive-budget half of campaign durability). Only
+	// tuners implementing Extender can absorb a grant; the driver asks
+	// the source at most once per exhaustion and stops when it returns
+	// 0. nil disables extension.
+	Grants GrantSource
+}
+
+// GrantSource is the campaign's adaptive budget pool as seen by one
+// session: evaluations unspent by early-stopped or failed sibling
+// sessions, granted to sessions that can still use them.
+type GrantSource interface {
+	// Grant requests extra budget for a session whose tuner has run
+	// dry; trials is the session's trial count at the request — the
+	// sequence point a durable campaign journals so a resumed run
+	// applies the same grant at the same place. It returns the number
+	// of extra evaluations granted (0 = none; the session finishes).
+	Grant(trials int) int
 }
 
 // RetryPolicy bounds how transient evaluation failures (lost
@@ -504,6 +523,33 @@ func (s *Session) SetPhase(phase string) {
 	if j := s.req.Journal; j != nil {
 		j.SetPhase(phase)
 	}
+}
+
+// Trials returns the number of observations recorded in the session's
+// trace so far (replayed and live).
+func (s *Session) Trials() int { return len(s.tr.trace) }
+
+// tryExtend asks the request's grant source for extra budget on
+// behalf of an exhausted stepper. It returns true when a grant was
+// applied (the driver loop continues proposing). Steppers that cannot
+// absorb more budget — early-stopped, finished for good, or simply
+// not Extenders — are never charged a grant, so a declined draw stays
+// in the pool for a sibling session.
+func (s *Session) tryExtend(st Stepper) bool {
+	if s.req.Grants == nil || s.Done() {
+		return false
+	}
+	ex, ok := st.(Extender)
+	if !ok || !ex.CanExtend() {
+		return false
+	}
+	n := s.req.Grants.Grant(s.Trials())
+	if n <= 0 {
+		return false
+	}
+	ex.ExtendBudget(n)
+	s.req.Budget += n
+	return true
 }
 
 // Best returns the incumbent so far.

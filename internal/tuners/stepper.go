@@ -55,6 +55,20 @@ type Batcher interface {
 	EvalParallel() int
 }
 
+// Extender is the optional stepper capability for adaptive budgets: a
+// stepper that stopped only because its evaluation budget ran out can
+// absorb extra evaluations granted from a campaign's budget pool and
+// keep searching. A stepper that stopped deliberately (early-stop
+// patience, nothing left to propose) answers CanExtend false and is
+// never granted anything.
+type Extender interface {
+	// CanExtend reports whether more budget would actually be spent.
+	CanExtend() bool
+	// ExtendBudget adds n evaluations to the remaining budget and
+	// revives the stepper if budget exhaustion had finished it.
+	ExtendBudget(n int)
+}
+
 // Finisher is the optional stepper capability for end-of-session
 // bookkeeping (ROBOTune's memoization and final snapshot): Drive
 // calls Finish exactly once, after the propose/observe loop ends —
@@ -131,7 +145,17 @@ func (p *Protocol) Outstanding() int { return len(p.pending) }
 // everything else is evaluated sequentially with a cancellation check
 // per trial.
 func Drive(st Stepper, s *Session) Result {
-	for !s.Done() && !st.Done() {
+	for !s.Done() {
+		if st.Done() {
+			// Budget exhaustion is revivable: when the session has a
+			// campaign grant source and the stepper can absorb more
+			// budget, extend and keep proposing. Everything else ends the
+			// loop for good.
+			if !s.tryExtend(st) {
+				break
+			}
+			continue
+		}
 		props := st.Propose(0)
 		if len(props) == 0 {
 			break
