@@ -6,7 +6,10 @@ build:
 	$(GO) build ./...
 
 # Static analysis: staticcheck when installed (CI installs it),
-# otherwise the vet subset that ships with the toolchain.
+# otherwise the vet subset that ships with the toolchain. Always ends
+# with the architectural boundary gate: nothing outside a backend
+# implementation may import internal/sparksim or internal/clustersim
+# directly.
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -14,6 +17,8 @@ lint:
 		echo "staticcheck not installed; running go vet only"; \
 		$(GO) vet ./...; \
 	fi
+	$(GO) test -run 'TestArchBoundary' -count 1 ./internal/backend
+
 
 # Default verification flow: vet plus the full unit/property suite.
 test:

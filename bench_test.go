@@ -278,7 +278,7 @@ func BenchmarkAblationLHS(b *testing.B) {
 		b.Fatal(err)
 	}
 	ev := tsObjective(3)
-	evalAt := func(u []float64) float64 { return ev.Evaluate(sub.Decode(u)).Seconds }
+	evalAt := func(u []float64) float64 { return ev.EvaluateSpec(sub.Decode(u), sparksim.EvalSpec{}).Seconds }
 	fitAndScore := func(design sample.Design, seed uint64) float64 {
 		y := make([]float64, len(design))
 		for i, u := range design {
@@ -350,7 +350,7 @@ func BenchmarkAblationSelection(b *testing.B) {
 		bestFull := math.Inf(1)
 		var bestCfg conf.Config
 		for _, u := range sample.LHS(20, space.Dim(), rng) {
-			rec := ev2.Evaluate(space.Decode(u))
+			rec := ev2.EvaluateSpec(space.Decode(u), sparksim.EvalSpec{})
 			engine.Tell(u, math.Log(rec.Seconds))
 			if rec.Completed && rec.Seconds < bestFull {
 				bestFull, bestCfg = rec.Seconds, rec.Config
@@ -361,7 +361,7 @@ func BenchmarkAblationSelection(b *testing.B) {
 			if err != nil {
 				break
 			}
-			rec := ev2.Evaluate(space.Decode(u))
+			rec := ev2.EvaluateSpec(space.Decode(u), sparksim.EvalSpec{})
 			engine.Tell(u, math.Log(rec.Seconds))
 			if rec.Completed && rec.Seconds < bestFull {
 				bestFull, bestCfg = rec.Seconds, rec.Config
@@ -397,7 +397,7 @@ func BenchmarkAblationMDIvsMDA(b *testing.B) {
 	y := make([]float64, len(design))
 	for i, u := range design {
 		x[i] = u
-		y[i] = ev.Evaluate(space.Decode(u)).Seconds
+		y[i] = ev.EvaluateSpec(space.Decode(u), sparksim.EvalSpec{}).Seconds
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -815,7 +815,7 @@ func BenchmarkEvaluatorThroughput(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev.Evaluate(cfgs[i%len(cfgs)])
+		ev.EvaluateSpec(cfgs[i%len(cfgs)], sparksim.EvalSpec{})
 	}
 }
 
@@ -857,12 +857,12 @@ func BenchmarkAblationARD(b *testing.B) {
 	design := sample.LHS(40, sub.Dim(), sample.NewRNG(17))
 	y := make([]float64, len(design))
 	for i, u := range design {
-		y[i] = ev.Evaluate(sub.Decode(u)).Seconds
+		y[i] = ev.EvaluateSpec(sub.Decode(u), sparksim.EvalSpec{}).Seconds
 	}
 	probes := sample.LHS(30, sub.Dim(), sample.NewRNG(18))
 	probeY := make([]float64, len(probes))
 	for i, u := range probes {
-		probeY[i] = ev.Evaluate(sub.Decode(u)).Seconds
+		probeY[i] = ev.EvaluateSpec(sub.Decode(u), sparksim.EvalSpec{}).Seconds
 	}
 	score := func(ard bool) float64 {
 		cfg := gp.DefaultConfig()

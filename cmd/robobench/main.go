@@ -176,6 +176,14 @@ func main() {
 		fmt.Print(experiments.RenderMapping(experiments.MappingExperiment(cfg)))
 		ran++
 	}
+	if has("clustersim") {
+		section("Cluster-scheduler backend (policy tuning grid)")
+		cc := experiments.RunClusterComparison(cfg, nil)
+		fmt.Print(experiments.RenderClusterComparison(cc))
+		fmt.Printf("\n  mean gain over default policy: ROBOTune %.1f%%, RandomSearch %.1f%%\n",
+			100*cc.GainOverDefault("ROBOTune"), 100*cc.GainOverDefault("RandomSearch"))
+		ran++
+	}
 	if has("amortization") {
 		section("§5.5 selection-cost amortization")
 		for _, w := range []string{"PageRank", "KMeans"} {
@@ -185,7 +193,7 @@ func main() {
 	}
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; have fig2..fig9, table2, default, extended, ablations, mapping, amortization, all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; have fig2..fig9, table2, default, extended, ablations, mapping, clustersim, amortization, all\n", *expFlag)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))

@@ -84,7 +84,7 @@ func main() {
 	}
 
 	if *sweepP != "" {
-		res, err := sweep.Run(cl, w, c, *sweepP, sweep.Config{
+		res, err := sweep.Run(sparksim.Backend{Cluster: cl}, w, c, *sweepP, sweep.Config{
 			Reps: *reps, Seed: *seed, CapSeconds: *capSec,
 		})
 		if err != nil {

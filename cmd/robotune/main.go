@@ -1,11 +1,12 @@
-// Command robotune tunes a workload's Spark configuration on the
-// simulated cluster with a chosen tuner, printing the best
-// configuration found, the search cost and the convergence trace.
+// Command robotune tunes a workload's configuration on a simulated
+// backend with a chosen tuner, printing the best configuration found,
+// the search cost and the convergence trace.
 //
 // Usage:
 //
 //	robotune -workload KMeans -dataset 1 -budget 100
 //	robotune -workload PageRank -tuner BestConfig
+//	robotune -backend clustersim -workload BatchETL           # 2nd backend
 //	robotune -workload PageRank -dataset 3 -memo state.json   # reuse caches
 //	robotune -workload TeraSort -faults default -retries 2    # faulty cluster
 //	robotune -workload KMeans -journal kmeans.jnl             # crash-safe session
@@ -26,25 +27,27 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/backend"
+	_ "repro/internal/backend/backends"
 	"repro/internal/cli"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 	"repro/internal/trace"
 	"repro/internal/tuners"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "KMeans", "PageRank | KMeans | ConnectedComponents | LogisticRegression | TeraSort")
+		backendN = flag.String("backend", "spark", "evaluation backend: "+strings.Join(backend.Names(), " | "))
+		workload = flag.String("workload", "KMeans", "workload family (spark: PageRank | KMeans | ... ; clustersim: BatchETL | CIBuild | MLTrain | WebServing)")
 		dataset  = flag.Int("dataset", 1, "dataset index 1-3 (Table 1: D1-D3)")
 		tuner    = flag.String("tuner", "ROBOTune", "ROBOTune | BestConfig | Gunther | RandomSearch")
 		budget   = flag.Int("budget", 100, "tuning budget in evaluations")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		memoPath = flag.String("memo", "", "path to the memoization store (persists caches across runs)")
-		capSec   = flag.Float64("cap", 480, "per-evaluation execution time limit in seconds")
+		capSec   = flag.Float64("cap", 0, "per-evaluation execution time limit in seconds (0 = backend default)")
 		tracePth = flag.String("trace", "", "write the full session log (every evaluation) as JSON to this file")
 		bestOut  = flag.String("best-out", "", "write the best configuration's raw values as JSON (readable by robosim -conf)")
 		verbose  = flag.Bool("v", false, "print every non-default parameter of the best config")
@@ -73,10 +76,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	w, err := sparksim.WorkloadByName(*workload, *dataset-1)
+	bk, err := backend.Lookup(*backendN)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	w, err := bk.Workload(*workload, *dataset-1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (backend %s tunes: %s)\n", err, bk.Name(), strings.Join(bk.Workloads(), ", "))
+		os.Exit(2)
+	}
+	if *capSec <= 0 {
+		*capSec = bk.DefaultCap()
 	}
 
 	store := memo.NewStore()
@@ -108,13 +119,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	space := conf.SparkSpace()
-	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), w, *seed, *capSec)
-	ev.Faults = plan
+	space := bk.Space()
+	ev, err := bk.NewEvaluator(w, *seed, *capSec, plan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	var obj tuners.Objective = ev
 	var recorder *trace.Recorder
 	if *tracePth != "" {
-		recorder = trace.NewRecorder(ev)
+		ide, ok := ev.(interface {
+			backend.Evaluator
+			backend.Identifiable
+		})
+		if !ok {
+			fmt.Fprintf(os.Stderr, "backend %s evaluator cannot record traces (no workload identity)\n", bk.Name())
+			os.Exit(2)
+		}
+		recorder = trace.NewRecorder(ide)
 		obj = recorder
 	}
 
@@ -134,8 +156,8 @@ func main() {
 		jn, err = journal.Open(*jrnPath, journal.Meta{
 			Seed:      *seed,
 			Budget:    *budget,
-			Workload:  w.Name,
-			Dataset:   w.Dataset,
+			Workload:  w.WorkloadName(),
+			Dataset:   w.DatasetName(),
 			Tuner:     tn.Name(),
 			Cap:       *capSec,
 			Deadline:  *deadline,
@@ -164,7 +186,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("tuning %s with %s (budget %d, cap %.0fs", w.ID(), tn.Name(), *budget, *capSec)
+	fmt.Printf("tuning %s/%s on %s with %s (budget %d, cap %.0fs",
+		w.WorkloadName(), w.DatasetName(), bk.Name(), tn.Name(), *budget, *capSec)
 	if plan.Enabled() {
 		fmt.Printf(", faults %s", plan)
 	}
@@ -212,7 +235,9 @@ func main() {
 	}
 
 	fmt.Printf("\nbest execution time : %8.1f s (observed during search)\n", res.BestSeconds)
-	fmt.Printf("verified (5 runs)   : %8.1f s\n", ev.Measure(res.Best, 5, *seed*31+7))
+	if m, ok := ev.(backend.Measurer); ok {
+		fmt.Printf("verified (5 runs)   : %8.1f s\n", m.Measure(res.Best, 5, *seed*31+7))
+	}
 	fmt.Printf("tuning evaluations  : %8d\n", res.Evals)
 	fmt.Printf("search cost         : %8.0f s (simulated)\n", res.SearchCost)
 	if res.SelectionEvals > 0 {

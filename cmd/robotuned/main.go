@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	_ "repro/internal/backend/backends"
 	"repro/internal/server"
 )
 
@@ -50,6 +51,7 @@ func main() {
 		idleTTL     = flag.Duration("idle-ttl", 15*time.Minute, "evict sessions untouched this long (journal-backed only; 0 = never)")
 		evictEvery  = flag.Duration("evict-every", 0, "eviction janitor period (0 = idle-ttl/4)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound: how long in-flight session traffic may settle after SIGTERM before shutdown is forced")
+		propSlots   = flag.Int("propose-slots", 0, "bound concurrent propose computations (surrogate refit + acquisition search) across sessions; specs with priority \"latency\" overtake queued bulk work (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 		TenantBurst:       *tenantBurst,
 		IdleTTL:           *idleTTL,
 		EvictEvery:        *evictEvery,
+		ProposeSlots:      *propSlots,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -23,9 +23,12 @@ import (
 	"log"
 
 	"repro/client"
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/core"
-	"repro/internal/sparksim"
+
+	// Register the built-in backends with the registry.
+	_ "repro/internal/backend/backends"
 )
 
 func main() {
@@ -33,10 +36,21 @@ func main() {
 	flag.Parse()
 
 	space := conf.SparkSpace()
-	// Our stand-in cluster: the simulator, consulted directly. The
-	// tuner never sees it — swap in spark-submit, an ssh command, or
-	// an RPC to a benchmark harness.
-	cluster := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(50), 7, 480)
+	// Our stand-in cluster: the Spark backend's evaluator, consulted
+	// directly. The tuner never sees it — swap in spark-submit, an ssh
+	// command, or an RPC to a benchmark harness.
+	b, err := backend.Lookup("spark")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := b.Workload("TeraSort", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := b.NewEvaluator(w, 7, 480, backend.FaultPlan{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	budget := 30
 
 	if *serverURL != "" {
@@ -67,7 +81,7 @@ func main() {
 			// p.Cap is the tuner's kill threshold for this run (0 = no
 			// cap): pass it to your cluster's timeout machinery so bad
 			// configurations die cheaply.
-			rec := cluster.EvaluateWithCap(p.Config, p.Cap)
+			rec := cluster.EvaluateSpec(p.Config, backend.EvalSpec{Cap: p.Cap})
 			runs++
 			cost += rec.Raw
 
@@ -75,7 +89,7 @@ func main() {
 			// configuration, the measured Seconds, the consumed Raw
 			// seconds, and whether the run Completed. Build them from
 			// your own measurements in a real deployment.
-			stepper.Observe(p.Config, sparksim.EvalRecord{
+			stepper.Observe(p.Config, backend.EvalRecord{
 				Config:    p.Config,
 				Seconds:   rec.Seconds,
 				Raw:       rec.Raw,
@@ -100,7 +114,7 @@ func main() {
 
 // runRemote is the same driver loop over the wire: the server owns the
 // tuner and the journal, we own the cluster.
-func runRemote(baseURL string, space *conf.Space, cluster *sparksim.Evaluator, budget int) {
+func runRemote(baseURL string, space *conf.Space, cluster backend.Evaluator, budget int) {
 	cl := client.New(baseURL)
 	sess, err := cl.Create(client.SessionSpec{
 		Tuner:    "robotune",
@@ -137,7 +151,7 @@ func runRemote(baseURL string, space *conf.Space, cluster *sparksim.Evaluator, b
 			if err != nil {
 				log.Fatal(err)
 			}
-			rec := cluster.EvaluateWithCap(cfg, p.Cap)
+			rec := cluster.EvaluateSpec(cfg, backend.EvalSpec{Cap: p.Cap})
 			runs++
 			cost += rec.Raw
 			if _, err := sess.Observe(client.Observation{

@@ -9,29 +9,44 @@ package main
 
 import (
 	"fmt"
+	"log"
 
+	"repro/internal/backend"
 	"repro/internal/core"
-	"repro/internal/sparksim"
+
+	// Register the built-in backends with the registry.
+	_ "repro/internal/backend/backends"
 )
 
 func main() {
+	b, err := backend.Lookup("spark")
+	if err != nil {
+		log.Fatal(err)
+	}
 	campaign := &core.Campaign{
 		Tuner:   core.New(nil, core.Options{}),
-		Cluster: sparksim.PaperCluster(),
+		Backend: b,
 		Budget:  60,
 	}
 
 	// A day's worth of recurring jobs: graph analytics in the
 	// morning, ML training mid-day, nightly sorts — dataset sizes
-	// drifting between arrivals.
-	queue := []sparksim.Workload{
-		sparksim.PageRank(5),
-		sparksim.KMeans(200),
-		sparksim.PageRank(7.5),
-		sparksim.TeraSort(20),
-		sparksim.KMeans(300),
-		sparksim.PageRank(10),
-		sparksim.TeraSort(30),
+	// drifting between arrivals (D1 < D2 < D3 in Table 1's scale).
+	wl := func(name string, dataset int) backend.Workload {
+		w, err := b.Workload(name, dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w
+	}
+	queue := []backend.Workload{
+		wl("PageRank", 0),
+		wl("KMeans", 0),
+		wl("PageRank", 1),
+		wl("TeraSort", 0),
+		wl("KMeans", 1),
+		wl("PageRank", 2),
+		wl("TeraSort", 1),
 	}
 
 	res := campaign.Run(queue, 2026)

@@ -1,4 +1,4 @@
-// Custom workload: define your own stage plan for the cluster
+// Custom workload: define your own stage plan for the Spark
 // simulator and tune it. This mirrors onboarding a new application
 // onto ROBOTune — nothing in the tuner is specific to the five paper
 // workloads.
@@ -7,6 +7,11 @@
 // large input, shuffle a session-key aggregation, cache the sessions,
 // then run two analytical passes over the cached sessions.
 //
+// Only the workload definition names the simulator: the tuning itself
+// runs through the backend seam (backend.Evaluator + optional
+// capability probes), exactly as it would for any other registered
+// backend.
+//
 //	go run ./examples/customworkload
 package main
 
@@ -14,7 +19,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/conf"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/sparksim"
 	"repro/internal/tuners"
@@ -79,26 +84,48 @@ func sessionAnalytics(gbInput float64) sparksim.Workload {
 	}
 }
 
+// measure estimates the final quality of a tuned configuration via
+// the backend's optional Measure capability. Generic over backends:
+// it only sees the seam interfaces.
+func measure(ev backend.Evaluator, res tuners.Result, capSeconds float64) float64 {
+	if !res.Found {
+		return capSeconds
+	}
+	m, ok := ev.(backend.Measurer)
+	if !ok {
+		return capSeconds
+	}
+	return m.Measure(res.Best, 5, 99)
+}
+
 func main() {
 	w := sessionAnalytics(24)
-	space := conf.SparkSpace()
-	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), w, 7, 480)
+	bk := sparksim.Backend{} // zero value = the paper's cluster layout
+	space := bk.Space()
+
+	// The custom Workload value plugs straight into the backend's
+	// evaluator factory — from here on everything is seam-typed.
+	newEval := func() backend.Evaluator {
+		ev, err := bk.NewEvaluator(w, 7, bk.DefaultCap(), backend.FaultPlan{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ev
+	}
 
 	// Compare ROBOTune against Random Search on the custom workload.
+	ev := newEval()
 	rt := core.New(nil, core.Options{})
 	res := rt.Tune(ev, space, 80, 7)
 	if !res.Found {
 		log.Fatal("ROBOTune found nothing")
 	}
-	rtQuality := ev.Measure(res.Best, 5, 99)
+	rtQuality := measure(ev, res, bk.DefaultCap())
 
-	evRS := sparksim.NewEvaluator(sparksim.PaperCluster(), w, 7, 480)
+	evRS := newEval()
 	rs := tuners.RandomSearch{}
 	resRS := rs.Tune(evRS, space, 80, 7)
-	rsQuality := 480.0
-	if resRS.Found {
-		rsQuality = evRS.Measure(resRS.Best, 5, 99)
-	}
+	rsQuality := measure(evRS, resRS, bk.DefaultCap())
 
 	fmt.Printf("workload: %s\n\n", w.ID())
 	fmt.Printf("%-14s %12s %14s\n", "tuner", "best (s)", "search cost (s)")

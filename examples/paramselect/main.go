@@ -12,18 +12,31 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/linmodel"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 	"repro/internal/stats"
+
+	// Register the built-in backends with the registry.
+	_ "repro/internal/backend/backends"
 )
 
 func main() {
 	space := conf.SparkSpace()
-	workload := sparksim.TeraSort(30)
-	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), workload, 17, 480)
+	b, err := backend.Lookup("spark")
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload, err := b.Workload("TeraSort", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := b.NewEvaluator(workload, 17, 480, backend.FaultPlan{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Collect the paper's 100 generic LHS samples once and reuse them
 	// for both the RF selection and the linear-model comparison.
@@ -32,7 +45,7 @@ func main() {
 	y := make([]float64, len(design))
 	for i, u := range design {
 		x[i] = u
-		y[i] = ev.Evaluate(space.Decode(u)).Seconds
+		y[i] = ev.EvaluateSpec(space.Decode(u), backend.EvalSpec{}).Seconds
 	}
 
 	rt := core.New(nil, core.Options{})
@@ -42,7 +55,7 @@ func main() {
 	}
 
 	fmt.Printf("workload: %s (%d LHS samples, RF OOB R² = %.3f)\n\n",
-		workload.ID(), sel.Samples, sel.OOBR2)
+		workload.WorkloadName()+"/"+workload.DatasetName(), sel.Samples, sel.OOBR2)
 	fmt.Println("importance ranking (grouped MDA, mean OOB-R² drop over 10 permutations):")
 	for i, g := range sel.Ranking {
 		if i >= 12 {

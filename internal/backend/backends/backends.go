@@ -1,0 +1,18 @@
+// Package backends links every backend implementation and registers
+// it with the backend registry. It is the one package outside the
+// implementations themselves that may import them: binaries, servers
+// and experiments blank-import it to make backend.Lookup resolve, and
+// everything else stays on the backend interfaces (the architectural
+// boundary test enforces this).
+package backends
+
+import (
+	"repro/internal/backend"
+	"repro/internal/clustersim"
+	"repro/internal/sparksim"
+)
+
+func init() {
+	backend.Register(sparksim.Backend{})
+	backend.Register(clustersim.Backend{})
+}

@@ -1,0 +1,165 @@
+package backend_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// implementations are the backend implementation packages the seam
+// hides. Nothing above the seam may import them directly — everything
+// reaches a concrete backend through the registry.
+var implementations = []string{
+	"repro/internal/sparksim",
+	"repro/internal/clustersim",
+}
+
+// allowedImporters maps each implementation import to the directories
+// (module-relative, "/"-separated) whose non-test files may import it.
+var allowedImporters = map[string]map[string]string{
+	"repro/internal/sparksim": {
+		// The registration shim: the one production package that wires
+		// implementations into the registry.
+		"internal/backend/backends": "registration shim",
+		// The simulator's own inspection tool (stage plans, executor
+		// packing, single runs) — it exists to poke the Spark simulator
+		// specifically, not to tune through the seam.
+		"cmd/robosim": "simulator inspection tool",
+	},
+	"repro/internal/clustersim": {
+		"internal/backend/backends": "registration shim",
+	},
+}
+
+// TestArchBoundary is the dependency gate of the backend seam: it
+// parses the imports of every non-test .go file in the module and
+// fails when anything outside a backend implementation (or its
+// explicit allowlist) imports an implementation package directly.
+// Test files are exempt (tests may pick a concrete backend to drive),
+// and examples/ is exempt as teaching material — each example states
+// which side of the seam it demonstrates.
+func TestArchBoundary(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	var violations []string
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "examples" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		dir := filepath.ToSlash(filepath.Dir(rel))
+
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !isImplementation(target) {
+				continue
+			}
+			if strings.HasPrefix(dir, strings.TrimPrefix(target, "repro/")) {
+				continue // an implementation package's own files
+			}
+			if _, ok := allowedImporters[target][dir]; ok {
+				continue
+			}
+			violations = append(violations, rel+" imports "+target)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Errorf("backend-implementation imports outside the seam (use the backend registry, or extend the allowlist in boundary_test.go with a reason):\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}
+
+// TestArchBoundaryAllowlistLive fails when an allowlist entry goes
+// stale — a directory that no longer imports the implementation should
+// lose its exemption rather than silently keep it.
+func TestArchBoundaryAllowlistLive(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	for target, dirs := range allowedImporters {
+		for dir := range dirs {
+			abs := filepath.Join(root, filepath.FromSlash(dir))
+			entries, err := os.ReadDir(abs)
+			if err != nil {
+				t.Errorf("allowlisted directory %s does not exist: %v", dir, err)
+				continue
+			}
+			found := false
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+					continue
+				}
+				f, err := parser.ParseFile(fset, filepath.Join(abs, e.Name()), nil, parser.ImportsOnly)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, imp := range f.Imports {
+					if p, _ := strconv.Unquote(imp.Path.Value); p == target {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Errorf("allowlist entry stale: %s no longer imports %s; remove the exemption", dir, target)
+			}
+		}
+	}
+}
+
+func isImplementation(path string) bool {
+	for _, impl := range implementations {
+		if path == impl || strings.HasPrefix(path, impl+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRoot walks up from the package directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,84 @@
+package backend
+
+import "fmt"
+
+// FaultPlan describes the infrastructure misbehavior injected into
+// simulated runs — the failures a real deployment throws at a tuner
+// that per-run noise does not capture: workers lost mid-run,
+// straggler tasks an order of magnitude slower than their peers,
+// transient evaluation errors (lost heartbeats, fetch storms) and
+// spurious OOM kills from co-tenant memory pressure. Each backend
+// maps the classes onto its own substrate (sparksim loses executors
+// at a stage boundary, clustersim crashes a node mid-trace); the
+// probabilities and the stream discipline are shared.
+//
+// The zero value disables injection entirely: a zero plan consumes no
+// randomness and leaves every run bit-identical to an un-faulted one.
+// All draws come from a dedicated fault stream derived from Seed and
+// the evaluation index, never from the run's noise stream, so enabling
+// faults perturbs outcomes only through the injected events — and the
+// same (seed, plan) always reproduces the same faults, whether runs
+// execute sequentially or in a parallel batch.
+type FaultPlan struct {
+	// ExecutorLossProb is the per-run probability that one worker is
+	// lost partway through: its in-flight work is recomputed and the
+	// rest of the run proceeds with less capacity.
+	ExecutorLossProb float64
+	// StragglerProb is the per-unit probability of straggler
+	// amplification: the affected unit takes StragglerFactor times
+	// longer (a severe straggler beyond modeled skew and speculation).
+	StragglerProb float64
+	// StragglerFactor is the amplification multiple (default 3).
+	StragglerFactor float64
+	// TransientErrProb is the per-run probability of a transient
+	// evaluation error: the run aborts and reports Transient=true —
+	// the class of failure a retry can cure.
+	TransientErrProb float64
+	// SpuriousOOMProb is the per-run probability of a spurious OOM
+	// kill: the run aborts with OOM=true even though the configuration
+	// was viable. Indistinguishable from a config-caused OOM, so it is
+	// not flagged transient — tuners must absorb it as a worst-case
+	// observation.
+	SpuriousOOMProb float64
+	// Seed mixes into the per-evaluation fault stream so campaigns can
+	// vary the fault sequence independently of the noise seed.
+	Seed uint64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p FaultPlan) Enabled() bool {
+	return p.ExecutorLossProb > 0 || p.StragglerProb > 0 ||
+		p.TransientErrProb > 0 || p.SpuriousOOMProb > 0
+}
+
+// EffectiveStragglerFactor returns the amplification multiple with
+// the default applied (values <= 1 read as 3).
+func (p FaultPlan) EffectiveStragglerFactor() float64 {
+	if p.StragglerFactor <= 1 {
+		return 3
+	}
+	return p.StragglerFactor
+}
+
+// String renders the plan compactly for logs and CLI output.
+func (p FaultPlan) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	return fmt.Sprintf("execloss=%.2g straggler=%.2gx%.2g transient=%.2g oom=%.2g seed=%d",
+		p.ExecutorLossProb, p.StragglerProb, p.EffectiveStragglerFactor(),
+		p.TransientErrProb, p.SpuriousOOMProb, p.Seed)
+}
+
+// DefaultFaultPlan returns the moderate plan the fault-injection
+// stress suite runs under: roughly one injected incident every few
+// runs of each class.
+func DefaultFaultPlan() FaultPlan {
+	return FaultPlan{
+		ExecutorLossProb: 0.10,
+		StragglerProb:    0.08,
+		StragglerFactor:  3,
+		TransientErrProb: 0.12,
+		SpuriousOOMProb:  0.04,
+	}
+}

@@ -1,0 +1,83 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fidelity selects how faithfully an evaluation runs the workload.
+// The zero value is full fidelity — the exact workload the evaluator
+// was built with. Lower fidelities deterministically derive a cheap
+// proxy workload (reduced input scale and/or a truncated work prefix)
+// from the full plan: the proxy costs a fraction of the simulated
+// seconds while preserving the configuration-sensitivity structure
+// that multi-fidelity tuners exploit (MFTune; BOHB).
+//
+// Fidelity is a pure value: backends derive the proxy without
+// mutating the source workload, and the same (workload, fidelity)
+// pair always yields the same proxy, so journaled evaluations replay
+// bit-identically. What the two axes scale is backend-defined —
+// sparksim scales stage data volumes and truncates the stage prefix,
+// clustersim thins the job arrival trace and truncates its tail — but
+// the contract (deterministic, cheaper, sensitivity-preserving) is
+// shared.
+type Fidelity struct {
+	// InputScale scales the workload's data or load volume by this
+	// fraction in (0, 1]. 0 means 1 (full scale).
+	InputScale float64 `json:"input_scale,omitempty"`
+	// StageFrac truncates the plan to its first ceil(frac·len) units
+	// (stages, trace entries), frac in (0, 1]. 0 means 1 (everything).
+	StageFrac float64 `json:"stage_frac,omitempty"`
+}
+
+// FullFidelity is the explicit full-scale value; identical to the
+// zero Fidelity.
+var FullFidelity = Fidelity{}
+
+// Full reports whether f denotes the unmodified workload.
+func (f Fidelity) Full() bool {
+	return (f.InputScale == 0 || f.InputScale == 1) &&
+		(f.StageFrac == 0 || f.StageFrac == 1)
+}
+
+// Scale returns the effective input-scale fraction (0 reads as 1).
+func (f Fidelity) Scale() float64 {
+	if f.InputScale == 0 {
+		return 1
+	}
+	return f.InputScale
+}
+
+// Frac returns the effective stage fraction (0 reads as 1).
+func (f Fidelity) Frac() float64 {
+	if f.StageFrac == 0 {
+		return 1
+	}
+	return f.StageFrac
+}
+
+// Validate rejects fidelities outside (0, 1] (zero fields excepted:
+// they read as full scale).
+func (f Fidelity) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+			return fmt.Errorf("backend: fidelity %s %v outside (0, 1]", name, v)
+		}
+		return nil
+	}
+	if err := check("input scale", f.InputScale); err != nil {
+		return err
+	}
+	return check("stage fraction", f.StageFrac)
+}
+
+// String renders the fidelity compactly for logs and Explain output.
+func (f Fidelity) String() string {
+	if f.Full() {
+		return "full"
+	}
+	if f.Frac() == 1 {
+		return fmt.Sprintf("scale=%.3g", f.Scale())
+	}
+	return fmt.Sprintf("scale=%.3g,stages=%.3g", f.Scale(), f.Frac())
+}

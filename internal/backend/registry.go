@@ -1,0 +1,82 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/conf"
+)
+
+// Backend is one registered evaluation substrate: a named search
+// space, a catalog of workloads, and an evaluator factory. The CLI,
+// the server and the experiments select backends by name through the
+// registry, which is what keeps every layer above the seam free of
+// implementation imports.
+type Backend interface {
+	// Name is the registry key ("spark", "clustersim").
+	Name() string
+	// Description is a one-line summary for -h output and docs.
+	Description() string
+	// Space returns the backend's tunable configuration space.
+	Space() *conf.Space
+	// Workloads lists the workload family names, sorted.
+	Workloads() []string
+	// Workload resolves a workload family at a dataset scale index
+	// (0-based; each family defines at least 3 scales, matching the
+	// paper's D1-D3 convention).
+	Workload(name string, dataset int) (Workload, error)
+	// NewEvaluator builds an evaluator for one tuning session: w at
+	// the given noise seed, per-evaluation cap (<= 0 selects the
+	// backend default) and fault plan.
+	NewEvaluator(w Workload, seed uint64, capSeconds float64, faults FaultPlan) (Evaluator, error)
+	// DefaultCap is the backend's default per-evaluation limit in
+	// simulated seconds.
+	DefaultCap() float64
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend under its Name. Implementations register
+// from internal/backend/backends (the one package allowed to import
+// them); registering two backends under one name panics — it is a
+// wiring bug, not a runtime condition.
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := b.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	}
+	registry[name] = b
+}
+
+// Lookup resolves a registered backend by name.
+func Lookup(name string) (Backend, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (registered: %v)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

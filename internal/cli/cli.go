@@ -11,10 +11,10 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
 
@@ -230,9 +230,9 @@ func BuildStepper(name string, space *conf.Space, budget int, seed uint64, workl
 // Fields may appear in any order and default to zero (seed defaults
 // to 1 when any probability is set, so the plan is active). The
 // keyword "default" (alone or as a leading field) starts from
-// sparksim.DefaultFaultPlan(); "" and "off" return the zero plan.
-func ParseFaultPlan(spec string) (sparksim.FaultPlan, error) {
-	var plan sparksim.FaultPlan
+// backend.DefaultFaultPlan(); "" and "off" return the zero plan.
+func ParseFaultPlan(spec string) (backend.FaultPlan, error) {
+	var plan backend.FaultPlan
 	spec = strings.TrimSpace(spec)
 	if spec == "" || strings.EqualFold(spec, "off") || strings.EqualFold(spec, "none") {
 		return plan, nil
@@ -243,26 +243,26 @@ func ParseFaultPlan(spec string) (sparksim.FaultPlan, error) {
 			continue
 		}
 		if strings.EqualFold(field, "default") {
-			plan = sparksim.DefaultFaultPlan()
+			plan = backend.DefaultFaultPlan()
 			continue
 		}
 		name, value, ok := strings.Cut(field, "=")
 		if !ok {
-			return sparksim.FaultPlan{}, fmt.Errorf("fault plan: want name=value, got %q", field)
+			return backend.FaultPlan{}, fmt.Errorf("fault plan: want name=value, got %q", field)
 		}
 		name = strings.ToLower(strings.TrimSpace(name))
 		value = strings.TrimSpace(value)
 		if name == "seed" {
 			seed, err := strconv.ParseUint(value, 10, 64)
 			if err != nil {
-				return sparksim.FaultPlan{}, fmt.Errorf("fault plan: seed: %w", err)
+				return backend.FaultPlan{}, fmt.Errorf("fault plan: seed: %w", err)
 			}
 			plan.Seed = seed
 			continue
 		}
 		f, err := strconv.ParseFloat(value, 64)
 		if err != nil {
-			return sparksim.FaultPlan{}, fmt.Errorf("fault plan: %s: %w", name, err)
+			return backend.FaultPlan{}, fmt.Errorf("fault plan: %s: %w", name, err)
 		}
 		switch name {
 		case "execloss", "executorloss":
@@ -276,7 +276,7 @@ func ParseFaultPlan(spec string) (sparksim.FaultPlan, error) {
 		case "oom":
 			plan.SpuriousOOMProb = f
 		default:
-			return sparksim.FaultPlan{}, fmt.Errorf("fault plan: unknown field %q (have execloss, straggler, stragglerfactor, transient, oom, seed)", name)
+			return backend.FaultPlan{}, fmt.Errorf("fault plan: unknown field %q (have execloss, straggler, stragglerfactor, transient, oom, seed)", name)
 		}
 	}
 	if plan.Enabled() && plan.Seed == 0 {

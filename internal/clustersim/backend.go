@@ -1,0 +1,53 @@
+package clustersim
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/conf"
+)
+
+// DefaultCapSeconds is the per-evaluation limit a zero cap selects:
+// generous enough that any sane policy replays the largest trace, so
+// the cap mostly catches pathological configurations.
+const DefaultCapSeconds = 2400
+
+// Backend exposes the cluster-scheduler simulator through the backend
+// registry.
+type Backend struct{}
+
+// Name implements backend.Backend.
+func (Backend) Name() string { return "clustersim" }
+
+// Description implements backend.Backend.
+func (Backend) Description() string {
+	return "Multi-tenant cluster scheduler policy (pod placement traces, 13-parameter space)"
+}
+
+// Space implements backend.Backend.
+func (Backend) Space() *conf.Space { return Space() }
+
+// DefaultCap implements backend.Backend.
+func (Backend) DefaultCap() float64 { return DefaultCapSeconds }
+
+// Workloads implements backend.Backend.
+func (Backend) Workloads() []string {
+	return append([]string(nil), Families...)
+}
+
+// Workload implements backend.Backend via WorkloadByName.
+func (Backend) Workload(name string, dataset int) (backend.Workload, error) {
+	return WorkloadByName(name, dataset)
+}
+
+// NewEvaluator implements backend.Backend. w must be a clustersim
+// Workload (the value this backend's Workload method returns).
+func (Backend) NewEvaluator(w backend.Workload, seed uint64, capSeconds float64, faults backend.FaultPlan) (backend.Evaluator, error) {
+	cw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("clustersim: workload %T is not a clustersim.Workload", w)
+	}
+	ev := NewEvaluator(cw, seed, capSeconds)
+	ev.Faults = faults
+	return ev, nil
+}

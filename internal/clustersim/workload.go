@@ -1,0 +1,250 @@
+package clustersim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/sample"
+)
+
+// Metric selects the objective a workload is tuned for.
+type Metric int
+
+const (
+	// Makespan is the time from first arrival to last completion.
+	Makespan Metric = iota
+	// P95Latency is the 95th percentile of per-job latency (completion
+	// minus arrival).
+	P95Latency
+)
+
+func (m Metric) String() string {
+	if m == P95Latency {
+		return "p95-latency"
+	}
+	return "makespan"
+}
+
+// Job is one arrival in the trace: Pods identical tasks that must all
+// complete for the job to finish.
+type Job struct {
+	// Arrival is the submission time in seconds from trace start.
+	Arrival float64
+	// Pods is the task count.
+	Pods int
+	// CPU and MemGB are the per-pod demands.
+	CPU   float64
+	MemGB float64
+	// Duration is the per-pod nominal run time in seconds at 1.0x
+	// speed.
+	Duration float64
+	// Priority 1 marks production pods (may preempt); 0 is batch.
+	Priority int
+}
+
+// Workload is a named arrival trace on a fixed cluster shape — the
+// clustersim analogue of a SparkBench workload.
+type Workload struct {
+	Name    string
+	Dataset string
+	// Nodes, NodeCPU and NodeMemGB describe the homogeneous cluster
+	// the trace runs on.
+	Nodes     int
+	NodeCPU   float64
+	NodeMemGB float64
+	// Jobs is the deterministic arrival trace, sorted by Arrival.
+	Jobs []Job
+	// Metric is the tuned objective.
+	Metric Metric
+}
+
+// WorkloadName implements backend.Workload.
+func (w Workload) WorkloadName() string { return w.Name }
+
+// DatasetName implements backend.Workload.
+func (w Workload) DatasetName() string { return w.Dataset }
+
+// ID is the workload's catalog identity.
+func (w Workload) ID() string { return w.Name + "/" + w.Dataset }
+
+// Describe implements backend.Workload: the trace summary.
+func (w Workload) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %d jobs on %d nodes (%g cores, %g GB each), objective %s\n",
+		w.ID(), len(w.Jobs), w.Nodes, w.NodeCPU, w.NodeMemGB, w.Metric)
+	var pods int
+	var cpu, mem, work float64
+	hi := 0
+	for _, j := range w.Jobs {
+		pods += j.Pods
+		cpu += float64(j.Pods) * j.CPU
+		mem += float64(j.Pods) * j.MemGB
+		work += float64(j.Pods) * j.Duration * j.CPU
+		if j.Priority > 0 {
+			hi++
+		}
+	}
+	span := w.span()
+	fmt.Fprintf(&sb, "  %d pods, %d production jobs, arrivals over %.0f s\n", pods, hi, span)
+	fmt.Fprintf(&sb, "  aggregate demand: %.0f core-pods, %.0f GB-pods, %.0f core-seconds of work\n", cpu, mem, work)
+	fmt.Fprintf(&sb, "  cluster capacity: %.0f cores, %.0f GB\n",
+		float64(w.Nodes)*w.NodeCPU, float64(w.Nodes)*w.NodeMemGB)
+	return sb.String()
+}
+
+func (w Workload) span() float64 {
+	if len(w.Jobs) == 0 {
+		return 0
+	}
+	return w.Jobs[len(w.Jobs)-1].Arrival - w.Jobs[0].Arrival
+}
+
+// Validate checks the trace for internal consistency.
+func (w Workload) Validate() error {
+	if w.Nodes < 1 || w.NodeCPU <= 0 || w.NodeMemGB <= 0 {
+		return fmt.Errorf("clustersim: %s: invalid cluster shape", w.ID())
+	}
+	if len(w.Jobs) == 0 {
+		return fmt.Errorf("clustersim: %s: empty trace", w.ID())
+	}
+	for i, j := range w.Jobs {
+		if j.Pods < 1 || j.CPU <= 0 || j.MemGB <= 0 || j.Duration <= 0 {
+			return fmt.Errorf("clustersim: %s: job %d has non-positive demand", w.ID(), i)
+		}
+		if i > 0 && j.Arrival < w.Jobs[i-1].Arrival {
+			return fmt.Errorf("clustersim: %s: arrivals out of order at %d", w.ID(), i)
+		}
+	}
+	return nil
+}
+
+// ApplyFidelity derives the proxy trace f selects from w: StageFrac
+// truncates to the first ceil(frac·len) arrivals, and InputScale
+// thins the remaining trace to ceil(scale·len) jobs by even stride —
+// both pure functions of (w, f), so journaled proxy evaluations
+// replay bit-identically.
+func ApplyFidelity(f backend.Fidelity, w Workload) Workload {
+	if f.Full() {
+		return w
+	}
+	jobs := w.Jobs
+	if frac := f.Frac(); frac < 1 {
+		keep := int(math.Ceil(frac * float64(len(jobs))))
+		if keep < 1 {
+			keep = 1
+		}
+		jobs = jobs[:keep]
+	}
+	if scale := f.Scale(); scale < 1 {
+		keep := int(math.Ceil(scale * float64(len(jobs))))
+		if keep < 1 {
+			keep = 1
+		}
+		thinned := make([]Job, keep)
+		for i := 0; i < keep; i++ {
+			thinned[i] = jobs[i*len(jobs)/keep]
+		}
+		jobs = thinned
+	} else {
+		jobs = append([]Job(nil), jobs...)
+	}
+	w.Jobs = jobs
+	return w
+}
+
+// traceSpec parameterizes the deterministic trace generator.
+type traceSpec struct {
+	jobs     int
+	rate     float64 // mean inter-arrival seconds
+	pods     [2]int  // min, max pods per job
+	cpu      [2]float64
+	mem      [2]float64
+	duration [2]float64
+	prodFrac float64 // fraction of production-priority jobs
+	metric   Metric
+}
+
+// genTrace builds a trace from a spec. The generator seed is a pure
+// function of the workload identity, so the trace is part of the
+// workload definition — the same (name, dataset) always tunes the
+// same jobs.
+func genTrace(name, dataset string, spec traceSpec) Workload {
+	var h uint64 = 1469598103934665603
+	for _, b := range []byte(name + "/" + dataset) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	rng := sample.NewRNG(h)
+	jobs := make([]Job, spec.jobs)
+	t := 0.0
+	for i := range jobs {
+		t += spec.rate * (0.25 + 1.5*rng.Float64())
+		span := func(b [2]float64) float64 { return b[0] + (b[1]-b[0])*rng.Float64() }
+		j := Job{
+			Arrival:  t,
+			Pods:     spec.pods[0] + rng.IntN(spec.pods[1]-spec.pods[0]+1),
+			CPU:      span(spec.cpu),
+			MemGB:    span(spec.mem),
+			Duration: span(spec.duration),
+		}
+		if rng.Float64() < spec.prodFrac {
+			j.Priority = 1
+		}
+		jobs[i] = j
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival })
+	return Workload{
+		Name:    name,
+		Dataset: dataset,
+		Nodes:   8, NodeCPU: 16, NodeMemGB: 64,
+		Jobs:   jobs,
+		Metric: spec.metric,
+	}
+}
+
+// Families lists the workload catalog in report order.
+var Families = []string{"BatchETL", "CIBuild", "MLTrain", "WebServing"}
+
+// WorkloadByName constructs the named workload at dataset index 0..2
+// (D1..D3 scale the job count and arrival pressure).
+func WorkloadByName(name string, dataset int) (Workload, error) {
+	if dataset < 0 || dataset > 2 {
+		return Workload{}, fmt.Errorf("clustersim: dataset index %d out of range 0..2", dataset)
+	}
+	ds := fmt.Sprintf("D%d", dataset+1)
+	scale := []float64{1, 1.5, 2}[dataset]
+	switch name {
+	case "BatchETL":
+		// Few large multi-pod jobs; throughput-shaped.
+		return genTrace(name, ds, traceSpec{
+			jobs: int(24 * scale), rate: 18 / scale,
+			pods: [2]int{4, 10}, cpu: [2]float64{2, 4}, mem: [2]float64{4, 12},
+			duration: [2]float64{60, 180}, prodFrac: 0.1, metric: Makespan,
+		}), nil
+	case "CIBuild":
+		// Bursty short jobs; latency-shaped.
+		return genTrace(name, ds, traceSpec{
+			jobs: int(60 * scale), rate: 6 / scale,
+			pods: [2]int{1, 4}, cpu: [2]float64{1, 4}, mem: [2]float64{1, 6},
+			duration: [2]float64{20, 90}, prodFrac: 0.25, metric: P95Latency,
+		}), nil
+	case "MLTrain":
+		// Long-running wide jobs that dominate nodes.
+		return genTrace(name, ds, traceSpec{
+			jobs: int(10 * scale), rate: 40 / scale,
+			pods: [2]int{6, 12}, cpu: [2]float64{3, 6}, mem: [2]float64{10, 24},
+			duration: [2]float64{120, 300}, prodFrac: 0.15, metric: Makespan,
+		}), nil
+	case "WebServing":
+		// Many tiny pods with strict latency expectations.
+		return genTrace(name, ds, traceSpec{
+			jobs: int(80 * scale), rate: 4 / scale,
+			pods: [2]int{1, 3}, cpu: [2]float64{0.5, 2}, mem: [2]float64{0.5, 4},
+			duration: [2]float64{10, 45}, prodFrac: 0.5, metric: P95Latency,
+		}), nil
+	}
+	return Workload{}, fmt.Errorf("clustersim: unknown workload %q (have %s)", name, strings.Join(Families, ", "))
+}

@@ -5,8 +5,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/conf"
-	"repro/internal/sparksim"
+	"repro/internal/backend"
 	"repro/internal/tuners"
 )
 
@@ -20,9 +19,13 @@ type Campaign struct {
 	// Tuner is the shared ROBOTune instance (its store accumulates
 	// knowledge across sessions).
 	Tuner *ROBOTune
-	// Cluster and Cap configure the evaluators (Cap <= 0 → 480 s).
-	Cluster sparksim.Cluster
-	Cap     float64
+	// Backend supplies each session's evaluator and search space; nil
+	// looks up the registered "spark" backend (importers must link the
+	// backends shim for that fallback to resolve).
+	Backend backend.Backend
+	// Cap is the per-evaluation time limit (<= 0 → the backend's
+	// DefaultCap).
+	Cap float64
 	// Budget is the per-session evaluation budget (default 100).
 	Budget int
 	// MeasureReps verifies each session's best configuration
@@ -33,7 +36,7 @@ type Campaign struct {
 	Ctx context.Context
 	// Faults injects the plan's cluster misbehavior into every
 	// session's evaluator (off when zero; Measure stays fault-free).
-	Faults sparksim.FaultPlan
+	Faults backend.FaultPlan
 	// Deadline is a per-evaluation limit in simulated seconds layered
 	// under the guard cap (<= 0 = none).
 	Deadline float64
@@ -43,7 +46,7 @@ type Campaign struct {
 
 // CampaignSession is one completed tuning session within a campaign.
 type CampaignSession struct {
-	Workload sparksim.Workload
+	Workload backend.Workload
 	Result   tuners.Result
 	// CacheHit is true when the session reused a cached selection
 	// (zero selection evaluations).
@@ -60,9 +63,16 @@ type CampaignResult struct {
 
 // Run tunes the workloads in order. Sessions are deterministic in
 // (seed, position).
-func (c *Campaign) Run(workloads []sparksim.Workload, seed uint64) CampaignResult {
+func (c *Campaign) Run(workloads []backend.Workload, seed uint64) CampaignResult {
 	if c.Tuner == nil {
 		c.Tuner = New(nil, Options{})
+	}
+	b := c.Backend
+	if b == nil {
+		var err error
+		if b, err = backend.Lookup("spark"); err != nil {
+			panic(fmt.Sprintf("core: campaign has no backend and none registered as spark: %v", err))
+		}
 	}
 	budget := c.Budget
 	if budget <= 0 {
@@ -76,15 +86,18 @@ func (c *Campaign) Run(workloads []sparksim.Workload, seed uint64) CampaignResul
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	space := b.Space()
 	var out CampaignResult
 	for i, w := range workloads {
 		if ctx.Err() != nil {
 			break
 		}
 		sseed := seed + uint64(i)*701
-		ev := sparksim.NewEvaluator(c.Cluster, w, sseed, c.Cap)
-		ev.Faults = c.Faults
-		res := c.Tuner.Run(tuners.NewSession(ev, conf.SparkSpace(), tuners.Request{
+		ev, err := b.NewEvaluator(w, sseed, c.Cap, c.Faults)
+		if err != nil {
+			panic(fmt.Sprintf("core: campaign evaluator for %s: %v", w.WorkloadName(), err))
+		}
+		res := c.Tuner.Run(tuners.NewSession(ev, space, tuners.Request{
 			Ctx:      ctx,
 			Budget:   budget,
 			Seed:     sseed,
@@ -97,7 +110,11 @@ func (c *Campaign) Run(workloads []sparksim.Workload, seed uint64) CampaignResul
 			CacheHit: res.SelectionEvals == 0,
 		}
 		if res.Found {
-			session.Quality = ev.Measure(res.Best, reps, sseed*3+11)
+			if m, ok := ev.(backend.Measurer); ok {
+				session.Quality = m.Measure(res.Best, reps, sseed*3+11)
+			} else {
+				session.Quality = res.BestSeconds
+			}
 		}
 		out.Sessions = append(out.Sessions, session)
 	}
@@ -154,8 +171,9 @@ func (r CampaignResult) Render() string {
 		if sess.Result.Found {
 			best = fmt.Sprintf("%.1f", sess.Quality)
 		}
+		id := sess.Workload.WorkloadName() + "/" + sess.Workload.DatasetName()
 		fmt.Fprintf(&sb, "%-36s %10s %10.0f %10.0f %6s\n",
-			sess.Workload.ID(), best, sess.Result.SearchCost, sess.Result.SelectionCost, cache)
+			id, best, sess.Result.SearchCost, sess.Result.SelectionCost, cache)
 	}
 	fmt.Fprintf(&sb, "\ntotals: search %.0f s, one-time selection %.0f s, cache hit rate %.0f%%\n",
 		r.TotalSearchCost(), r.TotalSelectionCost(), 100*r.CacheHitRate())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/backend"
 	"strings"
 	"testing"
 
@@ -10,11 +11,11 @@ import (
 func TestCampaignAccumulatesKnowledge(t *testing.T) {
 	camp := &Campaign{
 		Tuner:       New(nil, fastOptions()),
-		Cluster:     sparksim.PaperCluster(),
+		Backend:     sparksim.Backend{},
 		Budget:      25,
 		MeasureReps: 2,
 	}
-	res := camp.Run([]sparksim.Workload{
+	res := camp.Run([]backend.Workload{
 		sparksim.PageRank(5),
 		sparksim.PageRank(7.5),
 		sparksim.KMeans(200),
@@ -29,7 +30,7 @@ func TestCampaignAccumulatesKnowledge(t *testing.T) {
 	wantHits := []bool{false, true, false, true, true}
 	for i, sess := range res.Sessions {
 		if sess.CacheHit != wantHits[i] {
-			t.Errorf("session %d (%s): hit=%v want %v", i, sess.Workload.ID(), sess.CacheHit, wantHits[i])
+			t.Errorf("session %d (%s): hit=%v want %v", i, sess.Workload.WorkloadName()+"/"+sess.Workload.DatasetName(), sess.CacheHit, wantHits[i])
 		}
 		if !sess.Result.Found {
 			t.Errorf("session %d found nothing", i)
@@ -57,8 +58,8 @@ func TestCampaignAccumulatesKnowledge(t *testing.T) {
 }
 
 func TestCampaignDefaults(t *testing.T) {
-	camp := &Campaign{Cluster: sparksim.PaperCluster(), Budget: 20}
-	res := camp.Run([]sparksim.Workload{sparksim.TeraSort(20)}, 3)
+	camp := &Campaign{Backend: sparksim.Backend{}, Budget: 20}
+	res := camp.Run([]backend.Workload{sparksim.TeraSort(20)}, 3)
 	if len(res.Sessions) != 1 || !res.Sessions[0].Result.Found {
 		t.Fatalf("default campaign failed: %+v", res.Sessions)
 	}

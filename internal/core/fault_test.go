@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"repro/internal/backend"
 	"strings"
 	"sync"
 	"testing"
@@ -14,7 +15,7 @@ import (
 
 func faultyEvaluator(w sparksim.Workload, seed uint64) *sparksim.Evaluator {
 	ev := newEvaluator(w, seed)
-	ev.Faults = sparksim.DefaultFaultPlan()
+	ev.Faults = backend.DefaultFaultPlan()
 	return ev
 }
 
@@ -126,19 +127,8 @@ func (c *cancellingObjective) tick() {
 	c.mu.Unlock()
 }
 
-func (c *cancellingObjective) Evaluate(cfg conf.Config) sparksim.EvalRecord {
-	defer c.tick()
-	return c.Evaluator.Evaluate(cfg)
-}
-
-func (c *cancellingObjective) EvaluateWithCap(cfg conf.Config, cap float64) sparksim.EvalRecord {
-	defer c.tick()
-	return c.Evaluator.EvaluateWithCap(cfg, cap)
-}
-
 // EvaluateSpec keeps the cancel hook on the unified entry point the
-// session actually routes through (the promoted embedded method
-// would bypass it).
+// session actually routes through.
 func (c *cancellingObjective) EvaluateSpec(cfg conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
 	defer c.tick()
 	return c.Evaluator.EvaluateSpec(cfg, spec)
@@ -236,12 +226,12 @@ func TestCampaignWithFaultsDeterministic(t *testing.T) {
 	run := func() CampaignResult {
 		c := &Campaign{
 			Tuner:   New(nil, fastOptions()),
-			Cluster: sparksim.PaperCluster(),
+			Backend: sparksim.Backend{},
 			Budget:  15,
-			Faults:  sparksim.DefaultFaultPlan(),
+			Faults:  backend.DefaultFaultPlan(),
 			Retry:   tuners.RetryPolicy{MaxRetries: 1},
 		}
-		return c.Run([]sparksim.Workload{sparksim.TeraSort(20), sparksim.TeraSort(30)}, 21)
+		return c.Run([]backend.Workload{sparksim.TeraSort(20), sparksim.TeraSort(30)}, 21)
 	}
 	a, b := run(), run()
 	if len(a.Sessions) != 2 || len(b.Sessions) != 2 {
@@ -265,11 +255,11 @@ func TestCampaignCancelledStopsSessions(t *testing.T) {
 	cancel()
 	c := &Campaign{
 		Tuner:   New(nil, fastOptions()),
-		Cluster: sparksim.PaperCluster(),
+		Backend: sparksim.Backend{},
 		Budget:  10,
 		Ctx:     ctx,
 	}
-	out := c.Run([]sparksim.Workload{sparksim.TeraSort(20)}, 1)
+	out := c.Run([]backend.Workload{sparksim.TeraSort(20)}, 1)
 	if len(out.Sessions) != 0 {
 		t.Fatalf("cancelled campaign ran %d sessions", len(out.Sessions))
 	}

@@ -1,0 +1,129 @@
+package core
+
+// Golden parity pin for the Spark backend: a full robotune trace (and
+// a BOHB multi-fidelity trace) captured before the backend-interface
+// extraction, compared byte-for-byte against the refactored stack.
+// The golden file was generated on the pre-refactor tree; regenerating
+// it (ROBOTUNE_UPDATE_GOLDEN=1) is only legitimate when a PR
+// deliberately changes tuning behavior, never as part of a refactor
+// that claims bit-identical results.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/journal"
+	"repro/internal/sparksim"
+	"repro/internal/tuners"
+)
+
+// paritySnapshot is the JSON image of everything a tuning session
+// observed: the full trace, the incumbent, costs, selection, failure
+// accounting and the final measured quality. JSON round-trips float64
+// bit-exactly, so byte equality of snapshots is bit equality of runs.
+type paritySnapshot struct {
+	Best           map[string]float64    `json:"best,omitempty"`
+	BestSeconds    float64               `json:"best_seconds,omitempty"`
+	Found          bool                  `json:"found"`
+	Evals          int                   `json:"evals"`
+	SearchCost     float64               `json:"search_cost"`
+	Trace          []float64             `json:"trace"`
+	Completed      []bool                `json:"completed"`
+	Proxy          []bool                `json:"proxy,omitempty"`
+	SelectedParams []string              `json:"selected_params,omitempty"`
+	SelectionEvals int                   `json:"selection_evals,omitempty"`
+	SelectionCost  float64               `json:"selection_cost,omitempty"`
+	Failures       journal.FailureCounts `json:"failures"`
+	Measured       float64               `json:"measured,omitempty"`
+	ObjEvals       int                   `json:"obj_evals"`
+	ObjCost        float64               `json:"obj_cost"`
+}
+
+func snapshotOf(res tuners.Result, ev *sparksim.Evaluator, measureSeed uint64) paritySnapshot {
+	snap := paritySnapshot{
+		Found:          res.Found,
+		Evals:          res.Evals,
+		SearchCost:     res.SearchCost,
+		Trace:          res.Trace,
+		Completed:      res.Completed,
+		Proxy:          res.Proxy,
+		SelectedParams: res.SelectedParams,
+		SelectionEvals: res.SelectionEvals,
+		SelectionCost:  res.SelectionCost,
+		Failures:       res.Failures.Counts(),
+		ObjEvals:       ev.Evals(),
+		ObjCost:        ev.SearchCost(),
+	}
+	if res.Found {
+		snap.Best = res.Best.ToMap()
+		snap.BestSeconds = res.BestSeconds
+		snap.Measured = ev.Measure(res.Best, 3, measureSeed)
+	}
+	return snap
+}
+
+func TestSparkBackendParityGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning runs; skipped in -short mode")
+	}
+	got := map[string]paritySnapshot{}
+
+	// Scenario 1: the full ROBOTune pipeline (probe → selection → LHS
+	// → GP-BO with guard caps) under deterministic fault injection.
+	{
+		w, err := sparksim.WorkloadByName("KMeans", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := sparksim.NewEvaluator(sparksim.PaperCluster(), w, 42, 480)
+		plan := sparksim.DefaultFaultPlan()
+		plan.Seed = 99
+		ev.Faults = plan
+		r := New(nil, fastOptions())
+		res := r.Run(tuners.NewSession(ev, conf.SparkSpace(), tuners.Request{Budget: 40, Seed: 42}))
+		got["robotune-faults"] = snapshotOf(res, ev, 42*31+7)
+	}
+
+	// Scenario 2: BOHB on the fidelity ladder — pins the proxy
+	// workload derivation, the per-index noise streams across
+	// fidelities and the cap/fidelity plumbing.
+	{
+		w, err := sparksim.WorkloadByName("PageRank", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := sparksim.NewEvaluator(sparksim.PaperCluster(), w, 7, 480)
+		tn := tuners.BOHB{Ladder: tuners.DefaultLadder()}
+		res := tn.Run(tuners.NewSession(ev, conf.SparkSpace(), tuners.Request{Budget: 27, Seed: 7}))
+		got["bohb-ladder"] = snapshotOf(res, ev, 7*31+7)
+	}
+
+	buf, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+
+	golden := filepath.Join("testdata", "spark_parity_golden.json")
+	if os.Getenv("ROBOTUNE_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (run with ROBOTUNE_UPDATE_GOLDEN=1 on a known-good tree): %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("spark backend diverged from the pre-refactor golden trace\ngot:\n%s\nwant:\n%s", buf, want)
+	}
+}

@@ -291,16 +291,6 @@ type countingEvaluator struct {
 	calls int
 }
 
-func (c *countingEvaluator) Evaluate(cfg conf.Config) sparksim.EvalRecord {
-	c.calls++
-	return c.Evaluator.Evaluate(cfg)
-}
-
-func (c *countingEvaluator) EvaluateWithCap(cfg conf.Config, cap float64) sparksim.EvalRecord {
-	c.calls++
-	return c.Evaluator.EvaluateWithCap(cfg, cap)
-}
-
 // EvaluateSpec keeps the call counter on the unified entry point the
 // session actually routes through.
 func (c *countingEvaluator) EvaluateSpec(cfg conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {

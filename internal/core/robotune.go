@@ -24,13 +24,13 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/bo"
 	"repro/internal/conf"
 	"repro/internal/forest"
 	"repro/internal/mapping"
 	"repro/internal/memo"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 	"repro/internal/stats"
 	"repro/internal/tuners"
 )
@@ -230,11 +230,8 @@ func (*ROBOTune) Name() string { return "ROBOTune" }
 func (r *ROBOTune) Store() *memo.Store { return r.store }
 
 // identifiable is the optional capability ROBOTune uses to key its
-// caches; *sparksim.Evaluator implements it.
-type identifiable interface {
-	WorkloadName() string
-	DatasetName() string
-}
+// caches; backend evaluators implement it (backend.Identifiable).
+type identifiable = backend.Identifiable
 
 // Tune implements tuners.Tuner; it is Run under a request with no
 // cancellation, deadline or retries — the legacy positional surface.
@@ -316,16 +313,16 @@ func (r *ROBOTune) selectParameters(s *tuners.Session, samples int) (Selection, 
 	for i, u := range design {
 		cfgs[i] = space.Decode(u)
 	}
-	var recs []sparksim.EvalRecord
+	var recs []backend.EvalRecord
 	if opts.Parallel > 1 {
-		recs = s.EvaluateBatch(cfgs, opts.Parallel)
+		recs = s.Eval(backend.EvalSpec{Workers: opts.Parallel}, cfgs...)
 	} else {
-		recs = make([]sparksim.EvalRecord, 0, len(cfgs))
+		recs = make([]backend.EvalRecord, 0, len(cfgs))
 		for _, c := range cfgs {
 			if s.Done() {
 				break
 			}
-			recs = append(recs, s.Evaluate(c))
+			recs = append(recs, s.Eval(backend.EvalSpec{}, c)[0])
 		}
 	}
 	x := make([][]float64, 0, samples)
@@ -424,7 +421,7 @@ type trackEntry struct {
 	sec float64
 }
 
-func (t *runTracker) observe(c conf.Config, rec sparksim.EvalRecord) {
+func (t *runTracker) observe(c conf.Config, rec backend.EvalRecord) {
 	t.trace = append(t.trace, rec.Seconds)
 	t.completed = append(t.completed, rec.Completed)
 	if !rec.Completed {

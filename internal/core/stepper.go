@@ -15,13 +15,13 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/backend"
 	"repro/internal/bo"
 	"repro/internal/conf"
 	"repro/internal/journal"
 	"repro/internal/mapping"
 	"repro/internal/memo"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
 
@@ -80,7 +80,7 @@ type Stepper struct {
 	// Selection phase.
 	selDesign   [][]float64
 	selCfgs     []conf.Config
-	selRecs     []sparksim.EvalRecord
+	selRecs     []backend.EvalRecord
 	selObserved []bool
 	selNext     int
 	selSeen     int
@@ -296,7 +296,7 @@ func (st *Stepper) enterSelection() {
 	for i, u := range st.selDesign {
 		st.selCfgs[i] = st.space.Decode(u)
 	}
-	st.selRecs = make([]sparksim.EvalRecord, len(st.selCfgs))
+	st.selRecs = make([]backend.EvalRecord, len(st.selCfgs))
 	st.selObserved = make([]bool, len(st.selCfgs))
 	if len(st.selCfgs) == 0 {
 		st.endSelection()
@@ -467,7 +467,7 @@ func (st *Stepper) guard() float64 {
 // discriminable. Failed runs are censored — their capped value is a
 // floor, not a measurement — so the surrogate treats them as "at
 // least this bad" instead of trusting junk observations.
-func (st *Stepper) tellEngine(u []float64, rec sparksim.EvalRecord) {
+func (st *Stepper) tellEngine(u []float64, rec backend.EvalRecord) {
 	if rec.Completed {
 		st.engine.Tell(u, math.Log(rec.Seconds))
 	} else {
@@ -580,7 +580,7 @@ func (st *Stepper) Propose(n int) []tuners.Proposal {
 }
 
 // Observe implements tuners.Stepper.
-func (st *Stepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+func (st *Stepper) Observe(c conf.Config, rec backend.EvalRecord) {
 	seq := st.proto.Observed(c)
 	idx, hasSlot := st.slot[seq]
 	delete(st.slot, seq)

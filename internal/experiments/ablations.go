@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/bo"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/gp"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 )
 
 // AblationResult collects the design-choice ablations of DESIGN.md in
@@ -36,15 +36,14 @@ type AblationRow struct {
 func Ablations(cfg Config) AblationResult {
 	cfg = cfg.withDefaults()
 	space := sparkSpace()
-	cluster := sparksim.PaperCluster()
-	w := sparksim.TeraSort(30)
+	w := scaledWorkload("TeraSort", 30)
 	budget := cfg.Budget / 2
 	if budget < 30 {
 		budget = 30
 	}
 
-	newEval := func(seed uint64) *sparksim.Evaluator {
-		return sparksim.NewEvaluator(cluster, w, seed, 480)
+	newEval := func(seed uint64) sparkEval {
+		return newSparkEval(w, seed, backend.FaultPlan{})
 	}
 	baseOpts := func() core.Options {
 		o := cfg.robotuneOptions()
@@ -114,7 +113,7 @@ func Ablations(cfg Config) AblationResult {
 }
 
 // rawBOQuality runs plain BO over all 44 dimensions.
-func rawBOQuality(cfg Config, space *conf.Space, ev *sparksim.Evaluator, budget int, seed uint64) float64 {
+func rawBOQuality(cfg Config, space *conf.Space, ev sparkEval, budget int, seed uint64) float64 {
 	ecfg := bo.DefaultConfig()
 	ecfg.Seed = seed
 	ecfg.CandidatePool = 128
@@ -124,7 +123,7 @@ func rawBOQuality(cfg Config, space *conf.Space, ev *sparksim.Evaluator, budget 
 	rng := sample.NewRNG(seed)
 	best := math.Inf(1)
 	var bestCfg conf.Config
-	note := func(rec sparksim.EvalRecord) {
+	note := func(rec backend.EvalRecord) {
 		if rec.Completed && rec.Seconds < best {
 			best, bestCfg = rec.Seconds, rec.Config
 		}
@@ -134,7 +133,7 @@ func rawBOQuality(cfg Config, space *conf.Space, ev *sparksim.Evaluator, budget 
 		init = 10
 	}
 	for _, u := range sample.LHS(init, space.Dim(), rng) {
-		rec := ev.Evaluate(space.Decode(u))
+		rec := ev.EvaluateSpec(space.Decode(u), backend.EvalSpec{})
 		engine.Tell(u, math.Log(rec.Seconds))
 		note(rec)
 	}
@@ -143,7 +142,7 @@ func rawBOQuality(cfg Config, space *conf.Space, ev *sparksim.Evaluator, budget 
 		if err != nil {
 			break
 		}
-		rec := ev.Evaluate(space.Decode(u))
+		rec := ev.EvaluateSpec(space.Decode(u), backend.EvalSpec{})
 		engine.Tell(u, math.Log(rec.Seconds))
 		note(rec)
 	}
@@ -155,7 +154,7 @@ func rawBOQuality(cfg Config, space *conf.Space, ev *sparksim.Evaluator, budget 
 
 // initDesignMSE fits GPs on LHS vs uniform 20-point designs over a
 // fixed subspace and compares held-out prediction error.
-func initDesignMSE(space *conf.Space, ev *sparksim.Evaluator) (lhs, uniform float64) {
+func initDesignMSE(space *conf.Space, ev sparkEval) (lhs, uniform float64) {
 	sub, err := space.Sub([]string{
 		conf.ExecutorCores, conf.ExecutorMemory, conf.ExecutorInstances,
 		conf.DefaultParallelism, conf.MemoryFraction,
@@ -166,7 +165,7 @@ func initDesignMSE(space *conf.Space, ev *sparksim.Evaluator) (lhs, uniform floa
 	score := func(design sample.Design, seed uint64) float64 {
 		y := make([]float64, len(design))
 		for i, u := range design {
-			y[i] = ev.Evaluate(sub.Decode(u)).Seconds
+			y[i] = ev.EvaluateSpec(sub.Decode(u), backend.EvalSpec{}).Seconds
 		}
 		gcfg := gp.DefaultConfig()
 		gcfg.Restarts = 1
@@ -179,7 +178,7 @@ func initDesignMSE(space *conf.Space, ev *sparksim.Evaluator) (lhs, uniform floa
 		var mse float64
 		for _, u := range probes {
 			mu, _ := g.Predict(u)
-			d := mu - ev.Evaluate(sub.Decode(u)).Seconds
+			d := mu - ev.EvaluateSpec(sub.Decode(u), backend.EvalSpec{}).Seconds
 			mse += d * d
 		}
 		return mse / float64(len(probes))

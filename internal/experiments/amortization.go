@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 )
 
 // AmortizationRow reports cumulative total cost (selection + tuning)
@@ -28,12 +27,11 @@ func AmortizationExperiment(cfg Config, workload string) []AmortizationRow {
 	if workload == "" {
 		workload = "PageRank"
 	}
-	grid := sparksim.PaperWorkloads()
+	grid := sparkGrid()
 	wls, ok := grid[workload]
 	if !ok {
 		return nil
 	}
-	cluster := sparksim.PaperCluster()
 	space := sparkSpace()
 
 	cum := map[string][]float64{}
@@ -43,7 +41,7 @@ func AmortizationExperiment(cfg Config, workload string) []AmortizationRow {
 		running := 0.0
 		for di := 0; di < 3; di++ {
 			seed := cfg.Seed + uint64(di)*97 + hashName(workload+tname)
-			ev := cfg.newEvaluator(cluster, wls[di], seed)
+			ev := cfg.newEvaluator(wls[di], seed)
 			res := cfg.tune(tn, ev, space, cfg.Budget, seed)
 			running += res.SearchCost + res.SelectionCost
 			cum[tname] = append(cum[tname], running)

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 )
 
 // DefaultRow is one workload/dataset entry of the §5.2 comparison
@@ -34,8 +33,7 @@ type DefaultRow struct {
 func DefaultComparison(cfg Config) []DefaultRow {
 	cfg = cfg.withDefaults()
 	space := sparkSpace()
-	cluster := sparksim.PaperCluster()
-	grid := sparksim.PaperWorkloads()
+	grid := sparkGrid()
 	def := space.Default()
 
 	var rows []DefaultRow
@@ -45,11 +43,11 @@ func DefaultComparison(cfg Config) []DefaultRow {
 		for di := 0; di < 3; di++ {
 			w := grid[wname][di]
 			seed := cfg.Seed + hashName(wname) + uint64(di)
-			ev := cfg.newEvaluator(cluster, w, seed)
+			ev := cfg.newEvaluator(w, seed)
 			res := cfg.tune(rt, ev, space, cfg.Budget, seed)
 
 			row := DefaultRow{Workload: wname, DatasetIdx: di}
-			out := sparksim.Run(cluster, w, def, seededRNG(seed*3+1), math.Inf(1))
+			out := runOnce(w, def, seed*3+1, math.Inf(1))
 			if out.OOM || out.Infeasible {
 				row.DefaultFails = true
 				row.DefaultSeconds = math.NaN()

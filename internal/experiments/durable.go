@@ -7,7 +7,6 @@ import (
 	"repro/internal/journal"
 	"repro/internal/memo"
 	"repro/internal/schedule"
-	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
 
@@ -51,8 +50,7 @@ func (c Config) fingerprint() string {
 // RunComparison.
 func RunComparisonDurable(cfg Config, filter func(workload string) bool, ledgerPath string) (*Comparison, *CampaignInfo, error) {
 	cfg = cfg.withDefaults()
-	grid := sparksim.PaperWorkloads()
-	cluster := sparksim.PaperCluster()
+	grid := sparkGrid()
 	space := sparkSpace()
 	comp := &Comparison{Config: cfg}
 
@@ -135,7 +133,7 @@ func RunComparisonDurable(cfg Config, filter func(workload string) bool, ledgerP
 		trials := 0
 		for di := 0; di < 3; di++ {
 			seed := cfg.Seed + uint64(t.rep)*1009 + uint64(di)*101 + hashName(t.wname+t.tname)
-			ev := cfg.newEvaluator(cluster, wls[di], seed)
+			ev := cfg.newEvaluator(wls[di], seed)
 			var jn *journal.Journal
 			if led != nil {
 				var err error

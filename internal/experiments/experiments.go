@@ -20,13 +20,13 @@ import (
 	"math/rand/v2"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/bo"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/memo"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
 
@@ -53,7 +53,7 @@ type Config struct {
 	// Faults injects cluster misbehavior into every tuning evaluator
 	// (off when zero). Quality measurement stays fault-free, so tuners
 	// are still compared on the configurations' true execution times.
-	Faults sparksim.FaultPlan
+	Faults backend.FaultPlan
 	// Retry bounds re-evaluation of transiently-failed configurations
 	// per session.
 	Retry tuners.RetryPolicy
@@ -108,10 +108,8 @@ func (c Config) robotuneOptions() core.Options {
 
 // newEvaluator builds a tuning evaluator carrying the configured
 // fault plan.
-func (c Config) newEvaluator(cluster sparksim.Cluster, w sparksim.Workload, seed uint64) *sparksim.Evaluator {
-	ev := sparksim.NewEvaluator(cluster, w, seed, 480)
-	ev.Faults = c.Faults
-	return ev
+func (c Config) newEvaluator(w backend.Workload, seed uint64) sparkEval {
+	return newSparkEval(w, seed, c.Faults)
 }
 
 // tune runs one tuning session under the configured retry policy. A

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 	"repro/internal/stats"
 	"repro/internal/tuners"
 )
@@ -39,8 +38,7 @@ func ExtendedComparison(cfg Config, workloads []string) ([]ExtendedRow, *Compari
 	if len(workloads) == 0 {
 		workloads = []string{"PageRank", "KMeans", "TeraSort"}
 	}
-	grid := sparksim.PaperWorkloads()
-	cluster := sparksim.PaperCluster()
+	grid := sparkGrid()
 	space := sparkSpace()
 	comp := &Comparison{Config: cfg}
 
@@ -66,7 +64,7 @@ func ExtendedComparison(cfg Config, workloads []string) ([]ExtendedRow, *Compari
 				tn := buildExtended(tname, store)
 				for di := 0; di < 2; di++ {
 					seed := cfg.Seed + uint64(rep)*1009 + uint64(di)*101 + hashName(wname+tname)
-					ev := cfg.newEvaluator(cluster, wls[di], seed)
+					ev := cfg.newEvaluator(wls[di], seed)
 					res := cfg.tune(tn, ev, space, cfg.Budget, seed)
 					quality := 480.0
 					if res.Found {

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"repro/internal/backend"
+
 	"fmt"
 
 	"repro/internal/forest"
 	"repro/internal/linmodel"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 	"repro/internal/stats"
 )
 
@@ -34,8 +35,7 @@ func Fig2ModelComparison(cfg Config, samples int) Fig2Result {
 		samples = 200
 	}
 	space := sparkSpace()
-	cluster := sparksim.PaperCluster()
-	grid := sparksim.PaperWorkloads()
+	grid := sparkGrid()
 
 	out := Fig2Result{Scores: map[string]map[string]float64{}}
 	for _, wname := range []string{"PageRank", "KMeans"} {
@@ -45,12 +45,12 @@ func Fig2ModelComparison(cfg Config, samples int) Fig2Result {
 			out.Labels = append(out.Labels, label)
 
 			seed := cfg.Seed + uint64(di) + hashName(wname)
-			ev := sparksim.NewEvaluator(cluster, w, seed, 480)
+			ev := newSparkEval(w, seed, backend.FaultPlan{})
 			design := sample.LHS(samples, space.Dim(), sample.NewRNG(seed))
 			x := make([][]float64, samples)
 			y := make([]float64, samples)
 			for i, u := range design {
-				rec := ev.Evaluate(space.Decode(u))
+				rec := ev.EvaluateSpec(space.Decode(u), backend.EvalSpec{})
 				x[i] = append([]float64(nil), u...)
 				y[i] = rec.Seconds
 			}

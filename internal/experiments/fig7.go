@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"repro/internal/backend"
+
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 	"repro/internal/stats"
 )
 
@@ -30,8 +31,7 @@ func Fig7SelectionRecall(cfg Config, counts []int) Fig7Result {
 		counts = []int{200, 175, 150, 125, 100, 75, 50, 25, 15, 10}
 	}
 	space := sparkSpace()
-	cluster := sparksim.PaperCluster()
-	grid := sparksim.PaperWorkloads()
+	grid := sparkGrid()
 	// Selection stability is the subject of this experiment: always
 	// use the paper's full importance settings (10 permutations, 100
 	// trees) even in fast mode.
@@ -51,7 +51,7 @@ func Fig7SelectionRecall(cfg Config, counts []int) Fig7Result {
 	for _, wname := range WorkloadOrder {
 		w := grid[wname][1] // middle dataset, like a representative input
 		seed := cfg.Seed + hashName(wname) + 31
-		ev := sparksim.NewEvaluator(cluster, w, seed, 480)
+		ev := newSparkEval(w, seed, backend.FaultPlan{})
 
 		// One master sample set; smaller selections use prefixes, so
 		// the experiment isolates sample-count effects from sampling
@@ -60,7 +60,7 @@ func Fig7SelectionRecall(cfg Config, counts []int) Fig7Result {
 		x := make([][]float64, maxCount)
 		y := make([]float64, maxCount)
 		for i, u := range design {
-			rec := ev.Evaluate(space.Decode(u))
+			rec := ev.EvaluateSpec(space.Decode(u), backend.EvalSpec{})
 			x[i] = append([]float64(nil), u...)
 			y[i] = rec.Seconds
 		}

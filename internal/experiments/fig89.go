@@ -5,10 +5,10 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 )
 
 // Fig8Result holds Figure 8: every configuration each tuner sampled
@@ -27,8 +27,8 @@ type Fig8Result struct {
 func Fig8SamplingBehavior(cfg Config) Fig8Result {
 	cfg = cfg.withDefaults()
 	space := sparkSpace()
-	cluster := sparksim.PaperCluster()
-	w := sparksim.PaperWorkloads()["PageRank"][2]
+	grid := sparkGrid()
+	w := grid["PageRank"][2]
 
 	out := Fig8Result{Points: map[string][][2]float64{}}
 	for _, tname := range TunerNames {
@@ -45,10 +45,10 @@ func Fig8SamplingBehavior(cfg Config) Fig8Result {
 			opts := cfg.robotuneOptions()
 			opts.MinSelected = 10
 			*rt = *core.New(store, opts)
-			warm := sparksim.NewEvaluator(cluster, sparksim.PaperWorkloads()["PageRank"][0], cfg.Seed+3, 480)
+			warm := newSparkEval(grid["PageRank"][0], cfg.Seed+3, backend.FaultPlan{})
 			rt.Tune(warm, space, cfg.Budget/2, cfg.Seed+3)
 		}
-		ev := &recordingEvaluator{Evaluator: sparksim.NewEvaluator(cluster, w, cfg.Seed+7, 480)}
+		ev := &recordingEvaluator{sparkEval: newSparkEval(w, cfg.Seed+7, backend.FaultPlan{})}
 		tn.Tune(ev, space, cfg.Budget, cfg.Seed+7)
 		pts := ev.points
 		// ROBOTune's one-time selection samples precede the tuning
@@ -61,37 +61,21 @@ func Fig8SamplingBehavior(cfg Config) Fig8Result {
 	return out
 }
 
-// recordingEvaluator wraps the simulator evaluator and records the
-// cores/memory plane coordinates of every evaluated configuration.
+// recordingEvaluator wraps the evaluator and records the cores/memory
+// plane coordinates of every evaluated configuration. With evaluation
+// collapsed to the single EvaluateSpec entry point, one override
+// observes every sample the session routes to the backend.
 type recordingEvaluator struct {
-	*sparksim.Evaluator
+	sparkEval
 	points [][2]float64
 }
 
-func (r *recordingEvaluator) Evaluate(c conf.Config) sparksim.EvalRecord {
+func (r *recordingEvaluator) EvaluateSpec(c conf.Config, spec backend.EvalSpec) backend.EvalRecord {
 	r.points = append(r.points, [2]float64{
 		float64(c.Int(conf.ExecutorCores)),
 		float64(c.Int(conf.ExecutorMemory)),
 	})
-	return r.Evaluator.Evaluate(c)
-}
-
-func (r *recordingEvaluator) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
-	r.points = append(r.points, [2]float64{
-		float64(c.Int(conf.ExecutorCores)),
-		float64(c.Int(conf.ExecutorMemory)),
-	})
-	return r.Evaluator.EvaluateWithCap(c, cap)
-}
-
-// EvaluateSpec keeps the sample recorder on the unified entry point
-// the session actually routes through.
-func (r *recordingEvaluator) EvaluateSpec(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
-	r.points = append(r.points, [2]float64{
-		float64(c.Int(conf.ExecutorCores)),
-		float64(c.Int(conf.ExecutorMemory)),
-	})
-	return r.Evaluator.EvaluateSpec(c, spec)
+	return r.sparkEval.EvaluateSpec(c, spec)
 }
 
 // Render prints each tuner's sampling density as an ASCII grid over
@@ -170,8 +154,8 @@ func Fig9ResponseSurface(cfg Config, iterations []int, gridSize int) Fig9Result 
 		gridSize = 12
 	}
 	space := sparkSpace()
-	cluster := sparksim.PaperCluster()
-	w := sparksim.PaperWorkloads()["PageRank"][2]
+	grid := sparkGrid()
+	w := grid["PageRank"][2]
 
 	out := Fig9Result{Iterations: iterations}
 	for _, iters := range iterations {
@@ -181,9 +165,9 @@ func Fig9ResponseSurface(cfg Config, iterations []int, gridSize int) Fig9Result 
 		// on D1 where the importance signal is clean (see Fig8).
 		opts.MinSelected = 10
 		rt := core.New(store, opts)
-		warm := sparksim.NewEvaluator(cluster, sparksim.PaperWorkloads()["PageRank"][0], cfg.Seed+3, 480)
+		warm := newSparkEval(grid["PageRank"][0], cfg.Seed+3, backend.FaultPlan{})
 		rt.Tune(warm, space, cfg.Budget/2, cfg.Seed+3)
-		ev := sparksim.NewEvaluator(cluster, w, cfg.Seed+9, 480)
+		ev := newSparkEval(w, cfg.Seed+9, backend.FaultPlan{})
 		res := rt.Tune(ev, space, iters, cfg.Seed+9)
 
 		ss := rt.LastSubspace

@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 )
 
 // MappingRow is one workload's outcome in the mapping experiment.
@@ -41,11 +41,10 @@ type MappingRow struct {
 func MappingExperiment(cfg Config) []MappingRow {
 	cfg = cfg.withDefaults()
 	space := sparkSpace()
-	cluster := sparksim.PaperCluster()
 
-	lookalike := sparksim.PageRank(7.5)
-	lookalike.Name = "WebGraphRank" // fresh cache key, same behavior
-	arrivals := []sparksim.Workload{lookalike, sparksim.TriangleCount(3)}
+	// A renamed PageRank gets a fresh cache key with the same behavior.
+	lookalike := renamedWorkload(scaledWorkload("PageRank", 7.5), "WebGraphRank")
+	arrivals := []backend.Workload{lookalike, scaledWorkload("TriangleCount", 3)}
 
 	run := func(withMapper bool) map[string]MappingRow {
 		opts := cfg.robotuneOptions()
@@ -58,18 +57,18 @@ func MappingExperiment(cfg Config) []MappingRow {
 		rt := core.New(memo.NewStore(), opts)
 
 		// Seed with the known families.
-		for i, w := range []sparksim.Workload{sparksim.PageRank(5), sparksim.KMeans(200)} {
-			ev := sparksim.NewEvaluator(cluster, w, cfg.Seed+uint64(i), 480)
+		for i, w := range []backend.Workload{scaledWorkload("PageRank", 5), scaledWorkload("KMeans", 200)} {
+			ev := newSparkEval(w, cfg.Seed+uint64(i), backend.FaultPlan{})
 			rt.Tune(ev, space, cfg.Budget, cfg.Seed+uint64(i))
 		}
 
 		out := map[string]MappingRow{}
 		for i, w := range arrivals {
 			seed := cfg.Seed + 50 + uint64(i)
-			ev := sparksim.NewEvaluator(cluster, w, seed, 480)
+			ev := newSparkEval(w, seed, backend.FaultPlan{})
 			res := rt.Tune(ev, space, cfg.Budget, seed)
 			row := MappingRow{
-				Workload:       w.Name,
+				Workload:       w.WorkloadName(),
 				SelectionEvals: res.SelectionEvals,
 			}
 			if res.Found {
@@ -80,7 +79,7 @@ func MappingExperiment(cfg Config) []MappingRow {
 			if withMapper {
 				row.Mapped = res.SelectionEvals <= mapper.ProbeCount()
 				if row.Mapped {
-					if sel, ok := rt.Store().Selection(w.Name); ok && len(sel) > 0 {
+					if sel, ok := rt.Store().Selection(w.WorkloadName()); ok && len(sel) > 0 {
 						// Identify the donor by matching selections.
 						for _, known := range []string{"PageRank", "KMeans"} {
 							if donor, ok := rt.Store().Selection(known); ok && sameStrings(donor, sel) {
@@ -90,7 +89,7 @@ func MappingExperiment(cfg Config) []MappingRow {
 					}
 				}
 			}
-			out[w.Name] = row
+			out[w.WorkloadName()] = row
 		}
 		return out
 	}
@@ -100,8 +99,8 @@ func MappingExperiment(cfg Config) []MappingRow {
 
 	var rows []MappingRow
 	for _, w := range arrivals {
-		r := with[w.Name]
-		b := without[w.Name]
+		r := with[w.WorkloadName()]
+		b := without[w.WorkloadName()]
 		r.BaselineQuality = b.Quality
 		r.BaselineSelectionEvals = b.SelectionEvals
 		rows = append(rows, r)

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
 
@@ -121,8 +120,7 @@ func RunMultiFidelity(cfg Config, workloads []string) []MultiFidelityRow {
 	if len(workloads) == 0 {
 		workloads = MultiFidelityWorkloads
 	}
-	grid := sparksim.PaperWorkloads()
-	cluster := sparksim.PaperCluster()
+	grid := sparkGrid()
 	space := sparkSpace()
 
 	rows := make([]MultiFidelityRow, 0, len(workloads))
@@ -134,10 +132,10 @@ func RunMultiFidelity(cfg Config, workloads []string) []MultiFidelityRow {
 		const di = 0
 		seed := cfg.Seed + uint64(di)*101 + hashName(wname+"multifidelity")
 
-		roboEv := cfg.newEvaluator(cluster, wls[di], seed)
+		roboEv := cfg.newEvaluator(wls[di], seed)
 		robo := cfg.tune(core.New(memo.NewStore(), cfg.robotuneOptions()), roboEv, space, cfg.Budget, seed)
 
-		bohbEv := cfg.newEvaluator(cluster, wls[di], seed)
+		bohbEv := cfg.newEvaluator(wls[di], seed)
 		bohb := cfg.tune(cfg.buildBOHB(mfAxis(wname)), bohbEv, space, 3*cfg.Budget, seed)
 
 		proxies := 0

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/conf"
+	"repro/internal/tuners"
+
+	// The experiments are a leaf of the dependency graph: they drive
+	// the backends through the registry, so they link the registration
+	// shim rather than the simulator packages.
+	_ "repro/internal/backend/backends"
+)
+
+// sparkEval is the capability surface the paper experiments rely on:
+// the core evaluation contract plus every optional capability the
+// Spark evaluator implements. Asserting the full set here (rather
+// than using *sparksim.Evaluator) keeps the experiments on the
+// backend seam while preserving exactly the probes the tuner stack
+// would discover on its own.
+type sparkEval interface {
+	tuners.Objective
+	backend.BatchEvaluator
+	backend.StreamRestorer
+	backend.FidelitySupporter
+	backend.Identifiable
+	backend.Measurer
+}
+
+// sparkBackend returns the registered Spark backend. The experiments
+// reproduce the paper's evaluation, which is defined on the Spark
+// simulator; the clustersim grid has its own entry point.
+func sparkBackend() backend.Backend {
+	b, err := backend.Lookup("spark")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: spark backend not registered: %v", err))
+	}
+	return b
+}
+
+// sparkGrid rebuilds the paper's 5-workload x 3-dataset grid (Table
+// 1) through the backend catalog.
+func sparkGrid() map[string][3]backend.Workload {
+	b := sparkBackend()
+	grid := make(map[string][3]backend.Workload, len(WorkloadOrder))
+	for _, name := range WorkloadOrder {
+		var wls [3]backend.Workload
+		for di := 0; di < 3; di++ {
+			w, err := b.Workload(name, di)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %s/D%d: %v", name, di+1, err))
+			}
+			wls[di] = w
+		}
+		grid[name] = wls
+	}
+	return grid
+}
+
+// newSparkEval builds a Spark evaluator for one tuning session at the
+// paper's 480 s cap.
+func newSparkEval(w backend.Workload, seed uint64, faults backend.FaultPlan) sparkEval {
+	ev, err := sparkBackend().NewEvaluator(w, seed, 480, faults)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	se, ok := ev.(sparkEval)
+	if !ok {
+		panic(fmt.Sprintf("experiments: %T lacks the capabilities the paper experiments need", ev))
+	}
+	return se
+}
+
+// scaledWorkload resolves a workload family at an arbitrary scale via
+// the backend's optional scale-constructor capability.
+func scaledWorkload(name string, scale float64) backend.Workload {
+	s, ok := sparkBackend().(interface {
+		ScaledWorkload(string, float64) (backend.Workload, error)
+	})
+	if !ok {
+		panic("experiments: spark backend lost its scaled-workload capability")
+	}
+	w, err := s.ScaledWorkload(name, scale)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return w
+}
+
+// renamedWorkload gives a workload a fresh identity (and therefore a
+// fresh memoization/mapping cache key) without changing its behavior.
+func renamedWorkload(w backend.Workload, name string) backend.Workload {
+	r, ok := sparkBackend().(interface {
+		RenamedWorkload(backend.Workload, string) (backend.Workload, error)
+	})
+	if !ok {
+		panic("experiments: spark backend lost its rename capability")
+	}
+	out, err := r.RenamedWorkload(w, name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return out
+}
+
+// runOnce times one configuration outside any evaluator — no search
+// cost, no faults, an arbitrary cap (Inf allowed).
+func runOnce(w backend.Workload, c conf.Config, seed uint64, capSeconds float64) backend.Outcome {
+	r, ok := sparkBackend().(interface {
+		RunOnce(backend.Workload, conf.Config, uint64, float64) (backend.Outcome, error)
+	})
+	if !ok {
+		panic("experiments: spark backend lost its raw-run capability")
+	}
+	out, err := r.RunOnce(w, c, seed, capSeconds)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return out
+}

@@ -17,7 +17,7 @@ func ExampleMapper() {
 	characterize := func(w sparksim.Workload, seed uint64) mapping.Signature {
 		ev := sparksim.NewEvaluator(sparksim.PaperCluster(), w, seed, 480)
 		return m.Characterize(func(c conf.Config) float64 {
-			return ev.Evaluate(c).Seconds
+			return ev.EvaluateSpec(c, sparksim.EvalSpec{}).Seconds
 		})
 	}
 	if err := m.Register("PageRank", characterize(sparksim.PageRank(5), 2)); err != nil {

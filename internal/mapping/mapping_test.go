@@ -11,7 +11,7 @@ import (
 
 func evaluatorFor(w sparksim.Workload, seed uint64) Evaluator {
 	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), w, seed, 480)
-	return func(c conf.Config) float64 { return ev.Evaluate(c).Seconds }
+	return func(c conf.Config) float64 { return ev.EvaluateSpec(c, sparksim.EvalSpec{}).Seconds }
 }
 
 func TestPearson(t *testing.T) {

@@ -3,6 +3,7 @@ package schedule
 import (
 	"context"
 	"math"
+	"repro/internal/backend"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -425,15 +426,15 @@ func assertSameGrants(t *testing.T, got, want []journal.Grant) {
 // all-skipped records immediately instead of blocking on a full pool.
 func TestBatchGateCancelled(t *testing.T) {
 	p := NewPool(1)
-	p.acquire() // saturate: any acquire would block forever
+	p.acquire(Bulk) // saturate: any acquire would block forever
 	defer p.release()
 
 	ev := sparksim.NewEvaluator(sparksim.PaperCluster(), sparksim.TeraSort(10), 3, 480)
-	w := p.Wrap(ev).(tuners.BatchEvaluator)
+	w := p.Wrap(ev).(backend.BatchEvaluator)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	cfgs := []conf.Config{conf.SparkSpace().Default(), conf.SparkSpace().Default()}
-	recs := w.EvaluateBatchCtx(ctx, cfgs, 2)
+	recs := w.EvaluateSpecCtx(ctx, cfgs, backend.EvalSpec{Workers: 2})
 	if len(recs) != len(cfgs) {
 		t.Fatalf("got %d records for %d configs", len(recs), len(cfgs))
 	}

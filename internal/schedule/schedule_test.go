@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"repro/internal/backend"
 	"testing"
 
 	"repro/internal/conf"
@@ -127,9 +128,6 @@ func TestPoolWrapCapabilities(t *testing.T) {
 	if _, ok := w.(tuners.BatchEvaluator); !ok {
 		t.Fatal("wrapping a batch evaluator must preserve the batch capability")
 	}
-	if _, ok := w.(tuners.Capper); !ok {
-		t.Fatal("wrapped objective lost the guard-cap capability")
-	}
 	id, ok := w.(interface{ WorkloadName() string })
 	if !ok || id.WorkloadName() != ev.WorkloadName() {
 		t.Fatalf("wrapped workload identity mismatch")
@@ -142,7 +140,7 @@ func TestPoolWrapCapabilities(t *testing.T) {
 	if _, ok := wf.(tuners.BatchEvaluator); ok {
 		t.Fatal("wrapper must not add a batch capability the inner objective lacks")
 	}
-	rec := wf.Evaluate(conf.SparkSpace().Default())
+	rec := wf.EvaluateSpec(conf.SparkSpace().Default(), backend.EvalSpec{})
 	if !rec.Completed || rec.Seconds != 1 {
 		t.Fatalf("gated evaluation altered the record: %+v", rec)
 	}

@@ -1,0 +1,202 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/client"
+	"repro/internal/backend"
+	_ "repro/internal/backend/backends"
+	"repro/internal/server"
+)
+
+// clusterEval builds a clustersim evaluator through the registry, the
+// way a real remote agent tuning its scheduler would.
+func clusterEval(t *testing.T, seed uint64) (backend.Evaluator, *backend.Backend) {
+	t.Helper()
+	bk, err := backend.Lookup("clustersim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := bk.Workload("CIBuild", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := bk.NewEvaluator(w, seed, 0, backend.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, &bk
+}
+
+// driveCluster runs a session to completion, evaluating every
+// proposal on a live clustersim evaluator.
+func driveCluster(t *testing.T, sess *client.Session, bk backend.Backend, ev backend.Evaluator) (trials int, best float64) {
+	t.Helper()
+	space := bk.Space()
+	best = -1
+	for i := 0; i < 10_000; i++ {
+		props, done, err := sess.Propose(0)
+		if err != nil {
+			t.Fatalf("propose: %v", err)
+		}
+		if len(props) == 0 {
+			if done {
+				return trials, best
+			}
+			t.Fatalf("stepper idle with nothing outstanding after %d trials", trials)
+		}
+		for _, p := range props {
+			cfg, err := space.FromRaw(p.Config)
+			if err != nil {
+				t.Fatalf("proposal outside the clustersim space: %v", err)
+			}
+			rec := ev.EvaluateSpec(cfg, backend.EvalSpec{Cap: p.Cap})
+			res, err := sess.Observe(client.Observation{
+				Config: p.Config, Seconds: rec.Seconds, Raw: rec.Raw,
+				Completed: rec.Completed, OOM: rec.OOM,
+				Infeasible: rec.Infeasible, Cap: p.Cap,
+			})
+			if err != nil {
+				t.Fatalf("observe: %v", err)
+			}
+			trials++
+			if res.Found {
+				best = res.BestSeconds
+			}
+		}
+	}
+	t.Fatal("session did not finish within 10000 rounds")
+	return
+}
+
+// TestClusterSimSessionOverWire is the second backend's wire
+// acceptance test: a session created with the built-in "clustersim"
+// space name runs the full ask/tell lifecycle against a live cluster
+// simulator, and the same seed reproduces the same result.
+func TestClusterSimSessionOverWire(t *testing.T) {
+	env := newEnv(t, server.Options{JournalDir: t.TempDir()})
+	run := func(seed uint64) (int, float64) {
+		sess, err := env.cl.Create(client.SessionSpec{
+			Tuner:    "randomsearch",
+			Space:    json.RawMessage(`"clustersim"`),
+			Budget:   8,
+			Seed:     seed,
+			Workload: "CIBuild",
+			Dataset:  "D1",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, bk := clusterEval(t, seed)
+		trials, best := driveCluster(t, sess, *bk, ev)
+		if _, err := sess.Finish(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		return trials, best
+	}
+	trials, best := run(11)
+	if trials != 8 {
+		t.Fatalf("delivered %d observations, want the full budget of 8", trials)
+	}
+	if best <= 0 {
+		t.Fatalf("no completing configuration found (best %v)", best)
+	}
+	trials2, best2 := run(11)
+	if trials2 != trials || best2 != best {
+		t.Fatalf("same seed not reproducible over the wire: %d/%v vs %d/%v", trials, best, trials2, best2)
+	}
+}
+
+// TestSpecPriorityValidation: only "", "bulk" and "latency" pass the
+// spec decoder.
+func TestSpecPriorityValidation(t *testing.T) {
+	if _, err := server.DecodeSessionSpec([]byte(`{"tuner":"randomsearch","space":"spark","budget":5,"priority":"latency"}`)); err != nil {
+		t.Fatalf("latency priority rejected: %v", err)
+	}
+	if _, err := server.DecodeSessionSpec([]byte(`{"tuner":"randomsearch","space":"spark","budget":5,"priority":"urgent"}`)); err == nil {
+		t.Fatal("bogus priority accepted")
+	}
+}
+
+// TestProposePoolMetrics: with a 1-slot propose pool, concurrent
+// sessions serialize their propose computations and /metrics reports
+// the pool's class accounting.
+func TestProposePoolMetrics(t *testing.T) {
+	env := newEnv(t, server.Options{ProposeSlots: 1})
+	var wg sync.WaitGroup
+	for i, prio := range []string{"bulk", "latency", "bulk", "latency"} {
+		sp := spec("randomsearch", 6, uint64(20+i))
+		sp.Priority = prio
+		sess, err := env.cl.Create(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drive(t, sess)
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(env.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Pool *server.PoolView `json:"pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pool == nil {
+		t.Fatal("/metrics misses the pool section on a pooled server")
+	}
+	if doc.Pool.Capacity != 1 {
+		t.Fatalf("pool capacity %d, want 1", doc.Pool.Capacity)
+	}
+	if doc.Pool.InUse != 0 {
+		t.Fatalf("pool reports %d slots in use after every session finished", doc.Pool.InUse)
+	}
+	total := int64(0)
+	for _, cls := range []string{"bulk", "latency"} {
+		cv, ok := doc.Pool.Classes[cls]
+		if !ok {
+			t.Fatalf("pool metrics miss class %q", cls)
+		}
+		if cv.Acquires == 0 {
+			t.Errorf("class %q recorded no acquires", cls)
+		}
+		total += cv.Acquires
+	}
+	if total == 0 {
+		t.Fatal("no propose computations charged against the pool")
+	}
+}
+
+// TestPoolAbsentWithoutSlots: a server without ProposeSlots reports no
+// pool section.
+func TestPoolAbsentWithoutSlots(t *testing.T) {
+	env := newEnv(t, server.Options{})
+	sess, err := env.cl.Create(spec("randomsearch", 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, sess)
+	resp, err := http.Get(env.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["pool"]; ok {
+		t.Fatal("/metrics carries a pool section on an unpooled server")
+	}
+}

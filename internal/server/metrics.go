@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/schedule"
 )
 
 // Metrics is the server's expvar-style counter set. Everything is a
@@ -139,6 +141,48 @@ type SurrogateView struct {
 	// is not. ActivePoints << Observations means the local-subset path
 	// is doing its job.
 	ActivePoints int `json:"active_points"`
+}
+
+// PoolView is the /metrics "pool" section: the propose-compute
+// pool's slot occupancy, queue-jump count and per-class wait
+// accounting. Absent when the server runs without a pool.
+type PoolView struct {
+	Capacity int `json:"capacity"`
+	InUse    int `json:"in_use"`
+	// Preemptions counts latency-over-bulk queue jumps at slot
+	// hand-off.
+	Preemptions int64                `json:"preemptions"`
+	Classes     map[string]ClassView `json:"classes"`
+}
+
+// ClassView is one priority class's slot history.
+type ClassView struct {
+	Acquires    int64   `json:"acquires"`
+	Waited      int64   `json:"waited"`
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
+// poolView snapshots a pool (nil in, nil out).
+func poolView(p *schedule.Pool) *PoolView {
+	if p == nil {
+		return nil
+	}
+	st := p.Stats()
+	v := &PoolView{
+		Capacity:    p.Capacity(),
+		InUse:       p.InUse(),
+		Preemptions: st.Preemptions,
+		Classes:     make(map[string]ClassView, 2),
+	}
+	for _, c := range []schedule.Class{schedule.Bulk, schedule.Latency} {
+		cs := st.PerClass[c]
+		v.Classes[c.String()] = ClassView{
+			Acquires:    cs.Acquires,
+			Waited:      cs.Waited,
+			WaitSeconds: cs.WaitSeconds,
+		}
+	}
+	return v
 }
 
 // View snapshots the counters. Reads are not mutually atomic — this is

@@ -49,6 +49,13 @@ type Options struct {
 	IdleTTL time.Duration
 	// EvictEvery is the janitor period (default IdleTTL/4, floor 1s).
 	EvictEvery time.Duration
+	// ProposeSlots bounds concurrent stepper Propose computations
+	// across all sessions (ROBOTune's surrogate refit + acquisition
+	// search — the CPU-heavy part of hosting a session). Sessions
+	// whose spec asks priority "latency" overtake queued "bulk"
+	// proposes at every slot hand-off; /metrics reports the
+	// preemption and per-class wait accounting. 0 = unbounded.
+	ProposeSlots int
 	// Now is the clock (default time.Now); tests inject a fake one to
 	// drive eviction and rate limiting deterministically.
 	Now func() time.Time
@@ -346,7 +353,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc := struct {
 		MetricsView
 		Surrogate SurrogateView `json:"surrogate"`
-	}{MetricsView: s.metrics.View(), Surrogate: s.store.SurrogateStats()}
+		Pool      *PoolView     `json:"pool,omitempty"`
+	}{MetricsView: s.metrics.View(), Surrogate: s.store.SurrogateStats(), Pool: poolView(s.store.Pool())}
 	writeJSON(w, http.StatusOK, doc)
 }
 

@@ -6,10 +6,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/cli"
 	"repro/internal/conf"
 	"repro/internal/journal"
-	"repro/internal/sparksim"
+	"repro/internal/schedule"
 	"repro/internal/tuners"
 )
 
@@ -33,6 +34,12 @@ type session struct {
 	mu sync.Mutex
 	st tuners.Stepper
 	jn *journal.Journal // nil on an ephemeral (journal-less) server
+
+	// pool gates the stepper's propose computation when the server runs
+	// with a bounded compute pool (nil = ungated); class is the spec's
+	// slot priority.
+	pool  *schedule.Pool
+	class schedule.Class
 
 	// pending counts proposed-but-unobserved configurations by
 	// Config.Key — the server-side mirror of the stepper's Protocol
@@ -138,7 +145,7 @@ func journalMeta(spec SessionSpec, space *conf.Space) journal.Meta {
 // the bit-identical resume path — and any proposals regenerated along
 // the way that the journal never saw observed become the unclaimed
 // queue.
-func newSession(id, tenant string, ps ParsedSpec, journalPath string, nowUnix int64, maxObs int) (*session, error) {
+func newSession(id, tenant string, ps ParsedSpec, journalPath string, nowUnix int64, maxObs int, pool *schedule.Pool) (*session, error) {
 	st, err := cli.BuildStepper(ps.Spec.Tuner, ps.Space, ps.Spec.Budget, ps.Spec.Seed,
 		ps.Spec.Workload, ps.Spec.Dataset, ps.Spec.Options.coreOptions())
 	if err != nil {
@@ -152,6 +159,8 @@ func newSession(id, tenant string, ps ParsedSpec, journalPath string, nowUnix in
 		created: nowUnix,
 		maxObs:  maxObs,
 		st:      st,
+		pool:    pool,
+		class:   ps.Spec.Class(),
 		pending: make(map[string]int),
 		bestSec: math.Inf(1),
 	}
@@ -176,8 +185,16 @@ func newSession(id, tenant string, ps ParsedSpec, journalPath string, nowUnix in
 
 // stepperPropose calls Propose with panics converted to errors; a
 // panic poisons nothing by itself (Propose panics only on
-// propose-after-done, before mutating state).
+// propose-after-done, before mutating state). On a server with a
+// bounded compute pool the call holds one slot in the session's
+// priority class — Propose is where ROBOTune refits its surrogate and
+// searches the acquisition, the expensive part of hosting a session —
+// so "latency" sessions overtake queued "bulk" refits.
 func (s *session) stepperPropose(n int) (props []tuners.Proposal, err error) {
+	if s.pool != nil {
+		s.pool.Acquire(s.class)
+		defer s.pool.Release()
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("propose: %v", p)
@@ -189,7 +206,7 @@ func (s *session) stepperPropose(n int) (props []tuners.Proposal, err error) {
 // stepperObserve calls Observe with panics converted to errors.
 // Protocol.Observed panics before any stepper state changes, so a
 // recovered panic leaves the session consistent.
-func (s *session) stepperObserve(c conf.Config, rec sparksim.EvalRecord) (err error) {
+func (s *session) stepperObserve(c conf.Config, rec backend.EvalRecord) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("observe: %v", p)
@@ -252,7 +269,7 @@ func (s *session) replay() {
 			break
 		}
 		jn.NextReplay()
-		rec := sparksim.EvalRecord{
+		rec := backend.EvalRecord{
 			Config:     cfg,
 			Seconds:    e.Seconds,
 			Raw:        e.Raw,
@@ -261,7 +278,7 @@ func (s *session) replay() {
 			Infeasible: e.Infeasible,
 			Transient:  e.Transient,
 			Skipped:    e.Skipped,
-			Fidelity:   sparksim.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage},
+			Fidelity:   backend.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage},
 		}
 		if oerr := s.stepperObserve(cfg, rec); oerr != nil {
 			jn.AbortReplay(fmt.Sprintf("trial %d: replayed observation rejected by the stepper: %v", e.Trial, oerr))
@@ -301,7 +318,7 @@ func (s *session) consumePending(key string) {
 // note updates the incumbent, trace and counters for one observation.
 // evalsAfter/costAfter are the post-trial counter values (from the
 // journal during replay, computed live otherwise).
-func (s *session) note(c conf.Config, rec sparksim.EvalRecord, evalsAfter int, costAfter float64) {
+func (s *session) note(c conf.Config, rec backend.EvalRecord, evalsAfter int, costAfter float64) {
 	if rec.Skipped {
 		s.skipped++
 		return
@@ -393,7 +410,7 @@ func (s *session) observe(o Observation) *apiErr {
 	if s.pending[key] == 0 {
 		return errConflict("no matching pending proposal for the observed config (never proposed, already observed, or lost to a restart)")
 	}
-	rec := sparksim.EvalRecord{
+	rec := backend.EvalRecord{
 		Config:     cfg,
 		Seconds:    o.Seconds,
 		Raw:        o.Raw,
@@ -402,7 +419,7 @@ func (s *session) observe(o Observation) *apiErr {
 		Infeasible: o.Infeasible,
 		Transient:  o.Transient,
 		Skipped:    o.Skipped,
-		Fidelity:   sparksim.Fidelity{InputScale: o.FidelityInput, StageFrac: o.FidelityStage},
+		Fidelity:   backend.Fidelity{InputScale: o.FidelityInput, StageFrac: o.FidelityStage},
 	}
 	// The cap counts evaluated (non-skipped) observations — the ones
 	// that grow the surrogate and the replayable history. Skips stay

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/bo"
+	"repro/internal/schedule"
 )
 
 // Store is the sharded in-memory session table. Lookups hash the
@@ -24,6 +25,10 @@ type Store struct {
 	opts    Options
 	shards  []shard
 	metrics *Metrics
+	// pool is the shared propose-compute pool (nil when Options
+	// .ProposeSlots is 0); every session built by this store charges
+	// its Propose calls against it in the session's priority class.
+	pool *schedule.Pool
 
 	tenantMu sync.Mutex
 	tenants  map[string]*tenantState
@@ -49,6 +54,9 @@ type tenantState struct {
 // newStore builds the store; opts must already have defaults applied.
 func newStore(opts Options, m *Metrics) *Store {
 	st := &Store{opts: opts, metrics: m, tenants: make(map[string]*tenantState)}
+	if opts.ProposeSlots > 0 {
+		st.pool = schedule.NewPool(opts.ProposeSlots)
+	}
 	st.shards = make([]shard, opts.Shards)
 	for i := range st.shards {
 		st.shards[i].m = make(map[string]*session)
@@ -127,7 +135,7 @@ func (st *Store) Create(tenant string, ps ParsedSpec) (*session, *apiErr) {
 		}
 		jnlPath = st.journalPath(id)
 	}
-	s, err := newSession(id, tenant, ps, jnlPath, st.opts.Now().Unix(), st.opts.MaxObservations)
+	s, err := newSession(id, tenant, ps, jnlPath, st.opts.Now().Unix(), st.opts.MaxObservations, st.pool)
 	if err != nil {
 		st.releaseSession(tenant)
 		if st.opts.JournalDir != "" {
@@ -232,7 +240,7 @@ func (st *Store) rehydrate(id string) (*session, *apiErr) {
 	if tenant == "" {
 		tenant = "default"
 	}
-	s, err := newSession(id, tenant, parsed, st.journalPath(id), st.opts.Now().Unix(), st.opts.MaxObservations)
+	s, err := newSession(id, tenant, parsed, st.journalPath(id), st.opts.Now().Unix(), st.opts.MaxObservations, st.pool)
 	if err != nil {
 		return nil, errInternal("rehydrate session %q: %v", id, err)
 	}
@@ -386,6 +394,10 @@ func (st *Store) SurrogateStats() SurrogateView {
 	}
 	return v
 }
+
+// Pool exposes the propose-compute pool (nil when unbounded); the
+// metrics endpoint snapshots its preemption and wait accounting.
+func (st *Store) Pool() *schedule.Pool { return st.pool }
 
 func (st *Store) List() []string {
 	var ids []string

@@ -15,9 +15,11 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/cli"
 	"repro/internal/conf"
 	"repro/internal/core"
+	"repro/internal/schedule"
 	"repro/internal/tuners"
 )
 
@@ -44,9 +46,10 @@ type SessionSpec struct {
 	// Tuner is the tuner kind (cli.TunerKinds: robotune, randomsearch,
 	// bestconfig, gunther, successivehalving, cmaes).
 	Tuner string `json:"tuner"`
-	// Space is either the JSON string "spark" (the built-in
-	// 44-parameter Spark space) or an inline space definition in the
-	// conf.ParseSpace schema ({"system": ..., "params": [...]}).
+	// Space is either a JSON string naming a built-in backend space —
+	// "spark" (the 44-parameter Spark space) or any other registered
+	// backend such as "clustersim" — or an inline space definition in
+	// the conf.ParseSpace schema ({"system": ..., "params": [...]}).
 	Space json.RawMessage `json:"space"`
 	// Budget is the evaluation budget.
 	Budget int `json:"budget"`
@@ -56,6 +59,11 @@ type SessionSpec struct {
 	// Workload and Dataset key ROBOTune's memoization; optional.
 	Workload string `json:"workload,omitempty"`
 	Dataset  string `json:"dataset,omitempty"`
+	// Priority is the session's slot class on a server running with a
+	// bounded propose-compute pool: "latency" sessions overtake queued
+	// "bulk" (default) work at every slot hand-off. Ignored by servers
+	// without a pool.
+	Priority string `json:"priority,omitempty"`
 	// Sync selects the journal fsync policy: "always" (default — an
 	// observation is durable before the tuner acts on it) or "none"
 	// (the OS flushes on its own schedule; a kernel crash may lose
@@ -165,8 +173,17 @@ func (o SpecOptions) validate() error {
 type ParsedSpec struct {
 	Spec  SessionSpec
 	Space *conf.Space
-	// SparkSpace is true when Spec.Space named the built-in space.
-	SparkSpace bool
+	// SpaceName is the backend name when Spec.Space named a built-in
+	// space ("spark", "clustersim"); empty for inline definitions.
+	SpaceName string
+}
+
+// Class maps the spec's priority onto a schedule class.
+func (spec SessionSpec) Class() schedule.Class {
+	if strings.EqualFold(spec.Priority, "latency") {
+		return schedule.Latency
+	}
+	return schedule.Bulk
 }
 
 // DecodeSessionSpec parses and validates a session spec. The returned
@@ -202,8 +219,15 @@ func ValidateSessionSpec(spec SessionSpec) (ParsedSpec, error) {
 	}
 	switch spec.Sync {
 	case "", "always", "none":
+		// ok
 	default:
 		return ParsedSpec{}, fmt.Errorf("sync must be \"always\" or \"none\", got %q", spec.Sync)
+	}
+	switch strings.ToLower(spec.Priority) {
+	case "", "bulk", "latency":
+		// ok
+	default:
+		return ParsedSpec{}, fmt.Errorf("priority must be \"bulk\" or \"latency\", got %q", spec.Priority)
 	}
 	if len(spec.Workload) > 256 || len(spec.Dataset) > 256 {
 		return ParsedSpec{}, fmt.Errorf("workload/dataset names are capped at 256 bytes")
@@ -211,39 +235,60 @@ func ValidateSessionSpec(spec SessionSpec) (ParsedSpec, error) {
 	if err := spec.Options.validate(); err != nil {
 		return ParsedSpec{}, err
 	}
-	space, spark, err := resolveSpace(spec.Space)
+	space, name, err := resolveSpace(spec.Space)
 	if err != nil {
 		return ParsedSpec{}, err
 	}
-	return ParsedSpec{Spec: spec, Space: space, SparkSpace: spark}, nil
+	return ParsedSpec{Spec: spec, Space: space, SpaceName: name}, nil
 }
 
-// resolveSpace turns the spec's space field into a conf.Space: the
-// string "spark" selects the built-in space, an object is parsed as a
-// space definition.
-func resolveSpace(raw json.RawMessage) (*conf.Space, bool, error) {
+// resolveSpace turns the spec's space field into a conf.Space: a
+// string names a built-in backend space ("spark" always works; any
+// other name is resolved through the backend registry, so a binary
+// that links the clustersim backend accepts "clustersim" too), and an
+// object is parsed as an inline space definition.
+func resolveSpace(raw json.RawMessage) (*conf.Space, string, error) {
 	trimmed := bytes.TrimSpace(raw)
 	if len(trimmed) == 0 {
-		return nil, false, fmt.Errorf("space is required (\"spark\" or a space definition object)")
+		return nil, "", fmt.Errorf("space is required (\"spark\" or a space definition object)")
 	}
 	if trimmed[0] == '"' {
 		var name string
 		if err := json.Unmarshal(trimmed, &name); err != nil {
-			return nil, false, fmt.Errorf("parse space name: %v", err)
+			return nil, "", fmt.Errorf("parse space name: %v", err)
 		}
-		if !strings.EqualFold(name, "spark") {
-			return nil, false, fmt.Errorf("unknown space %q (only \"spark\" is built in; send a space definition object otherwise)", name)
+		// "spark" resolves without the registry, so the wire layer
+		// validates identically whether or not the binary linked any
+		// backend implementations.
+		if strings.EqualFold(name, "spark") {
+			return conf.SparkSpace(), "spark", nil
 		}
-		return conf.SparkSpace(), true, nil
+		if b, err := backend.Lookup(strings.ToLower(name)); err == nil {
+			return b.Space(), b.Name(), nil
+		}
+		return nil, "", fmt.Errorf("unknown space %q (built-in spaces: %s; send a space definition object otherwise)",
+			name, strings.Join(builtinSpaces(), ", "))
 	}
 	space, err := conf.ParseSpace(trimmed)
 	if err != nil {
-		return nil, false, fmt.Errorf("invalid space definition: %v", err)
+		return nil, "", fmt.Errorf("invalid space definition: %v", err)
 	}
 	if space.Dim() > MaxSpaceDim {
-		return nil, false, fmt.Errorf("space has %d parameters, cap is %d", space.Dim(), MaxSpaceDim)
+		return nil, "", fmt.Errorf("space has %d parameters, cap is %d", space.Dim(), MaxSpaceDim)
 	}
-	return space, false, nil
+	return space, "", nil
+}
+
+// builtinSpaces lists the space names a string Space field may carry:
+// "spark" plus every registered backend.
+func builtinSpaces() []string {
+	names := backend.Names()
+	for _, n := range names {
+		if n == "spark" {
+			return names
+		}
+	}
+	return append([]string{"spark"}, names...)
 }
 
 func knownTuner(name string) bool {

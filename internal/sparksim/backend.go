@@ -1,0 +1,134 @@
+package sparksim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/backend"
+	"repro/internal/conf"
+	"repro/internal/sample"
+)
+
+// WorkloadName implements backend.Workload.
+func (w Workload) WorkloadName() string { return w.Name }
+
+// DatasetName implements backend.Workload.
+func (w Workload) DatasetName() string { return w.Dataset }
+
+// Backend exposes the Spark simulator through the backend registry:
+// the 44-parameter Spark space, the SparkBench workload catalog and
+// the fault-injecting Evaluator. The zero value uses PaperCluster;
+// set Cluster to tune against a different layout.
+type Backend struct {
+	// Cluster is the hardware the workloads run on; the zero value
+	// selects PaperCluster().
+	Cluster Cluster
+}
+
+// Name implements backend.Backend.
+func (Backend) Name() string { return "spark" }
+
+// Description implements backend.Backend.
+func (Backend) Description() string {
+	return "Spark analytics jobs on a cluster (SparkBench workloads, 44-parameter space)"
+}
+
+// Space implements backend.Backend.
+func (Backend) Space() *conf.Space { return conf.SparkSpace() }
+
+// DefaultCap implements backend.Backend: the paper's 480 s limit.
+func (Backend) DefaultCap() float64 { return 480 }
+
+// Workloads implements backend.Backend.
+func (Backend) Workloads() []string {
+	names := make([]string, 0, 8)
+	for name := range PaperWorkloads() {
+		names = append(names, name)
+	}
+	names = append(names, "WordCount", "SQLAggregation", "TriangleCount")
+	sort.Strings(names)
+	return names
+}
+
+// Workload implements backend.Backend via WorkloadByName.
+func (Backend) Workload(name string, dataset int) (backend.Workload, error) {
+	return WorkloadByName(name, dataset)
+}
+
+func (b Backend) cluster() Cluster {
+	if b.Cluster.Workers == 0 {
+		return PaperCluster()
+	}
+	return b.Cluster
+}
+
+// NewEvaluator implements backend.Backend. w must be a sparksim
+// Workload (the value this backend's Workload method returns).
+func (b Backend) NewEvaluator(w backend.Workload, seed uint64, capSeconds float64, faults backend.FaultPlan) (backend.Evaluator, error) {
+	sw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("sparksim: workload %T is not a sparksim.Workload", w)
+	}
+	ev := NewEvaluator(b.cluster(), sw, seed, capSeconds)
+	ev.Faults = faults
+	return ev, nil
+}
+
+// ScaledWorkload implements the optional scaled-workload capability
+// (probed via interface assertion by the paper experiments): a
+// workload family at an arbitrary scale in the family's natural unit
+// (GB, iterations). Only the families with scale constructors are
+// reachable; the catalog surface is Workload/Workloads.
+func (Backend) ScaledWorkload(name string, scale float64) (backend.Workload, error) {
+	switch name {
+	case "PageRank":
+		return PageRank(scale), nil
+	case "KMeans":
+		return KMeans(scale), nil
+	case "ConnectedComponents":
+		return ConnectedComponents(scale), nil
+	case "LogisticRegression":
+		return LogisticRegression(scale), nil
+	case "TeraSort":
+		return TeraSort(scale), nil
+	case "WordCount":
+		return WordCount(scale), nil
+	case "SQLAggregation":
+		return SQLAggregation(scale), nil
+	case "TriangleCount":
+		return TriangleCount(scale), nil
+	}
+	return nil, fmt.Errorf("sparksim: no scale constructor for workload %q", name)
+}
+
+// RunOnce implements the optional raw-run capability: one simulated
+// run of a configuration outside any evaluator — no search-cost
+// accounting, no fault injection, an arbitrary cap (Inf allowed). The
+// default-comparison experiment uses it to time the untuned default.
+func (b Backend) RunOnce(w backend.Workload, c conf.Config, seed uint64, capSeconds float64) (backend.Outcome, error) {
+	sw, ok := w.(Workload)
+	if !ok {
+		return backend.Outcome{}, fmt.Errorf("sparksim: workload %T is not a sparksim.Workload", w)
+	}
+	out := Run(b.cluster(), sw, c, sample.NewRNG(seed), capSeconds)
+	return backend.Outcome{
+		Seconds:    out.Seconds,
+		Completed:  out.Completed,
+		OOM:        out.OOM,
+		Transient:  out.Transient,
+		Infeasible: out.Infeasible,
+	}, nil
+}
+
+// RenamedWorkload implements the optional rename capability: the same
+// trace under a fresh name, giving it a distinct memoization and
+// workload-mapping identity (the mapping experiment tunes a renamed
+// PageRank to test lookalike routing).
+func (Backend) RenamedWorkload(w backend.Workload, name string) (backend.Workload, error) {
+	sw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("sparksim: workload %T is not a sparksim.Workload", w)
+	}
+	sw.Name = name
+	return sw, nil
+}

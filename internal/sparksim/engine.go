@@ -179,7 +179,7 @@ func run(cl Cluster, w Workload, c conf.Config, rng *rand.Rand, capSeconds float
 
 	var fs faultSchedule
 	if plan.Enabled() && frng != nil {
-		fs = plan.schedule(frng, len(w.Stages))
+		fs = scheduleFaults(plan, frng, len(w.Stages))
 	}
 
 	total := 2.0 // app submission, driver startup, executor registration

@@ -1,95 +1,45 @@
 package sparksim
 
 import (
-	"context"
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/sample"
 )
 
-// EvalRecord is one observation of the black-box objective.
-type EvalRecord struct {
-	Config conf.Config
-	// Seconds is the objective value: execution time, capped at the
-	// evaluation limit. Failed configurations report the limit.
-	Seconds float64
-	// Raw is the uncapped simulated duration (or time consumed before
-	// failure/truncation).
-	Raw float64
-	// Completed, OOM and Infeasible mirror the simulation outcome.
-	Completed  bool
-	OOM        bool
-	Infeasible bool
-	// Transient marks a retryable failure (injected lost heartbeat /
-	// fetch storm): re-running the same configuration may succeed.
-	Transient bool
-	// Skipped marks an evaluation that never ran because its batch was
-	// cancelled: it carries no observation and was charged no cost.
-	Skipped bool
-	// Fidelity records the proxy scale the run executed at. The zero
-	// value is full fidelity; lower fidelities mean Seconds measures a
-	// deterministically derived cheap proxy workload, not the full
-	// job, and is comparable only with observations at the same
-	// fidelity.
-	Fidelity Fidelity
-}
-
-// EvalSpec bundles every per-evaluation control into one value: the
-// guard cap, the fidelity, and the batch parallelism. The zero value
-// reproduces a plain Evaluate call — full fidelity, global cap,
-// sequential. It is the single argument of the unified evaluation
-// entry points (Evaluator.EvaluateSpec / EvaluateSpecCtx and
-// tuners.Session.Eval); the older Evaluate / EvaluateWithCap /
-// EvaluateBatch surfaces are thin wrappers over it.
-type EvalSpec struct {
-	// Cap is the per-run stopping threshold in simulated seconds;
-	// <= 0 or above the evaluator's global limit selects the limit.
-	Cap float64
-	// Fidelity selects the proxy scale (zero = full workload).
-	Fidelity Fidelity
-	// Workers bounds batch parallelism (<= 0 = GOMAXPROCS). Ignored
-	// for single evaluations.
-	Workers int
-}
+// EvalRecord, EvalSpec and the evaluation entry points are the
+// backend-neutral contracts; sparksim is their first implementation.
+type (
+	EvalRecord = backend.EvalRecord
+	EvalSpec   = backend.EvalSpec
+)
 
 // Evaluator exposes the simulator as the expensive black-box
 // objective f(x) of §3.1, with the paper's per-evaluation time limit
 // (§5.1 uses 480 s) and bookkeeping of search cost — "the total time
-// to generate and evaluate configurations" (§5.3).
+// to generate and evaluate configurations" (§5.3). The embedded
+// backend.Harness owns index reservation, cost/history commit
+// ordering and batch dispatch; sparksim supplies the per-run
+// simulation (noise stream, fault realization, fidelity-derived proxy
+// workload).
 //
 // Evaluator is safe for concurrent use. Faults may be set before the
 // evaluator is shared; mutating it concurrently with evaluations is
 // not supported.
 type Evaluator struct {
-	Cluster    Cluster
-	Workload   Workload
-	CapSeconds float64
-	// Faults, when enabled, injects the plan's incidents into every
-	// charged evaluation (Measure stays fault-free so final-config
-	// quality reports are not polluted). Faults for a given evaluation
-	// index are drawn from a dedicated stream, so the same
-	// (seed, plan) reproduces the same incidents sequentially or in a
-	// parallel batch.
-	Faults FaultPlan
-
-	mu      sync.Mutex
-	seed    uint64
-	evals   int
-	cost    float64
-	history []EvalRecord
+	backend.Harness
+	Cluster  Cluster
+	Workload Workload
 }
 
 // NewEvaluator builds an evaluator for a workload on a cluster. seed
 // makes the noise sequence reproducible; cap <= 0 selects the paper's
 // 480 s limit.
 func NewEvaluator(cl Cluster, w Workload, seed uint64, cap float64) *Evaluator {
-	if cap <= 0 {
-		cap = 480
-	}
-	return &Evaluator{Cluster: cl, Workload: w, CapSeconds: cap, seed: seed}
+	ev := &Evaluator{Cluster: cl, Workload: w}
+	ev.Init(seed, cap, ev.runAt)
+	return ev
 }
 
 // WorkloadName returns the workload family being tuned (used as the
@@ -99,87 +49,28 @@ func (ev *Evaluator) WorkloadName() string { return ev.Workload.Name }
 // DatasetName returns the input dataset description.
 func (ev *Evaluator) DatasetName() string { return ev.Workload.Dataset }
 
-// faultRun executes one simulated run of w at the given evaluation
-// index, injecting the plan's faults when enabled. The noise and
-// fault streams are seeded by the index alone, so a proxy run at
-// index i consumes exactly the stream a full-fidelity run at i would
-// have — fidelity never shifts the randomness of later evaluations.
-func (ev *Evaluator) faultRun(w Workload, c conf.Config, seed uint64, idx int, plan FaultPlan, cap float64) Outcome {
+// runAt executes one simulated run at the given evaluation index,
+// injecting the plan's faults when enabled. The noise and fault
+// streams are seeded by the index alone, so a proxy run at index i
+// consumes exactly the stream a full-fidelity run at i would have —
+// fidelity never shifts the randomness of later evaluations.
+func (ev *Evaluator) runAt(c conf.Config, seed uint64, idx int, plan FaultPlan, cap float64, fid Fidelity) backend.Outcome {
+	w := ApplyFidelity(fid, ev.Workload)
 	rng := sample.NewRNG(seed*1e9 + uint64(idx))
+	var out Outcome
 	if !plan.Enabled() {
-		return Run(ev.Cluster, w, c, rng, cap)
+		out = Run(ev.Cluster, w, c, rng, cap)
+	} else {
+		frng := sample.NewRNG(plan.Seed ^ (seed*1e9 + uint64(idx)) ^ 0xfa1175ee)
+		out = RunWithFaults(ev.Cluster, w, c, rng, cap, plan, frng)
 	}
-	frng := sample.NewRNG(plan.Seed ^ (seed*1e9 + uint64(idx)) ^ 0xfa1175ee)
-	return RunWithFaults(ev.Cluster, w, c, rng, cap, plan, frng)
-}
-
-// record converts an outcome into the charged observation.
-func (ev *Evaluator) record(c conf.Config, out Outcome, cap float64, fid Fidelity) EvalRecord {
-	rec := EvalRecord{
-		Config:     c,
-		Raw:        out.Seconds,
+	return backend.Outcome{
+		Seconds:    out.Seconds,
 		Completed:  out.Completed,
 		OOM:        out.OOM,
-		Infeasible: out.Infeasible,
 		Transient:  out.Transient,
+		Infeasible: out.Infeasible,
 	}
-	if !fid.Full() {
-		rec.Fidelity = fid
-	}
-	if out.Completed {
-		rec.Seconds = math.Min(out.Seconds, cap)
-	} else {
-		// Failed, infeasible or truncated runs are worth the global
-		// cap to the optimizer (worst case) but only charge what they
-		// actually burned before the guard stopped them.
-		rec.Seconds = ev.CapSeconds
-	}
-	return rec
-}
-
-// Evaluate runs the workload once under the configuration, charges
-// the consumed time to the search cost, and returns the observation.
-func (ev *Evaluator) Evaluate(c conf.Config) EvalRecord {
-	return ev.EvaluateWithCap(c, ev.CapSeconds)
-}
-
-// EvaluateWithCap is Evaluate with a tighter per-run stopping
-// threshold — ROBOTune's guard against bad configurations kills runs
-// at a multiple of the median observed time (§4), which both bounds
-// the objective value and reduces the charged search cost. cap is
-// clamped to the evaluator's global limit.
-func (ev *Evaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
-	return ev.EvaluateSpec(c, EvalSpec{Cap: cap})
-}
-
-// EvaluateSpec is the unified single-run entry point: one run under
-// the spec's cap and fidelity. A non-full fidelity runs the derived
-// proxy workload; the search cost is charged what the proxy actually
-// consumed, which is the whole point of multi-fidelity tuning.
-func (ev *Evaluator) EvaluateSpec(c conf.Config, spec EvalSpec) EvalRecord {
-	cap := spec.Cap
-	if cap <= 0 || cap > ev.CapSeconds {
-		cap = ev.CapSeconds
-	}
-	// Read the seed under the same lock that reserves the evaluation
-	// index: Reset may rewrite it concurrently, and an unlocked read
-	// here is a data race.
-	ev.mu.Lock()
-	n := ev.evals
-	ev.evals++
-	seed := ev.seed
-	plan := ev.Faults
-	ev.mu.Unlock()
-
-	out := ev.faultRun(spec.Fidelity.Apply(ev.Workload), c, seed, n, plan, cap)
-	rec := ev.record(c, out, cap, spec.Fidelity)
-	consumed := math.Min(out.Seconds, cap)
-
-	ev.mu.Lock()
-	ev.cost += consumed
-	ev.history = append(ev.history, rec)
-	ev.mu.Unlock()
-	return rec
 }
 
 // Measure estimates a configuration's true performance by averaging
@@ -202,183 +93,4 @@ func (ev *Evaluator) Measure(c conf.Config, reps int, seed uint64) float64 {
 		sum += s
 	}
 	return sum / float64(reps)
-}
-
-// Evals returns the number of charged evaluations so far.
-func (ev *Evaluator) Evals() int {
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	return ev.evals
-}
-
-// SearchCost returns the accumulated simulated seconds consumed by
-// charged evaluations.
-func (ev *Evaluator) SearchCost() float64 {
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	return ev.cost
-}
-
-// History returns a copy of all charged observations in order.
-func (ev *Evaluator) History() []EvalRecord {
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	return append([]EvalRecord(nil), ev.history...)
-}
-
-// Best returns the completed observation with the lowest objective
-// value, or ok=false if nothing completed yet.
-func (ev *Evaluator) Best() (EvalRecord, bool) {
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	best := EvalRecord{Seconds: math.Inf(1)}
-	ok := false
-	for _, r := range ev.history {
-		if r.Completed && r.Seconds < best.Seconds {
-			best = r
-			ok = true
-		}
-	}
-	return best, ok
-}
-
-// RestoreStream moves the evaluation counter and accumulated search
-// cost to a journaled position (tuners.StreamRestorer). The per-run
-// noise and fault streams are derived from the evaluation index, so a
-// resumed session that restores the counter hands its post-replay
-// live evaluations exactly the streams the uninterrupted run would
-// have consumed. History is not rebuilt — replayed observations live
-// in the session's trace, not here.
-func (ev *Evaluator) RestoreStream(evals int, cost float64) {
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	ev.evals = evals
-	ev.cost = cost
-}
-
-// Reset clears evaluation counters and history (the workload, noise
-// seed and fault plan stay), so one evaluator can serve several tuner
-// runs.
-func (ev *Evaluator) Reset(seed uint64) {
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	ev.seed = seed
-	ev.evals = 0
-	ev.cost = 0
-	ev.history = nil
-}
-
-// EvaluateBatch evaluates configurations concurrently on up to
-// `workers` goroutines (default GOMAXPROCS) while reproducing the
-// exact observations sequential Evaluate calls would have produced:
-// evaluation indices — which seed the per-run noise and fault streams
-// — are assigned up front, and cost/history are committed in index
-// order. Batch evaluation models running independent initial samples
-// concurrently on a cluster; search cost still accounts every run's
-// full duration.
-func (ev *Evaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord {
-	return ev.EvaluateBatchCtx(context.Background(), cfgs, workers)
-}
-
-// EvaluateBatchCtx is EvaluateBatch with cancellation: once ctx is
-// done, no further configurations are dispatched; in-flight runs
-// finish and are charged normally, and never-dispatched entries come
-// back with Skipped=true (no observation, no cost). A nil ctx means
-// no cancellation.
-func (ev *Evaluator) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []EvalRecord {
-	return ev.EvaluateSpecCtx(ctx, cfgs, EvalSpec{Workers: workers})
-}
-
-// EvaluateSpecCtx is the unified batch entry point: every
-// configuration runs under the same spec (cap and fidelity), on up
-// to spec.Workers goroutines, with EvaluateBatchCtx's cancellation
-// and ordering guarantees. The zero spec reproduces EvaluateBatch
-// byte for byte.
-func (ev *Evaluator) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec EvalSpec) []EvalRecord {
-	workers := spec.Workers
-	cap := spec.Cap
-	if cap <= 0 || cap > ev.CapSeconds {
-		cap = ev.CapSeconds
-	}
-	n := len(cfgs)
-	if n == 0 {
-		return nil
-	}
-	skipAll := func() []EvalRecord {
-		recs := make([]EvalRecord, n)
-		for i := range recs {
-			recs[i] = EvalRecord{Config: cfgs[i], Skipped: true}
-		}
-		return recs
-	}
-	if ctx != nil {
-		select {
-		case <-ctx.Done():
-			return skipAll()
-		default:
-		}
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
-	// Reserve the index block and snapshot the seed in one critical
-	// section; the workers below must not read ev.seed directly, since
-	// a concurrent Reset writes it under the lock.
-	ev.mu.Lock()
-	base := ev.evals
-	ev.evals += n
-	seed := ev.seed
-	plan := ev.Faults
-	ev.mu.Unlock()
-
-	wl := spec.Fidelity.Apply(ev.Workload)
-	recs := make([]EvalRecord, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out := ev.faultRun(wl, cfgs[i], seed, base+i, plan, cap)
-				recs[i] = ev.record(cfgs[i], out, cap, spec.Fidelity)
-			}
-		}()
-	}
-	// The dispatch loop is the single cancellation point: indices past
-	// the first observed cancellation are marked skipped below.
-	dispatched := n
-dispatch:
-	for i := 0; i < n; i++ {
-		if ctx != nil {
-			select {
-			case <-ctx.Done():
-				dispatched = i
-				break dispatch
-			case next <- i:
-				continue
-			}
-		}
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for i := dispatched; i < n; i++ {
-		recs[i] = EvalRecord{Config: cfgs[i], Skipped: true}
-	}
-
-	ev.mu.Lock()
-	for _, rec := range recs {
-		if rec.Skipped {
-			continue
-		}
-		ev.cost += math.Min(rec.Raw, cap)
-		ev.history = append(ev.history, rec)
-	}
-	ev.mu.Unlock()
-	return recs
 }

@@ -1,86 +1,20 @@
 package sparksim
 
 import (
-	"fmt"
 	"math/rand/v2"
+
+	"repro/internal/backend"
 )
 
-// FaultPlan describes the cluster misbehavior injected into simulated
-// runs — the failures a real Spark deployment throws at a tuner that
-// per-run noise does not capture: executors lost mid-stage, straggler
-// tasks an order of magnitude slower than their peers, transient
-// evaluation errors (lost heartbeats, fetch storms) and spurious OOM
-// kills from co-tenant memory pressure.
-//
-// The zero value disables injection entirely: a zero plan consumes no
-// randomness and leaves every run bit-identical to an un-faulted one.
-// All draws come from a dedicated fault stream derived from Seed and
-// the evaluation index, never from the run's noise stream, so enabling
-// faults perturbs outcomes only through the injected events — and the
-// same (seed, plan) always reproduces the same faults, whether runs
-// execute sequentially or in a parallel batch.
-type FaultPlan struct {
-	// ExecutorLossProb is the per-run probability that one executor is
-	// lost at a random stage: its in-flight work is recomputed and the
-	// rest of the job runs with fewer slots.
-	ExecutorLossProb float64
-	// StragglerProb is the per-stage probability of straggler
-	// amplification: the stage takes StragglerFactor times longer
-	// (a severe straggler dominating the last wave, beyond what the
-	// modeled skew tail and speculation account for).
-	StragglerProb float64
-	// StragglerFactor is the amplification multiple (default 3).
-	StragglerFactor float64
-	// TransientErrProb is the per-run probability of a transient
-	// evaluation error at a random stage: the run aborts and reports
-	// Transient=true — the class of failure a retry can cure.
-	TransientErrProb float64
-	// SpuriousOOMProb is the per-run probability of a spurious OOM
-	// kill: the run aborts with OOM=true even though the configuration
-	// was viable. Indistinguishable from a config-caused OOM, so it is
-	// not flagged transient — tuners must absorb it as a worst-case
-	// observation.
-	SpuriousOOMProb float64
-	// Seed mixes into the per-evaluation fault stream so campaigns can
-	// vary the fault sequence independently of the noise seed.
-	Seed uint64
-}
+// FaultPlan is the backend-neutral fault-injection plan; sparksim
+// realizes its classes as executor loss at a stage boundary, per-stage
+// straggler amplification, transient run aborts and spurious OOM
+// kills. See backend.FaultPlan for the stream discipline.
+type FaultPlan = backend.FaultPlan
 
-// Enabled reports whether the plan injects anything.
-func (p FaultPlan) Enabled() bool {
-	return p.ExecutorLossProb > 0 || p.StragglerProb > 0 ||
-		p.TransientErrProb > 0 || p.SpuriousOOMProb > 0
-}
-
-func (p FaultPlan) stragglerFactor() float64 {
-	if p.StragglerFactor <= 1 {
-		return 3
-	}
-	return p.StragglerFactor
-}
-
-// String renders the plan compactly for logs and CLI output.
-func (p FaultPlan) String() string {
-	if !p.Enabled() {
-		return "off"
-	}
-	return fmt.Sprintf("execloss=%.2g straggler=%.2gx%.2g transient=%.2g oom=%.2g seed=%d",
-		p.ExecutorLossProb, p.StragglerProb, p.stragglerFactor(),
-		p.TransientErrProb, p.SpuriousOOMProb, p.Seed)
-}
-
-// DefaultFaultPlan returns the moderate plan the fault-injection
-// stress suite runs under: roughly one injected incident every few
-// runs of each class.
-func DefaultFaultPlan() FaultPlan {
-	return FaultPlan{
-		ExecutorLossProb: 0.10,
-		StragglerProb:    0.08,
-		StragglerFactor:  3,
-		TransientErrProb: 0.12,
-		SpuriousOOMProb:  0.04,
-	}
-}
+// DefaultFaultPlan returns backend.DefaultFaultPlan — the moderate
+// plan the fault-injection stress suite runs under.
+func DefaultFaultPlan() FaultPlan { return backend.DefaultFaultPlan() }
 
 // faultSchedule is the per-run realization of a FaultPlan: which
 // faults strike, and at which stage.
@@ -92,11 +26,11 @@ type faultSchedule struct {
 	straggler      []float64 // per-stage multiplier; 1 = untouched
 }
 
-// schedule draws one run's faults. Every class is drawn
+// scheduleFaults draws one run's faults. Every class is drawn
 // unconditionally and in a fixed order, so the randomness consumed per
 // run is constant and the schedule is a pure function of the stream —
 // the property that keeps batch and sequential evaluation bit-equal.
-func (p FaultPlan) schedule(frng *rand.Rand, nStages int) faultSchedule {
+func scheduleFaults(p FaultPlan, frng *rand.Rand, nStages int) faultSchedule {
 	fs := faultSchedule{active: true, transientStage: -1, execLossStage: -1, oomStage: -1}
 	if nStages < 1 {
 		nStages = 1
@@ -117,7 +51,7 @@ func (p FaultPlan) schedule(frng *rand.Rand, nStages int) faultSchedule {
 	for i := range fs.straggler {
 		fs.straggler[i] = 1
 		if frng.Float64() < p.StragglerProb {
-			fs.straggler[i] = p.stragglerFactor()
+			fs.straggler[i] = p.EffectiveStragglerFactor()
 		}
 	}
 	return fs

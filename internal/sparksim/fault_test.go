@@ -61,7 +61,7 @@ func TestFaultPlanDeterministic(t *testing.T) {
 		ev := NewEvaluator(cl, w, 9, 480)
 		ev.Faults = p
 		for _, c := range cfgs {
-			ev.Evaluate(c)
+			ev.EvaluateSpec(c, EvalSpec{})
 		}
 		return ev.History()
 	}
@@ -140,11 +140,11 @@ func TestFaultBatchSequentialParity(t *testing.T) {
 	seq := NewEvaluator(cl, w, 77, 480)
 	seq.Faults = DefaultFaultPlan()
 	for _, c := range cfgs {
-		seq.Evaluate(c)
+		seq.EvaluateSpec(c, EvalSpec{})
 	}
 	par := NewEvaluator(cl, w, 77, 480)
 	par.Faults = DefaultFaultPlan()
-	par.EvaluateBatch(cfgs, 4)
+	par.EvaluateSpecCtx(context.Background(), cfgs, EvalSpec{Workers: 4})
 
 	a, b := seq.History(), par.History()
 	if len(a) != len(b) {
@@ -166,7 +166,7 @@ func TestEvaluateBatchCtxPreCancelled(t *testing.T) {
 	ev := NewEvaluator(PaperCluster(), TeraSort(300), 5, 480)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	recs := ev.EvaluateBatchCtx(ctx, sampleConfigs(8, 2), 4)
+	recs := ev.EvaluateSpecCtx(ctx, sampleConfigs(8, 2), EvalSpec{Workers: 4})
 	if len(recs) != 8 {
 		t.Fatalf("want 8 records, got %d", len(recs))
 	}

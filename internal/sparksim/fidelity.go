@@ -1,92 +1,31 @@
 package sparksim
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/backend"
 )
 
-// Fidelity selects how faithfully an evaluation runs the workload.
-// The zero value is full fidelity — the exact workload the evaluator
-// was built with. Lower fidelities deterministically derive a cheap
-// proxy workload (reduced input scale and/or a truncated stage
-// prefix) from the full plan: the proxy costs a fraction of the
-// simulated seconds while preserving the configuration-sensitivity
-// structure that multi-fidelity tuners exploit (MFTune; BOHB).
-//
-// Fidelity is a pure value: Apply never mutates the source workload,
-// and the same (workload, fidelity) pair always yields the same
-// proxy, so journaled evaluations replay bit-identically.
-type Fidelity struct {
-	// InputScale scales every stage's data volumes (input, shuffle,
-	// HDFS output, cached RDDs) by this fraction in (0, 1]. Broadcast
-	// volumes are preserved: model state shipped to executors does not
-	// shrink with the input. 0 means 1 (full scale).
-	InputScale float64 `json:"input_scale,omitempty"`
-	// StageFrac truncates the plan to its first ceil(frac·len) stages,
-	// frac in (0, 1]. A prefix always remains a valid plan: cached
-	// RDDs are written before they are read, so truncation can only
-	// drop readers, never producers. 0 means 1 (all stages).
-	StageFrac float64 `json:"stage_frac,omitempty"`
-}
+// Fidelity is the backend-neutral proxy-scale selector; sparksim
+// interprets InputScale as a per-stage data-volume fraction and
+// StageFrac as a stage-prefix truncation. See ApplyFidelity.
+type Fidelity = backend.Fidelity
 
 // FullFidelity is the explicit full-scale value; identical to the
 // zero Fidelity.
-var FullFidelity = Fidelity{}
+var FullFidelity = backend.FullFidelity
 
-// Full reports whether f denotes the unmodified workload.
-func (f Fidelity) Full() bool {
-	return (f.InputScale == 0 || f.InputScale == 1) &&
-		(f.StageFrac == 0 || f.StageFrac == 1)
-}
-
-// Scale returns the effective input-scale fraction (0 reads as 1).
-func (f Fidelity) Scale() float64 {
-	if f.InputScale == 0 {
-		return 1
-	}
-	return f.InputScale
-}
-
-// Frac returns the effective stage fraction (0 reads as 1).
-func (f Fidelity) Frac() float64 {
-	if f.StageFrac == 0 {
-		return 1
-	}
-	return f.StageFrac
-}
-
-// Validate rejects fidelities outside (0, 1] (zero fields excepted:
-// they read as full scale).
-func (f Fidelity) Validate() error {
-	check := func(name string, v float64) error {
-		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
-			return fmt.Errorf("sparksim: fidelity %s %v outside (0, 1]", name, v)
-		}
-		return nil
-	}
-	if err := check("input scale", f.InputScale); err != nil {
-		return err
-	}
-	return check("stage fraction", f.StageFrac)
-}
-
-// String renders the fidelity compactly for logs and Explain output.
-func (f Fidelity) String() string {
-	if f.Full() {
-		return "full"
-	}
-	if f.Frac() == 1 {
-		return fmt.Sprintf("scale=%.3g", f.Scale())
-	}
-	return fmt.Sprintf("scale=%.3g,stages=%.3g", f.Scale(), f.Frac())
-}
-
-// Apply derives the proxy workload f selects from w. Full fidelity
-// returns w unchanged (no copy). Otherwise every retained stage's
-// data volumes are scaled by Scale() — broadcast traffic excepted —
-// and the plan is cut to its first ceil(Frac()·len) stages. The
-// result satisfies Workload.Validate whenever w does.
-func (f Fidelity) Apply(w Workload) Workload {
+// ApplyFidelity derives the proxy workload f selects from w. Full
+// fidelity returns w unchanged (no copy). Otherwise every retained
+// stage's data volumes are scaled by f.Scale() — broadcast traffic
+// excepted: model state shipped to executors does not shrink with the
+// input — and the plan is cut to its first ceil(f.Frac()·len) stages.
+// A prefix always remains a valid plan: cached RDDs are written before
+// they are read, so truncation can only drop readers, never producers.
+// The result satisfies Workload.Validate whenever w does, and the same
+// (workload, fidelity) pair always yields the same proxy, so journaled
+// evaluations replay bit-identically.
+func ApplyFidelity(f Fidelity, w Workload) Workload {
 	if f.Full() {
 		return w
 	}

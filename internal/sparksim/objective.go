@@ -47,17 +47,6 @@ func (r *ResourceCostEvaluator) rate(c conf.Config) float64 {
 	return cores + r.MemoryWeight*memGB
 }
 
-// Evaluate runs the configuration and reports resource cost as the
-// objective value (EvalRecord.Seconds, which the tuners minimize).
-func (r *ResourceCostEvaluator) Evaluate(c conf.Config) EvalRecord {
-	return r.price(c, r.Evaluator.Evaluate(c))
-}
-
-// EvaluateWithCap forwards the guard cap and prices the result.
-func (r *ResourceCostEvaluator) EvaluateWithCap(c conf.Config, cap float64) EvalRecord {
-	return r.price(c, r.Evaluator.EvaluateWithCap(c, cap))
-}
-
 func (r *ResourceCostEvaluator) price(c conf.Config, rec EvalRecord) EvalRecord {
 	rec.Seconds = rec.Seconds * r.rate(c)
 	return rec
@@ -74,25 +63,6 @@ func (r *ResourceCostEvaluator) EvaluateSpec(c conf.Config, spec EvalSpec) EvalR
 // entries carry no observation and are left unpriced.
 func (r *ResourceCostEvaluator) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec EvalSpec) []EvalRecord {
 	recs := r.Evaluator.EvaluateSpecCtx(ctx, cfgs, spec)
-	for i := range recs {
-		if recs[i].Skipped {
-			continue
-		}
-		recs[i] = r.price(cfgs[i], recs[i])
-	}
-	return recs
-}
-
-// EvaluateBatch prices each record of the embedded Evaluator's batch
-// path (which would otherwise report raw seconds).
-func (r *ResourceCostEvaluator) EvaluateBatch(cfgs []conf.Config, workers int) []EvalRecord {
-	return r.EvaluateBatchCtx(context.Background(), cfgs, workers)
-}
-
-// EvaluateBatchCtx is EvaluateBatch with cancellation; skipped
-// entries carry no observation and are left unpriced.
-func (r *ResourceCostEvaluator) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []EvalRecord {
-	recs := r.Evaluator.EvaluateBatchCtx(ctx, cfgs, workers)
 	for i := range recs {
 		if recs[i].Skipped {
 			continue

@@ -1,6 +1,7 @@
 package sparksim
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -326,8 +327,8 @@ func TestRunNeverNegativeProperty(t *testing.T) {
 func TestEvaluatorAccounting(t *testing.T) {
 	ev := NewEvaluator(PaperCluster(), KMeans(200), 1, 480)
 	c := tunedConfig(t)
-	r1 := ev.Evaluate(c)
-	r2 := ev.Evaluate(c)
+	r1 := ev.EvaluateSpec(c, EvalSpec{})
+	r2 := ev.EvaluateSpec(c, EvalSpec{})
 	if ev.Evals() != 2 {
 		t.Fatalf("Evals = %d", ev.Evals())
 	}
@@ -350,7 +351,7 @@ func TestEvaluatorAccounting(t *testing.T) {
 func TestEvaluatorFailureChargesOnlyConsumedTime(t *testing.T) {
 	ev := NewEvaluator(PaperCluster(), PageRank(10), 3, 480)
 	def := space().Default() // OOMs quickly
-	r := ev.Evaluate(def)
+	r := ev.EvaluateSpec(def, EvalSpec{})
 	if !r.OOM {
 		t.Fatalf("default PageRank should OOM, got %+v", r)
 	}
@@ -371,7 +372,7 @@ func TestEvaluatorCapDefaults(t *testing.T) {
 
 func TestEvaluatorReset(t *testing.T) {
 	ev := NewEvaluator(PaperCluster(), KMeans(200), 1, 480)
-	ev.Evaluate(tunedConfig(t))
+	ev.EvaluateSpec(tunedConfig(t), EvalSpec{})
 	ev.Reset(2)
 	if ev.Evals() != 0 || ev.SearchCost() != 0 || len(ev.History()) != 0 {
 		t.Error("Reset did not clear state")
@@ -398,7 +399,7 @@ func TestEvaluatorConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 5; j++ {
-				ev.Evaluate(c)
+				ev.EvaluateSpec(c, EvalSpec{})
 			}
 		}()
 	}
@@ -415,7 +416,7 @@ func TestInfeasibleConfigFailsFast(t *testing.T) {
 		With(conf.ExecutorMemoryOverhead, 8192).
 		With(conf.OffHeapEnabled, 1).
 		With(conf.OffHeapSize, 16384)
-	r := ev.Evaluate(bad)
+	r := ev.EvaluateSpec(bad, EvalSpec{})
 	if !r.Infeasible {
 		t.Fatal("expected infeasible")
 	}
@@ -454,11 +455,11 @@ func TestEvaluateBatchMatchesSequential(t *testing.T) {
 	seq := NewEvaluator(PaperCluster(), TeraSort(20), 99, 480)
 	var seqRecs []EvalRecord
 	for _, c := range cfgs {
-		seqRecs = append(seqRecs, seq.Evaluate(c))
+		seqRecs = append(seqRecs, seq.EvaluateSpec(c, EvalSpec{}))
 	}
 
 	par := NewEvaluator(PaperCluster(), TeraSort(20), 99, 480)
-	parRecs := par.EvaluateBatch(cfgs, 8)
+	parRecs := par.EvaluateSpecCtx(context.Background(), cfgs, EvalSpec{Workers: 8})
 
 	if len(parRecs) != len(seqRecs) {
 		t.Fatalf("record counts differ: %d vs %d", len(parRecs), len(seqRecs))
@@ -485,7 +486,7 @@ func TestEvaluateBatchMatchesSequential(t *testing.T) {
 
 func TestEvaluateBatchEmpty(t *testing.T) {
 	ev := NewEvaluator(PaperCluster(), TeraSort(20), 1, 480)
-	if got := ev.EvaluateBatch(nil, 4); got != nil {
+	if got := ev.EvaluateSpecCtx(context.Background(), nil, EvalSpec{Workers: 4}); got != nil {
 		t.Errorf("empty batch = %v", got)
 	}
 	if ev.Evals() != 0 {
@@ -504,7 +505,7 @@ func TestCrossClusterOptimaDiffer(t *testing.T) {
 		best := math.Inf(1)
 		var bestCfg conf.Config
 		for _, u := range sample.LHS(120, space.Dim(), sample.NewRNG(seed)) {
-			rec := ev.Evaluate(space.Decode(u))
+			rec := ev.EvaluateSpec(space.Decode(u), EvalSpec{})
 			if rec.Completed && rec.Seconds < best {
 				best, bestCfg = rec.Seconds, rec.Config
 			}

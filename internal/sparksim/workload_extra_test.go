@@ -72,7 +72,7 @@ func TestExtraWorkloadsTunable(t *testing.T) {
 		found := false
 		for i, u := range sample.LHS(25, space.Dim(), sample.NewRNG(9)) {
 			_ = i
-			if rec := ev.Evaluate(space.Decode(u)); rec.Completed {
+			if rec := ev.EvaluateSpec(space.Decode(u), EvalSpec{}); rec.Completed {
 				found = true
 				break
 			}

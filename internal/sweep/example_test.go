@@ -19,7 +19,7 @@ func ExampleRun() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := sweep.Run(sparksim.PaperCluster(), sparksim.TeraSort(30), base,
+	res, err := sweep.Run(sparksim.Backend{}, sparksim.TeraSort(30), base,
 		conf.ShuffleCompress, sweep.Config{Reps: 2, Seed: 1})
 	if err != nil {
 		panic(err)

@@ -10,8 +10,8 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
-	"repro/internal/sparksim"
 )
 
 // Point is one sweep sample.
@@ -45,7 +45,7 @@ type Config struct {
 	Reps int
 	// Seed drives the simulator noise.
 	Seed uint64
-	// CapSeconds truncates runs (default 480).
+	// CapSeconds truncates runs (0 = the backend's default cap).
 	CapSeconds float64
 }
 
@@ -56,15 +56,12 @@ func (c Config) withDefaults() Config {
 	if c.Reps < 1 {
 		c.Reps = 3
 	}
-	if c.CapSeconds <= 0 {
-		c.CapSeconds = 480
-	}
 	return c
 }
 
 // Run sweeps the named parameter of base across its range on the
-// given workload and cluster.
-func Run(cl sparksim.Cluster, w sparksim.Workload, base conf.Config, name string, cfg Config) (Result, error) {
+// given backend workload.
+func Run(b backend.Backend, w backend.Workload, base conf.Config, name string, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	space := base.Space()
 	p, ok := space.Param(name)
@@ -72,26 +69,35 @@ func Run(cl sparksim.Cluster, w sparksim.Workload, base conf.Config, name string
 		return Result{}, fmt.Errorf("sweep: unknown parameter %q", name)
 	}
 
-	measure := func(c conf.Config) (float64, bool) {
+	measure := func(c conf.Config) (float64, bool, error) {
 		var sum float64
 		failures := 0
 		for r := 0; r < cfg.Reps; r++ {
-			ev := sparksim.NewEvaluator(cl, w, cfg.Seed+uint64(r)*131, cfg.CapSeconds)
-			rec := ev.Evaluate(c)
+			ev, err := b.NewEvaluator(w, cfg.Seed+uint64(r)*131, cfg.CapSeconds, backend.FaultPlan{})
+			if err != nil {
+				return 0, false, err
+			}
+			rec := ev.EvaluateSpec(c, backend.EvalSpec{})
 			sum += rec.Seconds
 			if !rec.Completed {
 				failures++
 			}
 		}
-		return sum / float64(cfg.Reps), failures == cfg.Reps
+		return sum / float64(cfg.Reps), failures == cfg.Reps, nil
 	}
 
 	res := Result{Param: p}
-	res.BaseSeconds, _ = measure(base)
+	var err error
+	if res.BaseSeconds, _, err = measure(base); err != nil {
+		return Result{}, err
+	}
 
 	for _, raw := range gridFor(p, cfg.Steps) {
 		c := base.With(name, raw)
-		sec, failed := measure(c)
+		sec, failed, err := measure(c)
+		if err != nil {
+			return Result{}, err
+		}
 		res.Points = append(res.Points, Point{
 			Raw:     raw,
 			Label:   p.FormatRaw(raw),

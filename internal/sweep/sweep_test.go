@@ -25,7 +25,7 @@ func base(t *testing.T) conf.Config {
 }
 
 func TestSweepNumericParameter(t *testing.T) {
-	res, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(30), base(t),
+	res, err := Run(sparksim.Backend{}, sparksim.TeraSort(30), base(t),
 		conf.ExecutorMemory, Config{Steps: 7, Reps: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestSweepNumericParameter(t *testing.T) {
 }
 
 func TestSweepCategoricalEnumeratesChoices(t *testing.T) {
-	res, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(20), base(t),
+	res, err := Run(sparksim.Backend{}, sparksim.TeraSort(20), base(t),
 		conf.IOCompressionCodec, Config{Reps: 1, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +78,7 @@ func TestSweepCategoricalEnumeratesChoices(t *testing.T) {
 }
 
 func TestSweepBool(t *testing.T) {
-	res, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(30), base(t),
+	res, err := Run(sparksim.Backend{}, sparksim.TeraSort(30), base(t),
 		conf.ShuffleCompress, Config{Reps: 1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +101,7 @@ func TestSweepDetectsFailureRegion(t *testing.T) {
 	// 32-core executors: low heap shares execution memory across many
 	// slots (OOM at the cliff), high heap keeps all 160 slots fast.
 	wide := base(t).With(conf.MaxPartitionBytes, 512).With(conf.ExecutorCores, 32)
-	res, err := Run(sparksim.PaperCluster(), sparksim.PageRank(10), wide,
+	res, err := Run(sparksim.Backend{}, sparksim.PageRank(10), wide,
 		conf.ExecutorMemory, Config{Steps: 9, Reps: 1, Seed: 4, CapSeconds: 3000})
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +129,7 @@ func TestSweepDetectsFailureRegion(t *testing.T) {
 }
 
 func TestSweepUnknownParameter(t *testing.T) {
-	if _, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(20), base(t),
+	if _, err := Run(sparksim.Backend{}, sparksim.TeraSort(20), base(t),
 		"bogus", Config{}); err == nil {
 		t.Error("unknown parameter accepted")
 	}
@@ -137,7 +137,7 @@ func TestSweepUnknownParameter(t *testing.T) {
 
 func TestSweepIntGridDeduplicates(t *testing.T) {
 	// task.cpus spans 1..4; a 9-step grid must deduplicate to 4 points.
-	res, err := Run(sparksim.PaperCluster(), sparksim.TeraSort(20), base(t),
+	res, err := Run(sparksim.Backend{}, sparksim.TeraSort(20), base(t),
 		conf.TaskCPUs, Config{Steps: 9, Reps: 1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)

@@ -12,9 +12,9 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/memo"
-	"repro/internal/sparksim"
 	"repro/internal/tuners"
 )
 
@@ -33,7 +33,7 @@ type Record struct {
 	OOM        bool `json:"oom,omitempty"`
 	Infeasible bool `json:"infeasible,omitempty"`
 	Transient  bool `json:"transient,omitempty"`
-	// FidelityInput/FidelityStage mirror the run's sparksim.Fidelity
+	// FidelityInput/FidelityStage mirror the run's backend.Fidelity
 	// (omitted at full fidelity): proxy observations are marked so
 	// offline analysis never mistakes their seconds for full-workload
 	// measurements.
@@ -62,9 +62,10 @@ type Session struct {
 	Cancelled bool                `json:"cancelled,omitempty"`
 }
 
-// Recorder wraps a *sparksim.Evaluator (or ResourceCostEvaluator) and
-// logs every evaluation. It satisfies tuners.Objective and forwards
-// the optional capabilities ROBOTune probes for.
+// Recorder wraps a backend evaluator (any backend.Evaluator that also
+// identifies its workload, e.g. *sparksim.Evaluator or a clustersim
+// evaluator) and logs every evaluation. It satisfies tuners.Objective
+// and forwards the optional capabilities ROBOTune probes for.
 type Recorder struct {
 	inner innerEvaluator
 
@@ -72,12 +73,11 @@ type Recorder struct {
 	records []Record
 }
 
-// innerEvaluator is the full capability set of *sparksim.Evaluator.
+// innerEvaluator is the capability set Recorder requires: the unified
+// evaluation entry point plus the memoization identity.
 type innerEvaluator interface {
-	tuners.Objective
-	EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord
-	WorkloadName() string
-	DatasetName() string
+	backend.Evaluator
+	backend.Identifiable
 }
 
 // NewRecorder wraps an evaluator.
@@ -85,41 +85,30 @@ func NewRecorder(inner innerEvaluator) *Recorder {
 	return &Recorder{inner: inner}
 }
 
-// Evaluate implements tuners.Objective.
-func (r *Recorder) Evaluate(c conf.Config) sparksim.EvalRecord {
-	rec := r.inner.Evaluate(c)
+// EvaluateSpec implements tuners.Objective, logging the evaluation.
+func (r *Recorder) EvaluateSpec(c conf.Config, spec backend.EvalSpec) backend.EvalRecord {
+	rec := r.inner.EvaluateSpec(c, spec)
 	r.log(c, rec)
 	return rec
 }
 
-// EvaluateWithCap forwards the guard capability.
-func (r *Recorder) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
-	rec := r.inner.EvaluateWithCap(c, cap)
-	r.log(c, rec)
-	return rec
-}
-
-// EvaluateBatch forwards the batch capability (sequential when the
-// wrapped evaluator lacks it), logging every evaluated entry.
-func (r *Recorder) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.EvalRecord {
-	return r.EvaluateBatchCtx(context.Background(), cfgs, workers)
-}
-
-// EvaluateBatchCtx implements tuners.BatchEvaluator: cancellation
-// marks the unevaluated tail Skipped, and skipped entries are not
-// logged (they were never run).
-func (r *Recorder) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord {
-	var recs []sparksim.EvalRecord
-	if be, ok := r.inner.(tuners.BatchEvaluator); ok {
-		recs = be.EvaluateBatchCtx(ctx, cfgs, workers)
+// EvaluateSpecCtx forwards the batch capability
+// (backend.BatchEvaluator), degrading to a sequential loop when the
+// wrapped evaluator lacks it. Cancellation marks the unevaluated tail
+// Skipped, and skipped entries are not logged (they were never run).
+func (r *Recorder) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec backend.EvalSpec) []backend.EvalRecord {
+	var recs []backend.EvalRecord
+	if be, ok := r.inner.(backend.BatchEvaluator); ok {
+		recs = be.EvaluateSpecCtx(ctx, cfgs, spec)
 	} else {
-		recs = make([]sparksim.EvalRecord, len(cfgs))
+		recs = make([]backend.EvalRecord, len(cfgs))
+		one := backend.EvalSpec{Cap: spec.Cap, Fidelity: spec.Fidelity}
 		for i, c := range cfgs {
 			if ctx != nil && ctx.Err() != nil {
-				recs[i] = sparksim.EvalRecord{Config: c, Skipped: true}
+				recs[i] = backend.EvalRecord{Config: c, Skipped: true}
 				continue
 			}
-			recs[i] = r.inner.Evaluate(c)
+			recs[i] = r.inner.EvaluateSpec(c, one)
 		}
 	}
 	for i, rec := range recs {
@@ -131,47 +120,21 @@ func (r *Recorder) EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, wor
 	return recs
 }
 
-// EvaluateSpec forwards the unified spec capability
-// (tuners.SpecEvaluator) when the wrapped evaluator supports it and
-// degrades to the legacy cap routing otherwise (the fidelity is then
-// necessarily full — the session only requests proxy runs from
-// spec-capable objectives).
-func (r *Recorder) EvaluateSpec(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
-	var rec sparksim.EvalRecord
-	if se, ok := r.inner.(tuners.SpecEvaluator); ok {
-		rec = se.EvaluateSpec(c, spec)
-	} else if spec.Cap > 0 {
-		rec = r.inner.EvaluateWithCap(c, spec.Cap)
-	} else {
-		rec = r.inner.Evaluate(c)
+// SupportsFidelity forwards the proxy-run capability
+// (backend.FidelitySupporter) so multi-fidelity sessions behave
+// identically under tracing.
+func (r *Recorder) SupportsFidelity() bool {
+	if fs, ok := r.inner.(backend.FidelitySupporter); ok {
+		return fs.SupportsFidelity()
 	}
-	r.log(c, rec)
-	return rec
-}
-
-// EvaluateSpecCtx forwards the unified batch capability, degrading to
-// the legacy batch path (which can only run full fidelity) when the
-// wrapped evaluator lacks it.
-func (r *Recorder) EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord {
-	se, ok := r.inner.(tuners.SpecEvaluator)
-	if !ok {
-		return r.EvaluateBatchCtx(ctx, cfgs, spec.Workers)
-	}
-	recs := se.EvaluateSpecCtx(ctx, cfgs, spec)
-	for i, rec := range recs {
-		if rec.Skipped {
-			continue
-		}
-		r.log(cfgs[i], rec)
-	}
-	return recs
+	return false
 }
 
 // RestoreStream forwards the resume capability (tuners.StreamRestorer)
 // when the wrapped evaluator supports it, so journaled sessions stay
 // bit-identical under tracing.
 func (r *Recorder) RestoreStream(evals int, cost float64) {
-	if sr, ok := r.inner.(tuners.StreamRestorer); ok {
+	if sr, ok := r.inner.(backend.StreamRestorer); ok {
 		sr.RestoreStream(evals, cost)
 	}
 }
@@ -188,7 +151,7 @@ func (r *Recorder) WorkloadName() string { return r.inner.WorkloadName() }
 // DatasetName forwards the memoization identity.
 func (r *Recorder) DatasetName() string { return r.inner.DatasetName() }
 
-func (r *Recorder) log(c conf.Config, rec sparksim.EvalRecord) {
+func (r *Recorder) log(c conf.Config, rec backend.EvalRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.records = append(r.records, Record{

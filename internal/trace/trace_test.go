@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/memo"
@@ -22,8 +23,8 @@ func TestRecorderLogsEvaluations(t *testing.T) {
 	r := newRecorder(t)
 	space := conf.SparkSpace()
 	c := space.Default().With(conf.ExecutorMemory, 32768).With(conf.ExecutorCores, 8)
-	r.Evaluate(c)
-	r.EvaluateWithCap(c, 200)
+	r.EvaluateSpec(c, backend.EvalSpec{})
+	r.EvaluateSpec(c, backend.EvalSpec{Cap: 200})
 	recs := r.Records()
 	if len(recs) != 2 {
 		t.Fatalf("records = %d", len(recs))

@@ -4,9 +4,9 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 )
 
 // BestConfig reimplements the search strategy of "BestConfig: Tapping
@@ -148,7 +148,7 @@ func (st *bestConfigStepper) Propose(n int) []Proposal {
 	return props
 }
 
-func (st *bestConfigStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+func (st *bestConfigStepper) Observe(c conf.Config, rec backend.EvalRecord) {
 	seq := st.Observed(c)
 	idx := st.slot[seq]
 	delete(st.slot, seq)

@@ -6,10 +6,10 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/bo"
 	"repro/internal/conf"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 )
 
 // BOHB is the multi-fidelity extension tuner: BOHB-style successive
@@ -272,15 +272,15 @@ func (st *bohbStepper) startRung() {
 // rungFidelity maps a ladder rung to the proposal fidelity along the
 // configured axis; the top rung (scale 1) is the zero Fidelity, i.e.
 // the full workload.
-func (st *bohbStepper) rungFidelity(r int) sparksim.Fidelity {
+func (st *bohbStepper) rungFidelity(r int) backend.Fidelity {
 	s := st.cfg.Ladder[r]
 	if s >= 1 {
-		return sparksim.Fidelity{}
+		return backend.Fidelity{}
 	}
 	if st.cfg.Axis == AxisStage {
-		return sparksim.Fidelity{StageFrac: s}
+		return backend.Fidelity{StageFrac: s}
 	}
-	return sparksim.Fidelity{InputScale: s}
+	return backend.Fidelity{InputScale: s}
 }
 
 // guardCap is the stopping cap for a trial at the given rung: Guard ×
@@ -336,7 +336,7 @@ func (st *bohbStepper) Propose(n int) []Proposal {
 	return props
 }
 
-func (st *bohbStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+func (st *bohbStepper) Observe(c conf.Config, rec backend.EvalRecord) {
 	seq := st.Observed(c)
 	if st.tail {
 		if rec.Completed {
@@ -374,7 +374,7 @@ func (st *bohbStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
 // completions (scale 1) are exact; proxy completions are extrapolated
 // to full-workload scale linearly; failures are censored floors. The
 // cost model always receives the full-fidelity-equivalent spend.
-func (st *bohbStepper) feedEngine(c conf.Config, rec sparksim.EvalRecord, scale float64) {
+func (st *bohbStepper) feedEngine(c conf.Config, rec backend.EvalRecord, scale float64) {
 	u := st.space.Encode(c)
 	if rec.Seconds > 0 {
 		y := math.Log(rec.Seconds / scale)

@@ -3,10 +3,10 @@ package tuners
 import (
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/optimize"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 )
 
 // CMAES is an extension baseline: separable CMA-ES evolving
@@ -126,7 +126,7 @@ func (st *cmaesStepper) Propose(n int) []Proposal {
 	return props
 }
 
-func (st *cmaesStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+func (st *cmaesStepper) Observe(c conf.Config, rec backend.EvalRecord) {
 	seq := st.Observed(c)
 	if st.meanPhase {
 		st.done = true

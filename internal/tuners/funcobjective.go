@@ -4,8 +4,8 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
-	"repro/internal/sparksim"
 )
 
 // FuncObjective adapts a plain Go function to the Objective interface,
@@ -33,16 +33,16 @@ type FuncObjective struct {
 	cost  float64
 }
 
-// Evaluate implements Objective.
-func (f *FuncObjective) Evaluate(c conf.Config) sparksim.EvalRecord {
-	return f.EvaluateWithCap(c, f.capSeconds())
-}
-
-// EvaluateWithCap supports ROBOTune's bad-configuration guard: runs
-// whose measured time exceeds the cap are charged only the cap and
-// valued at the global limit.
-func (f *FuncObjective) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
+// EvaluateSpec implements Objective. The spec's cap supports
+// ROBOTune's bad-configuration guard: runs whose measured time
+// exceeds the cap are charged only the cap and valued at the global
+// limit. The fidelity axis is ignored — a plain function has no proxy
+// form, and FuncObjective does not claim backend.FidelitySupporter,
+// so sessions degrade proxy requests to full fidelity before they
+// reach it.
+func (f *FuncObjective) EvaluateSpec(c conf.Config, spec backend.EvalSpec) backend.EvalRecord {
 	limit := f.capSeconds()
+	cap := spec.Cap
 	if cap <= 0 || cap > limit {
 		cap = limit
 	}
@@ -63,7 +63,7 @@ func (f *FuncObjective) EvaluateWithCap(c conf.Config, cap float64) sparksim.Eva
 	f.cost += consumed
 	f.mu.Unlock()
 
-	rec := sparksim.EvalRecord{Config: c, Raw: sec, Transient: transient && !ok}
+	rec := backend.EvalRecord{Config: c, Raw: sec, Transient: transient && !ok}
 	if ok && sec <= cap {
 		rec.Completed = true
 		rec.Seconds = consumed

@@ -5,9 +5,9 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 )
 
 // Gunther reimplements the genetic search of "Gunther: Search-Based
@@ -218,7 +218,7 @@ func (st *guntherStepper) Propose(n int) []Proposal {
 	return props
 }
 
-func (st *guntherStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+func (st *guntherStepper) Observe(c conf.Config, rec backend.EvalRecord) {
 	seq := st.Observed(c)
 	idx := st.slot[seq]
 	delete(st.slot, seq)

@@ -3,24 +3,17 @@ package tuners
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/journal"
-	"repro/internal/sparksim"
 )
 
-// StreamRestorer is the optional capability a durable session needs
-// from its objective for bit-identical resume: restoring the
-// evaluation counter and accumulated search cost to a journaled
-// position. The per-run noise and fault streams are derived from the
-// evaluation index, so an objective that can restore the counter will
-// hand post-replay live evaluations exactly the streams the
-// uninterrupted run would have consumed. *sparksim.Evaluator,
-// *FuncObjective and *trace.Recorder implement it; objectives that do
-// not still resume correctly for the replayed prefix, but later live
-// evaluations draw from the start of their streams.
-type StreamRestorer interface {
-	RestoreStream(evals int, cost float64)
-}
+// StreamRestorer is the optional resume capability (see
+// backend.StreamRestorer): backend evaluators, *FuncObjective and
+// *trace.Recorder implement it; objectives that do not still resume
+// correctly for the replayed prefix, but later live evaluations draw
+// from the start of their streams.
+type StreamRestorer = backend.StreamRestorer
 
 // Counts converts the ledger to the journal's dependency-free mirror
 // (journal deliberately does not import tuners).
@@ -76,36 +69,36 @@ func sameConfig(m map[string]float64, c conf.Config) bool {
 // diverges from the requested evaluation (wrong phase, config or
 // fidelity), in which case the stale tail has been truncated and the
 // caller evaluates live.
-func (s *Session) replayNext(c conf.Config, fid sparksim.Fidelity) (sparksim.EvalRecord, bool) {
+func (s *Session) replayNext(c conf.Config, fid backend.Fidelity) (backend.EvalRecord, bool) {
 	j := s.req.Journal
 	if j == nil {
-		return sparksim.EvalRecord{}, false
+		return backend.EvalRecord{}, false
 	}
 	e, ok := j.PeekReplay()
 	if !ok {
-		return sparksim.EvalRecord{}, false
+		return backend.EvalRecord{}, false
 	}
 	if e.Phase != j.Phase() {
 		j.AbortReplay(fmt.Sprintf("trial %d: journal phase %q, session phase %q", e.Trial, e.Phase, j.Phase()))
-		return sparksim.EvalRecord{}, false
+		return backend.EvalRecord{}, false
 	}
 	if !sameConfig(e.Config, c) {
 		j.AbortReplay(fmt.Sprintf("trial %d: journaled config does not match the session's", e.Trial))
-		return sparksim.EvalRecord{}, false
+		return backend.EvalRecord{}, false
 	}
-	jfid := sparksim.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage}
+	jfid := backend.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage}
 	if jfid != fid && !(jfid.Full() && fid.Full()) {
 		// A journaled proxy observation must never replay as a
 		// full-fidelity one (or vice versa, or at a different rung): a
 		// ladder change between runs invalidates the stale tail.
 		j.AbortReplay(fmt.Sprintf("trial %d: journaled fidelity %s, session fidelity %s", e.Trial, jfid, fid))
-		return sparksim.EvalRecord{}, false
+		return backend.EvalRecord{}, false
 	}
 	j.NextReplay()
 	if sr, ok := s.obj.(StreamRestorer); ok {
 		sr.RestoreStream(e.ObjEvals, e.ObjCost)
 	}
-	rec := sparksim.EvalRecord{
+	rec := backend.EvalRecord{
 		Config:     c,
 		Seconds:    e.Seconds,
 		Raw:        e.Raw,
@@ -125,7 +118,7 @@ func (s *Session) replayNext(c conf.Config, fid sparksim.Fidelity) (sparksim.Eva
 // the trial — the stream position a resume must restore. Append
 // failures are sticky in the journal but deliberately non-fatal here:
 // a full disk degrades durability, it does not kill the campaign.
-func (s *Session) journalAppend(c conf.Config, rec sparksim.EvalRecord, objEvals int, objCost float64) {
+func (s *Session) journalAppend(c conf.Config, rec backend.EvalRecord, objEvals int, objCost float64) {
 	j := s.req.Journal
 	if j == nil || rec.Skipped {
 		return

@@ -3,9 +3,9 @@ package tuners
 import (
 	"math/rand/v2"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 )
 
 // RandomSearch explores parameter ranges uniformly at random
@@ -64,7 +64,7 @@ func (st *randomSearchStepper) Propose(n int) []Proposal {
 	return props
 }
 
-func (st *randomSearchStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+func (st *randomSearchStepper) Observe(c conf.Config, rec backend.EvalRecord) {
 	st.Observed(c)
 }
 

@@ -6,9 +6,9 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/journal"
-	"repro/internal/sparksim"
 )
 
 // Request describes one tuning session: the evaluation budget and
@@ -114,42 +114,19 @@ type FailureStats struct {
 	Skipped int
 }
 
-// Capper is the optional guard capability: objectives that can stop a
-// run at a tighter per-run threshold implement it
-// (*sparksim.Evaluator, *FuncObjective, *trace.Recorder).
-type Capper interface {
-	EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord
-}
-
 // BatchEvaluator is the optional concurrent-evaluation capability
-// with cancellation (*sparksim.Evaluator, *trace.Recorder).
-type BatchEvaluator interface {
-	EvaluateBatchCtx(ctx context.Context, cfgs []conf.Config, workers int) []sparksim.EvalRecord
-}
-
-// SpecEvaluator is the unified evaluation capability: one single-run
-// and one batch entry point, both driven by a sparksim.EvalSpec (cap
-// + fidelity + workers). Objectives that implement it get the
-// fidelity axis — multi-fidelity steppers' proxy-run proposals reach
-// the backend instead of silently running the full workload — and
-// the session routes every evaluation through it, making Capper and
-// BatchEvaluator redundant for such objectives
-// (*sparksim.Evaluator, *sparksim.ResourceCostEvaluator,
-// *trace.Recorder).
-type SpecEvaluator interface {
-	EvaluateSpec(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord
-	EvaluateSpecCtx(ctx context.Context, cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord
-}
+// with cancellation (see backend.BatchEvaluator; *sparksim.Evaluator,
+// *trace.Recorder and the pool's batch gate implement it).
+type BatchEvaluator = backend.BatchEvaluator
 
 // Session is the context a tuner runs in: it owns the objective, the
 // search space and the request, funnels every evaluation through the
 // retry/deadline/cancellation machinery, and accumulates the
 // incumbent, trace and failure statistics that become the Result.
-// Tuners call Evaluate/EvaluateWithCap/EvaluateBatch instead of
-// touching the Objective directly.
+// Tuners call Eval instead of touching the Objective directly.
 //
 // A Session is single-tuner, single-use state; it is not safe for
-// concurrent Evaluate calls (EvaluateBatch parallelizes internally).
+// concurrent Eval calls (the batch path parallelizes internally).
 type Session struct {
 	obj   Objective
 	space *conf.Space
@@ -205,42 +182,33 @@ func (s *Session) effectiveCap(cap float64) float64 {
 	return cap
 }
 
-// rawEval runs one attempt. Objectives with the unified SpecEvaluator
-// capability get the spec (cap + fidelity) directly; otherwise the
-// legacy routing applies — the guard capability when a cap applies,
-// plain Evaluate else — and the fidelity has already been degraded to
-// full by effectiveFidelity.
-func (s *Session) rawEval(c conf.Config, cap float64, fid sparksim.Fidelity) sparksim.EvalRecord {
-	if se, ok := s.obj.(SpecEvaluator); ok {
-		return se.EvaluateSpec(c, sparksim.EvalSpec{Cap: cap, Fidelity: fid})
-	}
-	if cap > 0 {
-		if cc, ok := s.obj.(Capper); ok {
-			return cc.EvaluateWithCap(c, cap)
-		}
-	}
-	return s.obj.Evaluate(c)
+// rawEval runs one attempt through the objective's single evaluation
+// entry point; the fidelity has already been vetted (and degraded to
+// full for objectives without the capability) by effectiveFidelity.
+func (s *Session) rawEval(c conf.Config, cap float64, fid backend.Fidelity) backend.EvalRecord {
+	return s.obj.EvaluateSpec(c, backend.EvalSpec{Cap: cap, Fidelity: fid})
 }
 
 // effectiveFidelity returns the fidelity the session will actually
-// execute: the requested one when the objective understands EvalSpec,
-// full fidelity otherwise — an objective without the capability can
-// only run the full workload, and the record and journal stay honest
-// about what ran. A full-fidelity request canonicalizes to the zero
-// value so explicit {InputScale: 1} and the zero Fidelity journal and
-// replay identically.
-func (s *Session) effectiveFidelity(f sparksim.Fidelity) sparksim.Fidelity {
+// execute: the requested one when the objective can derive proxy runs
+// (backend.FidelitySupporter), full fidelity otherwise — an objective
+// without the capability can only run the full workload, and the
+// record and journal stay honest about what ran. A full-fidelity
+// request canonicalizes to the zero value so explicit
+// {InputScale: 1} and the zero Fidelity journal and replay
+// identically.
+func (s *Session) effectiveFidelity(f backend.Fidelity) backend.Fidelity {
 	if f.Full() {
-		return sparksim.Fidelity{}
+		return backend.Fidelity{}
 	}
-	if _, ok := s.obj.(SpecEvaluator); !ok {
-		return sparksim.Fidelity{}
+	if fs, ok := s.obj.(backend.FidelitySupporter); !ok || !fs.SupportsFidelity() {
+		return backend.Fidelity{}
 	}
 	return f
 }
 
 // note tallies the final observation of a trial.
-func (s *Session) note(rec sparksim.EvalRecord) {
+func (s *Session) note(rec backend.EvalRecord) {
 	if rec.Completed {
 		return
 	}
@@ -255,39 +223,20 @@ func (s *Session) note(rec sparksim.EvalRecord) {
 
 // Eval is the session's unified evaluation entry point: every trial
 // — single or batch, capped or not, full or proxy fidelity — runs
-// under one sparksim.EvalSpec. A single configuration takes the
+// under one backend.EvalSpec. A single configuration takes the
 // sequential path (replay substitution, deadline layering, transient
 // retries); multiple configurations take the batch path, which
 // evaluates concurrently on spec.Workers goroutines when the
 // objective supports it and degrades to the sequential loop when
-// per-trial retry/deadline handling is requested. The legacy
-// Evaluate / EvaluateWithCap / EvaluateBatch methods are thin
-// wrappers over the same internals.
-func (s *Session) Eval(spec sparksim.EvalSpec, cfgs ...conf.Config) []sparksim.EvalRecord {
+// per-trial retry/deadline handling is requested.
+func (s *Session) Eval(spec backend.EvalSpec, cfgs ...conf.Config) []backend.EvalRecord {
 	switch len(cfgs) {
 	case 0:
 		return nil
 	case 1:
-		return []sparksim.EvalRecord{s.evalOne(cfgs[0], spec)}
+		return []backend.EvalRecord{s.evalOne(cfgs[0], spec)}
 	}
 	return s.evalMany(cfgs, spec)
-}
-
-// Evaluate runs one trial of the configuration under the session's
-// deadline and retry policy and records it in the trace/incumbent.
-//
-// Deprecated: use Eval with a zero EvalSpec.
-func (s *Session) Evaluate(c conf.Config) sparksim.EvalRecord {
-	return s.evalOne(c, sparksim.EvalSpec{})
-}
-
-// EvaluateWithCap is Evaluate with a tuner-supplied stopping
-// threshold (ROBOTune's median-multiple guard, SHA's rung caps); the
-// request deadline tightens it further.
-//
-// Deprecated: use Eval with EvalSpec{Cap: cap}.
-func (s *Session) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
-	return s.evalOne(c, sparksim.EvalSpec{Cap: cap})
 }
 
 // evalOne runs one trial under the spec. Transient failures are
@@ -295,7 +244,7 @@ func (s *Session) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecor
 // retried attempts inflate the objective's evaluation and cost
 // counters (a real cluster charged for them too) but the trial enters
 // the trace once, with its final outcome.
-func (s *Session) evalOne(c conf.Config, spec sparksim.EvalSpec) sparksim.EvalRecord {
+func (s *Session) evalOne(c conf.Config, spec backend.EvalSpec) backend.EvalRecord {
 	fid := s.effectiveFidelity(spec.Fidelity)
 	if rec, ok := s.replayNext(c, fid); ok {
 		return rec
@@ -361,21 +310,9 @@ func (s *Session) sleepBackoff(seconds float64) bool {
 	}
 }
 
-// EvaluateBatch evaluates configurations concurrently when the
-// objective supports cancellable batches and the request needs no
-// per-trial retry/deadline handling; otherwise it degrades to a
-// sequential loop so every robustness knob still applies. Entries
-// skipped by cancellation come back with Skipped=true and are not
-// recorded as observations.
-//
-// Deprecated: use Eval with EvalSpec{Workers: workers}.
-func (s *Session) EvaluateBatch(cfgs []conf.Config, workers int) []sparksim.EvalRecord {
-	return s.evalMany(cfgs, sparksim.EvalSpec{Workers: workers})
-}
-
 // evalMany is the batch half of Eval: replay substitution for the
 // leading entries, then the live remainder under one spec.
-func (s *Session) evalMany(cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord {
+func (s *Session) evalMany(cfgs []conf.Config, spec backend.EvalSpec) []backend.EvalRecord {
 	if len(cfgs) == 0 {
 		return nil
 	}
@@ -385,7 +322,7 @@ func (s *Session) evalMany(cfgs []conf.Config, spec sparksim.EvalSpec) []sparksi
 	// on exactly the evaluation indices the original batch reserved.
 	if j := s.req.Journal; j != nil && j.Replaying() {
 		fid := s.effectiveFidelity(spec.Fidelity)
-		recs := make([]sparksim.EvalRecord, 0, len(cfgs))
+		recs := make([]backend.EvalRecord, 0, len(cfgs))
 		i := 0
 		for ; i < len(cfgs); i++ {
 			rec, ok := s.replayNext(cfgs[i], fid)
@@ -406,18 +343,17 @@ func (s *Session) evalMany(cfgs []conf.Config, spec sparksim.EvalSpec) []sparksi
 // concurrent fast path when the objective supports it and no
 // per-trial retry/deadline handling is requested, a sequential loop
 // otherwise.
-func (s *Session) evaluateBatchLive(cfgs []conf.Config, spec sparksim.EvalSpec) []sparksim.EvalRecord {
-	se, isSpec := s.obj.(SpecEvaluator)
-	be, isBatch := s.obj.(BatchEvaluator)
-	if (!isSpec && !isBatch) || s.req.Deadline > 0 || s.req.Retry.MaxRetries > 0 {
-		recs := make([]sparksim.EvalRecord, 0, len(cfgs))
+func (s *Session) evaluateBatchLive(cfgs []conf.Config, spec backend.EvalSpec) []backend.EvalRecord {
+	be, isBatch := s.obj.(backend.BatchEvaluator)
+	if !isBatch || s.req.Deadline > 0 || s.req.Retry.MaxRetries > 0 {
+		recs := make([]backend.EvalRecord, 0, len(cfgs))
 		for _, c := range cfgs {
 			if s.Done() {
-				recs = append(recs, sparksim.EvalRecord{Config: c, Skipped: true})
+				recs = append(recs, backend.EvalRecord{Config: c, Skipped: true})
 				s.stats.Skipped++
 				continue
 			}
-			recs = append(recs, s.evalOne(c, sparksim.EvalSpec{Cap: spec.Cap, Fidelity: spec.Fidelity}))
+			recs = append(recs, s.evalOne(c, backend.EvalSpec{Cap: spec.Cap, Fidelity: spec.Fidelity}))
 		}
 		return recs
 	}
@@ -430,16 +366,11 @@ func (s *Session) evaluateBatchLive(cfgs []conf.Config, spec sparksim.EvalSpec) 
 	// arithmetic bit-for-bit.
 	base := s.obj.Evals()
 	cost := s.obj.SearchCost()
-	var recs []sparksim.EvalRecord
-	if isSpec {
-		recs = se.EvaluateSpecCtx(s.req.Ctx, cfgs, sparksim.EvalSpec{
-			Cap:      spec.Cap,
-			Fidelity: s.effectiveFidelity(spec.Fidelity),
-			Workers:  spec.Workers,
-		})
-	} else {
-		recs = be.EvaluateBatchCtx(s.req.Ctx, cfgs, spec.Workers)
-	}
+	recs := be.EvaluateSpecCtx(s.req.Ctx, cfgs, backend.EvalSpec{
+		Cap:      spec.Cap,
+		Fidelity: s.effectiveFidelity(spec.Fidelity),
+		Workers:  spec.Workers,
+	})
 	for i, rec := range recs {
 		if rec.Skipped {
 			s.stats.Skipped++
@@ -459,7 +390,7 @@ func (s *Session) evaluateBatchLive(cfgs []conf.Config, spec sparksim.EvalSpec) 
 // Observe records an evaluation performed outside the session's
 // Evaluate helpers (tuners that must drive the objective directly)
 // so it still reaches the trace, incumbent and failure statistics.
-func (s *Session) Observe(c conf.Config, rec sparksim.EvalRecord) {
+func (s *Session) Observe(c conf.Config, rec backend.EvalRecord) {
 	if rec.Skipped {
 		s.stats.Skipped++
 		return
@@ -492,7 +423,7 @@ func (s *Session) FastForward(n int) ([]journal.EvalEntry, error) {
 		if err != nil {
 			continue
 		}
-		s.tr.observe(c, sparksim.EvalRecord{
+		s.tr.observe(c, backend.EvalRecord{
 			Config:     c,
 			Seconds:    e.Seconds,
 			Raw:        e.Raw,
@@ -500,7 +431,7 @@ func (s *Session) FastForward(n int) ([]journal.EvalEntry, error) {
 			OOM:        e.OOM,
 			Infeasible: e.Infeasible,
 			Transient:  e.Transient,
-			Fidelity:   sparksim.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage},
+			Fidelity:   backend.Fidelity{InputScale: e.FidelityInput, StageFrac: e.FidelityStage},
 		})
 	}
 	if len(entries) > 0 {

@@ -6,8 +6,8 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
-	"repro/internal/sparksim"
 )
 
 // flakyObjective fails transiently on the first k attempts of every
@@ -107,22 +107,22 @@ func TestSessionDeadlineTightensCap(t *testing.T) {
 	// A tuner cap tighter than the deadline wins.
 	caps = nil
 	s2 := NewSession(spy, smallSpace(t), Request{Budget: 1, Seed: 3, Deadline: 120})
-	s2.EvaluateWithCap(smallSpace(t).Default(), 60)
+	s2.Eval(backend.EvalSpec{Cap: 60}, smallSpace(t).Default())
 	if len(caps) != 1 || caps[0] != 60 {
 		t.Errorf("caps=%v, want [60]", caps)
 	}
 }
 
-// capSpy forwards to an inner objective while recording caps.
+// capSpy forwards to an inner objective while recording the cap of
+// every spec the session passes down.
 type capSpy struct {
 	inner *FuncObjective
 	caps  *[]float64
 }
 
-func (s *capSpy) Evaluate(c conf.Config) sparksim.EvalRecord { return s.inner.Evaluate(c) }
-func (s *capSpy) EvaluateWithCap(c conf.Config, cap float64) sparksim.EvalRecord {
-	*s.caps = append(*s.caps, cap)
-	return s.inner.EvaluateWithCap(c, cap)
+func (s *capSpy) EvaluateSpec(c conf.Config, spec backend.EvalSpec) backend.EvalRecord {
+	*s.caps = append(*s.caps, spec.Cap)
+	return s.inner.EvaluateSpec(c, spec)
 }
 func (s *capSpy) SearchCost() float64 { return s.inner.SearchCost() }
 func (s *capSpy) Evals() int          { return s.inner.Evals() }
@@ -174,7 +174,7 @@ func TestSessionBatchFallbackAppliesRetries(t *testing.T) {
 	s := NewSession(obj, sp, Request{Budget: 4, Seed: 6,
 		Retry: RetryPolicy{MaxRetries: 1}})
 	cfgs := []conf.Config{sp.Default(), sp.Default(), sp.Default(), sp.Default()}
-	recs := s.EvaluateBatch(cfgs, 4)
+	recs := s.Eval(backend.EvalSpec{Workers: 4}, cfgs...)
 	if len(recs) != 4 {
 		t.Fatalf("want 4 records, got %d", len(recs))
 	}

@@ -5,9 +5,9 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/sample"
-	"repro/internal/sparksim"
 )
 
 // SuccessiveHalving is an extension baseline beyond the paper's
@@ -188,7 +188,7 @@ func (st *shaStepper) Propose(n int) []Proposal {
 	return props
 }
 
-func (st *shaStepper) Observe(c conf.Config, rec sparksim.EvalRecord) {
+func (st *shaStepper) Observe(c conf.Config, rec backend.EvalRecord) {
 	seq := st.Observed(c)
 	if st.jitter {
 		return // jitter evaluations only feed the session incumbent

@@ -3,9 +3,9 @@ package tuners
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/journal"
-	"repro/internal/sparksim"
 )
 
 // Proposal is one trial a stepper asks its driver to run: the
@@ -17,7 +17,7 @@ import (
 type Proposal struct {
 	Config   conf.Config
 	Cap      float64
-	Fidelity sparksim.Fidelity
+	Fidelity backend.Fidelity
 }
 
 // Stepper is the inverted (ask/tell) tuner protocol: instead of a
@@ -44,7 +44,7 @@ type Proposal struct {
 //     Calling Propose after Done panics.
 type Stepper interface {
 	Propose(n int) []Proposal
-	Observe(c conf.Config, rec sparksim.EvalRecord)
+	Observe(c conf.Config, rec backend.EvalRecord)
 	Done() bool
 }
 
@@ -169,7 +169,7 @@ func Drive(st Stepper, s *Session) Result {
 			for i, p := range props {
 				cfgs[i] = p.Config
 			}
-			spec := sparksim.EvalSpec{Cap: props[0].Cap, Fidelity: props[0].Fidelity, Workers: par}
+			spec := backend.EvalSpec{Cap: props[0].Cap, Fidelity: props[0].Fidelity, Workers: par}
 			for i, rec := range s.Eval(spec, cfgs...) {
 				st.Observe(cfgs[i], rec)
 			}
@@ -179,7 +179,7 @@ func Drive(st Stepper, s *Session) Result {
 			if s.Done() {
 				break
 			}
-			spec := sparksim.EvalSpec{Cap: p.Cap, Fidelity: p.Fidelity}
+			spec := backend.EvalSpec{Cap: p.Cap, Fidelity: p.Fidelity}
 			st.Observe(p.Config, s.Eval(spec, p.Config)[0])
 		}
 	}

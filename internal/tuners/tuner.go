@@ -11,21 +11,15 @@ package tuners
 import (
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
-	"repro/internal/sparksim"
 )
 
-// Objective is the expensive black box a tuner optimizes. It is
-// satisfied by *sparksim.Evaluator; tests substitute synthetic
-// objectives.
-type Objective interface {
-	// Evaluate runs one configuration and returns the observation.
-	Evaluate(c conf.Config) sparksim.EvalRecord
-	// SearchCost returns the accumulated evaluation cost in seconds.
-	SearchCost() float64
-	// Evals returns the number of evaluations charged so far.
-	Evals() int
-}
+// Objective is the expensive black box a tuner optimizes — exactly
+// the backend-neutral evaluator contract (EvaluateSpec + cost
+// counters). Any registered backend's evaluator satisfies it; tests
+// substitute synthetic objectives.
+type Objective = backend.Evaluator
 
 // Result summarizes a tuning session.
 type Result struct {
@@ -98,7 +92,7 @@ type tracker struct {
 
 func newTracker() *tracker { return &tracker{bestSec: math.Inf(1)} }
 
-func (t *tracker) observe(c conf.Config, rec sparksim.EvalRecord) {
+func (t *tracker) observe(c conf.Config, rec backend.EvalRecord) {
 	t.trace = append(t.trace, rec.Seconds)
 	t.completed = append(t.completed, rec.Completed)
 	t.proxy = append(t.proxy, !rec.Fidelity.Full())

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/conf"
 	"repro/internal/sparksim"
 )
@@ -22,14 +23,16 @@ func newSynth(fn func(conf.Config) (float64, bool)) *synthObjective {
 	return &synthObjective{fn: fn, cap: 480}
 }
 
-func (s *synthObjective) Evaluate(c conf.Config) sparksim.EvalRecord {
+// EvaluateSpec ignores the spec's cap and fidelity: the synthetic cap
+// is fixed so tests exercise tuner logic, not cap plumbing.
+func (s *synthObjective) EvaluateSpec(c conf.Config, _ backend.EvalSpec) backend.EvalRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.evals++
 	sec, done := s.fn(c)
 	consumed := math.Min(sec, s.cap)
 	s.cost += consumed
-	rec := sparksim.EvalRecord{Config: c, Raw: sec, Completed: done && sec <= s.cap}
+	rec := backend.EvalRecord{Config: c, Raw: sec, Completed: done && sec <= s.cap}
 	if rec.Completed {
 		rec.Seconds = consumed
 	} else {
@@ -241,7 +244,7 @@ func TestFuncObjectiveBasics(t *testing.T) {
 		Dataset:  "D",
 	}
 	c := space.Default() // cores=4
-	rec := obj.Evaluate(c)
+	rec := obj.EvaluateSpec(c, backend.EvalSpec{})
 	if !rec.Completed || rec.Seconds != 40 || rec.Raw != 40 {
 		t.Fatalf("rec = %+v", rec)
 	}
@@ -259,7 +262,7 @@ func TestFuncObjectiveCapAndFailure(t *testing.T) {
 		Fn:  func(c conf.Config) (float64, bool) { return 1000, true },
 		Cap: 100,
 	}
-	rec := obj.Evaluate(space.Default())
+	rec := obj.EvaluateSpec(space.Default(), backend.EvalSpec{})
 	if rec.Completed {
 		t.Error("over-cap run should not complete")
 	}
@@ -271,7 +274,7 @@ func TestFuncObjectiveCapAndFailure(t *testing.T) {
 	}
 
 	fail := &FuncObjective{Fn: func(c conf.Config) (float64, bool) { return 5, false }}
-	rec = fail.Evaluate(space.Default())
+	rec = fail.EvaluateSpec(space.Default(), backend.EvalSpec{})
 	if rec.Completed || rec.Seconds != 480 {
 		t.Errorf("failed run rec = %+v", rec)
 	}
@@ -287,7 +290,7 @@ func TestFuncObjectiveGuardCap(t *testing.T) {
 	}
 	space := smallSpace(t)
 	// A guard cap below the measured time truncates the run.
-	rec := obj.EvaluateWithCap(space.Default(), 30)
+	rec := obj.EvaluateSpec(space.Default(), backend.EvalSpec{Cap: 30})
 	if rec.Completed {
 		t.Error("guard-truncated run should not complete")
 	}

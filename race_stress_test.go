@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -77,11 +78,11 @@ func TestStressEvaluator(t *testing.T) {
 				c := cfgs[(g*7+i)%len(cfgs)]
 				switch i % 5 {
 				case 0:
-					ev.Evaluate(c)
+					ev.EvaluateSpec(c, sparksim.EvalSpec{})
 				case 1:
-					ev.EvaluateWithCap(c, 120)
+					ev.EvaluateSpec(c, sparksim.EvalSpec{Cap: 120})
 				case 2:
-					ev.EvaluateBatch(cfgs[:4], 2)
+					ev.EvaluateSpecCtx(context.Background(), cfgs[:4], sparksim.EvalSpec{Workers: 2})
 				case 3:
 					ev.History()
 					ev.Evals()
@@ -111,9 +112,9 @@ func TestStressTraceRecorder(t *testing.T) {
 				c := cfgs[(g+i)%len(cfgs)]
 				switch i % 3 {
 				case 0:
-					rec.Evaluate(c)
+					rec.EvaluateSpec(c, sparksim.EvalSpec{})
 				case 1:
-					rec.EvaluateWithCap(c, 150)
+					rec.EvaluateSpec(c, sparksim.EvalSpec{Cap: 150})
 				default:
 					rec.Records()
 				}
